@@ -1,0 +1,122 @@
+//! Criterion ablations over the design choices DESIGN.md calls out:
+//! initialization strategy, mini-batch vs full Lloyd retraining, PCA on/off
+//! for large values, and the update policy's latency cost.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pnw_core::{PcaPolicy, PnwConfig, PnwStore, RetrainMode, UpdatePolicy};
+use pnw_ml::kmeans::{Init, KMeans, KMeansConfig};
+use pnw_ml::matrix::Matrix;
+use pnw_ml::minibatch::MiniBatchKMeans;
+use pnw_workloads::{DatasetKind, Workload};
+
+fn features(n: usize) -> Matrix {
+    let mut w = DatasetKind::Normal.build(91);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| pnw_ml::featurize::bits_to_features(&w.next_value()))
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+/// ablation_init: k-means++ vs random initialization (training time; the
+/// `ablations` binary reports the quality side).
+fn ablation_init(c: &mut Criterion) {
+    let data = features(2000);
+    let mut g = c.benchmark_group("ablation_init");
+    g.sample_size(10);
+    for (name, init) in [("kmeans++", Init::KMeansPlusPlus), ("random", Init::Random)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                KMeans::fit(
+                    black_box(&data),
+                    &KMeansConfig::new(10).with_seed(5).with_init(init),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// ablation_minibatch: mini-batch vs full-Lloyd retraining cost (§V-C
+/// background retraining budget).
+fn ablation_minibatch(c: &mut Criterion) {
+    let data = features(4000);
+    let mut g = c.benchmark_group("ablation_minibatch");
+    g.sample_size(10);
+    g.bench_function("lloyd-full", |b| {
+        b.iter(|| KMeans::fit(black_box(&data), &KMeansConfig::new(10).with_seed(5)))
+    });
+    g.bench_function("minibatch-256x50", |b| {
+        let t = MiniBatchKMeans::new(10)
+            .with_batch_size(256)
+            .with_steps(50)
+            .with_seed(5);
+        b.iter(|| t.fit(black_box(&data), None))
+    });
+    g.finish();
+}
+
+/// ablation_pca: prediction latency with and without dimensionality
+/// reduction on 784-byte values (§V-A.1 "curse of dimensionality").
+fn ablation_pca(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pca");
+    g.sample_size(20);
+    for (name, threshold) in [("pca-on", 1024usize), ("pca-off", usize::MAX / 2)] {
+        let mut w = DatasetKind::Mnist.build(13);
+        let mut store = PnwStore::new(
+            PnwConfig::new(512, 784)
+                .with_clusters(10)
+                .with_pca(PcaPolicy {
+                    threshold_bits: threshold,
+                    components: 32,
+                    sample: 192,
+                })
+                .with_retrain(RetrainMode::Manual),
+        );
+        store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+        store.retrain_now().expect("train");
+        let v = w.next_value();
+        g.bench_function(name, |b| b.iter(|| store.model().predict(black_box(&v))));
+    }
+    g.finish();
+}
+
+/// ablation_update_policy: DELETE+PUT (endurance-first) vs in-place
+/// (latency-first) update cost (§V-B.3).
+fn ablation_update_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_update_policy");
+    for (name, policy) in [
+        ("delete-put", UpdatePolicy::DeletePut),
+        ("in-place", UpdatePolicy::InPlace),
+    ] {
+        let mut w = DatasetKind::Road.build(17);
+        let vs = w.value_size();
+        let mut store = PnwStore::new(
+            PnwConfig::new(512, vs)
+                .with_clusters(10)
+                .with_update_policy(policy)
+                .with_retrain(RetrainMode::Manual),
+        );
+        store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+        store.retrain_now().expect("train");
+        store.put(1, &w.next_value()).expect("room");
+        g.bench_function(name, |b| b.iter(|| store.put(1, &w.next_value())));
+    }
+    g.finish();
+}
+
+/// Same shortened windows as the micro suite (single-CPU CI budget).
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = ablation_init, ablation_minibatch, ablation_pca, ablation_update_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! `cargo bench` entry that regenerates every paper table/figure at Quick
+//! scale, so the full pipeline is exercised on each bench run. The
+//! minutes-scale numbers in EXPERIMENTS.md come from the `repro_all` binary
+//! at Full scale.
+
+use pnw_bench::{figures, Scale};
+
+fn main() {
+    // Criterion passes --bench; ignore argv entirely.
+    let scale = Scale::Quick;
+    println!("[figures_smoke] regenerating all tables/figures at {scale:?} scale");
+
+    println!("\nTable I\n{}", figures::table1().render());
+    println!("Table II\n{}", figures::table2().render());
+    println!("Figure 3\n{}", figures::fig3(scale).render());
+    let (t4, elbow) = figures::fig4(scale);
+    println!("Figure 4 (elbow K={elbow})\n{}", t4.render());
+    for d in figures::fig6_datasets() {
+        println!("Figure 6 — {}\n{}", d.name(), figures::fig6(d, scale).render());
+    }
+    println!("Figure 7\n{}", figures::fig7(scale).render());
+    println!("Figure 8\n{}", figures::fig8(scale).render());
+    println!("Figure 9\n{}", figures::fig9(scale).render());
+    let (t10, _) = figures::fig10(scale);
+    println!("Figure 10\n{}", t10.render());
+    println!("Figure 11\n{}", figures::fig11(scale).render());
+    for k in [5usize, 30] {
+        let r = figures::fig12_13(k, scale);
+        let (tw, tb) = figures::wear_tables(k, &r);
+        println!("Figure 12 (k={k})\n{}", tw.render());
+        println!("Figure 13 (k={k})\n{}", tb.render());
+    }
+    println!("[figures_smoke] done");
+}

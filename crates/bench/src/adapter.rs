@@ -1,0 +1,85 @@
+//! [`KvStore`] adapter for the PNW store, so Figure 9's harness can drive
+//! PNW and the three baselines through one interface.
+
+use pnw_baselines::{KvStore, StoreError};
+use pnw_core::{PnwError, PnwStore};
+use pnw_nvm_sim::{DeviceStats, NvmDevice};
+
+/// Wraps a [`PnwStore`] as a [`KvStore`].
+pub struct PnwKv(pub PnwStore);
+
+fn convert(e: PnwError) -> StoreError {
+    match e {
+        PnwError::Full => StoreError::Full,
+        PnwError::WrongValueSize { expected, got } => StoreError::WrongValueSize { expected, got },
+        PnwError::ModelUnavailable => StoreError::Full,
+        PnwError::Nvm(e) => StoreError::Nvm(e),
+    }
+}
+
+impl KvStore for PnwKv {
+    fn name(&self) -> &'static str {
+        "PNW"
+    }
+
+    fn value_size(&self) -> usize {
+        self.0.config().value_size
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        self.0.put(key, value).map(|_| ()).map_err(convert)
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.0.get(key).map_err(convert)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        self.0.delete(key).map_err(convert)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        self.0.device_stats()
+    }
+
+    fn device(&self) -> &NvmDevice {
+        self.0.device()
+    }
+
+    fn reset_device_stats(&mut self) {
+        self.0.reset_device_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnw_core::PnwConfig;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let mut s = PnwKv(PnwStore::new(PnwConfig::new(32, 8).with_clusters(2)));
+        assert_eq!(s.name(), "PNW");
+        assert_eq!(s.value_size(), 8);
+        s.put(1, &[1u8; 8]).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![1u8; 8]);
+        assert!(s.delete(1).unwrap());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn errors_convert() {
+        let mut s = PnwKv(PnwStore::new(PnwConfig::new(2, 8).with_clusters(1)));
+        assert!(matches!(
+            s.put(1, &[0u8; 4]),
+            Err(StoreError::WrongValueSize { .. })
+        ));
+        s.put(1, &[0u8; 8]).unwrap();
+        s.put(2, &[0u8; 8]).unwrap();
+        assert!(matches!(s.put(3, &[0u8; 8]), Err(StoreError::Full)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Quality-side ablations: how each design choice affects *bit flips*
+//! (Criterion's `ablations` bench covers the time side).
+//!
+//! Run with: `cargo run --release -p pnw-bench --bin ablations [--quick]`
+
+use pnw_bench::replace::{run_pnw, ReplaceParams};
+use pnw_bench::table::{f2, Table};
+use pnw_bench::Scale;
+use pnw_core::{PcaPolicy, PnwConfig, PnwStore, RetrainMode, UpdatePolicy};
+use pnw_workloads::{DatasetKind, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== PNW design-choice ablations (bit-flip side) ==\n");
+    update_policy(scale);
+    pca_quality(scale);
+    k_sensitivity(scale);
+}
+
+/// DELETE+PUT steering vs in-place updates: the §V-B.3 trade-off made
+/// concrete — in-place sacrifices bit flips for the shorter path.
+fn update_policy(scale: Scale) {
+    let n = scale.pick(256, 2048);
+    let mut t = Table::new(vec!["update policy", "bit updates / 512 bits"]);
+    for (name, policy) in [
+        ("delete+put (endurance-first)", UpdatePolicy::DeletePut),
+        ("in-place (latency-first)", UpdatePolicy::InPlace),
+    ] {
+        let mut w = DatasetKind::Normal.build(41);
+        let mut store = PnwStore::new(
+            PnwConfig::new(n, 4)
+                .with_clusters(12)
+                .with_update_policy(policy)
+                .with_retrain(RetrainMode::Manual),
+        );
+        store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+        store.retrain_now().expect("train");
+        // Build a live set, then update every key twice.
+        for key in 0..(n / 2) as u64 {
+            store.put(key, &w.next_value()).expect("room");
+        }
+        store.reset_device_stats();
+        let mut flips = 0u64;
+        let mut bits = 0u64;
+        for round in 0..2 {
+            for key in 0..(n / 2) as u64 {
+                let _ = round;
+                let r = store.put(key, &w.next_value()).expect("update");
+                flips += r.value_write.total_bit_flips();
+                bits += r.value_write.bits_addressed;
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            f2(flips as f64 * 512.0 / bits.max(1) as f64),
+        ]);
+    }
+    println!("ablation: update policy (normal u32 stream)\n{}", t.render());
+}
+
+/// PCA on vs off for large values: does the projection cost clustering
+/// quality (flips), on top of the latency it saves?
+fn pca_quality(scale: Scale) {
+    let n = scale.pick(256, 1024);
+    let writes = scale.pick(256, 2048);
+    let mut t = Table::new(vec!["PCA", "bit updates / 512 bits", "predict µs"]);
+    for (name, threshold) in [("on (32 comps)", 1024usize), ("off (raw 6272 bits)", usize::MAX / 2)]
+    {
+        let mut w = DatasetKind::Mnist.build(43);
+        let mut store = PnwStore::new(
+            PnwConfig::new(n, 784)
+                .with_clusters(10)
+                .with_pca(PcaPolicy {
+                    threshold_bits: threshold,
+                    components: 32,
+                    sample: 192,
+                })
+                .with_retrain(RetrainMode::Manual),
+        );
+        store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+        store.retrain_now().expect("train");
+        store.reset_device_stats();
+        let mut flips = 0u64;
+        let mut bits = 0u64;
+        let mut predict_ns = 0u128;
+        for i in 0..writes as u64 {
+            let v = w.next_value();
+            let r = store.put(i, &v).expect("room");
+            flips += r.value_write.total_bit_flips();
+            bits += r.value_write.bits_addressed;
+            predict_ns += r.predict.as_nanos();
+            store.delete(i).expect("present");
+        }
+        t.row(vec![
+            name.to_string(),
+            f2(flips as f64 * 512.0 / bits.max(1) as f64),
+            f2(predict_ns as f64 / 1000.0 / writes as f64),
+        ]);
+    }
+    println!("ablation: PCA for large values (MNIST-like)\n{}", t.render());
+}
+
+/// K sensitivity beyond Figure 6's sweep: diminishing returns past the
+/// number of latent classes.
+fn k_sensitivity(scale: Scale) {
+    let p = ReplaceParams {
+        buckets: scale.pick(256, 2048),
+        writes: scale.pick(256, 2048),
+        seed: 47,
+    };
+    let mut t = Table::new(vec!["K", "bit updates / 512 bits"]);
+    for k in [1usize, 4, 8, 12, 16, 24, 48, 96] {
+        let s = run_pnw(DatasetKind::Amazon, k, &p, 1);
+        t.row(vec![k.to_string(), f2(s.flips_per_512)]);
+    }
+    println!("ablation: K beyond the paper's sweep (Amazon-like)\n{}", t.render());
+}

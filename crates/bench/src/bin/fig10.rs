@@ -1,0 +1,8 @@
+//! Figure 10: MNIST -> Fashion-MNIST workload shift over four phases.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    let (t, _) = pnw_bench::figures::fig10(scale);
+    println!("Figure 10 — bit updates over time across the workload shift\n");
+    println!("{}", t.render());
+    println!("(phase 1: MNIST; 2: Fashion:MNIST 2:1; 3: Fashion; 4: Fashion after retrain)");
+}

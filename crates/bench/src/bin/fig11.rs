@@ -1,0 +1,6 @@
+//! Figure 11: K-means training time, 1 core vs 4 cores.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    println!("Figure 11 — model training time (video datasets)\n");
+    println!("{}", pnw_bench::figures::fig11(scale).render());
+}

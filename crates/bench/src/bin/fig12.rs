@@ -1,0 +1,10 @@
+//! Figure 12: per-address write-count CDFs at k=5 and k=30.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    for k in [5usize, 30] {
+        let r = pnw_bench::figures::fig12_13(k, scale);
+        let (tw, _) = pnw_bench::figures::wear_tables(k, &r);
+        println!("Figure 12 — max update addresses CDF, k={k}\n");
+        println!("{}", tw.render());
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 13: per-bit wear-leveling CDFs at k=5 and k=30.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    for k in [5usize, 30] {
+        let r = pnw_bench::figures::fig12_13(k, scale);
+        let (_, tb) = pnw_bench::figures::wear_tables(k, &r);
+        println!("Figure 13 — wear-leveling CDF (bit level), k={k}\n");
+        println!("{}", tb.render());
+    }
+}

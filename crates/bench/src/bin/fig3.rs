@@ -1,0 +1,6 @@
+//! Figure 3: PCA variance ratio vs number of principal components.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    println!("Figure 3 — PCA cumulative explained variance (MNIST-like)\n");
+    println!("{}", pnw_bench::figures::fig3(scale).render());
+}

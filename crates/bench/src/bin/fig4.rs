@@ -1,0 +1,8 @@
+//! Figure 4: SSE-vs-K elbow curve.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    let (t, elbow) = pnw_bench::figures::fig4(scale);
+    println!("Figure 4 — Sum of Squared Error vs K (MNIST-like)\n");
+    println!("{}", t.render());
+    println!("Detected elbow: K = {elbow} (paper: K = 5 on MNIST)");
+}

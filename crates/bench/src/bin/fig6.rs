@@ -1,0 +1,22 @@
+//! Figure 6: bit updates per 512 bits, all methods, one panel per dataset.
+//! Usage: fig6 [--quick] [dataset]   (dataset in: amazon road sherbrooke
+//! traffic normal uniform; default = all six panels)
+use pnw_workloads::DatasetKind;
+
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    let chosen: Vec<DatasetKind> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let panels = if chosen.is_empty() {
+        pnw_bench::figures::fig6_datasets().to_vec()
+    } else {
+        chosen
+    };
+    for d in panels {
+        println!("Figure 6 — {} \n", d.name());
+        println!("{}", pnw_bench::figures::fig6(d, scale).render());
+    }
+}

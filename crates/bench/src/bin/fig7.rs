@@ -1,0 +1,7 @@
+//! Figure 7: end-to-end write latency, normalized to the conventional
+//! write, per dataset per method.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    println!("Figure 7 — normalized end-to-end write latency (conv = 1.0)\n");
+    println!("{}", pnw_bench::figures::fig7(scale).render());
+}

@@ -1,0 +1,6 @@
+//! Figure 8: average write latency vs K on the PubMed-like workload.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    println!("Figure 8 — write latency vs K (PubMed-like, insert:delete 1:1)\n");
+    println!("{}", pnw_bench::figures::fig8(scale).render());
+}

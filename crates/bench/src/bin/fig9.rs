@@ -1,0 +1,6 @@
+//! Figure 9: written cache lines per request across K/V stores.
+fn main() {
+    let scale = pnw_bench::Scale::from_env();
+    println!("Figure 9 — avg written cache lines per request\n");
+    println!("{}", pnw_bench::figures::fig9(scale).render());
+}

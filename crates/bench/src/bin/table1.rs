@@ -1,0 +1,5 @@
+//! Table I: memory-technology characteristics used by the latency model.
+fn main() {
+    println!("Table I — memory technologies\n");
+    println!("{}", pnw_bench::figures::table1().render());
+}

@@ -1,0 +1,5 @@
+//! Table II: the 6-entry worked example of §IV.
+fn main() {
+    println!("Table II — worked clustering example\n");
+    println!("{}", pnw_bench::figures::table2().render());
+}

@@ -1,0 +1,55 @@
+//! # pnw-bench — the experiment harness
+//!
+//! One module per concern:
+//!
+//! * [`replace`] — the replacement-workload engines behind Figures 6 and 7:
+//!   warm a data zone with "old data", then stream new items over it, either
+//!   through a write scheme (baselines, in-place updates) or through the PNW
+//!   store (predicted placement).
+//! * [`figures`] — one function per paper table/figure, returning the rows
+//!   the paper plots. Every function takes a [`Scale`] so the same code
+//!   runs as a quick smoke test or a full reproduction.
+//! * [`table`] — plain-text table rendering for the harness binaries.
+//! * [`adapter`] — a [`KvStore`](pnw_baselines::KvStore) adapter for
+//!   [`PnwStore`](pnw_core::PnwStore) so Figure 9 drives all four stores
+//!   uniformly.
+//!
+//! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
+//! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
+//! repro_all`.
+
+pub mod adapter;
+pub mod figures;
+pub mod replace;
+pub mod table;
+
+/// Experiment scale, so harnesses run both as smoke tests and full repros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale: CI / `cargo bench` smoke runs.
+    Quick,
+    /// Minutes-scale: the numbers recorded in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from argv (`--quick`) or the `PNW_SCALE` env var
+    /// (`quick`/`full`). Defaults to `Full` for binaries.
+    pub fn from_env() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            return Scale::Quick;
+        }
+        match std::env::var("PNW_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Picks between quick and full parameter values.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Replacement-workload engines (the §VI-A methodology).
+//!
+//! *"We first have set aside … buckets as the 'old data' on the NVM … Then,
+//! we replaced this 'old data' with new incoming data from the same data
+//! set."* Baseline schemes update in place (a random old item's location);
+//! PNW chooses its location through the model. Both paths funnel through
+//! the same device accounting, and both report the Figure 6/7 metrics.
+
+use std::time::Instant;
+
+use pnw_core::{PnwConfig, PnwStore, RetrainMode};
+use pnw_nvm_sim::{NvmConfig, NvmDevice, WriteMode};
+use pnw_schemes::{apply, make_scheme, SchemeKind};
+use pnw_workloads::{DatasetKind, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured series point (one method on one dataset).
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Method label ("FNW", "PNW k=10", …).
+    pub label: String,
+    /// Mean updated bits (payload + auxiliary) per 512 payload bits — the
+    /// Figure 6 y-axis.
+    pub flips_per_512: f64,
+    /// Mean cache lines written per item write.
+    pub lines_per_write: f64,
+    /// Mean modeled end-to-end write latency in ns (device lines + model
+    /// prediction for PNW) — the Figure 7/8 y-axis before normalization.
+    pub latency_ns: f64,
+    /// Mean model-prediction latency in µs (PNW only; 0 for schemes).
+    pub predict_us: f64,
+}
+
+/// Workload geometry for a replacement run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplaceParams {
+    /// Data-zone buckets warmed with old data.
+    pub buckets: usize,
+    /// New items streamed over the old data.
+    pub writes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs a baseline write scheme over the replacement workload: each new
+/// item overwrites a uniformly-chosen old location in place.
+pub fn run_scheme(kind: SchemeKind, dataset: DatasetKind, p: &ReplaceParams) -> SeriesPoint {
+    let mut w = dataset.build(p.seed);
+    let value_size = w.value_size();
+    let bucket = value_size.next_multiple_of(8);
+    let mut dev = NvmDevice::new(NvmConfig::default().with_size(p.buckets * bucket));
+    // Warm with old data.
+    for b in 0..p.buckets {
+        let v = w.next_value();
+        dev.write(b * bucket, &v, WriteMode::Raw).expect("in range");
+    }
+    dev.reset_stats();
+
+    let mut scheme = make_scheme(kind);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xF16_6);
+    let mut flips = 0u64;
+    let mut bits = 0u64;
+    let mut lines = 0u64;
+    let mut latency_ns = 0f64;
+    let line_write_ns = dev.latency_model().line_write.as_nanos() as f64;
+    for _ in 0..p.writes {
+        let v = w.next_value();
+        let b = rng.gen_range(0..p.buckets);
+        let s = apply(scheme.as_mut(), &mut dev, b * bucket, &v).expect("in range");
+        flips += s.total_bit_flips();
+        bits += s.bits_addressed;
+        lines += s.lines_written;
+        // §VI-E: "the write latency is calculated based on the number of
+        // cache lines that are written per item" — reads are not charged
+        // (RBW happens inside the DIMM on real parts).
+        latency_ns += s.lines_written as f64 * line_write_ns;
+    }
+    SeriesPoint {
+        label: kind.name().to_string(),
+        flips_per_512: flips as f64 * 512.0 / bits.max(1) as f64,
+        lines_per_write: lines as f64 / p.writes.max(1) as f64,
+        latency_ns: latency_ns / p.writes.max(1) as f64,
+        predict_us: 0.0,
+    }
+}
+
+/// Runs PNW with `k` clusters over the replacement workload. Each new item
+/// is PUT through the model (consuming a predicted free bucket) and then
+/// DELETEd, which recycles its location into the pool under the fresh
+/// content's label — the steady-state "new data replaces old data" regime.
+pub fn run_pnw(dataset: DatasetKind, k: usize, p: &ReplaceParams, threads: usize) -> SeriesPoint {
+    let mut w = dataset.build(p.seed);
+    let value_size = w.value_size();
+    let cfg = PnwConfig::new(p.buckets, value_size)
+        .with_clusters(k)
+        .with_seed(p.seed)
+        .with_train_threads(threads)
+        .with_retrain(RetrainMode::Manual);
+    let mut store = PnwStore::new(cfg);
+    store
+        .prefill_free_buckets(|| w.next_value())
+        .expect("prefill");
+    store.retrain_now().expect("train");
+    store.reset_device_stats();
+
+    let mut flips = 0u64;
+    let mut bits = 0u64;
+    let mut lines = 0u64;
+    let mut latency_ns = 0f64;
+    let mut predict_ns = 0f64;
+    let line_write_ns = store.device().latency_model().line_write.as_nanos() as f64;
+    for i in 0..p.writes {
+        let v = w.next_value();
+        let key = i as u64;
+        let r = store.put(key, &v).expect("pool never exhausts");
+        flips += r.value_write.total_bit_flips();
+        bits += r.value_write.bits_addressed;
+        lines += r.value_write.lines_written;
+        latency_ns += r.value_write.lines_written as f64 * line_write_ns
+            + r.predict.as_nanos() as f64;
+        predict_ns += r.predict.as_nanos() as f64;
+        store.delete(key).expect("just inserted");
+    }
+    SeriesPoint {
+        label: format!("PNW k={k}"),
+        flips_per_512: flips as f64 * 512.0 / bits.max(1) as f64,
+        lines_per_write: lines as f64 / p.writes.max(1) as f64,
+        latency_ns: latency_ns / p.writes.max(1) as f64,
+        predict_us: predict_ns / 1000.0 / p.writes.max(1) as f64,
+    }
+}
+
+/// Times one synchronous K-means training run on `samples` values from the
+/// dataset (the Figure 11 measurement).
+pub fn time_training(
+    dataset: DatasetKind,
+    k: usize,
+    samples: usize,
+    threads: usize,
+    seed: u64,
+) -> std::time::Duration {
+    let mut w = dataset.build(seed);
+    let cfg = PnwConfig::new(samples, w.value_size())
+        .with_clusters(k)
+        .with_seed(seed)
+        .with_train_threads(threads);
+    let mut store = PnwStore::new(cfg);
+    store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+    let t0 = Instant::now();
+    store.retrain_now().expect("train");
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReplaceParams {
+        ReplaceParams {
+            buckets: 128,
+            writes: 128,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn conventional_writes_every_bit() {
+        let s = run_scheme(SchemeKind::Conventional, DatasetKind::Normal, &tiny());
+        assert!((s.flips_per_512 - 512.0).abs() < 1e-9, "{}", s.flips_per_512);
+    }
+
+    #[test]
+    fn dcw_below_conventional() {
+        let p = tiny();
+        let conv = run_scheme(SchemeKind::Conventional, DatasetKind::Normal, &p);
+        let dcw = run_scheme(SchemeKind::Dcw, DatasetKind::Normal, &p);
+        assert!(dcw.flips_per_512 < conv.flips_per_512);
+    }
+
+    #[test]
+    fn pnw_with_enough_clusters_beats_dcw_on_normal() {
+        // The Figure 6e headline: clusterable data + k>=10 -> PNW wins.
+        let p = ReplaceParams {
+            buckets: 512,
+            writes: 512,
+            seed: 5,
+        };
+        let dcw = run_scheme(SchemeKind::Dcw, DatasetKind::Normal, &p);
+        let pnw = run_pnw(DatasetKind::Normal, 10, &p, 1);
+        assert!(
+            pnw.flips_per_512 < dcw.flips_per_512,
+            "PNW {} !< DCW {}",
+            pnw.flips_per_512,
+            dcw.flips_per_512
+        );
+        assert!(pnw.predict_us > 0.0);
+    }
+
+    #[test]
+    fn training_time_grows_with_k() {
+        let t2 = time_training(DatasetKind::Normal, 2, 512, 1, 1);
+        let t16 = time_training(DatasetKind::Normal, 16, 512, 1, 1);
+        // Not strictly monotone in tiny runs, but 16 clusters should not be
+        // dramatically cheaper than 2.
+        assert!(t16.as_nanos() * 3 > t2.as_nanos(), "{t2:?} vs {t16:?}");
+    }
+}

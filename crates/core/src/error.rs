@@ -1,0 +1,79 @@
+//! Store errors.
+
+use pnw_index::IndexError;
+use pnw_nvm_sim::NvmError;
+
+/// Errors returned by [`PnwStore`](crate::PnwStore) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PnwError {
+    /// The data zone has no free bucket (the caller should extend the zone
+    /// and retrain, §V-C).
+    Full,
+    /// A value of the wrong size was supplied.
+    WrongValueSize {
+        /// Configured value size.
+        expected: usize,
+        /// Supplied size.
+        got: usize,
+    },
+    /// The model has not been trained and the store was asked to do
+    /// something that needs it (should not happen: an untrained store uses
+    /// a single-cluster fallback model).
+    ModelUnavailable,
+    /// Underlying device failure.
+    Nvm(NvmError),
+}
+
+impl From<NvmError> for PnwError {
+    fn from(e: NvmError) -> Self {
+        PnwError::Nvm(e)
+    }
+}
+
+impl From<IndexError> for PnwError {
+    fn from(e: IndexError) -> Self {
+        match e {
+            IndexError::Full => PnwError::Full,
+            IndexError::Nvm(e) => PnwError::Nvm(e),
+        }
+    }
+}
+
+impl std::fmt::Display for PnwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PnwError::Full => write!(f, "data zone is full — extend and retrain"),
+            PnwError::WrongValueSize { expected, got } => {
+                write!(f, "value size {got} != configured size {expected}")
+            }
+            PnwError::ModelUnavailable => write!(f, "model unavailable"),
+            PnwError::Nvm(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PnwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PnwError::Full.to_string().contains("full"));
+        let e = PnwError::WrongValueSize {
+            expected: 8,
+            got: 4,
+        };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: PnwError = IndexError::Full.into();
+        assert_eq!(e, PnwError::Full);
+        let e: PnwError = NvmError::Crashed.into();
+        assert_eq!(e, PnwError::Nvm(NvmError::Crashed));
+    }
+}

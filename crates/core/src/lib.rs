@@ -1,0 +1,57 @@
+//! # pnw-core — the Predict-and-Write key/value store
+//!
+//! This crate implements the paper's primary contribution (§IV–V): a K/V
+//! store for hybrid DRAM–NVM systems that extends NVM lifetime by steering
+//! every PUT/UPDATE to the free memory location whose *current cell
+//! content* is closest in Hamming distance to the value being written, so
+//! the differential write flips as few bits as possible.
+//!
+//! The four components of Figure 2:
+//!
+//! * **ML model** ([`model`]) — K-means over the bit patterns of the data
+//!   zone, with PCA in front for large values; lives in DRAM, retrained in
+//!   the background.
+//! * **Dynamic address pool** ([`pool`]) — per-cluster free lists of NVM
+//!   addresses; lives in DRAM.
+//! * **Hash index** — key → physical address; either DRAM (Figure 2a) or
+//!   NVM Path Hashing (Figure 2b), both via `pnw-index`.
+//! * **K/V data zone** — fixed-size buckets on the emulated NVM device.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pnw_core::{PnwConfig, PnwStore};
+//!
+//! // A small store: 256 buckets of 8-byte values, K = 4 clusters.
+//! let mut store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
+//!
+//! // Warm up with "old data" and train the model on it (Algorithm 1).
+//! for k in 0..128u64 {
+//!     store.put(k, &k.to_le_bytes()).unwrap();
+//! }
+//! store.retrain_now().unwrap();
+//!
+//! // Subsequent writes are steered to bit-similar locations.
+//! store.put(1000, &500u64.to_le_bytes()).unwrap();
+//! assert_eq!(store.get(1000).unwrap().unwrap(), 500u64.to_le_bytes());
+//!
+//! // The device accounting behind every paper figure:
+//! let s = store.device_stats();
+//! assert!(s.totals.bit_flips > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod model;
+pub mod pool;
+pub mod store;
+
+pub use config::{IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
+pub use error::PnwError;
+pub use metrics::{OpReport, StoreSnapshot};
+pub use model::ModelManager;
+pub use pool::DynamicAddressPool;
+pub use store::PnwStore;

@@ -1,0 +1,136 @@
+//! Per-operation reports and store snapshots — the raw material of every
+//! figure harness.
+
+use std::time::Duration;
+
+use pnw_nvm_sim::{DeviceStats, WriteStats};
+
+/// What one PUT/DELETE did, at the granularity the paper measures.
+#[derive(Debug, Clone, Default)]
+pub struct OpReport {
+    /// Cluster the model chose (PUT only).
+    pub cluster: usize,
+    /// Whether the allocation fell back to a non-predicted cluster.
+    pub fallback: bool,
+    /// Model prediction time (featurize + PCA projection + centroid scan) —
+    /// the "latency of prediction per item" series of Figure 6.
+    pub predict: Duration,
+    /// Stats of the *value* write alone — Figure 6 counts bit updates per
+    /// 512 bits of item data, excluding index/header bookkeeping.
+    pub value_write: WriteStats,
+    /// Stats of everything this op wrote (header + value + index).
+    pub total_write: WriteStats,
+    /// Modeled NVM latency of the total write under the device's latency
+    /// model (the Figure 7/8 series).
+    pub modeled_latency: Duration,
+}
+
+impl OpReport {
+    /// Bit updates per 512 value bits for this op.
+    pub fn value_flips_per_512(&self) -> f64 {
+        self.value_write.flips_per_512()
+    }
+}
+
+/// Point-in-time view of a store.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Live key count.
+    pub live: usize,
+    /// Free data-zone buckets.
+    pub free: usize,
+    /// Data-zone capacity in buckets.
+    pub capacity: usize,
+    /// Current cluster count K.
+    pub k: usize,
+    /// Completed training runs.
+    pub retrains: u64,
+    /// Pool allocations that fell back to a non-predicted cluster.
+    pub fallbacks: u64,
+    /// Cumulative device statistics.
+    pub device: DeviceStats,
+    /// Total time spent in model prediction.
+    pub predict_total: Duration,
+    /// PUT operations served.
+    pub puts: u64,
+    /// GET operations served.
+    pub gets: u64,
+    /// DELETE operations served.
+    pub deletes: u64,
+}
+
+impl StoreSnapshot {
+    /// Mean prediction latency per PUT.
+    pub fn mean_predict_latency(&self) -> Duration {
+        if self.puts == 0 {
+            Duration::ZERO
+        } else {
+            self.predict_total / self.puts.min(u32::MAX as u64) as u32
+        }
+    }
+
+    /// Pool availability (free fraction of the data zone).
+    pub fn availability(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.free as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_report_normalization() {
+        let r = OpReport {
+            value_write: WriteStats {
+                bit_flips: 16,
+                bits_addressed: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((r.value_flips_per_512() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_derived_metrics() {
+        let s = StoreSnapshot {
+            live: 5,
+            free: 15,
+            capacity: 20,
+            k: 3,
+            retrains: 1,
+            fallbacks: 0,
+            device: DeviceStats::default(),
+            predict_total: Duration::from_micros(50),
+            puts: 10,
+            gets: 0,
+            deletes: 0,
+        };
+        assert!((s.availability() - 0.75).abs() < 1e-12);
+        assert_eq!(s.mean_predict_latency(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = StoreSnapshot {
+            live: 0,
+            free: 0,
+            capacity: 0,
+            k: 1,
+            retrains: 0,
+            fallbacks: 0,
+            device: DeviceStats::default(),
+            predict_total: Duration::ZERO,
+            puts: 0,
+            gets: 0,
+            deletes: 0,
+        };
+        assert_eq!(s.availability(), 0.0);
+        assert_eq!(s.mean_predict_latency(), Duration::ZERO);
+    }
+}

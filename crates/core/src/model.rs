@@ -1,0 +1,443 @@
+//! The ML model manager: featurization, PCA, K-means, background retraining
+//! (§V-A.1).
+//!
+//! *"The ML model is constructed on DRAM as it does not need to be
+//! persistent and can be reconstructed after a crash."* The manager owns the
+//! current K-means model (and the PCA basis for large values), serves
+//! predictions, and coordinates background retraining: training runs on a
+//! worker thread against a snapshot of the data zone, and the trained model
+//! is installed at the next store operation — the paper's *"we can hide the
+//! re-training latency and the system works without disruptions"*.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver};
+use pnw_ml::featurize::bits_to_features;
+use pnw_ml::kmeans::{KMeans, KMeansConfig};
+use pnw_ml::matrix::Matrix;
+use pnw_ml::pca::{BitProjector, Pca};
+
+use crate::config::PnwConfig;
+
+/// Result of one training run.
+pub struct TrainedModel {
+    /// The fitted K-means model (over raw bits or PCA space).
+    pub kmeans: KMeans,
+    /// The PCA basis, when the value size warranted one.
+    pub pca: Option<Pca>,
+    /// Wall-clock training time (the Figure 11 measurement).
+    pub elapsed: Duration,
+}
+
+/// Owns the live model and the background-training machinery.
+pub struct ModelManager {
+    clusters: usize,
+    auto_k: Option<(usize, usize)>,
+    seed: u64,
+    threads: usize,
+    iters: usize,
+    value_bits: usize,
+    use_pca: bool,
+    pca_components: usize,
+    pca_sample: usize,
+
+    pca: Option<Pca>,
+    /// Fast byte→PCA-space projector derived from `pca` (kept in sync).
+    projector: Option<BitProjector>,
+    kmeans: KMeans,
+    trained: bool,
+    retrains: u64,
+    pending: Option<Receiver<TrainedModel>>,
+}
+
+impl ModelManager {
+    /// Creates an untrained manager; predictions all map to cluster 0 until
+    /// the first training (matching a store whose cells are all zero).
+    pub fn new(cfg: &PnwConfig) -> Self {
+        let value_bits = cfg.value_size * 8;
+        let use_pca = cfg.uses_pca();
+        // Until the first training there is no PCA basis, so featurization
+        // yields raw bits — the placeholder centroid must match that.
+        let dims = value_bits;
+        ModelManager {
+            clusters: cfg.clusters,
+            auto_k: cfg.auto_k,
+            seed: cfg.seed,
+            threads: cfg.train_threads,
+            iters: cfg.train_iters,
+            value_bits,
+            use_pca,
+            pca_components: cfg.pca.components,
+            pca_sample: cfg.pca.sample,
+            pca: None,
+            projector: None,
+            kmeans: KMeans::from_centroids(Matrix::zeros(1, dims), 0),
+            trained: false,
+            retrains: 0,
+            pending: None,
+        }
+    }
+
+    /// Whether a training run has completed (fore- or background).
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Completed training runs.
+    pub fn retrains(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Current number of clusters (1 until trained).
+    pub fn k(&self) -> usize {
+        self.kmeans.k()
+    }
+
+    /// Maps a raw value to model feature space.
+    ///
+    /// With a PCA basis installed this goes through the sparse
+    /// [`BitProjector`] (set bits only, no intermediate bit vector) — the
+    /// per-PUT prediction cost the paper's Figure 6 reports as "latency of
+    /// prediction per item".
+    pub fn featurize(&self, value: &[u8]) -> Vec<f32> {
+        debug_assert_eq!(value.len() * 8, self.value_bits);
+        match &self.projector {
+            Some(p) => p.project(value),
+            None => bits_to_features(value),
+        }
+    }
+
+    /// Predicts the cluster for a value — Algorithm 2 line 1.
+    pub fn predict(&self, value: &[u8]) -> usize {
+        self.kmeans.predict(&self.featurize(value))
+    }
+
+    /// Predicts and returns all clusters ranked nearest-first (for the
+    /// pool's fallback path).
+    pub fn predict_ranked(&self, value: &[u8]) -> (usize, Vec<usize>) {
+        let f = self.featurize(value);
+        let ranked = self.kmeans.ranked_clusters(&f);
+        (ranked[0], ranked)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fit(
+        values: &[Vec<u8>],
+        clusters: usize,
+        auto_k: Option<(usize, usize)>,
+        seed: u64,
+        threads: usize,
+        iters: usize,
+        use_pca: bool,
+        pca_components: usize,
+        pca_sample: usize,
+    ) -> TrainedModel {
+        let start = Instant::now();
+        // Featurize into the training tensor; for wide values this step is
+        // memory-bound and worth parallelizing alongside PCA and K-means
+        // (Figure 11 measures the whole pipeline).
+        let bits = featurize_parallel(values, threads);
+
+        let (pca, train_matrix) = if use_pca && bits.rows() > 0 {
+            // Fit the basis on a subsample (the eigensolve is cubic), then
+            // project everything.
+            let sample_idx: Vec<usize> = stride_sample(bits.rows(), pca_sample);
+            let sample = bits.select_rows(&sample_idx);
+            let pca = Pca::fit_with_threads(&sample, pca_components, threads);
+            let projected = pca.transform_with_threads(&bits, threads);
+            (Some(pca), projected)
+        } else {
+            (None, bits)
+        };
+
+        // Elbow-method K selection (§V-A.1, Figure 4): sweep the SSE curve
+        // on a subsample and pick the knee.
+        let k = match auto_k {
+            Some((lo, hi)) if train_matrix.rows() > 0 => {
+                let sweep_idx = stride_sample(train_matrix.rows(), 512);
+                let sweep = train_matrix.select_rows(&sweep_idx);
+                let ks: Vec<usize> = (lo..=hi.min(sweep.rows().max(lo))).collect();
+                let curve = pnw_ml::elbow::sse_curve(&sweep, &ks, seed);
+                pnw_ml::elbow::elbow_point(&curve)
+            }
+            _ => clusters,
+        };
+
+        let kmeans = KMeans::fit(
+            &train_matrix,
+            &KMeansConfig::new(k)
+                .with_seed(seed)
+                .with_threads(threads)
+                .with_max_iters(iters),
+        );
+        TrainedModel {
+            kmeans,
+            pca,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Trains synchronously on a snapshot of data-zone values (Algorithm 1)
+    /// and installs the result. Returns the training time.
+    pub fn train(&mut self, values: &[Vec<u8>]) -> Duration {
+        let m = Self::fit(
+            values,
+            self.clusters,
+            self.auto_k,
+            self.seed.wrapping_add(self.retrains),
+            self.threads,
+            self.iters,
+            self.use_pca,
+            self.pca_components,
+            self.pca_sample,
+        );
+        let elapsed = m.elapsed;
+        self.install(m);
+        elapsed
+    }
+
+    /// Starts a background training run on the snapshot. No-op if one is
+    /// already pending.
+    pub fn train_in_background(&mut self, values: Vec<Vec<u8>>) {
+        if self.pending.is_some() {
+            return;
+        }
+        let (tx, rx) = bounded(1);
+        let (clusters, auto_k, seed, threads, iters) = (
+            self.clusters,
+            self.auto_k,
+            self.seed.wrapping_add(self.retrains),
+            self.threads,
+            self.iters,
+        );
+        let (use_pca, pca_components, pca_sample) =
+            (self.use_pca, self.pca_components, self.pca_sample);
+        std::thread::spawn(move || {
+            let m = Self::fit(
+                &values, clusters, auto_k, seed, threads, iters, use_pca, pca_components,
+                pca_sample,
+            );
+            // Receiver may have been dropped (store torn down) — ignore.
+            let _ = tx.send(m);
+        });
+        self.pending = Some(rx);
+    }
+
+    /// Whether a background run is in flight.
+    pub fn training_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Installs a finished background model if one is ready. Returns true
+    /// when a swap happened (the store must then relabel its pool).
+    pub fn try_install_background(&mut self) -> bool {
+        let Some(rx) = &self.pending else {
+            return false;
+        };
+        match rx.try_recv() {
+            Ok(m) => {
+                self.pending = None;
+                self.install(m);
+                true
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => false,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                self.pending = None;
+                false
+            }
+        }
+    }
+
+    /// Blocks until the in-flight background run (if any) is installed.
+    pub fn wait_for_background(&mut self) -> bool {
+        let Some(rx) = self.pending.take() else {
+            return false;
+        };
+        match rx.recv() {
+            Ok(m) => {
+                self.install(m);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn install(&mut self, m: TrainedModel) {
+        self.kmeans = m.kmeans;
+        self.projector = m.pca.as_ref().map(Pca::bit_projector);
+        self.pca = m.pca;
+        self.trained = true;
+        self.retrains += 1;
+    }
+}
+
+/// Builds the samples × bits training matrix, splitting rows across
+/// `threads` workers.
+fn featurize_parallel(values: &[Vec<u8>], threads: usize) -> Matrix {
+    use pnw_ml::featurize::bits_into_features;
+    let n = values.len();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    let bits = values[0].len() * 8;
+    let mut m = Matrix::zeros(n, bits);
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        for (i, v) in values.iter().enumerate() {
+            bits_into_features(v, m.row_mut(i));
+        }
+        return m;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut bands: Vec<&mut [f32]> = Vec::new();
+    {
+        let mut rest = m.as_mut_slice();
+        while !rest.is_empty() {
+            let take = (chunk * bits).min(rest.len());
+            let (band, r) = rest.split_at_mut(take);
+            bands.push(band);
+            rest = r;
+        }
+    }
+    std::thread::scope(|scope| {
+        for (t, band) in bands.into_iter().enumerate() {
+            scope.spawn(move || {
+                for (off, dst) in band.chunks_mut(bits).enumerate() {
+                    bits_into_features(&values[t * chunk + off], dst);
+                }
+            });
+        }
+    });
+    m
+}
+
+/// Evenly-strided subsample of `0..n`, at most `cap` indices.
+pub fn stride_sample(n: usize, cap: usize) -> Vec<usize> {
+    if n <= cap {
+        return (0..n).collect();
+    }
+    (0..cap).map(|i| i * n / cap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PnwConfig {
+        PnwConfig::new(64, 4).with_clusters(2)
+    }
+
+    #[test]
+    fn untrained_predicts_zero() {
+        let m = ModelManager::new(&small_cfg());
+        assert!(!m.is_trained());
+        assert_eq!(m.predict(&[0xFF, 0, 0, 0]), 0);
+        assert_eq!(m.k(), 1);
+    }
+
+    #[test]
+    fn train_separates_patterns() {
+        let mut m = ModelManager::new(&small_cfg());
+        let mut values: Vec<Vec<u8>> = Vec::new();
+        for i in 0..20u8 {
+            values.push(vec![0x00, 0x00, 0x00, i % 2]); // low pattern
+            values.push(vec![0xFF, 0xFF, 0xFF, 0xF0 | (i % 2)]); // high pattern
+        }
+        m.train(&values);
+        assert!(m.is_trained());
+        assert_eq!(m.k(), 2);
+        let lo = m.predict(&[0, 0, 0, 1]);
+        let hi = m.predict(&[0xFF, 0xFF, 0xFF, 0xF1]);
+        assert_ne!(lo, hi);
+        let (c, ranked) = m.predict_ranked(&[0, 0, 0, 0]);
+        assert_eq!(c, lo);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn background_training_installs() {
+        let mut m = ModelManager::new(&small_cfg());
+        let values: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i, 0, 0, 0]).collect();
+        m.train_in_background(values);
+        assert!(m.training_in_progress());
+        assert!(m.wait_for_background());
+        assert!(m.is_trained());
+        assert_eq!(m.retrains(), 1);
+        assert!(!m.training_in_progress());
+    }
+
+    #[test]
+    fn second_background_request_is_noop_while_pending() {
+        let mut m = ModelManager::new(&small_cfg());
+        let values: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i, i, 0, 0]).collect();
+        m.train_in_background(values.clone());
+        m.train_in_background(values); // ignored
+        m.wait_for_background();
+        assert_eq!(m.retrains(), 1);
+    }
+
+    #[test]
+    fn pca_path_for_large_values() {
+        let cfg = PnwConfig::new(32, 256).with_clusters(2); // 2048 bits > threshold
+        assert!(cfg.uses_pca());
+        let mut m = ModelManager::new(&cfg);
+        let mut values = Vec::new();
+        for i in 0..30u8 {
+            let mut a = vec![0u8; 256];
+            a[..128].fill(0xFF);
+            a[200] = i;
+            values.push(a);
+            let mut b = vec![0u8; 256];
+            b[128..].fill(0xFF);
+            b[10] = i;
+            values.push(b);
+        }
+        m.train(&values);
+        // Features are PCA-projected: at most the requested components (the
+        // basis truncates to the data's actual rank), far below 2048 bits.
+        let dims = m.featurize(&values[0]).len();
+        assert!(dims > 0 && dims <= cfg.pca.components, "dims={dims}");
+        // The two macro-patterns still separate after projection.
+        assert_ne!(m.predict(&values[0]), m.predict(&values[1]));
+    }
+
+    #[test]
+    fn stride_sample_bounds() {
+        assert_eq!(stride_sample(5, 10), vec![0, 1, 2, 3, 4]);
+        let s = stride_sample(100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn auto_k_picks_cluster_count_near_structure() {
+        let cfg = PnwConfig::new(64, 4).with_auto_k(1, 8);
+        let mut m = ModelManager::new(&cfg);
+        // Three well-separated byte families.
+        let mut values = Vec::new();
+        for i in 0..60u8 {
+            let v = match i % 3 {
+                0 => vec![0x00, 0x00, 0x00, i % 2],
+                1 => vec![0xFF, 0xFF, 0x00, i % 2],
+                _ => vec![0x0F, 0xF0, 0xFF, i % 2],
+            };
+            values.push(v);
+        }
+        m.train(&values);
+        let k = m.k();
+        // 3 byte families × the parity sub-bit = between 3 and 6 real
+        // clusters; the elbow must land in that structured range, not at
+        // the extremes of the sweep.
+        assert!((2..=6).contains(&k), "elbow chose k={k}");
+    }
+
+    #[test]
+    fn training_time_reported() {
+        let mut m = ModelManager::new(&small_cfg());
+        let values: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i, 0, i, 0]).collect();
+        let t = m.train(&values);
+        assert!(t.as_nanos() > 0);
+    }
+}

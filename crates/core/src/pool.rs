@@ -1,0 +1,232 @@
+//! The dynamic address pool (§V-A.2, Figure 5).
+//!
+//! *"The dynamic address pool is a table that contains a number of entries,
+//! equal to the number of clusters in the ML model. Each entry … contains a
+//! free-list of the available memory locations that belong to the same
+//! cluster."* Addresses are removed when allocated to a K/V pair and
+//! reinserted on delete, exactly as the paper describes (this is what
+//! amortizes the per-address availability flag).
+//!
+//! When the predicted cluster's free list is empty the pool falls back to
+//! the nearest non-empty cluster by centroid distance (§V-C's stall-
+//! avoidance, with the load factor warning the store to retrain before this
+//! becomes common).
+
+use std::collections::VecDeque;
+
+/// Per-cluster free lists of data-zone bucket ids.
+///
+/// Lists rotate FIFO: an address freed by a DELETE goes to the back of its
+/// cluster's queue and allocation takes from the front, so writes cycle
+/// through every free address of a cluster instead of hammering the most
+/// recently freed one — this rotation is what spreads write activity
+/// "across the whole PCM chip" (Figure 12) while keeping allocations inside
+/// the bit-similar cluster.
+#[derive(Debug, Clone)]
+pub struct DynamicAddressPool {
+    lists: Vec<VecDeque<u32>>,
+    capacity: usize,
+    free: usize,
+    /// Allocations that missed their predicted cluster (telemetry for the
+    /// `ablation_fallback` bench and the load-factor tests).
+    fallbacks: u64,
+}
+
+impl DynamicAddressPool {
+    /// An empty pool with `clusters` entries for a data zone of `capacity`
+    /// buckets.
+    pub fn new(clusters: usize, capacity: usize) -> Self {
+        DynamicAddressPool {
+            lists: vec![VecDeque::new(); clusters.max(1)],
+            capacity,
+            free: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Rebuilds the pool from `(bucket, label)` pairs — Algorithm 1 lines
+    /// 4–5 (`DAP[labels[i]].append(A(i))`).
+    pub fn rebuild(&mut self, clusters: usize, entries: impl IntoIterator<Item = (u32, usize)>) {
+        self.lists = vec![VecDeque::new(); clusters.max(1)];
+        self.free = 0;
+        for (bucket, label) in entries {
+            self.push(label, bucket);
+        }
+    }
+
+    /// Number of cluster entries.
+    pub fn clusters(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total free addresses.
+    pub fn free(&self) -> usize {
+        self.free
+    }
+
+    /// Free addresses in one cluster.
+    pub fn free_in(&self, cluster: usize) -> usize {
+        self.lists.get(cluster).map_or(0, VecDeque::len)
+    }
+
+    /// Fraction of the data zone that is free.
+    pub fn availability(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.free as f64 / self.capacity as f64
+        }
+    }
+
+    /// Occupancy = `1 - availability` (compared against the load factor).
+    pub fn occupancy(&self) -> f64 {
+        1.0 - self.availability()
+    }
+
+    /// Times an allocation had to fall back to another cluster.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Updates the data-zone capacity (after a §V-C zone extension), which
+    /// is the denominator of [`DynamicAddressPool::availability`].
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Pops a free address from `cluster`, or — if it is empty — from the
+    /// first non-empty cluster in `ranked` order (nearest centroid first).
+    /// Returns the bucket and whether a fallback occurred.
+    pub fn pop(&mut self, cluster: usize, ranked: &[usize]) -> Option<(u32, bool)> {
+        if let Some(b) = self.lists.get_mut(cluster).and_then(VecDeque::pop_front) {
+            self.free -= 1;
+            return Some((b, false));
+        }
+        for &c in ranked {
+            if c == cluster {
+                continue;
+            }
+            if let Some(b) = self.lists.get_mut(c).and_then(VecDeque::pop_front) {
+                self.free -= 1;
+                self.fallbacks += 1;
+                return Some((b, true));
+            }
+        }
+        // Last resort: any non-empty list (ranked may be partial).
+        for list in &mut self.lists {
+            if let Some(b) = list.pop_front() {
+                self.free -= 1;
+                self.fallbacks += 1;
+                return Some((b, true));
+            }
+        }
+        None
+    }
+
+    /// Returns a freed address to the back of `cluster`'s queue
+    /// (Algorithm 3 line 4).
+    pub fn push(&mut self, cluster: usize, bucket: u32) {
+        let c = cluster.min(self.lists.len() - 1);
+        self.lists[c].push_back(bucket);
+        self.free += 1;
+    }
+
+    /// Drains all free buckets (used when retraining relabels them).
+    pub fn drain_all(&mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.free);
+        for list in &mut self.lists {
+            out.extend(list.drain(..));
+        }
+        self.free = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_same_cluster() {
+        let mut p = DynamicAddressPool::new(3, 10);
+        p.push(1, 42);
+        assert_eq!(p.free(), 1);
+        assert_eq!(p.free_in(1), 1);
+        let (b, fb) = p.pop(1, &[0, 1, 2]).unwrap();
+        assert_eq!(b, 42);
+        assert!(!fb);
+        assert_eq!(p.free(), 0);
+    }
+
+    #[test]
+    fn fallback_follows_ranking() {
+        let mut p = DynamicAddressPool::new(3, 10);
+        p.push(0, 1);
+        p.push(2, 2);
+        // Cluster 1 is empty; ranking prefers 2 then 0.
+        let (b, fb) = p.pop(1, &[1, 2, 0]).unwrap();
+        assert_eq!(b, 2);
+        assert!(fb);
+        assert_eq!(p.fallbacks(), 1);
+    }
+
+    #[test]
+    fn pop_exhausted_returns_none() {
+        let mut p = DynamicAddressPool::new(2, 4);
+        assert!(p.pop(0, &[0, 1]).is_none());
+        p.push(0, 7);
+        p.pop(0, &[0, 1]).unwrap();
+        assert!(p.pop(0, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn availability_tracks_capacity() {
+        let mut p = DynamicAddressPool::new(2, 4);
+        assert_eq!(p.availability(), 0.0);
+        p.push(0, 0);
+        p.push(1, 1);
+        assert!((p.availability() - 0.5).abs() < 1e-12);
+        assert!((p.occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_relabels() {
+        let mut p = DynamicAddressPool::new(2, 8);
+        p.push(0, 1);
+        p.push(0, 2);
+        p.rebuild(4, vec![(1, 3), (2, 3), (5, 0)]);
+        assert_eq!(p.clusters(), 4);
+        assert_eq!(p.free(), 3);
+        assert_eq!(p.free_in(3), 2);
+        assert_eq!(p.free_in(0), 1);
+    }
+
+    #[test]
+    fn out_of_range_label_clamps() {
+        let mut p = DynamicAddressPool::new(2, 4);
+        p.push(99, 5); // clamped into the last cluster
+        assert_eq!(p.free_in(1), 1);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut p = DynamicAddressPool::new(3, 8);
+        p.push(0, 1);
+        p.push(1, 2);
+        p.push(2, 3);
+        let mut drained = p.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert_eq!(p.free(), 0);
+    }
+
+    #[test]
+    fn last_resort_fallback_without_ranking() {
+        let mut p = DynamicAddressPool::new(4, 8);
+        p.push(3, 9);
+        // Ranking mentions only empty clusters; the pool must still find 9.
+        let (b, fb) = p.pop(0, &[0, 1]).unwrap();
+        assert_eq!(b, 9);
+        assert!(fb);
+    }
+}

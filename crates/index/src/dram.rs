@@ -1,0 +1,98 @@
+//! The DRAM-resident hash index (Figure 2a).
+//!
+//! For small keys the paper keeps the index in DRAM: *"we do not pay any
+//! cost for the extra bit flipping that is caused by the write amplification
+//! of the indexing structures. Nonetheless, we need to build the whole data
+//! structure from scratch during recovery after a crash."* The store's
+//! recovery path does exactly that (see `pnw-core`).
+
+use std::collections::HashMap;
+
+use pnw_nvm_sim::NvmDevice;
+
+use crate::traits::{IndexError, KeyIndex};
+
+/// A plain DRAM hash map; never touches the NVM device.
+#[derive(Debug, Default, Clone)]
+pub struct DramHashIndex {
+    map: HashMap<u64, u64>,
+}
+
+impl DramHashIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates with capacity (avoids rehashing during warm-up).
+    pub fn with_capacity(n: usize) -> Self {
+        DramHashIndex {
+            map: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Iterates over `(key, addr)` pairs (used by recovery verification).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&k, &a)| (k, a))
+    }
+}
+
+impl KeyIndex for DramHashIndex {
+    fn name(&self) -> &'static str {
+        "dram-hash"
+    }
+
+    fn insert(&mut self, _dev: &mut NvmDevice, key: u64, addr: u64) -> Result<(), IndexError> {
+        self.map.insert(key, addr);
+        Ok(())
+    }
+
+    fn get(&mut self, _dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
+        Ok(self.map.get(&key).copied())
+    }
+
+    fn remove(&mut self, _dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
+        Ok(self.map.remove(&key))
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnw_nvm_sim::NvmConfig;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(NvmConfig::default().with_size(64))
+    }
+
+    #[test]
+    fn basic_crud() {
+        let mut d = dev();
+        let mut idx = DramHashIndex::new();
+        idx.insert(&mut d, 1, 100).unwrap();
+        idx.insert(&mut d, 2, 200).unwrap();
+        assert_eq!(idx.get(&mut d, 1).unwrap(), Some(100));
+        assert_eq!(idx.len(), 2);
+        idx.insert(&mut d, 1, 150).unwrap(); // update
+        assert_eq!(idx.get(&mut d, 1).unwrap(), Some(150));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.remove(&mut d, 1).unwrap(), Some(150));
+        assert_eq!(idx.get(&mut d, 1).unwrap(), None);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn charges_no_nvm_traffic() {
+        let mut d = dev();
+        let mut idx = DramHashIndex::new();
+        for k in 0..100 {
+            idx.insert(&mut d, k, k * 10).unwrap();
+        }
+        assert_eq!(d.stats().write_ops, 0);
+        assert_eq!(d.stats().totals.bit_flips, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The [`KeyIndex`] trait shared by DRAM and NVM index implementations.
+
+use pnw_nvm_sim::{NvmDevice, NvmError};
+
+/// Index operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// No bucket available for the key (the table needs to grow).
+    Full,
+    /// Underlying device error.
+    Nvm(NvmError),
+}
+
+impl From<NvmError> for IndexError {
+    fn from(e: NvmError) -> Self {
+        IndexError::Nvm(e)
+    }
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Full => write!(f, "index is full"),
+            IndexError::Nvm(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// A key → address map whose persistent variants charge their writes to an
+/// [`NvmDevice`]. DRAM implementations ignore the device parameter.
+pub trait KeyIndex: Send {
+    /// Implementation name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Inserts or updates `key → addr`.
+    fn insert(&mut self, dev: &mut NvmDevice, key: u64, addr: u64) -> Result<(), IndexError>;
+
+    /// Looks up a key.
+    fn get(&mut self, dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError>;
+
+    /// Removes a key, returning its previous address. NVM implementations
+    /// reset the entry's valid flag (a 1-bit write) rather than erasing it.
+    fn remove(&mut self, dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,34 @@
+//! # pnw-baselines — the persistent K/V stores PNW is compared against
+//!
+//! Figure 9 of the paper compares PNW's written-cache-lines-per-request
+//! against three recent NVM stores, each reimplemented here over the same
+//! emulated device so the accounting is identical:
+//!
+//! * [`FpTreeLike`] — FPTree (Oukid et al., SIGMOD 2016): a hybrid
+//!   SCM-DRAM B+-tree. Inner nodes live in DRAM; leaves live in NVM with a
+//!   slot bitmap and per-slot fingerprints. Leaf splits rewrite half a
+//!   leaf's entries — the write-amplification mechanism that makes FPTree
+//!   the most line-hungry store in Figure 9.
+//! * [`NoveLsmLike`] — NoveLSM (Kannan et al., ATC 2018): an LSM with a
+//!   DRAM memtable flushed into sorted NVM runs, compacted into a larger
+//!   level. Flush + compaction rewrite entries wholesale.
+//! * [`PathHashStore`] — a K/V store over Path Hashing (Zuo & Hua): the
+//!   closest competitor in Figure 9; writes little, but is *"not
+//!   memory-aware"* — values land wherever the free list points, so its
+//!   data-zone writes can't exploit similarity.
+//!
+//! All three implement [`KvStore`], as does the PNW store itself (via the
+//! adapter in the bench crate), so the Figure 9 harness drives them
+//! uniformly.
+
+#![warn(missing_docs)]
+
+pub mod fptree;
+pub mod lsm;
+pub mod path_store;
+pub mod traits;
+
+pub use fptree::FpTreeLike;
+pub use lsm::NoveLsmLike;
+pub use path_store::PathHashStore;
+pub use traits::{KvStore, StoreError};

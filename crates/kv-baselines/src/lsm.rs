@@ -1,0 +1,351 @@
+//! NoveLSM-like persistent LSM store (Kannan et al., USENIX ATC 2018).
+//!
+//! NoveLSM redesigns LevelDB for NVM. For Figure 9 what matters is the LSM
+//! write path's amplification: every PUT is eventually rewritten at least
+//! twice (memtable → flushed L0 run, L0 runs → compacted L1), and
+//! compaction rewrites *unchanged* entries too. The model here:
+//!
+//! * a DRAM memtable (sorted map) absorbing writes;
+//! * flushes into fixed L0 run slots in NVM (sorted arrays);
+//! * when all L0 slots fill, a full compaction merges L0 + L1 into the
+//!   alternate L1 area (ping-pong), dropping tombstones and duplicates.
+//!
+//! Entry layout in a run: `[flags: u8 | pad ×7 | key: u64 | value]`,
+//! flag bit 0 = tombstone.
+
+use std::collections::BTreeMap;
+
+use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
+
+use crate::traits::{check_size, KvStore, StoreError};
+
+const TOMBSTONE: u8 = 1;
+
+/// A value or a deletion marker in the memtable.
+#[derive(Debug, Clone)]
+enum MemEntry {
+    Put(Vec<u8>),
+    Del,
+}
+
+/// One sorted run persisted in NVM.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    region: Region,
+    count: usize,
+}
+
+/// NoveLSM-like store.
+pub struct NoveLsmLike {
+    dev: NvmDevice,
+    value_size: usize,
+    entry_bytes: usize,
+    memtable: BTreeMap<u64, MemEntry>,
+    memtable_cap: usize,
+    /// L0 run slots (bounded ring).
+    l0_regions: Vec<Region>,
+    l0: Vec<Run>,
+    /// Two L1 areas, ping-ponged by compaction.
+    l1_areas: [Region; 2],
+    l1: Option<Run>,
+    l1_active: usize,
+    live: usize,
+}
+
+impl NoveLsmLike {
+    /// Creates a store for `capacity` values of `value_size` bytes.
+    pub fn new(capacity: usize, value_size: usize) -> Self {
+        let entry_bytes = (8 + 8 + value_size).next_multiple_of(8);
+        // The memtable scales with capacity so full compactions stay
+        // amortized (LevelDB sizes its levels the same way); a fixed tiny
+        // memtable would compact O(n/64) times and quadratic-rewrite the
+        // store.
+        let memtable_cap = (capacity / 16).clamp(8.min(capacity.max(1)), 1024);
+        let n_l0 = 4;
+        let l0_bytes = memtable_cap * entry_bytes;
+        // L1 must hold capacity live entries plus L0 spill-over at merge.
+        let l1_bytes = (capacity + n_l0 * memtable_cap) * entry_bytes;
+        let total = (n_l0 * l0_bytes + 2 * l1_bytes + 4096).next_multiple_of(64);
+
+        let mut alloc = RegionAllocator::new(total);
+        let l0_regions: Vec<Region> = (0..n_l0)
+            .map(|_| alloc.alloc(l0_bytes, 64).expect("l0 region"))
+            .collect();
+        let l1_areas = [
+            alloc.alloc(l1_bytes, 64).expect("l1 region a"),
+            alloc.alloc(l1_bytes, 64).expect("l1 region b"),
+        ];
+        NoveLsmLike {
+            dev: NvmDevice::new(NvmConfig::default().with_size(total)),
+            value_size,
+            entry_bytes,
+            memtable: BTreeMap::new(),
+            memtable_cap,
+            l0_regions,
+            l0: Vec::new(),
+            l1_areas,
+            l1: None,
+            l1_active: 0,
+            live: 0,
+        }
+    }
+
+    fn write_entry(
+        &mut self,
+        region: Region,
+        slot: usize,
+        key: u64,
+        value: Option<&[u8]>,
+    ) -> Result<(), StoreError> {
+        let mut buf = vec![0u8; self.entry_bytes];
+        buf[0] = if value.is_none() { TOMBSTONE } else { 0 };
+        buf[8..16].copy_from_slice(&key.to_le_bytes());
+        if let Some(v) = value {
+            buf[16..16 + v.len()].copy_from_slice(v);
+        }
+        self.dev
+            .write(region.at(slot * self.entry_bytes), &buf, WriteMode::Diff)?;
+        Ok(())
+    }
+
+    fn read_entry(
+        &mut self,
+        region: Region,
+        slot: usize,
+    ) -> Result<(u64, Option<Vec<u8>>), StoreError> {
+        let addr = region.at(slot * self.entry_bytes);
+        let bytes = self.dev.read(addr, self.entry_bytes)?;
+        let key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if bytes[0] & TOMBSTONE != 0 {
+            Ok((key, None))
+        } else {
+            Ok((key, Some(bytes[16..16 + self.value_size].to_vec())))
+        }
+    }
+
+    /// Binary search within a sorted run.
+    fn run_get(&mut self, run: Run, key: u64) -> Result<Option<Option<Vec<u8>>>, StoreError> {
+        let (mut lo, mut hi) = (0usize, run.count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let addr = run.region.at(mid * self.entry_bytes + 8);
+            let kb = self.dev.read(addr, 8)?;
+            let k = u64::from_le_bytes(kb.try_into().unwrap());
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let (_, v) = self.read_entry(run.region, mid)?;
+                    return Ok(Some(v));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Flushes the memtable into a fresh L0 run, compacting first if all
+    /// slots are taken.
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        if self.l0.len() == self.l0_regions.len() {
+            self.compact()?;
+        }
+        let region = self.l0_regions[self.l0.len()];
+        let entries: Vec<(u64, MemEntry)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        for (slot, (key, e)) in entries.iter().enumerate() {
+            match e {
+                MemEntry::Put(v) => self.write_entry(region, slot, *key, Some(v))?,
+                MemEntry::Del => self.write_entry(region, slot, *key, None)?,
+            }
+        }
+        self.l0.push(Run {
+            region,
+            count: entries.len(),
+        });
+        Ok(())
+    }
+
+    /// Merges all L0 runs and the current L1 run into the alternate L1
+    /// area. Newest version of each key wins; tombstones drop out.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        // Gather versions, newest first: L0 runs newest→oldest, then L1.
+        let mut merged: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        let runs: Vec<Run> = self.l0.iter().rev().copied().chain(self.l1).collect();
+        for run in runs {
+            for slot in 0..run.count {
+                let (key, v) = self.read_entry(run.region, slot)?;
+                merged.entry(key).or_insert(v);
+            }
+        }
+        let target = self.l1_areas[1 - self.l1_active];
+        let mut slot = 0usize;
+        for (key, v) in &merged {
+            if let Some(value) = v {
+                if (slot + 1) * self.entry_bytes > target.len {
+                    return Err(StoreError::Full);
+                }
+                self.write_entry(target, slot, *key, Some(value))?;
+                slot += 1;
+            }
+        }
+        self.l1 = Some(Run {
+            region: target,
+            count: slot,
+        });
+        self.l1_active = 1 - self.l1_active;
+        self.l0.clear();
+        Ok(())
+    }
+
+    /// Total persisted runs currently live (L0 + L1).
+    pub fn run_count(&self) -> usize {
+        self.l0.len() + usize::from(self.l1.is_some())
+    }
+}
+
+impl KvStore for NoveLsmLike {
+    fn name(&self) -> &'static str {
+        "NoveLSM"
+    }
+
+    fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        check_size(self.value_size, value)?;
+        if self.get(key)?.is_none() {
+            self.live += 1;
+        }
+        self.memtable.insert(key, MemEntry::Put(value.to_vec()));
+        if self.memtable.len() >= self.memtable_cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        if let Some(e) = self.memtable.get(&key) {
+            return Ok(match e {
+                MemEntry::Put(v) => Some(v.clone()),
+                MemEntry::Del => None,
+            });
+        }
+        for i in (0..self.l0.len()).rev() {
+            let run = self.l0[i];
+            if let Some(v) = self.run_get(run, key)? {
+                return Ok(v);
+            }
+        }
+        if let Some(run) = self.l1 {
+            if let Some(v) = self.run_get(run, key)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        let existed = self.get(key)?.is_some();
+        if existed {
+            self.live -= 1;
+            self.memtable.insert(key, MemEntry::Del);
+            if self.memtable.len() >= self.memtable_cap {
+                self.flush()?;
+            }
+        }
+        Ok(existed)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        self.dev.stats()
+    }
+
+    fn device(&self) -> &NvmDevice {
+        &self.dev
+    }
+
+    fn reset_device_stats(&mut self) {
+        self.dev.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crud_through_flush_and_compaction() {
+        let mut s = NoveLsmLike::new(2000, 8);
+        for k in 0..1500u64 {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 1500);
+        assert!(s.run_count() > 0, "flushes must have happened");
+        for k in (0..1500u64).step_by(97) {
+            assert_eq!(s.get(k).unwrap().unwrap(), k.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn overwrites_resolve_to_newest() {
+        let mut s = NoveLsmLike::new(500, 8);
+        for round in 0..3u8 {
+            for k in 0..200u64 {
+                s.put(k, &[round; 8]).unwrap();
+            }
+        }
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.get(100).unwrap().unwrap(), vec![2u8; 8]);
+    }
+
+    #[test]
+    fn deletes_survive_flush() {
+        let mut s = NoveLsmLike::new(500, 8);
+        for k in 0..200u64 {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        assert!(s.delete(13).unwrap());
+        assert!(!s.delete(13).unwrap());
+        // Force tombstone through a flush + compaction cycle.
+        for k in 200..500u64 {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        assert_eq!(s.get(13).unwrap(), None);
+        assert_eq!(s.len(), 499);
+    }
+
+    #[test]
+    fn write_amplification_exceeds_path_store() {
+        // The Figure 9 ordering: LSM rewrites entries on flush+compaction,
+        // so its line writes per put beat (exceed) a direct-placement store.
+        let n = 600usize;
+        let mut lsm = NoveLsmLike::new(n * 2, 32);
+        let mut ph = crate::path_store::PathHashStore::new(n * 2, 32);
+        for k in 0..n as u64 {
+            let v = [(k % 251) as u8; 32];
+            lsm.put(k, &v).unwrap();
+            ph.put(k, &v).unwrap();
+        }
+        let lsm_lines = lsm.device_stats().totals.lines_written as f64 / n as f64;
+        let ph_lines = ph.device_stats().totals.lines_written as f64 / n as f64;
+        assert!(
+            lsm_lines > ph_lines,
+            "lsm {lsm_lines} should exceed path-hash {ph_lines}"
+        );
+    }
+
+    #[test]
+    fn get_missing_key() {
+        let mut s = NoveLsmLike::new(100, 8);
+        assert_eq!(s.get(42).unwrap(), None);
+        s.put(1, &[1; 8]).unwrap();
+        assert_eq!(s.get(42).unwrap(), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! A K/V store over Path Hashing — the strongest baseline of Figure 9.
+//!
+//! Index and data zone both live in NVM. Writes are differential, so this
+//! store is already RBW-efficient; what it lacks is PNW's *memory
+//! awareness*: a PUT takes whatever bucket the LIFO free list yields, so the
+//! old content it overwrites is arbitrary. Figure 9 attributes its remaining
+//! gap to PNW to exactly this (*"like other methods, it is not
+//! 'memory-aware'"*), plus occasional path-hash insertion retries.
+
+use pnw_index::{KeyIndex, PathHashIndex};
+use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
+
+use crate::traits::{check_size, KvStore, StoreError};
+
+/// Path-hashing K/V store with a fixed-bucket NVM data zone.
+pub struct PathHashStore {
+    dev: NvmDevice,
+    index: PathHashIndex,
+    data: Region,
+    value_size: usize,
+    bucket_size: usize,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PathHashStore {
+    /// Creates a store holding up to `capacity` values of `value_size`
+    /// bytes.
+    ///
+    /// The index is sized at 2× capacity leaf positions (rounded up to a
+    /// power of two) so path-hash insertion failures stay rare at full load.
+    pub fn new(capacity: usize, value_size: usize) -> Self {
+        let leaves = (capacity * 2).next_power_of_two().max(8);
+        let bucket_size = value_size.div_ceil(8) * 8;
+        let index_bytes = PathHashIndex::region_bytes_for(leaves);
+        let data_bytes = capacity * bucket_size;
+        let total = (index_bytes + data_bytes + 4096).next_multiple_of(64);
+
+        let mut alloc = RegionAllocator::new(total);
+        let index_region = alloc.alloc(index_bytes, 64).expect("index region");
+        let data = alloc.alloc_buckets(capacity, bucket_size).expect("data region");
+
+        let dev = NvmDevice::new(NvmConfig::default().with_size(total));
+        let index = PathHashIndex::create(index_region, leaves);
+        PathHashStore {
+            dev,
+            index,
+            data,
+            value_size,
+            bucket_size,
+            free: (0..capacity as u32).rev().collect(),
+            live: 0,
+        }
+    }
+
+    fn bucket_addr(&self, b: u32) -> usize {
+        self.data.bucket_addr(b as usize, self.bucket_size)
+    }
+
+    fn bucket_of_addr(&self, addr: u64) -> u32 {
+        ((addr as usize - self.data.start) / self.bucket_size) as u32
+    }
+}
+
+impl KvStore for PathHashStore {
+    fn name(&self) -> &'static str {
+        "Path hashing"
+    }
+
+    fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        check_size(self.value_size, value)?;
+        // Update in place when the key exists (no address steering — this
+        // is the memory-unaware behaviour Figure 9 contrasts with PNW).
+        if let Some(addr) = self.index.get(&mut self.dev, key)? {
+            self.dev.write(addr as usize, value, WriteMode::Diff)?;
+            return Ok(());
+        }
+        let bucket = self.free.pop().ok_or(StoreError::Full)?;
+        let addr = self.bucket_addr(bucket);
+        self.dev.write(addr, value, WriteMode::Diff)?;
+        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
+            // Roll the bucket back so the data zone doesn't leak.
+            self.free.push(bucket);
+            return Err(e.into());
+        }
+        self.live += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        match self.index.get(&mut self.dev, key)? {
+            Some(addr) => {
+                let v = self.dev.read(addr as usize, self.value_size)?.to_vec();
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        match self.index.remove(&mut self.dev, key)? {
+            Some(addr) => {
+                self.free.push(self.bucket_of_addr(addr));
+                self.live -= 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn device_stats(&self) -> &DeviceStats {
+        self.dev.stats()
+    }
+
+    fn device(&self) -> &NvmDevice {
+        &self.dev
+    }
+
+    fn reset_device_stats(&mut self) {
+        self.dev.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut s = PathHashStore::new(100, 32);
+        assert!(s.is_empty());
+        s.put(1, &[0xAB; 32]).unwrap();
+        s.put(2, &[0xCD; 32]).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![0xAB; 32]);
+        assert_eq!(s.len(), 2);
+        // Update.
+        s.put(1, &[0xEF; 32]).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![0xEF; 32]);
+        assert_eq!(s.len(), 2);
+        // Delete.
+        assert!(s.delete(1).unwrap());
+        assert!(!s.delete(1).unwrap());
+        assert_eq!(s.get(1).unwrap(), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn wrong_value_size_rejected() {
+        let mut s = PathHashStore::new(10, 32);
+        assert!(matches!(
+            s.put(1, &[0u8; 16]),
+            Err(StoreError::WrongValueSize { expected: 32, got: 16 })
+        ));
+    }
+
+    #[test]
+    fn buckets_recycle_after_delete() {
+        let mut s = PathHashStore::new(4, 8);
+        for k in 0..4 {
+            s.put(k, &[k as u8; 8]).unwrap();
+        }
+        assert!(matches!(s.put(99, &[9; 8]), Err(StoreError::Full)));
+        s.delete(0).unwrap();
+        s.put(99, &[9; 8]).unwrap();
+        assert_eq!(s.get(99).unwrap().unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn differential_rewrite_is_cheap() {
+        let mut s = PathHashStore::new(10, 64);
+        s.put(5, &[0x77; 64]).unwrap();
+        let before = s.device_stats().totals.bit_flips;
+        s.put(5, &[0x77; 64]).unwrap(); // identical update
+        let delta = s.device_stats().totals.bit_flips - before;
+        assert_eq!(delta, 0);
+    }
+
+    #[test]
+    fn stats_window_reset() {
+        let mut s = PathHashStore::new(10, 8);
+        s.put(1, &[1; 8]).unwrap();
+        s.reset_device_stats();
+        assert_eq!(s.device_stats().write_ops, 0);
+        assert_eq!(s.device().stats().totals.bit_flips, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The [`KvStore`] trait: the uniform interface of the Figure 9 comparison.
+
+use pnw_index::IndexError;
+use pnw_nvm_sim::{DeviceStats, NvmDevice, NvmError};
+
+/// Store operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No space left (data zone or index exhausted).
+    Full,
+    /// A value of the wrong size was supplied to a fixed-bucket store.
+    WrongValueSize {
+        /// The store's bucket size.
+        expected: usize,
+        /// The supplied value's size.
+        got: usize,
+    },
+    /// Underlying device failure.
+    Nvm(NvmError),
+}
+
+impl From<NvmError> for StoreError {
+    fn from(e: NvmError) -> Self {
+        StoreError::Nvm(e)
+    }
+}
+
+impl From<IndexError> for StoreError {
+    fn from(e: IndexError) -> Self {
+        match e {
+            IndexError::Full => StoreError::Full,
+            IndexError::Nvm(e) => StoreError::Nvm(e),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Full => write!(f, "store is full"),
+            StoreError::WrongValueSize { expected, got } => {
+                write!(f, "value size {got} != bucket size {expected}")
+            }
+            StoreError::Nvm(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A persistent key/value store over an emulated NVM device.
+///
+/// Stores use fixed-size value buckets (the paper's data zone is an array
+/// of equal-sized entries, §IV).
+pub trait KvStore: Send {
+    /// Store name as it appears in Figure 9.
+    fn name(&self) -> &'static str;
+
+    /// The fixed value size in bytes.
+    fn value_size(&self) -> usize;
+
+    /// Inserts or updates a key.
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError>;
+
+    /// Reads a key's value.
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Deletes a key; returns whether it existed.
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError>;
+
+    /// Live key count.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative NVM statistics (bit flips, words, cache lines).
+    fn device_stats(&self) -> &DeviceStats;
+
+    /// The underlying device (wear CDFs, latency model).
+    fn device(&self) -> &NvmDevice;
+
+    /// Clears the device's cumulative statistics, so a measurement window
+    /// can exclude warm-up traffic (the paper measures after warming the
+    /// store with "old data", §VI-A).
+    fn reset_device_stats(&mut self);
+}
+
+/// Checks a value's size against the bucket size.
+pub(crate) fn check_size(expected: usize, value: &[u8]) -> Result<(), StoreError> {
+    if value.len() != expected {
+        Err(StoreError::WrongValueSize {
+            expected,
+            got: value.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,137 @@
+//! The elbow method for choosing K (§V-A.1, Figure 4).
+//!
+//! The paper sweeps K, records the K-means SSE (Eq. 1) and picks the "elbow"
+//! where the curve's decrease flattens. [`sse_curve`] produces the sweep and
+//! [`elbow_point`] detects the knee with the maximum-chord-distance rule
+//! (the geometric formulation of the Kneedle detector): the elbow is the
+//! point farthest below the straight line joining the curve's endpoints.
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::matrix::Matrix;
+
+/// Runs K-means for each K in `ks` and returns `(k, sse)` pairs.
+pub fn sse_curve(data: &Matrix, ks: &[usize], seed: u64) -> Vec<(usize, f32)> {
+    ks.iter()
+        .map(|&k| {
+            let m = KMeans::fit(data, &KMeansConfig::new(k).with_seed(seed));
+            (k, m.inertia)
+        })
+        .collect()
+}
+
+/// Detects the elbow of an SSE curve, returning the chosen K.
+///
+/// Uses the maximum distance from the chord between the first and last
+/// points, computed on a **log SSE** scale. K-means SSE curves decay
+/// steeply over orders of magnitude; on the raw scale the chord rule latches
+/// onto the first large drop, while the log scale finds the K after which
+/// further splits stop paying — the "sharp decrease" the paper reads off
+/// Figure 4. Returns the first K for degenerate curves (fewer than 3 points
+/// or zero spans).
+pub fn elbow_point(curve: &[(usize, f32)]) -> usize {
+    if curve.is_empty() {
+        return 1;
+    }
+    if curve.len() < 3 {
+        return curve[0].0;
+    }
+    // Log scale with an epsilon floor so perfectly-clustered (SSE = 0)
+    // points stay finite.
+    let floor = curve
+        .iter()
+        .map(|&(_, s)| f64::from(s))
+        .filter(|s| *s > 0.0)
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0)
+        * 1e-3;
+    let logy = |s: f32| (f64::from(s).max(floor)).ln();
+
+    let (x0, y0) = (curve[0].0 as f64, logy(curve[0].1));
+    let (x1, y1) = (
+        curve[curve.len() - 1].0 as f64,
+        logy(curve[curve.len() - 1].1),
+    );
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    if dx.abs() < 1e-12 || dy.abs() < 1e-12 {
+        return curve[0].0;
+    }
+
+    let mut best = (curve[0].0, f64::MIN);
+    for &(k, sse) in curve {
+        // Normalized coordinates: both endpoints map onto the chord
+        // (0,0)→(1,1). A steep-then-flat SSE curve normalizes to points
+        // *above* that chord, and the knee maximizes the gap.
+        let nx = (k as f64 - x0) / dx;
+        let ny = (logy(sse) - y0) / dy;
+        let dist = ny - nx;
+        if dist > best.1 {
+            best = (k, dist);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn detects_knee_of_synthetic_curve() {
+        // Sharp drop until k=5, then flat — the paper's Figure 4 shape.
+        let curve: Vec<(usize, f32)> = vec![
+            (1, 1000.0),
+            (2, 600.0),
+            (3, 350.0),
+            (4, 180.0),
+            (5, 80.0),
+            (6, 70.0),
+            (7, 63.0),
+            (8, 58.0),
+            (9, 55.0),
+            (10, 53.0),
+        ];
+        assert_eq!(elbow_point(&curve), 5);
+    }
+
+    #[test]
+    fn linear_curve_has_no_strong_knee() {
+        let curve: Vec<(usize, f32)> = (1..=10).map(|k| (k, 100.0 - 10.0 * k as f32)).collect();
+        // All distances ~0; returns some K without panicking.
+        let k = elbow_point(&curve);
+        assert!((1..=10).contains(&k));
+    }
+
+    #[test]
+    fn degenerate_curves() {
+        assert_eq!(elbow_point(&[]), 1);
+        assert_eq!(elbow_point(&[(4, 10.0)]), 4);
+        assert_eq!(elbow_point(&[(1, 10.0), (2, 5.0)]), 1);
+        // Flat curve (dy = 0).
+        assert_eq!(elbow_point(&[(1, 5.0), (2, 5.0), (3, 5.0)]), 1);
+    }
+
+    #[test]
+    fn sse_curve_is_monotone_decreasing_on_blobs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        for c in 0..5 {
+            for _ in 0..30 {
+                rows.push(vec![
+                    c as f32 * 10.0 + rng.gen::<f32>(),
+                    c as f32 * 10.0 + rng.gen::<f32>(),
+                ]);
+            }
+        }
+        let data = Matrix::from_rows(&rows);
+        let curve = sse_curve(&data, &[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        // SSE broadly decreases (allow small non-monotonicity from local
+        // optima at large k).
+        assert!(curve[0].1 > curve[4].1);
+        // Five blobs -> elbow at (or adjacent to) k = 5.
+        let elbow = elbow_point(&curve);
+        assert!((4..=6).contains(&elbow), "elbow={elbow} curve={curve:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Dense symmetric eigendecomposition.
+//!
+//! PCA needs the eigenpairs of a covariance (or Gram) matrix. We use the
+//! classic two-stage approach: Householder reduction to tridiagonal form
+//! (`tred2`) followed by the implicit-shift QL algorithm (`tqli`) — the
+//! standard O(n³) routine with a small constant, comfortable up to the
+//! ~2000×2000 Gram matrices our Figure 3 harness produces.
+
+/// Eigendecomposition of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors: `vectors[i]` is the unit eigenvector for `values[i]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenpairs of the symmetric matrix `a` (row-major, n×n).
+///
+/// # Panics
+/// Panics if `a.len() != n * n` or the QL iteration fails to converge
+/// (pathological input; does not occur for PSD covariance matrices).
+pub fn sym_eigen(a: &[f64], n: usize) -> SymEigen {
+    assert_eq!(a.len(), n * n, "matrix must be n×n");
+    if n == 0 {
+        return SymEigen {
+            values: Vec::new(),
+            vectors: Vec::new(),
+        };
+    }
+    // z starts as a copy of `a` and ends as the eigenvector matrix.
+    let mut z: Vec<f64> = a.to_vec();
+    let mut d = vec![0.0f64; n]; // diagonal
+    let mut e = vec![0.0f64; n]; // off-diagonal
+    tred2(&mut z, n, &mut d, &mut e);
+    tqli(&mut d, &mut e, n, &mut z);
+
+    // Sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].total_cmp(&d[i]));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| z[row * n + col]).collect())
+        .collect();
+    SymEigen { values, vectors }
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form
+/// (Numerical Recipes `tred2`). On exit `z` holds the orthogonal transform
+/// Q, `d` the diagonal and `e` the sub-diagonal.
+fn tred2(z: &mut [f64], n: usize, d: &mut [f64], e: &mut [f64]) {
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let mut scale = 0.0f64;
+            for k in 0..=l {
+                scale += z[i * n + k].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[i * n + l];
+            } else {
+                for k in 0..=l {
+                    z[i * n + k] /= scale;
+                    h += z[i * n + k] * z[i * n + k];
+                }
+                let mut f = z[i * n + l];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[i * n + l] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[j * n + i] = z[i * n + j] / h;
+                    let mut g = 0.0f64;
+                    for k in 0..=j {
+                        g += z[j * n + k] * z[i * n + k];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[k * n + j] * z[i * n + k];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[i * n + j];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[i * n + j];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        z[j * n + k] -= f * e[k] + g * z[i * n + k];
+                    }
+                }
+            }
+        } else {
+            e[i] = z[i * n + l];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0f64;
+                for k in 0..i {
+                    g += z[i * n + k] * z[k * n + j];
+                }
+                for k in 0..i {
+                    z[k * n + j] -= g * z[k * n + i];
+                }
+            }
+        }
+        d[i] = z[i * n + i];
+        z[i * n + i] = 1.0;
+        for j in 0..i {
+            z[j * n + i] = 0.0;
+            z[i * n + j] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix (Numerical Recipes
+/// `tqli`), accumulating eigenvectors into `z`.
+fn tqli(d: &mut [f64], e: &mut [f64], n: usize, z: &mut [f64]) {
+    if n <= 1 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tqli failed to converge");
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[f64], n: usize, v: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * v[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = [3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let e = sym_eigen(&a, 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = [2.0, 1.0, 1.0, 2.0];
+        let e = sym_eigen(&a, 2);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v = &e.vectors[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_equation_holds_on_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 12;
+        let mut a = vec![0.0f64; n * n];
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let e = sym_eigen(&a, n);
+        for (lam, v) in e.values.iter().zip(&e.vectors) {
+            let av = mat_vec(&a, n, v);
+            for (x, y) in av.iter().zip(v) {
+                assert!((x - lam * y).abs() < 1e-8, "Av != λv");
+            }
+            // Unit norm.
+            let norm: f64 = v.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-8);
+        }
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = [4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 5.0];
+        let e = sym_eigen(&a, 3);
+        let trace = 4.0 + 3.0 + 5.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sym_eigen(&[], 0).values.is_empty());
+        let e = sym_eigen(&[7.0], 1);
+        assert_eq!(e.values, vec![7.0]);
+        assert_eq!(e.vectors, vec![vec![1.0]]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Mini-batch K-means (Sculley, 2010) — the cheap background-retraining
+//! variant.
+//!
+//! §V-C of the paper requires retraining to happen *"in the background while
+//! the system is running"* without starving request threads. Full Lloyd
+//! passes over the data zone can take seconds (Figure 11); mini-batch
+//! updates touch only a sampled batch per step and converge to nearly the
+//! same centroids. The PNW store uses this as an opt-in retraining policy;
+//! the `ablation_minibatch` bench quantifies the trade-off.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::matrix::Matrix;
+
+/// Mini-batch K-means trainer.
+#[derive(Debug, Clone)]
+pub struct MiniBatchKMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// Number of batch steps.
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MiniBatchKMeans {
+    /// A trainer with scikit-learn-like defaults (batch 256).
+    pub fn new(k: usize) -> Self {
+        MiniBatchKMeans {
+            k,
+            batch_size: 256,
+            steps: 100,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b.max(1);
+        self
+    }
+
+    /// Sets the number of steps.
+    pub fn with_steps(mut self, s: usize) -> Self {
+        self.steps = s.max(1);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Trains on `data`, optionally warm-starting from an existing model's
+    /// centroids (the common case when refreshing PNW's model on a drifted
+    /// workload).
+    pub fn fit(&self, data: &Matrix, warm_start: Option<&KMeans>) -> KMeans {
+        let n = data.rows();
+        if n == 0 {
+            return KMeans::fit(data, &KMeansConfig::new(self.k));
+        }
+        let k = self.k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Initialize centroids: warm start (if compatible) or a small
+        // k-means++ fit on one batch.
+        let mut centroids = match warm_start {
+            Some(m) if m.k() == k && m.dims() == data.cols() => m.centroids().clone(),
+            _ => {
+                let batch = self.sample(n, &mut rng);
+                let sub = data.select_rows(&batch);
+                KMeans::fit(&sub, &KMeansConfig::new(k).with_seed(self.seed))
+                    .centroids()
+                    .clone()
+            }
+        };
+
+        let mut counts = vec![1u64; k];
+        for _ in 0..self.steps {
+            let batch = self.sample(n, &mut rng);
+            for &i in &batch {
+                let row = data.row(i);
+                // Nearest centroid.
+                let mut best = (0usize, f32::INFINITY);
+                for c in 0..k {
+                    let dct = crate::matrix::sq_dist(centroids.row(c), row);
+                    if dct < best.1 {
+                        best = (c, dct);
+                    }
+                }
+                let c = best.0;
+                counts[c] += 1;
+                let eta = 1.0 / counts[c] as f32;
+                for (ctr, &x) in centroids.row_mut(c).iter_mut().zip(row) {
+                    *ctr += eta * (x - *ctr);
+                }
+            }
+        }
+
+        // Wrap the streamed centroids in a model and compute the final
+        // inertia over the full data for comparability with Lloyd fits.
+        let mut model = KMeans::from_centroids(centroids, self.steps);
+        model.inertia = model.sse(data);
+        model
+    }
+
+    fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<usize> {
+        (0..self.batch_size.min(n))
+            .map(|_| rng.gen_range(0..n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize) -> Matrix {
+        let centers = [(0.0f32, 0.0f32), (20.0, 20.0)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rows = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..n_per {
+                rows.push(vec![cx + rng.gen::<f32>(), cy + rng.gen::<f32>()]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn converges_near_full_kmeans() {
+        let data = blobs(200);
+        let full = KMeans::fit(&data, &KMeansConfig::new(2).with_seed(3));
+        let mb = MiniBatchKMeans::new(2)
+            .with_batch_size(64)
+            .with_steps(50)
+            .with_seed(3)
+            .fit(&data, None);
+        // Mini-batch inertia within 2x of the full fit on easy data.
+        assert!(mb.inertia <= full.inertia * 2.0 + 1.0);
+        // Labels separate the blobs.
+        let labels = mb.labels(&data);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[399]);
+    }
+
+    #[test]
+    fn warm_start_keeps_k() {
+        let data = blobs(100);
+        let full = KMeans::fit(&data, &KMeansConfig::new(2).with_seed(1));
+        let mb = MiniBatchKMeans::new(2)
+            .with_steps(10)
+            .fit(&data, Some(&full));
+        assert_eq!(mb.k(), 2);
+        assert!(mb.inertia.is_finite());
+    }
+
+    #[test]
+    fn empty_data_is_safe() {
+        let m = MiniBatchKMeans::new(3).fit(&Matrix::zeros(0, 2), None);
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(50);
+        let a = MiniBatchKMeans::new(2).with_seed(8).fit(&data, None);
+        let b = MiniBatchKMeans::new(2).with_seed(8).fit(&data, None);
+        assert_eq!(a.centroids(), b.centroids());
+    }
+}

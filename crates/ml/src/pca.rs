@@ -1,0 +1,477 @@
+//! Principal component analysis (§V-A.1, "Addressing the Curse of
+//! Dimensionality").
+//!
+//! Large values featurize into thousands of bit-dimensions; the paper
+//! projects them onto the leading principal components before clustering
+//! (Figure 3 keeps the first components explaining >80% of the variance for
+//! MNIST).
+//!
+//! Implementation: the Gram trick. For n samples × d features with n ≤ d we
+//! eigendecompose the n×n Gram matrix instead of the d×d covariance — the
+//! nonzero eigenvalues coincide and each covariance eigenvector is recovered
+//! as `Xᵀu / ‖Xᵀu‖`. When d < n the covariance is decomposed directly.
+
+use crate::linalg::sym_eigen;
+use crate::matrix::Matrix;
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// `n_components × d`, rows are unit principal axes.
+    components: Matrix,
+    /// Full eigenvalue spectrum (descending, length `min(n-1, d)` nonzero
+    /// entries at most).
+    spectrum: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits on `data` (samples × features), retaining `n_components`
+    /// components (clamped to the spectrum's length). Single-threaded; see
+    /// [`Pca::fit_with_threads`] for the multicore variant Figure 11 times.
+    pub fn fit(data: &Matrix, n_components: usize) -> Pca {
+        Self::fit_with_threads(data, n_components, 1)
+    }
+
+    /// Fits with `threads` workers parallelizing the Gram-matrix build (the
+    /// dominant cost for wide data).
+    pub fn fit_with_threads(data: &Matrix, n_components: usize, threads: usize) -> Pca {
+        let n = data.rows();
+        let d = data.cols();
+        if n == 0 || d == 0 {
+            return Pca {
+                mean: vec![0.0; d],
+                components: Matrix::zeros(0, d),
+                spectrum: Vec::new(),
+                total_variance: 0.0,
+            };
+        }
+        let mean = data.col_mean();
+        let xc = data.centered(&mean);
+        let denom = (n.max(2) - 1) as f64;
+
+        let (spectrum, components) = if n <= d {
+            // Gram trick: G[i][j] = <xi, xj> / (n-1). Rows are independent,
+            // so they parallelize over contiguous chunks.
+            let mut g = vec![0.0f64; n * n];
+            let threads = threads.max(1).min(n.max(1));
+            if threads == 1 {
+                for i in 0..n {
+                    for j in 0..=i {
+                        let v = f64::from(crate::matrix::dot(xc.row(i), xc.row(j))) / denom;
+                        g[i * n + j] = v;
+                        g[j * n + i] = v;
+                    }
+                }
+            } else {
+                let chunk = n.div_ceil(threads);
+                let row_chunks: Vec<&mut [f64]> = g.chunks_mut(chunk * n).collect();
+                std::thread::scope(|scope| {
+                    for (t, rows) in row_chunks.into_iter().enumerate() {
+                        let xc = &xc;
+                        scope.spawn(move || {
+                            for (off, row) in rows.chunks_mut(n).enumerate() {
+                                let i = t * chunk + off;
+                                for j in 0..=i {
+                                    row[j] =
+                                        f64::from(crate::matrix::dot(xc.row(i), xc.row(j))) / denom;
+                                }
+                            }
+                        });
+                    }
+                });
+                // Mirror the lower triangle.
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        g[i * n + j] = g[j * n + i];
+                    }
+                }
+            }
+            let eig = sym_eigen(&g, n);
+            let keep = n_components.min(n);
+            let mut comp = Matrix::zeros(keep, d);
+            let mut kept = 0;
+            for (lam, u) in eig.values.iter().zip(&eig.vectors) {
+                if kept == keep {
+                    break;
+                }
+                if *lam <= 1e-12 {
+                    break; // null space — no principal axis to recover
+                }
+                // w = Xcᵀ u, normalized.
+                let uf: Vec<f32> = u.iter().map(|&x| x as f32).collect();
+                let mut w = xc.t_mat_vec(&uf);
+                let norm: f32 = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > 0.0 {
+                    for x in &mut w {
+                        *x /= norm;
+                    }
+                }
+                comp.row_mut(kept).copy_from_slice(&w);
+                kept += 1;
+            }
+            let comp = truncate_rows(comp, kept, d);
+            (eig.values, comp)
+        } else {
+            // Direct covariance: C = XcᵀXc / (n-1), d×d.
+            let mut c = vec![0.0f64; d * d];
+            for row in xc.iter_rows() {
+                for i in 0..d {
+                    let ri = f64::from(row[i]);
+                    if ri == 0.0 {
+                        continue;
+                    }
+                    for j in 0..=i {
+                        c[i * d + j] += ri * f64::from(row[j]);
+                    }
+                }
+            }
+            for i in 0..d {
+                for j in 0..=i {
+                    let v = c[i * d + j] / denom;
+                    c[i * d + j] = v;
+                    c[j * d + i] = v;
+                }
+            }
+            let eig = sym_eigen(&c, d);
+            let keep = n_components.min(d);
+            let mut comp = Matrix::zeros(keep, d);
+            for k in 0..keep {
+                for (j, &x) in eig.vectors[k].iter().enumerate() {
+                    comp.set(k, j, x as f32);
+                }
+            }
+            (eig.values, comp)
+        };
+
+        let spectrum: Vec<f64> = spectrum.into_iter().map(|v| v.max(0.0)).collect();
+        let total_variance: f64 = spectrum.iter().sum();
+        Pca {
+            mean,
+            components,
+            spectrum,
+            total_variance,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dims(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Explained-variance ratio per spectral component (descending) — the
+    /// series behind Figure 3.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.spectrum.len()];
+        }
+        self.spectrum
+            .iter()
+            .map(|v| v / self.total_variance)
+            .collect()
+    }
+
+    /// Cumulative explained-variance ratio (the y-axis of Figure 3).
+    pub fn cumulative_variance_ratio(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.explained_variance_ratio()
+            .into_iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Smallest number of components whose cumulative variance ratio
+    /// reaches `target` (e.g. 0.8 as in the paper's MNIST example).
+    pub fn components_for_variance(&self, target: f64) -> usize {
+        for (i, c) in self.cumulative_variance_ratio().iter().enumerate() {
+            if *c >= target {
+                return i + 1;
+            }
+        }
+        self.spectrum.len()
+    }
+
+    /// Projects a single sample onto the retained components.
+    pub fn transform_row(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let centered: Vec<f32> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components.mat_vec(&centered)
+    }
+
+    /// Projects every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        self.transform_with_threads(data, 1)
+    }
+
+    /// Projects every row of `data` with `threads` workers.
+    pub fn transform_with_threads(&self, data: &Matrix, threads: usize) -> Matrix {
+        let n = data.rows();
+        if n == 0 {
+            return Matrix::zeros(0, self.n_components());
+        }
+        let threads = threads.max(1).min(n);
+        if threads == 1 {
+            let rows: Vec<Vec<f32>> = data.iter_rows().map(|r| self.transform_row(r)).collect();
+            return Matrix::from_rows(&rows);
+        }
+        let nc = self.n_components();
+        let mut out = Matrix::zeros(n, nc);
+        let chunk = n.div_ceil(threads);
+        // Split the output into per-thread row bands.
+        let mut bands: Vec<&mut [f32]> = Vec::new();
+        {
+            let mut rest = out.as_mut_slice();
+            while !rest.is_empty() {
+                let take = (chunk * nc).min(rest.len());
+                let (band, r) = rest.split_at_mut(take);
+                bands.push(band);
+                rest = r;
+            }
+        }
+        std::thread::scope(|scope| {
+            for (t, band) in bands.into_iter().enumerate() {
+                scope.spawn(move || {
+                    for (off, dst) in band.chunks_mut(nc).enumerate() {
+                        let i = t * chunk + off;
+                        dst.copy_from_slice(&self.transform_row(data.row(i)));
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+/// A projection of raw *byte* values straight into PCA space, skipping the
+/// intermediate bit-feature vector.
+///
+/// For a value with `s` set bits, projection costs `s × n_components`
+/// additions instead of `dims × n_components` multiply-adds — a large win
+/// for the sparse datasets (bags-of-words, access samples) and a constant
+/// win in allocations for everything. The component matrix is stored
+/// transposed (dims × n_components) so each set bit touches one contiguous
+/// stripe.
+#[derive(Debug, Clone)]
+pub struct BitProjector {
+    n_components: usize,
+    input_bytes: usize,
+    /// dims × n_components, row per bit-feature.
+    transposed: Vec<f32>,
+    /// `-Wᵀ·mean`, the constant term of `W(x - mean)` for 0/1 features.
+    offset: Vec<f32>,
+}
+
+impl BitProjector {
+    /// Number of output components.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// Projects a raw byte value (must match the fitted dimensionality).
+    pub fn project(&self, bytes: &[u8]) -> Vec<f32> {
+        assert_eq!(bytes.len(), self.input_bytes, "dimension mismatch");
+        let mut y = self.offset.clone();
+        let nc = self.n_components;
+        for (i, &b) in bytes.iter().enumerate() {
+            let mut rest = b;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let row = &self.transposed[(i * 8 + bit) * nc..(i * 8 + bit + 1) * nc];
+                for (o, w) in y.iter_mut().zip(row) {
+                    *o += w;
+                }
+            }
+        }
+        y
+    }
+}
+
+impl Pca {
+    /// Builds the byte-level fast projector for this basis. The input
+    /// dimensionality must be a whole number of bytes (bit features).
+    pub fn bit_projector(&self) -> BitProjector {
+        let dims = self.components.cols();
+        assert_eq!(dims % 8, 0, "bit projector needs byte-aligned features");
+        let nc = self.components.rows();
+        let mut transposed = vec![0.0f32; dims * nc];
+        for c in 0..nc {
+            for (j, &w) in self.components.row(c).iter().enumerate() {
+                transposed[j * nc + c] = w;
+            }
+        }
+        // offset[c] = -W[c]·mean
+        let offset: Vec<f32> = (0..nc)
+            .map(|c| -crate::matrix::dot(self.components.row(c), &self.mean))
+            .collect();
+        BitProjector {
+            n_components: nc,
+            input_bytes: dims / 8,
+            transposed,
+            offset,
+        }
+    }
+}
+
+fn truncate_rows(m: Matrix, rows: usize, cols: usize) -> Matrix {
+    if m.rows() == rows {
+        return m;
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        out.row_mut(i).copy_from_slice(m.row(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along a known axis: y = 3x + noise.
+    fn line_data(n: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(17);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                let t: f32 = rng.gen::<f32>() * 10.0 - 5.0;
+                vec![t, 3.0 * t + (rng.gen::<f32>() - 0.5) * 0.1]
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_follows_dominant_axis() {
+        let data = line_data(100);
+        let pca = Pca::fit(&data, 1);
+        let c = pca.components.row(0);
+        // Direction ∝ (1, 3)/√10.
+        let expected = (1.0f32 / 10.0f32.sqrt(), 3.0 / 10.0f32.sqrt());
+        let (a, b) = (c[0].abs(), c[1].abs());
+        assert!((a - expected.0).abs() < 0.02, "{c:?}");
+        assert!((b - expected.1).abs() < 0.02, "{c:?}");
+    }
+
+    #[test]
+    fn variance_ratio_concentrates_on_line() {
+        let data = line_data(100);
+        let pca = Pca::fit(&data, 2);
+        let r = pca.explained_variance_ratio();
+        assert!(r[0] > 0.99, "{r:?}");
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(pca.components_for_variance(0.8), 1);
+    }
+
+    #[test]
+    fn gram_and_covariance_paths_agree() {
+        // n < d triggers the Gram path; duplicate features give a known
+        // answer either way. Compare projections from both paths.
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| {
+                let t = i as f32;
+                vec![t, 2.0 * t, -t]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows); // n=5 > d=3 -> covariance path
+        let small = data.select_rows(&[0, 1]); // n=2 < d=3 -> Gram path
+        let p1 = Pca::fit(&data, 1);
+        let p2 = Pca::fit(&small, 1);
+        // Both must find the same 1-D subspace (up to sign).
+        let a = p1.components.row(0);
+        let b = p2.components.row(0);
+        let dotab: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        assert!(dotab.abs() > 0.999, "a={a:?} b={b:?}");
+    }
+
+    #[test]
+    fn transform_reduces_dimensions() {
+        let data = line_data(50);
+        let pca = Pca::fit(&data, 1);
+        let t = pca.transform(&data);
+        assert_eq!(t.rows(), 50);
+        assert_eq!(t.cols(), 1);
+        // Projection preserves the dominant variance: spread along the
+        // component is comparable to the original spread.
+        let var: f32 = {
+            let mean = t.col_mean()[0];
+            t.iter_rows().map(|r| (r[0] - mean).powi(2)).sum::<f32>() / 49.0
+        };
+        assert!(var > 1.0);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_to_one() {
+        let data = line_data(30);
+        let pca = Pca::fit(&data, 2);
+        let cum = pca.cumulative_variance_ratio();
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_data_safe() {
+        let pca = Pca::fit(&Matrix::zeros(0, 4), 2);
+        assert_eq!(pca.n_components(), 0);
+        assert!(pca.explained_variance_ratio().is_empty());
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance() {
+        let data = Matrix::from_rows(&vec![vec![5.0f32, 5.0]; 10]);
+        let pca = Pca::fit(&data, 2);
+        assert!(pca.total_variance.abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_projector_matches_transform_row() {
+        use crate::featurize::{bits_to_features, featurize_values};
+        let values: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i, i.wrapping_mul(3), 0x0F, i]).collect();
+        let data = featurize_values(&values);
+        let pca = Pca::fit(&data, 3);
+        let proj = pca.bit_projector();
+        for v in &values {
+            let slow = pca.transform_row(&bits_to_features(v));
+            let fast = proj.project(v);
+            assert_eq!(slow.len(), fast.len());
+            for (a, b) in slow.iter().zip(&fast) {
+                assert!((a - b).abs() < 1e-3, "{slow:?} vs {fast:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|_| (0..6).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d: f32 = pca
+                    .components
+                    .row(i)
+                    .iter()
+                    .zip(pca.components.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-3, "({i},{j}) dot={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! The emulated NVM device.
+//!
+//! [`NvmDevice`] owns a DRAM buffer standing in for the physical NVM array
+//! and funnels **every** write through one accounting point, so the write
+//! schemes ([`pnw-schemes`](https://docs.rs/pnw-schemes)) and the stores built
+//! on top are compared apples-to-apples.
+//!
+//! Two write modes model the two classes of hardware behaviour in the paper:
+//!
+//! * [`WriteMode::Raw`] — a conventional PCM write: every bit of the payload
+//!   is programmed (and charged), whether or not it changed.
+//! * [`WriteMode::Diff`] — a read-before-write (RBW) differential update:
+//!   the old content is read, and only differing bits are programmed. This is
+//!   the primitive underlying DCW, FNW, MinShift, Captopril and PNW itself
+//!   (PNW Algorithm 2, lines 5–6: *"for each bit in {D} and {D'}: if they
+//!   differ, update memory bit"*).
+
+use crate::fault::{FaultConfig, FaultState};
+use crate::geometry::Geometry;
+use crate::latency::LatencyModel;
+use crate::stats::{DeviceStats, WriteStats};
+use crate::wear::{WearCdf, WearTracker};
+
+/// Errors returned by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmError {
+    /// The requested byte range does not fit in the device.
+    OutOfBounds {
+        /// First byte of the request.
+        addr: usize,
+        /// Length of the request.
+        len: usize,
+        /// Device capacity in bytes.
+        size: usize,
+    },
+    /// The device is in a crashed state and rejects new operations.
+    Crashed,
+}
+
+impl std::fmt::Display for NvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "access [{addr}, {}) out of bounds for device of {size} bytes",
+                addr + len
+            ),
+            NvmError::Crashed => write!(f, "device is in crashed state"),
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+/// How a write programs the cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Conventional write: all payload bits are programmed and charged.
+    Raw,
+    /// Read-before-write differential update: only differing bits are
+    /// programmed and charged; untouched words/lines cost nothing.
+    Diff,
+}
+
+/// Configuration of an emulated device.
+#[derive(Debug, Clone)]
+pub struct NvmConfig {
+    /// Capacity in bytes.
+    pub size: usize,
+    /// Word / cache-line geometry.
+    pub geometry: Geometry,
+    /// Enable per-bit wear counters (costs 2 B of DRAM per emulated bit).
+    pub track_bit_wear: bool,
+    /// Latency model used by [`NvmDevice::modeled_write_cost`].
+    pub latency: LatencyModel,
+    /// Fault-injection settings.
+    pub fault: FaultConfig,
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        NvmConfig {
+            size: 1 << 20,
+            geometry: Geometry::default(),
+            track_bit_wear: false,
+            latency: LatencyModel::xpoint(),
+            fault: FaultConfig::default(),
+        }
+    }
+}
+
+impl NvmConfig {
+    /// Sets the capacity.
+    pub fn with_size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Enables per-bit wear tracking (needed for Figure 13).
+    pub fn with_bit_wear(mut self, on: bool) -> Self {
+        self.track_bit_wear = on;
+        self
+    }
+
+    /// Sets the geometry.
+    pub fn with_geometry(mut self, g: Geometry) -> Self {
+        self.geometry = g;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, m: LatencyModel) -> Self {
+        self.latency = m;
+        self
+    }
+}
+
+/// A DRAM-backed emulated NVM device.
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    data: Vec<u8>,
+    geometry: Geometry,
+    latency: LatencyModel,
+    stats: DeviceStats,
+    wear: WearTracker,
+    fault: FaultState,
+}
+
+impl NvmDevice {
+    /// Creates a device, zero-initialized (freshly manufactured PCM cells).
+    pub fn new(cfg: NvmConfig) -> Self {
+        NvmDevice {
+            data: vec![0; cfg.size],
+            geometry: cfg.geometry,
+            latency: cfg.latency,
+            stats: DeviceStats::default(),
+            wear: WearTracker::new(cfg.size, cfg.geometry.word_bytes, cfg.track_bit_wear),
+            fault: FaultState::new(cfg.fault),
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Clears cumulative statistics (wear counters are kept; use
+    /// [`NvmDevice::reset_wear`] for those).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Clears wear counters.
+    pub fn reset_wear(&mut self) {
+        self.wear.reset();
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<(), NvmError> {
+        if self.fault.is_crashed() {
+            return Err(NvmError::Crashed);
+        }
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(NvmError::OutOfBounds {
+                addr,
+                len,
+                size: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read(&mut self, addr: usize, len: usize) -> Result<&[u8], NvmError> {
+        self.check(addr, len)?;
+        self.stats.record_read(len);
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Reads without recording statistics (used by verification / tests /
+    /// recovery scans that should not perturb the measurement).
+    pub fn peek(&self, addr: usize, len: usize) -> Result<&[u8], NvmError> {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(NvmError::OutOfBounds {
+                addr,
+                len,
+                size: self.data.len(),
+            });
+        }
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Writes `new` at `addr` with the given mode, returning this
+    /// operation's statistics (also accumulated into [`NvmDevice::stats`]).
+    ///
+    /// In `Diff` mode the read-before-write traffic is charged as
+    /// `lines_read` over the spanned range.
+    ///
+    /// If a torn-write fault is armed (see [`crate::fault`]), only a prefix
+    /// of the payload's words is persisted and the device transitions to the
+    /// crashed state; the returned stats cover only the persisted prefix.
+    pub fn write(&mut self, addr: usize, new: &[u8], mode: WriteMode) -> Result<WriteStats, NvmError> {
+        self.check(addr, new.len())?;
+
+        // Fault injection: truncate the effective payload on a torn write.
+        let effective_len = match self.fault.arm_write(new.len(), self.geometry.word_bytes) {
+            Some(torn_len) => torn_len,
+            None => new.len(),
+        };
+        let new = &new[..effective_len];
+
+        let mut s = WriteStats {
+            bits_addressed: (new.len() as u64) * 8,
+            ..Default::default()
+        };
+        if mode == WriteMode::Diff {
+            s.lines_read = self.geometry.lines_spanned(addr, new.len()) as u64;
+        }
+
+        let mut dirty_words = 0u64;
+        let mut last_dirty_line = usize::MAX;
+        let mut dirty_lines = 0u64;
+
+        for (widx, range) in self.geometry.words_in(addr, new.len()) {
+            let off = range.start - addr;
+            let old_chunk = &self.data[range.clone()];
+            let new_chunk = &new[off..off + range.len()];
+            let diff_bits = hamming(old_chunk, new_chunk);
+
+            let word_dirty = match mode {
+                WriteMode::Raw => true,
+                WriteMode::Diff => diff_bits > 0,
+            };
+            if word_dirty {
+                dirty_words += 1;
+                self.wear.record_word_write(widx);
+                let line = self.geometry.line_of(range.start);
+                if line != last_dirty_line {
+                    dirty_lines += 1;
+                    last_dirty_line = line;
+                }
+            }
+
+            match mode {
+                WriteMode::Raw => {
+                    s.bit_flips += (range.len() as u64) * 8;
+                    if self.wear.tracks_bits() {
+                        for (i, abs) in range.clone().enumerate() {
+                            let _ = new_chunk[i];
+                            for bit in 0..8 {
+                                self.wear.record_bit_flip(abs, bit);
+                            }
+                        }
+                    }
+                }
+                WriteMode::Diff => {
+                    s.bit_flips += diff_bits;
+                    if self.wear.tracks_bits() && diff_bits > 0 {
+                        for (i, abs) in range.clone().enumerate() {
+                            let x = old_chunk[i] ^ new_chunk[i];
+                            if x != 0 {
+                                for bit in 0..8 {
+                                    if x >> bit & 1 == 1 {
+                                        self.wear.record_bit_flip(abs, bit);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.data[range.clone()].copy_from_slice(new_chunk);
+        }
+
+        s.words_written = dirty_words;
+        s.lines_written = dirty_lines;
+        self.stats.record_write(&s);
+        Ok(s)
+    }
+
+    /// Computes what a [`WriteMode::Diff`] write of `new` at `addr` *would*
+    /// charge, without mutating anything. Used by callers that bundle
+    /// several logical fields into one physical write but need per-field
+    /// accounting (e.g. the PNW store's bucket header + value).
+    pub fn diff_stats(&self, addr: usize, new: &[u8]) -> Result<WriteStats, NvmError> {
+        let old = self.peek(addr, new.len())?;
+        let mut s = WriteStats {
+            bits_addressed: (new.len() as u64) * 8,
+            lines_read: self.geometry.lines_spanned(addr, new.len()) as u64,
+            ..Default::default()
+        };
+        let mut last_dirty_line = usize::MAX;
+        for (_, range) in self.geometry.words_in(addr, new.len()) {
+            let off = range.start - addr;
+            let diff = hamming(&old[off..off + range.len()], &new[off..off + range.len()]);
+            if diff > 0 {
+                s.bit_flips += diff;
+                s.words_written += 1;
+                let line = self.geometry.line_of(range.start);
+                if line != last_dirty_line {
+                    s.lines_written += 1;
+                    last_dirty_line = line;
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Charges auxiliary metadata bit flips (scheme flags, rotation counters,
+    /// mask updates) to the device totals without touching the data array.
+    ///
+    /// Schemes that keep their metadata in dedicated NVM words use this so
+    /// that Figure 6's *total* bit flips include the flag overhead, exactly
+    /// as the paper's comparisons do.
+    pub fn charge_aux(&mut self, bits: u64) {
+        self.stats.totals.aux_bit_flips += bits;
+    }
+
+    /// Modeled latency of a write with the given stats under this device's
+    /// latency model.
+    pub fn modeled_write_cost(&self, s: &WriteStats) -> std::time::Duration {
+        self.latency.write_cost(s)
+    }
+
+    /// The latency model in effect.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Per-word wear CDF over `[start, start+len)` (Figure 12).
+    pub fn word_wear_cdf(&self, start: usize, len: usize) -> WearCdf {
+        self.wear.word_cdf(start, len)
+    }
+
+    /// Per-bit wear CDF over `[start, start+len)` (Figure 13); `None` unless
+    /// the device was configured with `track_bit_wear`.
+    pub fn bit_wear_cdf(&self, start: usize, len: usize) -> Option<WearCdf> {
+        self.wear.bit_cdf(start, len)
+    }
+
+    /// Maximum writes observed on any word (lifetime bound).
+    pub fn max_word_writes(&self) -> u32 {
+        self.wear.max_word_writes()
+    }
+
+    /// Direct access to the wear tracker.
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Simulates a power failure: subsequent operations fail with
+    /// [`NvmError::Crashed`] until [`NvmDevice::recover`] is called. The data
+    /// array retains exactly what was persisted (NVM is non-volatile).
+    pub fn crash(&mut self) {
+        self.fault.crash();
+    }
+
+    /// Clears the crashed state, as a restart would.
+    pub fn recover(&mut self) {
+        self.fault.recover();
+    }
+
+    /// Whether the device is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.fault.is_crashed()
+    }
+
+    /// Arms a torn write: the *next* write persists only `words` whole words
+    /// and then the device crashes. Used by recovery tests.
+    pub fn arm_torn_write(&mut self, words: usize) {
+        self.fault.arm_torn(words);
+    }
+
+    /// Serializes the persistent state (the cell array) to a byte image —
+    /// what would survive on the physical part across power cycles. Stats,
+    /// wear counters and fault state are DRAM-side and not included.
+    pub fn to_image(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Writes the cell image to a file.
+    pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.data)
+    }
+
+    /// Reconstructs a device from a previously saved cell image; the image
+    /// length overrides `cfg.size`. Counters start fresh (they model the
+    /// *current session's* traffic, as the paper's measurements do).
+    pub fn from_image(mut cfg: NvmConfig, image: Vec<u8>) -> Self {
+        cfg.size = image.len();
+        let mut dev = NvmDevice::new(cfg);
+        dev.data = image;
+        dev
+    }
+
+    /// Loads a device from a cell-image file.
+    pub fn load_image(cfg: NvmConfig, path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::from_image(cfg, std::fs::read(path)?))
+    }
+}
+
+/// Hamming distance between two equal-length byte slices.
+///
+/// Processes 8 bytes at a time; this is the hot kernel of the whole
+/// simulator.
+#[inline]
+pub fn hamming(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = 0u64;
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        let xa = u64::from_le_bytes(ca.try_into().unwrap());
+        let xb = u64::from_le_bytes(cb.try_into().unwrap());
+        total += (xa ^ xb).count_ones() as u64;
+    }
+    for (ca, cb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        total += (ca ^ cb).count_ones() as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(size: usize) -> NvmDevice {
+        NvmDevice::new(NvmConfig::default().with_size(size))
+    }
+
+    #[test]
+    fn raw_write_charges_every_bit() {
+        let mut d = dev(1024);
+        let s = d.write(0, &[0u8; 16], WriteMode::Raw).unwrap();
+        assert_eq!(s.bit_flips, 128); // even writing zeros over zeros
+        assert_eq!(s.words_written, 2);
+        assert_eq!(s.lines_written, 1);
+        assert_eq!(s.lines_read, 0);
+    }
+
+    #[test]
+    fn diff_write_charges_only_differences() {
+        let mut d = dev(1024);
+        d.write(0, &[0xFFu8; 8], WriteMode::Raw).unwrap();
+        let s = d.write(0, &[0xFEu8; 8], WriteMode::Diff).unwrap();
+        assert_eq!(s.bit_flips, 8); // one bit per byte
+        assert_eq!(s.words_written, 1);
+        assert_eq!(s.lines_written, 1);
+        assert_eq!(s.lines_read, 1);
+    }
+
+    #[test]
+    fn diff_write_identical_touches_nothing() {
+        let mut d = dev(1024);
+        d.write(64, &[0xABu8; 32], WriteMode::Raw).unwrap();
+        let s = d.write(64, &[0xABu8; 32], WriteMode::Diff).unwrap();
+        assert_eq!(s.bit_flips, 0);
+        assert_eq!(s.words_written, 0);
+        assert_eq!(s.lines_written, 0);
+        // But RBW still had to read the line.
+        assert_eq!(s.lines_read, 1);
+    }
+
+    #[test]
+    fn diff_write_counts_dirty_lines_not_spanned_lines() {
+        let mut d = dev(4096);
+        // 128-byte value spanning 2 lines; make only the second line differ.
+        let mut old = vec![0u8; 128];
+        d.write(0, &old, WriteMode::Raw).unwrap();
+        old[100] = 0xFF;
+        let s = d.write(0, &old, WriteMode::Diff).unwrap();
+        assert_eq!(s.lines_written, 1);
+        assert_eq!(s.words_written, 1);
+        assert_eq!(s.bit_flips, 8);
+        assert_eq!(s.lines_read, 2);
+    }
+
+    #[test]
+    fn write_persists_data() {
+        let mut d = dev(256);
+        d.write(10, b"hello world", WriteMode::Diff).unwrap();
+        assert_eq!(d.read(10, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut d = dev(64);
+        assert!(matches!(
+            d.write(60, &[0u8; 8], WriteMode::Raw),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(d.read(64, 1).is_err());
+        // Boundary case is fine.
+        assert!(d.write(56, &[0u8; 8], WriteMode::Raw).is_ok());
+    }
+
+    #[test]
+    fn wear_counters_accumulate_per_word() {
+        let mut d = dev(256);
+        d.write(0, &[1u8; 8], WriteMode::Raw).unwrap();
+        d.write(0, &[2u8; 8], WriteMode::Diff).unwrap();
+        d.write(8, &[2u8; 8], WriteMode::Diff).unwrap();
+        assert_eq!(d.wear().word_writes()[0], 2);
+        assert_eq!(d.wear().word_writes()[1], 1);
+        assert_eq!(d.max_word_writes(), 2);
+    }
+
+    #[test]
+    fn clean_diff_does_not_wear() {
+        let mut d = dev(256);
+        d.write(0, &[7u8; 8], WriteMode::Raw).unwrap();
+        d.write(0, &[7u8; 8], WriteMode::Diff).unwrap();
+        assert_eq!(d.wear().word_writes()[0], 1);
+    }
+
+    #[test]
+    fn bit_wear_tracks_flipped_bits_only() {
+        let mut d = NvmDevice::new(NvmConfig::default().with_size(64).with_bit_wear(true));
+        d.write(0, &[0b0000_0001u8], WriteMode::Diff).unwrap();
+        d.write(0, &[0b0000_0011u8], WriteMode::Diff).unwrap();
+        let bits = d.wear().bit_flips().unwrap();
+        assert_eq!(bits[0], 1); // bit 0 flipped once (0->1)
+        assert_eq!(bits[1], 1); // bit 1 flipped once
+        assert_eq!(bits[2], 0);
+        let cdf = d.bit_wear_cdf(0, 1).unwrap();
+        assert_eq!(cdf.population, 8);
+    }
+
+    #[test]
+    fn stats_accumulate_across_ops() {
+        let mut d = dev(1024);
+        d.write(0, &[0xFFu8; 64], WriteMode::Raw).unwrap();
+        d.write(0, &[0x00u8; 64], WriteMode::Diff).unwrap();
+        assert_eq!(d.stats().write_ops, 2);
+        assert_eq!(d.stats().totals.bit_flips, 1024);
+        d.read(0, 64).unwrap();
+        assert_eq!(d.stats().read_ops, 1);
+        assert_eq!(d.stats().bytes_read, 64);
+    }
+
+    #[test]
+    fn charge_aux_adds_to_totals_only() {
+        let mut d = dev(64);
+        d.charge_aux(5);
+        assert_eq!(d.stats().totals.aux_bit_flips, 5);
+        assert_eq!(d.stats().write_ops, 0);
+    }
+
+    #[test]
+    fn crash_blocks_io_until_recover() {
+        let mut d = dev(64);
+        d.write(0, b"persist!", WriteMode::Raw).unwrap();
+        d.crash();
+        assert!(matches!(d.read(0, 8), Err(NvmError::Crashed)));
+        assert!(matches!(
+            d.write(0, b"x", WriteMode::Raw),
+            Err(NvmError::Crashed)
+        ));
+        d.recover();
+        assert_eq!(d.read(0, 8).unwrap(), b"persist!");
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_crashes() {
+        let mut d = dev(256);
+        d.arm_torn_write(1); // persist only the first 8-byte word
+        let s = d.write(0, &[0xAAu8; 24], WriteMode::Raw).unwrap();
+        assert_eq!(s.words_written, 1);
+        assert!(d.is_crashed());
+        d.recover();
+        assert_eq!(d.peek(0, 8).unwrap(), &[0xAAu8; 8]);
+        assert_eq!(d.peek(8, 16).unwrap(), &[0u8; 16]);
+    }
+
+    #[test]
+    fn hamming_kernel() {
+        assert_eq!(hamming(&[0xFF; 16], &[0x00; 16]), 128);
+        assert_eq!(hamming(&[0b1010], &[0b0101]), 4);
+        assert_eq!(hamming(&[], &[]), 0);
+        // Unaligned tail (not a multiple of 8).
+        let a = [0xFFu8; 11];
+        let b = [0xFEu8; 11];
+        assert_eq!(hamming(&a, &b), 11);
+    }
+
+    #[test]
+    fn diff_stats_previews_exactly_what_write_charges() {
+        let mut d = dev(1024);
+        d.write(0, &[0x5Au8; 96], WriteMode::Raw).unwrap();
+        let new = {
+            let mut v = vec![0x5Au8; 96];
+            v[0] = 0xFF; // line 0
+            v[70] = 0x00; // line 1
+            v
+        };
+        let preview = d.diff_stats(0, &new).unwrap();
+        let actual = d.write(0, &new, WriteMode::Diff).unwrap();
+        assert_eq!(preview, actual);
+        assert_eq!(preview.lines_written, 2);
+        // Preview does not mutate.
+        let again = d.diff_stats(0, &new).unwrap();
+        assert_eq!(again.bit_flips, 0);
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_cells() {
+        let mut d = dev(256);
+        d.write(8, b"persist me", WriteMode::Raw).unwrap();
+        let image = d.to_image().to_vec();
+        let d2 = NvmDevice::from_image(NvmConfig::default(), image);
+        assert_eq!(d2.size(), 256);
+        assert_eq!(d2.peek(8, 10).unwrap(), b"persist me");
+        // Session-local state starts fresh.
+        assert_eq!(d2.stats().write_ops, 0);
+        assert_eq!(d2.max_word_writes(), 0);
+    }
+
+    #[test]
+    fn image_file_roundtrip() {
+        let mut d = dev(128);
+        d.write(0, &[0xEE; 16], WriteMode::Raw).unwrap();
+        let path = std::env::temp_dir().join("pnw_nvm_image_test.bin");
+        d.save_image(&path).unwrap();
+        let d2 = NvmDevice::load_image(NvmConfig::default(), &path).unwrap();
+        assert_eq!(d2.peek(0, 16).unwrap(), &[0xEE; 16]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn peek_does_not_count_reads() {
+        let mut d = dev(64);
+        d.peek(0, 8).unwrap();
+        assert_eq!(d.stats().read_ops, 0);
+        d.read(0, 8).unwrap();
+        assert_eq!(d.stats().read_ops, 1);
+    }
+}

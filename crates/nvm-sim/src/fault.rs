@@ -1,0 +1,118 @@
+//! Crash and torn-write fault injection.
+//!
+//! NVM stores must be failure-atomic (§I discusses logging/shadowing
+//! overheads). The stores in this reproduction are tested against two fault
+//! models:
+//!
+//! * **power failure** between operations ([`FaultState::crash`]) — the
+//!   device retains everything persisted so far and rejects further I/O;
+//! * **torn write** ([`FaultState::arm_torn`]) — a crash *during* a write:
+//!   only a prefix of the payload's words reaches the array (PCM programs at
+//!   word granularity, so word-aligned tearing is the realistic model).
+
+/// Static fault-injection configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// If set, the n-th write (0-based) tears after this many words and the
+    /// device crashes. Mostly useful for deterministic test setups; tests
+    /// can also arm tears imperatively via the device.
+    pub tear_write_at: Option<(u64, usize)>,
+}
+
+/// Mutable fault state carried by a device.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    crashed: bool,
+    armed_torn_words: Option<usize>,
+    writes_seen: u64,
+    cfg: FaultConfig,
+}
+
+impl FaultState {
+    /// Creates the state from a configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultState {
+            crashed: false,
+            armed_torn_words: None,
+            writes_seen: 0,
+            cfg,
+        }
+    }
+
+    /// Whether the device is crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Enters the crashed state.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Leaves the crashed state.
+    pub fn recover(&mut self) {
+        self.crashed = false;
+    }
+
+    /// Arms a torn write for the next write operation: only `words` whole
+    /// words will persist.
+    pub fn arm_torn(&mut self, words: usize) {
+        self.armed_torn_words = Some(words);
+    }
+
+    /// Called by the device at the start of each write with the payload
+    /// length. Returns `Some(truncated_len)` if this write tears (the device
+    /// then also crashes), or `None` for a normal write.
+    pub fn arm_write(&mut self, len: usize, word_bytes: usize) -> Option<usize> {
+        let scheduled = match self.cfg.tear_write_at {
+            Some((n, words)) if n == self.writes_seen => Some(words),
+            _ => None,
+        };
+        self.writes_seen += 1;
+        let words = self.armed_torn_words.take().or(scheduled)?;
+        self.crashed = true;
+        Some((words * word_bytes).min(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_recover_cycle() {
+        let mut f = FaultState::new(FaultConfig::default());
+        assert!(!f.is_crashed());
+        f.crash();
+        assert!(f.is_crashed());
+        f.recover();
+        assert!(!f.is_crashed());
+    }
+
+    #[test]
+    fn armed_tear_fires_once() {
+        let mut f = FaultState::new(FaultConfig::default());
+        f.arm_torn(2);
+        assert_eq!(f.arm_write(100, 8), Some(16));
+        assert!(f.is_crashed());
+        f.recover();
+        assert_eq!(f.arm_write(100, 8), None);
+    }
+
+    #[test]
+    fn tear_truncates_to_payload() {
+        let mut f = FaultState::new(FaultConfig::default());
+        f.arm_torn(100);
+        assert_eq!(f.arm_write(24, 8), Some(24));
+    }
+
+    #[test]
+    fn scheduled_tear_fires_on_nth_write() {
+        let mut f = FaultState::new(FaultConfig {
+            tear_write_at: Some((1, 1)),
+        });
+        assert_eq!(f.arm_write(64, 8), None);
+        assert_eq!(f.arm_write(64, 8), Some(8));
+        assert!(f.is_crashed());
+    }
+}

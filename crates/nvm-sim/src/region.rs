@@ -1,0 +1,142 @@
+//! Region allocation: carving a device's address space into zones.
+//!
+//! The paper's layout (Figure 2) places several structures on the same NVM
+//! part: the K/V *data zone*, and — in the large-key configuration — the hash
+//! index. The stores in this reproduction likewise share one device, so
+//! [`RegionAllocator`] hands out non-overlapping, alignment-respecting
+//! [`Region`]s.
+
+/// A contiguous, exclusively-owned byte range of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte.
+    pub start: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl Region {
+    /// One-past-the-end byte offset.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Absolute address of `offset` within this region.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `offset` exceeds the region.
+    #[inline]
+    pub fn at(&self, offset: usize) -> usize {
+        debug_assert!(offset <= self.len, "offset {offset} outside region");
+        self.start + offset
+    }
+
+    /// Splits the region into `n` equal-size buckets of `bucket` bytes each,
+    /// returning how many fit.
+    pub fn bucket_count(&self, bucket: usize) -> usize {
+        if bucket == 0 {
+            0
+        } else {
+            self.len / bucket
+        }
+    }
+
+    /// Absolute address of bucket `i` with the given bucket size.
+    #[inline]
+    pub fn bucket_addr(&self, i: usize, bucket: usize) -> usize {
+        debug_assert!((i + 1) * bucket <= self.len, "bucket {i} outside region");
+        self.start + i * bucket
+    }
+}
+
+/// Simple bump allocator over a device's address space.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    next: usize,
+    size: usize,
+}
+
+impl RegionAllocator {
+    /// Covers `[0, size)`.
+    pub fn new(size: usize) -> Self {
+        RegionAllocator { next: 0, size }
+    }
+
+    /// Allocates `len` bytes aligned to `align` (a power of two), or `None`
+    /// if the device is exhausted.
+    pub fn alloc(&mut self, len: usize, align: usize) -> Option<Region> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = self.next.checked_add(align - 1)? & !(align - 1);
+        let end = start.checked_add(len)?;
+        if end > self.size {
+            return None;
+        }
+        self.next = end;
+        Some(Region { start, len })
+    }
+
+    /// Allocates a bucket array: `count` buckets of `bucket` bytes, line
+    /// aligned.
+    pub fn alloc_buckets(&mut self, count: usize, bucket: usize) -> Option<Region> {
+        self.alloc(count.checked_mul(bucket)?, 64)
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> usize {
+        self.size - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_disjointness() {
+        let mut a = RegionAllocator::new(1024);
+        let r1 = a.alloc(10, 1).unwrap();
+        let r2 = a.alloc(16, 64).unwrap();
+        assert_eq!(r1.start, 0);
+        assert_eq!(r2.start, 64);
+        assert!(r1.end() <= r2.start);
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mut a = RegionAllocator::new(100);
+        assert!(a.alloc(100, 1).is_some());
+        assert!(a.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    fn remaining_shrinks() {
+        let mut a = RegionAllocator::new(128);
+        assert_eq!(a.remaining(), 128);
+        a.alloc(28, 1).unwrap();
+        assert_eq!(a.remaining(), 100);
+    }
+
+    #[test]
+    fn bucket_math() {
+        let r = Region { start: 64, len: 640 };
+        assert_eq!(r.bucket_count(64), 10);
+        assert_eq!(r.bucket_addr(0, 64), 64);
+        assert_eq!(r.bucket_addr(9, 64), 64 + 9 * 64);
+        assert_eq!(r.at(10), 74);
+    }
+
+    #[test]
+    fn alloc_buckets_is_line_aligned() {
+        let mut a = RegionAllocator::new(4096);
+        a.alloc(3, 1).unwrap();
+        let r = a.alloc_buckets(4, 100).unwrap();
+        assert_eq!(r.start % 64, 0);
+        assert_eq!(r.len, 400);
+    }
+
+    #[test]
+    fn zero_bucket_size() {
+        let r = Region { start: 0, len: 64 };
+        assert_eq!(r.bucket_count(0), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Write accounting: per-operation and device-cumulative statistics.
+//!
+//! The evaluation metrics of the paper are all derived from these counters:
+//!
+//! * Figure 6 plots *bit updates per 512 bits written* — `bit_flips +
+//!   aux_bit_flips` normalized by payload bits.
+//! * Figure 9 plots *written cache lines per request* — `lines_written`.
+//! * Figures 7/8 derive modeled latency from `lines_written` (see
+//!   [`crate::latency`]).
+
+/// Statistics for a single write operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Payload bits actually updated in the NVM array.
+    ///
+    /// For a raw (conventional) write this is every bit of the payload; for a
+    /// differential write it is the Hamming distance between old and new
+    /// content.
+    pub bit_flips: u64,
+    /// Auxiliary metadata bits updated (FNW inversion flags, MinShift
+    /// rotation counters, Captopril mask bits, store bitmaps...).
+    pub aux_bit_flips: u64,
+    /// Payload bits covered by the request (`8 * len`), regardless of how
+    /// many were actually flipped. The denominator of Figure 6.
+    pub bits_addressed: u64,
+    /// Distinct NVM words that had at least one bit updated.
+    pub words_written: u64,
+    /// Distinct cache lines that had at least one bit updated.
+    pub lines_written: u64,
+    /// Distinct cache lines read (read-before-write traffic).
+    pub lines_read: u64,
+}
+
+impl WriteStats {
+    /// Total updated bits including auxiliary metadata.
+    #[inline]
+    pub fn total_bit_flips(&self) -> u64 {
+        self.bit_flips + self.aux_bit_flips
+    }
+
+    /// Bit updates normalized to a 512-bit payload, the unit of Figure 6.
+    ///
+    /// Returns 0.0 when no payload bits were addressed.
+    pub fn flips_per_512(&self) -> f64 {
+        if self.bits_addressed == 0 {
+            0.0
+        } else {
+            self.total_bit_flips() as f64 * 512.0 / self.bits_addressed as f64
+        }
+    }
+
+    /// Accumulates another operation's stats into this one.
+    pub fn merge(&mut self, other: &WriteStats) {
+        self.bit_flips += other.bit_flips;
+        self.aux_bit_flips += other.aux_bit_flips;
+        self.bits_addressed += other.bits_addressed;
+        self.words_written += other.words_written;
+        self.lines_written += other.lines_written;
+        self.lines_read += other.lines_read;
+    }
+}
+
+impl std::ops::Add for WriteStats {
+    type Output = WriteStats;
+    fn add(mut self, rhs: WriteStats) -> WriteStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for WriteStats {
+    fn add_assign(&mut self, rhs: WriteStats) {
+        self.merge(&rhs);
+    }
+}
+
+/// Cumulative counters for a device since creation (or the last
+/// [`DeviceStats::reset`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Sum of all per-operation stats.
+    pub totals: WriteStats,
+    /// Number of write operations served.
+    pub write_ops: u64,
+    /// Number of read operations served.
+    pub read_ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+impl DeviceStats {
+    /// Records one write operation.
+    pub fn record_write(&mut self, s: &WriteStats) {
+        self.totals.merge(s);
+        self.write_ops += 1;
+    }
+
+    /// Records one read operation of `len` bytes.
+    pub fn record_read(&mut self, len: usize) {
+        self.read_ops += 1;
+        self.bytes_read += len as u64;
+    }
+
+    /// Mean updated bits (payload + aux) per 512 payload bits addressed —
+    /// the y-axis of Figure 6 aggregated over all operations.
+    pub fn mean_flips_per_512(&self) -> f64 {
+        self.totals.flips_per_512()
+    }
+
+    /// Mean cache lines written per write operation — the y-axis of Figure 9.
+    pub fn mean_lines_per_write(&self) -> f64 {
+        if self.write_ops == 0 {
+            0.0
+        } else {
+            self.totals.lines_written as f64 / self.write_ops as f64
+        }
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = DeviceStats::default();
+    }
+
+    /// Returns the difference `self - earlier`, for windowed measurements.
+    ///
+    /// All counters in `earlier` must be ≤ the corresponding counter in
+    /// `self` (i.e. `earlier` must be a prior snapshot of the same device).
+    pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            totals: WriteStats {
+                bit_flips: self.totals.bit_flips - earlier.totals.bit_flips,
+                aux_bit_flips: self.totals.aux_bit_flips - earlier.totals.aux_bit_flips,
+                bits_addressed: self.totals.bits_addressed - earlier.totals.bits_addressed,
+                words_written: self.totals.words_written - earlier.totals.words_written,
+                lines_written: self.totals.lines_written - earlier.totals.lines_written,
+                lines_read: self.totals.lines_read - earlier.totals.lines_read,
+            },
+            write_ops: self.write_ops - earlier.write_ops,
+            read_ops: self.read_ops - earlier.read_ops,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WriteStats {
+        WriteStats {
+            bit_flips: 10,
+            aux_bit_flips: 2,
+            bits_addressed: 512,
+            words_written: 3,
+            lines_written: 1,
+            lines_read: 1,
+        }
+    }
+
+    #[test]
+    fn total_includes_aux() {
+        assert_eq!(sample().total_bit_flips(), 12);
+    }
+
+    #[test]
+    fn flips_per_512_normalizes() {
+        let s = sample();
+        assert!((s.flips_per_512() - 12.0).abs() < 1e-12);
+        let mut s2 = s;
+        s2.bits_addressed = 1024;
+        assert!((s2.flips_per_512() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flips_per_512_empty_is_zero() {
+        assert_eq!(WriteStats::default().flips_per_512(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_add_agree() {
+        let a = sample();
+        let b = sample();
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, a + b);
+        assert_eq!(m.bit_flips, 20);
+        assert_eq!(m.bits_addressed, 1024);
+    }
+
+    #[test]
+    fn device_stats_means() {
+        let mut d = DeviceStats::default();
+        d.record_write(&sample());
+        d.record_write(&sample());
+        assert_eq!(d.write_ops, 2);
+        assert!((d.mean_lines_per_write() - 1.0).abs() < 1e-12);
+        assert!((d.mean_flips_per_512() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_stats_since_window() {
+        let mut d = DeviceStats::default();
+        d.record_write(&sample());
+        let snap = d.clone();
+        d.record_write(&sample());
+        d.record_read(100);
+        let w = d.since(&snap);
+        assert_eq!(w.write_ops, 1);
+        assert_eq!(w.read_ops, 1);
+        assert_eq!(w.totals.bit_flips, 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = DeviceStats::default();
+        d.record_write(&sample());
+        d.reset();
+        assert_eq!(d, DeviceStats::default());
+    }
+}

@@ -1,0 +1,300 @@
+//! Wear tracking: per-word write counts and per-bit flip counts.
+//!
+//! §VI-G of the paper studies wear-leveling with two cumulative distribution
+//! functions:
+//!
+//! * Figure 12 — the number of times each *address* (word) in the data zone
+//!   was written;
+//! * Figure 13 — the number of times each *bit* was flipped.
+//!
+//! [`WearTracker`] maintains both counters (bit-level tracking is optional
+//! because it costs one byte of DRAM per emulated NVM bit) and [`WearCdf`]
+//! turns a counter array into the CDF series the figures plot.
+
+/// Per-word and optional per-bit wear counters for a device of fixed size.
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    word_bytes: usize,
+    /// Writes per word. Saturating.
+    word_writes: Vec<u32>,
+    /// Flips per bit (saturating u16, enough for every experiment in the
+    /// paper where maxima are in the tens). `None` when disabled.
+    bit_flips: Option<Vec<u16>>,
+}
+
+impl WearTracker {
+    /// Creates a tracker for `size` bytes of memory with the given word size.
+    ///
+    /// `track_bits` enables per-bit counters (costs `2 * size * 8` bytes of
+    /// DRAM).
+    pub fn new(size: usize, word_bytes: usize, track_bits: bool) -> Self {
+        assert!(word_bytes > 0);
+        let words = size.div_ceil(word_bytes);
+        WearTracker {
+            word_bytes,
+            word_writes: vec![0; words],
+            bit_flips: track_bits.then(|| vec![0u16; size * 8]),
+        }
+    }
+
+    /// Whether per-bit tracking is enabled.
+    pub fn tracks_bits(&self) -> bool {
+        self.bit_flips.is_some()
+    }
+
+    /// Records that the word containing byte `addr` was written once.
+    #[inline]
+    pub fn record_word_write(&mut self, word_index: usize) {
+        if let Some(w) = self.word_writes.get_mut(word_index) {
+            *w = w.saturating_add(1);
+        }
+    }
+
+    /// Records a flip of bit `bit` (0..8) of byte `addr`.
+    #[inline]
+    pub fn record_bit_flip(&mut self, addr: usize, bit: u32) {
+        if let Some(bits) = self.bit_flips.as_mut() {
+            let idx = addr * 8 + bit as usize;
+            if let Some(b) = bits.get_mut(idx) {
+                *b = b.saturating_add(1);
+            }
+        }
+    }
+
+    /// Writes-per-word counter slice.
+    pub fn word_writes(&self) -> &[u32] {
+        &self.word_writes
+    }
+
+    /// Flips-per-bit counter slice, if tracking is enabled.
+    pub fn bit_flips(&self) -> Option<&[u16]> {
+        self.bit_flips.as_deref()
+    }
+
+    /// Maximum writes observed on any single word.
+    pub fn max_word_writes(&self) -> u32 {
+        self.word_writes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// CDF of per-word write counts over the byte range
+    /// `[start, start+len)` (restricting to e.g. the data zone, as the paper
+    /// does). Pass the whole device range for a global view.
+    pub fn word_cdf(&self, start: usize, len: usize) -> WearCdf {
+        let a = start / self.word_bytes;
+        let b = (start + len).div_ceil(self.word_bytes).min(self.word_writes.len());
+        WearCdf::from_counts_u32(&self.word_writes[a.min(b)..b])
+    }
+
+    /// CDF of per-bit flip counts over byte range `[start, start+len)`.
+    ///
+    /// Returns `None` when bit tracking is disabled.
+    pub fn bit_cdf(&self, start: usize, len: usize) -> Option<WearCdf> {
+        let bits = self.bit_flips.as_ref()?;
+        let a = (start * 8).min(bits.len());
+        let b = ((start + len) * 8).min(bits.len());
+        Some(WearCdf::from_counts_u16(&bits[a..b]))
+    }
+
+    /// Clears all counters (used between experiment phases).
+    pub fn reset(&mut self) {
+        self.word_writes.fill(0);
+        if let Some(b) = self.bit_flips.as_mut() {
+            b.fill(0);
+        }
+    }
+}
+
+/// An empirical CDF over wear counts: `p(x) = P(count <= x)`.
+///
+/// This is exactly the series Figures 12/13 plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearCdf {
+    /// Sorted distinct count values.
+    pub values: Vec<u32>,
+    /// Cumulative probability at each value.
+    pub cumulative: Vec<f64>,
+    /// Number of cells observed.
+    pub population: usize,
+}
+
+impl WearCdf {
+    fn from_histogram(hist: &[u64], population: usize) -> Self {
+        let mut values = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0u64;
+        for (v, &n) in hist.iter().enumerate() {
+            if n == 0 && !(v == 0 && population > 0) {
+                continue;
+            }
+            acc += n;
+            values.push(v as u32);
+            cumulative.push(acc as f64 / population.max(1) as f64);
+        }
+        WearCdf {
+            values,
+            cumulative,
+            population,
+        }
+    }
+
+    /// Builds a CDF from u32 counters.
+    pub fn from_counts_u32(counts: &[u32]) -> Self {
+        let max = counts.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0u64; max + 1];
+        for &c in counts {
+            hist[c as usize] += 1;
+        }
+        Self::from_histogram(&hist, counts.len())
+    }
+
+    /// Builds a CDF from u16 counters.
+    pub fn from_counts_u16(counts: &[u16]) -> Self {
+        let max = counts.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0u64; max + 1];
+        for &c in counts {
+            hist[c as usize] += 1;
+        }
+        Self::from_histogram(&hist, counts.len())
+    }
+
+    /// `P(count <= x)` — e.g. the paper reports `P(X <= 5) = 0.85` for
+    /// Figure 12a.
+    pub fn probability_le(&self, x: u32) -> f64 {
+        match self.values.binary_search(&x) {
+            Ok(i) => self.cumulative[i],
+            Err(0) => 0.0,
+            Err(i) => self.cumulative[i - 1],
+        }
+    }
+
+    /// Smallest count value `x` with `P(count <= x) >= p` (a quantile).
+    pub fn quantile(&self, p: f64) -> u32 {
+        for (v, c) in self.values.iter().zip(&self.cumulative) {
+            if *c >= p {
+                return *v;
+            }
+        }
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Largest observed count.
+    pub fn max(&self) -> u32 {
+        self.values.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_writes_are_recorded() {
+        let mut t = WearTracker::new(64, 8, false);
+        t.record_word_write(0);
+        t.record_word_write(0);
+        t.record_word_write(3);
+        assert_eq!(t.word_writes()[0], 2);
+        assert_eq!(t.word_writes()[3], 1);
+        assert_eq!(t.max_word_writes(), 2);
+    }
+
+    #[test]
+    fn bit_tracking_disabled_by_default_path() {
+        let mut t = WearTracker::new(64, 8, false);
+        t.record_bit_flip(0, 3); // must be a no-op, not a panic
+        assert!(t.bit_flips().is_none());
+        assert!(t.bit_cdf(0, 64).is_none());
+    }
+
+    #[test]
+    fn bit_tracking_enabled() {
+        let mut t = WearTracker::new(16, 8, true);
+        t.record_bit_flip(0, 0);
+        t.record_bit_flip(0, 0);
+        t.record_bit_flip(1, 7);
+        let bits = t.bit_flips().unwrap();
+        assert_eq!(bits[0], 2);
+        assert_eq!(bits[15], 1);
+    }
+
+    #[test]
+    fn cdf_probabilities() {
+        // counts: 0,0,1,2 -> P(<=0)=0.5, P(<=1)=0.75, P(<=2)=1.0
+        let cdf = WearCdf::from_counts_u32(&[0, 0, 1, 2]);
+        assert_eq!(cdf.population, 4);
+        assert!((cdf.probability_le(0) - 0.5).abs() < 1e-12);
+        assert!((cdf.probability_le(1) - 0.75).abs() < 1e-12);
+        assert!((cdf.probability_le(2) - 1.0).abs() < 1e-12);
+        assert!((cdf.probability_le(100) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.max(), 2);
+    }
+
+    #[test]
+    fn cdf_quantile() {
+        let cdf = WearCdf::from_counts_u32(&[0, 1, 1, 5]);
+        assert_eq!(cdf.quantile(0.25), 0);
+        assert_eq!(cdf.quantile(0.75), 1);
+        assert_eq!(cdf.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn word_cdf_restricts_to_range() {
+        let mut t = WearTracker::new(64, 8, false);
+        for w in 0..4 {
+            for _ in 0..w {
+                t.record_word_write(w);
+            }
+        }
+        // Words 0..4 have counts 0,1,2,3; restrict to bytes [8,32) -> words 1..4
+        let cdf = t.word_cdf(8, 24);
+        assert_eq!(cdf.population, 3);
+        assert_eq!(cdf.max(), 3);
+        assert!((cdf.probability_le(1) - (1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut t = WearTracker::new(64, 8, true);
+        t.record_word_write(1);
+        t.record_bit_flip(0, 0);
+        t.reset();
+        assert_eq!(t.max_word_writes(), 0);
+        assert!(t.bit_flips().unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cdf_of_empty_population() {
+        let cdf = WearCdf::from_counts_u32(&[]);
+        assert_eq!(cdf.population, 0);
+        assert_eq!(cdf.max(), 0);
+        assert_eq!(cdf.probability_le(3), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// A wear CDF is a valid distribution function: monotone
+        /// non-decreasing and terminating at exactly 1.
+        #[test]
+        fn cdf_is_a_distribution(counts in proptest::collection::vec(0u32..50, 1..200)) {
+            let cdf = WearCdf::from_counts_u32(&counts);
+            prop_assert_eq!(cdf.population, counts.len());
+            for w in cdf.cumulative.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+            prop_assert!((cdf.cumulative.last().unwrap() - 1.0).abs() < 1e-9);
+            // probability_le at the max is 1; below the min is < 1 or 0.
+            prop_assert!((cdf.probability_le(cdf.max()) - 1.0).abs() < 1e-9);
+            // Quantiles are inverse-consistent.
+            for p in [0.25, 0.5, 0.9] {
+                let q = cdf.quantile(p);
+                prop_assert!(cdf.probability_le(q) >= p - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The conventional write: program every bit.
+//!
+//! This is the "conventional method" the paper's Figure 6 compares against —
+//! no read-before-write, so writing a 512-bit value always updates 512 bits
+//! regardless of the old content.
+
+use crate::traits::{EncodedWrite, WriteScheme};
+use pnw_nvm_sim::WriteMode;
+
+/// Conventional (non-RBW) write scheme: all bits are programmed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conventional;
+
+impl WriteScheme for Conventional {
+    fn name(&self) -> &'static str {
+        "Conventional"
+    }
+
+    fn mode(&self) -> WriteMode {
+        WriteMode::Raw
+    }
+
+    fn encode(&mut self, _addr: usize, _old_stored: &[u8], new: &[u8]) -> EncodedWrite {
+        EncodedWrite::plain(new.to_vec())
+    }
+
+    fn decode(&self, _addr: usize, stored: &[u8]) -> Vec<u8> {
+        stored.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply;
+    use pnw_nvm_sim::{NvmConfig, NvmDevice};
+
+    #[test]
+    fn charges_all_bits_every_time() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut c = Conventional;
+        for _ in 0..3 {
+            let s = apply(&mut c, &mut dev, 0, &[0u8; 64]).unwrap();
+            assert_eq!(s.bit_flips, 512);
+            assert_eq!(s.aux_bit_flips, 0);
+            assert_eq!(s.lines_written, 1);
+            assert_eq!(s.lines_read, 0, "conventional does not read before write");
+        }
+    }
+
+    #[test]
+    fn decode_is_identity() {
+        let c = Conventional;
+        assert_eq!(c.decode(0, b"abc"), b"abc");
+    }
+}

@@ -1,0 +1,54 @@
+//! DCW — data-comparison write (Yang et al., ISCAS 2007).
+//!
+//! The basic read-before-write scheme: read the old content, program only
+//! the bits that differ. The paper notes (§VI-D) that PNW with K=1 clusters
+//! degenerates to DCW, which our integration tests verify.
+
+use crate::traits::{EncodedWrite, WriteScheme};
+
+/// Data-comparison write: differential update, identity encoding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dcw;
+
+impl WriteScheme for Dcw {
+    fn name(&self) -> &'static str {
+        "DCW"
+    }
+
+    fn encode(&mut self, _addr: usize, _old_stored: &[u8], new: &[u8]) -> EncodedWrite {
+        EncodedWrite::plain(new.to_vec())
+    }
+
+    fn decode(&self, _addr: usize, stored: &[u8]) -> Vec<u8> {
+        stored.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply;
+    use pnw_nvm_sim::{device::hamming, NvmConfig, NvmDevice};
+
+    #[test]
+    fn flips_equal_hamming_distance() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut dcw = Dcw;
+        let a = [0b1100_1100u8; 16];
+        let b = [0b1010_1010u8; 16];
+        apply(&mut dcw, &mut dev, 0, &a).unwrap();
+        let s = apply(&mut dcw, &mut dev, 0, &b).unwrap();
+        assert_eq!(s.bit_flips, hamming(&a, &b));
+        assert_eq!(s.aux_bit_flips, 0);
+    }
+
+    #[test]
+    fn identical_rewrite_is_free() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut dcw = Dcw;
+        apply(&mut dcw, &mut dev, 0, &[7u8; 32]).unwrap();
+        let s = apply(&mut dcw, &mut dev, 0, &[7u8; 32]).unwrap();
+        assert_eq!(s.bit_flips, 0);
+        assert_eq!(s.words_written, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! FNW — Flip-N-Write (Cho & Lee, MICRO 2009).
+//!
+//! For each n-bit unit, the cells store either the value or its bitwise
+//! complement, whichever is closer (in Hamming distance) to what the cells
+//! already hold; one flag bit per unit records the choice. This guarantees at
+//! most `n/2 + 1` bit flips per unit per write.
+//!
+//! The flags live in NVM next to the data; flag changes are charged as
+//! auxiliary bit flips, matching the paper's "without any extra flag bits"
+//! bookkeeping for PNW vs FNW in §IV.
+
+use std::collections::HashMap;
+
+use crate::traits::{EncodedWrite, WriteScheme};
+use pnw_nvm_sim::device::hamming;
+
+/// Flip-N-Write with a configurable unit size (default 4 bytes = the classic
+/// 32-bit FNW configuration).
+#[derive(Debug, Clone)]
+pub struct Fnw {
+    unit_bytes: usize,
+    /// Per-address inversion flags, one bit per unit, packed into u64 words.
+    flags: HashMap<usize, Vec<u64>>,
+}
+
+impl Default for Fnw {
+    fn default() -> Self {
+        Fnw::new(4)
+    }
+}
+
+impl Fnw {
+    /// Creates an FNW codec with the given unit size in bytes.
+    ///
+    /// # Panics
+    /// Panics if `unit_bytes == 0`.
+    pub fn new(unit_bytes: usize) -> Self {
+        assert!(unit_bytes > 0, "unit size must be positive");
+        Fnw {
+            unit_bytes,
+            flags: HashMap::new(),
+        }
+    }
+
+    /// The unit size in bytes.
+    pub fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+
+    fn flag(words: &[u64], unit: usize) -> bool {
+        words
+            .get(unit / 64)
+            .is_some_and(|w| w >> (unit % 64) & 1 == 1)
+    }
+
+    fn set_flag(words: &mut Vec<u64>, unit: usize, v: bool) {
+        let idx = unit / 64;
+        if words.len() <= idx {
+            words.resize(idx + 1, 0);
+        }
+        if v {
+            words[idx] |= 1 << (unit % 64);
+        } else {
+            words[idx] &= !(1 << (unit % 64));
+        }
+    }
+}
+
+impl WriteScheme for Fnw {
+    fn name(&self) -> &'static str {
+        "FNW"
+    }
+
+    fn encode(&mut self, addr: usize, old_stored: &[u8], new: &[u8]) -> EncodedWrite {
+        let mut stored = Vec::with_capacity(new.len());
+        let mut aux = 0u64;
+        let flags = self.flags.entry(addr).or_default();
+        let mut inverted_buf = vec![0u8; self.unit_bytes];
+
+        for (unit, chunk) in new.chunks(self.unit_bytes).enumerate() {
+            let off = unit * self.unit_bytes;
+            let old_chunk = &old_stored[off..off + chunk.len()];
+            let old_flag = Self::flag(flags, unit);
+
+            let inv = &mut inverted_buf[..chunk.len()];
+            for (d, s) in inv.iter_mut().zip(chunk) {
+                *d = !s;
+            }
+
+            let cost_plain = hamming(old_chunk, chunk) + u64::from(old_flag);
+            let cost_inv = hamming(old_chunk, inv) + u64::from(!old_flag);
+
+            if cost_inv < cost_plain {
+                stored.extend_from_slice(inv);
+                if !old_flag {
+                    Self::set_flag(flags, unit, true);
+                    aux += 1;
+                }
+            } else {
+                stored.extend_from_slice(chunk);
+                if old_flag {
+                    Self::set_flag(flags, unit, false);
+                    aux += 1;
+                }
+            }
+        }
+        EncodedWrite {
+            stored,
+            aux_bits_flipped: aux,
+        }
+    }
+
+    fn decode(&self, addr: usize, stored: &[u8]) -> Vec<u8> {
+        let empty = Vec::new();
+        let flags = self.flags.get(&addr).unwrap_or(&empty);
+        let mut out = Vec::with_capacity(stored.len());
+        for (unit, chunk) in stored.chunks(self.unit_bytes).enumerate() {
+            if Self::flag(flags, unit) {
+                out.extend(chunk.iter().map(|b| !b));
+            } else {
+                out.extend_from_slice(chunk);
+            }
+        }
+        out
+    }
+
+    fn forget(&mut self, addr: usize) {
+        self.flags.remove(&addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply, read_value};
+    use pnw_nvm_sim::{NvmConfig, NvmDevice};
+
+    #[test]
+    fn inverts_when_cheaper() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut fnw = Fnw::new(4);
+        // Cells hold all-ones; writing all-zeros should store the complement
+        // (all-ones again) and just flip flags: 1 aux bit per unit.
+        apply(&mut fnw, &mut dev, 0, &[0xFFu8; 8]).unwrap();
+        let s = apply(&mut fnw, &mut dev, 0, &[0x00u8; 8]).unwrap();
+        assert_eq!(s.bit_flips, 0);
+        assert_eq!(s.aux_bit_flips, 2); // two 4-byte units
+        assert_eq!(read_value(&fnw, &mut dev, 0, 8).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn plain_when_cheaper() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut fnw = Fnw::new(4);
+        apply(&mut fnw, &mut dev, 0, &[0xFFu8; 4]).unwrap();
+        // One differing bit: storing plain flips 1 bit, inverting flips 31+1.
+        let s = apply(&mut fnw, &mut dev, 0, &[0xFF, 0xFF, 0xFF, 0xFE]).unwrap();
+        assert_eq!(s.bit_flips, 1);
+        assert_eq!(s.aux_bit_flips, 0);
+    }
+
+    #[test]
+    fn half_plus_one_bound_per_unit() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut fnw = Fnw::new(4);
+        let unit_bits = 32u64;
+        apply(&mut fnw, &mut dev, 0, &[0b0101_0101u8; 4]).unwrap();
+        for pattern in [[0xAAu8; 4], [0x0Fu8; 4], [0xF0u8; 4], [0x33u8; 4]] {
+            let s = apply(&mut fnw, &mut dev, 0, &pattern).unwrap();
+            assert!(s.total_bit_flips() <= unit_bits / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_partial_tail_unit() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        let mut fnw = Fnw::new(4);
+        let v = [1u8, 2, 3, 4, 5, 6]; // 1.5 units
+        apply(&mut fnw, &mut dev, 0, &v).unwrap();
+        apply(&mut fnw, &mut dev, 0, &[0xFE, 0xFD, 0xFC, 0xFB, 0xFA, 0xF9]).unwrap();
+        assert_eq!(
+            read_value(&fnw, &mut dev, 0, 6).unwrap(),
+            vec![0xFE, 0xFD, 0xFC, 0xFB, 0xFA, 0xF9]
+        );
+    }
+
+    #[test]
+    fn forget_clears_flags() {
+        let mut fnw = Fnw::new(4);
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        // Cells start at zero, so writing 0xFF inverts (cheaper): stored
+        // bytes stay 0x00 with the flag set.
+        apply(&mut fnw, &mut dev, 0, &[0xFFu8; 4]).unwrap();
+        assert_eq!(dev.peek(0, 4).unwrap(), &[0u8; 4]);
+        assert_eq!(read_value(&fnw, &mut dev, 0, 4).unwrap(), vec![0xFFu8; 4]);
+        fnw.forget(0);
+        // With flags gone, decode treats the stored bytes as plain zeros.
+        assert_eq!(read_value(&fnw, &mut dev, 0, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn independent_addresses_have_independent_flags() {
+        let mut fnw = Fnw::new(4);
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(256));
+        apply(&mut fnw, &mut dev, 0, &[0xFFu8; 4]).unwrap();
+        apply(&mut fnw, &mut dev, 0, &[0x00u8; 4]).unwrap(); // addr 0 inverted
+        apply(&mut fnw, &mut dev, 64, &[0x11u8; 4]).unwrap(); // addr 64 plain
+        assert_eq!(read_value(&fnw, &mut dev, 0, 4).unwrap(), vec![0u8; 4]);
+        assert_eq!(read_value(&fnw, &mut dev, 64, 4).unwrap(), vec![0x11u8; 4]);
+    }
+}

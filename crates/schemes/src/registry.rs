@@ -1,0 +1,102 @@
+//! Scheme registry: name-addressable construction for the experiment
+//! harnesses.
+
+use crate::{Captopril, Conventional, Dcw, Fnw, MinShift, WriteScheme};
+
+/// The comparison set of the paper's Figure 6/7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Program every bit.
+    Conventional,
+    /// Data-comparison write.
+    Dcw,
+    /// Flip-N-Write (32-bit units).
+    Fnw,
+    /// MinShift with the paper's best-case shift budget.
+    MinShift,
+    /// Captopril CAP16 best case.
+    Captopril,
+}
+
+impl SchemeKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub fn all() -> [SchemeKind; 5] {
+        [
+            SchemeKind::Conventional,
+            SchemeKind::Dcw,
+            SchemeKind::Fnw,
+            SchemeKind::MinShift,
+            SchemeKind::Captopril,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "Conventional",
+            SchemeKind::Dcw => "DCW",
+            SchemeKind::Fnw => "FNW",
+            SchemeKind::MinShift => "MinShift",
+            SchemeKind::Captopril => "CAP16",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchemeKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "conventional" | "conv" => Ok(SchemeKind::Conventional),
+            "dcw" => Ok(SchemeKind::Dcw),
+            "fnw" => Ok(SchemeKind::Fnw),
+            "minshift" => Ok(SchemeKind::MinShift),
+            "captopril" | "cap16" | "cap" => Ok(SchemeKind::Captopril),
+            other => Err(format!("unknown scheme '{other}'")),
+        }
+    }
+}
+
+/// Constructs a boxed scheme of the given kind with the paper's tuning
+/// (§VI-A: each baseline is configured for its best case).
+pub fn make_scheme(kind: SchemeKind) -> Box<dyn WriteScheme> {
+    match kind {
+        SchemeKind::Conventional => Box::new(Conventional),
+        SchemeKind::Dcw => Box::new(Dcw),
+        SchemeKind::Fnw => Box::new(Fnw::default()),
+        SchemeKind::MinShift => Box::new(MinShift::default()),
+        SchemeKind::Captopril => Box::new(Captopril::best_case()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in SchemeKind::all() {
+            let parsed: SchemeKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("bogus".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(SchemeKind::Captopril.name(), "CAP16");
+        assert_eq!(SchemeKind::Fnw.to_string(), "FNW");
+    }
+
+    #[test]
+    fn make_scheme_constructs_each() {
+        for kind in SchemeKind::all() {
+            assert_eq!(make_scheme(kind).name(), kind.name());
+        }
+    }
+}

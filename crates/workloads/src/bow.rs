@@ -1,0 +1,142 @@
+//! Zipfian bag-of-words vectors — the PubMed DocWord stand-in (Figure 8).
+//!
+//! The original "bags-of-words" collection stores per-document word counts.
+//! Two structural properties matter to PNW: word frequencies are Zipfian
+//! (a few words dominate; most counts are zero) and documents cluster by
+//! topic (documents on one topic share vocabulary). Values are fixed-size
+//! arrays of saturating u8 counts over a vocabulary window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::Workload;
+
+/// Bag-of-words document generator.
+#[derive(Debug, Clone)]
+pub struct BagOfWords {
+    rng: StdRng,
+    vocab: usize,
+    words_per_doc: usize,
+    /// Per-topic word-preference tables: cumulative sampling weights.
+    topics: Vec<Vec<f64>>,
+}
+
+impl BagOfWords {
+    /// PubMed-like configuration: 512-word vocabulary window, ~120 words
+    /// per abstract, 8 topics.
+    pub fn pubmed_like(seed: u64) -> Self {
+        BagOfWords::new(seed, 512, 120, 8)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn new(seed: u64, vocab: usize, words_per_doc: usize, n_topics: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB);
+        // Global Zipf ranks, then per-topic boosts over a random vocabulary
+        // subset.
+        let zipf: Vec<f64> = (0..vocab).map(|r| 1.0 / (r + 1) as f64).collect();
+        let topics = (0..n_topics.max(1))
+            .map(|_| {
+                let mut weights = zipf.clone();
+                // Boost a contiguous ~10% band of the vocabulary for this
+                // topic. Bag-of-words dictionaries are built corpus-order,
+                // so topical vocabulary clusters in id space — which is what
+                // lets same-topic documents share whole zero regions (and
+                // whole cache lines) in their count vectors.
+                let band = vocab / 10;
+                let start = rng.gen_range(0..vocab.saturating_sub(band).max(1));
+                for w in start..(start + band).min(vocab) {
+                    weights[w] *= 500.0;
+                }
+                // Cumulative distribution for O(log V) sampling.
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w;
+                    *w = acc;
+                }
+                weights
+            })
+            .collect();
+        BagOfWords {
+            rng,
+            vocab,
+            words_per_doc,
+            topics,
+        }
+    }
+
+    fn sample_word(cdf: &[f64], u: f64) -> usize {
+        let target = u * cdf.last().copied().unwrap_or(1.0);
+        cdf.partition_point(|&c| c < target).min(cdf.len() - 1)
+    }
+}
+
+impl Workload for BagOfWords {
+    fn name(&self) -> &'static str {
+        "PubMed abstracts"
+    }
+
+    fn value_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        let t = self.rng.gen_range(0..self.topics.len());
+        let mut counts = vec![0u8; self.vocab];
+        for _ in 0..self.words_per_doc {
+            let u = self.rng.gen::<f64>();
+            let w = Self::sample_word(&self.topics[t], u);
+            counts[w] = counts[w].saturating_add(1);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_words_per_doc() {
+        let mut w = BagOfWords::new(1, 128, 60, 4);
+        let v = w.next_value();
+        let total: u32 = v.iter().map(|&c| u32::from(c)).sum();
+        // Saturation can only lose counts; with 60 words it rarely bites.
+        assert!(total <= 60);
+        assert!(total >= 55, "total={total}");
+    }
+
+    #[test]
+    fn most_entries_are_zero() {
+        let mut w = BagOfWords::pubmed_like(2);
+        let v = w.next_value();
+        let zeros = v.iter().filter(|&&c| c == 0).count();
+        assert!(zeros as f64 / v.len() as f64 > 0.6, "zeros={zeros}");
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        // Heavy-tailed frequencies: the most frequent 10% of words (by
+        // observed count — boosts move the head around the vocabulary) hold
+        // the majority of all occurrences.
+        let mut w = BagOfWords::new(3, 256, 100, 1);
+        let mut totals = vec![0u64; 256];
+        for _ in 0..100 {
+            for (t, c) in totals.iter_mut().zip(w.next_value()) {
+                *t += u64::from(c);
+            }
+        }
+        let all: u64 = totals.iter().sum();
+        totals.sort_unstable_by(|a, b| b.cmp(a));
+        let head: u64 = totals[..26].iter().sum();
+        assert!(head as f64 / all as f64 > 0.5, "head share {head}/{all}");
+    }
+
+    #[test]
+    fn sample_word_bounds() {
+        let cdf = [1.0, 3.0, 6.0];
+        assert_eq!(BagOfWords::sample_word(&cdf, 0.0), 0);
+        assert_eq!(BagOfWords::sample_word(&cdf, 0.99), 2);
+        // u = 0.4 → target 2.4 → first cdf ≥ 2.4 is index 1.
+        assert_eq!(BagOfWords::sample_word(&cdf, 0.4), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Class-structured image generators — MNIST, Fashion-MNIST and CIFAR-10
+//! stand-ins (Figures 3, 4, 7, 9, 10, 12, 13).
+//!
+//! Figure 10's workload-shift experiment needs two image distributions that
+//! (a) each cluster into ~10 classes and (b) are *mutually distant*, so that
+//! switching from one to the other visibly degrades a stale model. We render
+//! 28×28 grayscale images from per-class templates:
+//!
+//! * [`ImageStyle::Digits`] — sparse stroke skeletons (low ink fraction,
+//!   like handwritten digits);
+//! * [`ImageStyle::Fashion`] — dense filled/textured silhouettes (high ink
+//!   fraction, like apparel photos).
+//!
+//! Samples jitter their template with pixel noise and ±1-pixel translation,
+//! which is what keeps intra-class Hamming distance low but nonzero.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::Workload;
+
+/// Image side length (28 matches MNIST; values are 784 bytes).
+pub const IMG_SIDE: usize = 28;
+
+/// Which distribution the generator mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageStyle {
+    /// MNIST-like sparse strokes.
+    Digits,
+    /// Fashion-MNIST-like dense textures.
+    Fashion,
+}
+
+/// Template-based 10-class image generator.
+#[derive(Debug, Clone)]
+pub struct TemplateImages {
+    style: ImageStyle,
+    rng: StdRng,
+    templates: Vec<Vec<u8>>,
+}
+
+impl TemplateImages {
+    /// Builds the 10 class templates from the seed.
+    pub fn new(style: ImageStyle, seed: u64) -> Self {
+        // The template RNG is *style-keyed* so Digits and Fashion streams
+        // with the same seed still look nothing alike.
+        let style_key = match style {
+            ImageStyle::Digits => 0x6D6E_6973_7400_0000u64,
+            ImageStyle::Fashion => 0x6661_7368_696F_6E00u64,
+        };
+        let mut trng = StdRng::seed_from_u64(seed ^ style_key);
+        let templates = (0..10).map(|_| Self::render_template(style, &mut trng)).collect();
+        TemplateImages {
+            style,
+            rng: StdRng::seed_from_u64(seed.rotate_left(17) ^ style_key),
+            templates,
+        }
+    }
+
+    fn render_template(style: ImageStyle, rng: &mut StdRng) -> Vec<u8> {
+        let mut img = vec![0u8; IMG_SIDE * IMG_SIDE];
+        match style {
+            ImageStyle::Digits => {
+                // 3-5 random strokes: short runs of bright pixels.
+                let strokes = rng.gen_range(3..6);
+                for _ in 0..strokes {
+                    let mut x = rng.gen_range(4..IMG_SIDE as i32 - 4);
+                    let mut y = rng.gen_range(4..IMG_SIDE as i32 - 4);
+                    let (dx, dy) = loop {
+                        let d = (rng.gen_range(-1..=1), rng.gen_range(-1..=1));
+                        if d != (0, 0) {
+                            break d;
+                        }
+                    };
+                    for _ in 0..rng.gen_range(8..18) {
+                        if (0..IMG_SIDE as i32).contains(&x) && (0..IMG_SIDE as i32).contains(&y) {
+                            img[y as usize * IMG_SIDE + x as usize] = 255;
+                            // 1-pixel-thick strokes get a soft halo.
+                            let hx = (x + dy) as usize;
+                            let hy = (y + dx) as usize;
+                            if hx < IMG_SIDE && hy < IMG_SIDE {
+                                img[hy * IMG_SIDE + hx] = 128;
+                            }
+                        }
+                        x += dx;
+                        y += dy;
+                    }
+                }
+            }
+            ImageStyle::Fashion => {
+                // A filled rectangle silhouette with texture bands.
+                let x0 = rng.gen_range(2..8);
+                let y0 = rng.gen_range(2..8);
+                let x1 = rng.gen_range(20..26);
+                let y1 = rng.gen_range(20..26);
+                let base: u8 = rng.gen_range(120..220);
+                let band = rng.gen_range(2..5);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let tex = if (y / band) % 2 == 0 { 0 } else { 40 };
+                        img[y * IMG_SIDE + x] = base.saturating_sub(tex);
+                    }
+                }
+            }
+        }
+        img
+    }
+
+    /// Generates a sample of class `class` (0..10).
+    pub fn sample_class(&mut self, class: usize) -> Vec<u8> {
+        let t = &self.templates[class % 10];
+        let mut img = vec![0u8; t.len()];
+        // ±1 pixel translation for digits (handwriting wobbles). Fashion
+        // photos are centered crops: translating a dense textured silhouette
+        // would shift every band boundary and blow up within-class Hamming
+        // distance far beyond what Fashion-MNIST exhibits.
+        let (dx, dy) = match self.style {
+            ImageStyle::Digits => (
+                self.rng.gen_range(-1i32..=1),
+                self.rng.gen_range(-1i32..=1),
+            ),
+            ImageStyle::Fashion => (0, 0),
+        };
+        for y in 0..IMG_SIDE as i32 {
+            for x in 0..IMG_SIDE as i32 {
+                let (sx, sy) = (x - dx, y - dy);
+                if (0..IMG_SIDE as i32).contains(&sx) && (0..IMG_SIDE as i32).contains(&sy) {
+                    img[y as usize * IMG_SIDE + x as usize] =
+                        t[sy as usize * IMG_SIDE + sx as usize];
+                }
+            }
+        }
+        // Pixel noise: flip ~1.5% of pixels' intensity.
+        for _ in 0..(IMG_SIDE * IMG_SIDE) / 64 {
+            let p = self.rng.gen_range(0..img.len());
+            img[p] = img[p].wrapping_add(self.rng.gen_range(1..=64));
+        }
+        img
+    }
+
+    /// The style of this generator.
+    pub fn style(&self) -> ImageStyle {
+        self.style
+    }
+
+    /// Re-seeds the *sample* stream while keeping the class templates.
+    ///
+    /// Generators with one seed share templates **and** replay the same
+    /// sample sequence; experiments that warm a store from one stream and
+    /// then measure against another need the same distribution but fresh
+    /// samples — that is what a distinct stream seed provides.
+    pub fn with_stream_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x57AE_A11B_57AE_A11B);
+        self
+    }
+}
+
+impl Workload for TemplateImages {
+    fn name(&self) -> &'static str {
+        match self.style {
+            ImageStyle::Digits => "MNIST-like",
+            ImageStyle::Fashion => "Fashion-MNIST-like",
+        }
+    }
+
+    fn value_size(&self) -> usize {
+        IMG_SIDE * IMG_SIDE
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        let class = self.rng.gen_range(0..10);
+        self.sample_class(class)
+    }
+}
+
+/// CIFAR-10-like 32×32 RGB tiles: per-class dominant tint + texture.
+#[derive(Debug, Clone)]
+pub struct CifarLike {
+    rng: StdRng,
+    tints: Vec<[u8; 3]>,
+}
+
+/// CIFAR tile side length.
+pub const CIFAR_SIDE: usize = 32;
+
+impl CifarLike {
+    /// Builds 10 class tints from the seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4349_4641_5231_3000);
+        let tints = (0..10).map(|_| [rng.gen(), rng.gen(), rng.gen()]).collect();
+        CifarLike { rng, tints }
+    }
+}
+
+impl CifarLike {
+    /// Generates a tile of a specific class (0..10).
+    pub fn sample_class(&mut self, class: usize) -> Vec<u8> {
+        let tint = self.tints[class % self.tints.len()];
+        self.render(tint)
+    }
+}
+
+impl Workload for CifarLike {
+    fn name(&self) -> &'static str {
+        "CIFAR-like"
+    }
+
+    fn value_size(&self) -> usize {
+        CIFAR_SIDE * CIFAR_SIDE * 3
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        let tint = self.tints[self.rng.gen_range(0..self.tints.len())];
+        self.render(tint)
+    }
+}
+
+impl CifarLike {
+    fn render(&mut self, tint: [u8; 3]) -> Vec<u8> {
+        let mut img = vec![0u8; self.value_size()];
+        // Low-frequency texture: a quarter of the 4×4 blocks get a small
+        // brightness offset. Kept weak so intra-tint Hamming distance stays
+        // well below inter-tint distance (the clusterable structure PNW
+        // exploits on CIFAR).
+        let mut block_off = [[0i16; CIFAR_SIDE / 4]; CIFAR_SIDE / 4];
+        for row in &mut block_off {
+            for v in row.iter_mut() {
+                if self.rng.gen::<f64>() < 0.25 {
+                    *v = self.rng.gen_range(-8..8);
+                }
+            }
+        }
+        for y in 0..CIFAR_SIDE {
+            for x in 0..CIFAR_SIDE {
+                let off = block_off[y / 4][x / 4];
+                for c in 0..3 {
+                    let v = (i16::from(tint[c]) + off).clamp(0, 255) as u8;
+                    img[(y * CIFAR_SIDE + x) * 3 + c] = v;
+                }
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ink(img: &[u8]) -> f64 {
+        img.iter().filter(|&&p| p > 0).count() as f64 / img.len() as f64
+    }
+
+    fn hamming(a: &[u8], b: &[u8]) -> u64 {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as u64).sum()
+    }
+
+    #[test]
+    fn digits_are_sparse_fashion_is_dense() {
+        let mut d = TemplateImages::new(ImageStyle::Digits, 5);
+        let mut f = TemplateImages::new(ImageStyle::Fashion, 5);
+        let di = ink(&d.next_value());
+        let fi = ink(&f.next_value());
+        assert!(di < 0.35, "digit ink {di}");
+        assert!(fi > 0.4, "fashion ink {fi}");
+    }
+
+    #[test]
+    fn same_class_is_closer_than_cross_class() {
+        let mut g = TemplateImages::new(ImageStyle::Digits, 6);
+        let a1 = g.sample_class(3);
+        let a2 = g.sample_class(3);
+        let b = g.sample_class(7);
+        assert!(hamming(&a1, &a2) < hamming(&a1, &b), "intra vs inter class");
+    }
+
+    #[test]
+    fn digits_and_fashion_are_mutually_distant() {
+        // The Figure 10 premise: cross-distribution distance is large.
+        let mut d = TemplateImages::new(ImageStyle::Digits, 7);
+        let mut f = TemplateImages::new(ImageStyle::Fashion, 7);
+        let dv = d.next_value();
+        let dv2 = d.next_value();
+        let fv = f.next_value();
+        assert!(hamming(&dv, &fv) > hamming(&dv, &dv2));
+    }
+
+    #[test]
+    fn cifar_tiles_cluster_by_tint() {
+        let mut c = CifarLike::new(8);
+        let mut intra = 0u64;
+        let mut inter = 0u64;
+        let mut intra_n = 0u64;
+        let mut inter_n = 0u64;
+        for class_a in 0..5 {
+            let a1 = c.sample_class(class_a);
+            let a2 = c.sample_class(class_a);
+            intra += hamming(&a1, &a2);
+            intra_n += 1;
+            for class_b in (class_a + 1)..5 {
+                let b = c.sample_class(class_b);
+                inter += hamming(&a1, &b);
+                inter_n += 1;
+            }
+        }
+        let intra_mean = intra as f64 / intra_n as f64;
+        let inter_mean = inter as f64 / inter_n as f64;
+        assert!(
+            inter_mean > intra_mean * 1.5,
+            "intra={intra_mean} inter={inter_mean}"
+        );
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(TemplateImages::new(ImageStyle::Digits, 0).value_size(), 784);
+        assert_eq!(CifarLike::new(0).value_size(), 3072);
+    }
+}

@@ -1,0 +1,52 @@
+//! # pnw-workloads — deterministic stand-ins for the paper's datasets
+//!
+//! The PNW evaluation (§VI) uses real datasets we cannot redistribute
+//! (UCI Amazon Access Samples, 3D Road Network, PubMed DocWord, the
+//! Sherbrooke and AAU traffic-surveillance videos, MNIST/Fashion-MNIST,
+//! CIFAR-10) plus two synthetic distributions. Each generator here
+//! reproduces the *structural property* that makes its original dataset
+//! behave the way Figure 6 shows — see `DESIGN.md` §5 for the substitution
+//! rationale:
+//!
+//! | Generator | Stands in for | Preserved property |
+//! |---|---|---|
+//! | [`SparseBinary`] | Amazon Access Samples | sparse binary rows with attribute-group structure |
+//! | [`RoadNetwork3d`] | 3D Road Network | spatial locality ⇒ shared high-order bits |
+//! | [`BagOfWords`] | PubMed abstracts | Zipfian sparse count vectors with topics |
+//! | [`VideoFrames`] | Sherbrooke / traffic seq2 | temporal similarity between frames |
+//! | [`TemplateImages`] (Digits) | MNIST | 10-class stroke images, low ink |
+//! | [`TemplateImages`] (Fashion) | Fashion-MNIST | 10-class textured images, high ink |
+//! | [`CifarLike`] | CIFAR-10 | class-tinted RGB tiles |
+//! | [`NormalU32`] / [`UniformU32`] | §VI-D synthetic | N(2³¹, 2²⁸) and uniform 32-bit integers |
+//!
+//! Everything is seeded and deterministic: the same seed replays the same
+//! byte stream, which the experiment harnesses rely on.
+//!
+//! ```
+//! use pnw_workloads::{NormalU32, Workload};
+//!
+//! let mut w = NormalU32::new(42);
+//! let v = w.next_value();
+//! assert_eq!(v.len(), 4);
+//! assert_eq!(w.value_size(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bow;
+pub mod images;
+pub mod mix;
+pub mod road;
+pub mod sparse;
+pub mod synth;
+pub mod traits;
+pub mod video;
+
+pub use bow::BagOfWords;
+pub use images::{CifarLike, ImageStyle, TemplateImages};
+pub use mix::{Interleaved, Phased};
+pub use road::RoadNetwork3d;
+pub use sparse::SparseBinary;
+pub use synth::{NormalU32, UniformU32};
+pub use traits::{DatasetKind, Workload};
+pub use video::{VideoConfig, VideoFrames};

@@ -1,0 +1,171 @@
+//! Workload combinators for the Figure 10 phase schedule.
+//!
+//! Phase 2 of the workload-shift experiment streams *"a mixture of items
+//! from two different data sets … at the ratio of 2 to 1"*; the experiment
+//! as a whole is a sequence of phases drawing from different sources.
+//! [`Interleaved`] implements the ratio mixture, [`Phased`] the schedule.
+
+use crate::traits::Workload;
+
+/// Mixes two workloads at an `a:b` ratio (e.g. 1:2 for one MNIST item per
+/// two Fashion items).
+pub struct Interleaved<A, B> {
+    a: A,
+    b: B,
+    a_per_cycle: usize,
+    b_per_cycle: usize,
+    pos: usize,
+}
+
+impl<A: Workload, B: Workload> Interleaved<A, B> {
+    /// Creates the mixture. Both workloads must produce equal-size values.
+    ///
+    /// # Panics
+    /// Panics if value sizes differ or both ratio terms are zero.
+    pub fn new(a: A, b: B, a_per_cycle: usize, b_per_cycle: usize) -> Self {
+        assert_eq!(
+            a.value_size(),
+            b.value_size(),
+            "mixed workloads must share a value size"
+        );
+        assert!(a_per_cycle + b_per_cycle > 0, "ratio cannot be 0:0");
+        Interleaved {
+            a,
+            b,
+            a_per_cycle,
+            b_per_cycle,
+            pos: 0,
+        }
+    }
+}
+
+impl<A: Workload, B: Workload> Workload for Interleaved<A, B> {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn value_size(&self) -> usize {
+        self.a.value_size()
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        let cycle = self.a_per_cycle + self.b_per_cycle;
+        let slot = self.pos % cycle;
+        self.pos += 1;
+        if slot < self.a_per_cycle {
+            self.a.next_value()
+        } else {
+            self.b.next_value()
+        }
+    }
+}
+
+/// A sequence of (workload, item-count) phases; after the last phase the
+/// final workload keeps streaming.
+pub struct Phased {
+    phases: Vec<(Box<dyn Workload>, usize)>,
+    current: usize,
+    emitted_in_phase: usize,
+}
+
+impl Phased {
+    /// Builds the schedule.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or value sizes disagree.
+    pub fn new(phases: Vec<(Box<dyn Workload>, usize)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let size = phases[0].0.value_size();
+        assert!(
+            phases.iter().all(|(w, _)| w.value_size() == size),
+            "phase value sizes must agree"
+        );
+        Phased {
+            phases,
+            current: 0,
+            emitted_in_phase: 0,
+        }
+    }
+
+    /// Index of the active phase.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Workload for Phased {
+    fn name(&self) -> &'static str {
+        "phased"
+    }
+
+    fn value_size(&self) -> usize {
+        self.phases[0].0.value_size()
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        while self.current + 1 < self.phases.len()
+            && self.emitted_in_phase >= self.phases[self.current].1
+        {
+            self.current += 1;
+            self.emitted_in_phase = 0;
+        }
+        self.emitted_in_phase += 1;
+        self.phases[self.current].0.next_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{NormalU32, UniformU32};
+
+    #[test]
+    fn interleave_ratio_2_to_1() {
+        // Distinguish sources by top byte: normal values cluster near 2³¹
+        // (top byte ≈ 0x80), uniform values roam.
+        let mix = Interleaved::new(NormalU32::new(1), UniformU32::new(2), 2, 1);
+        let mut mix = mix;
+        let mut from_a = 0;
+        for i in 0..300 {
+            let _v = mix.next_value();
+            if i % 3 < 2 {
+                from_a += 1;
+            }
+        }
+        assert_eq!(from_a, 200);
+        assert_eq!(mix.value_size(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_rejected() {
+        let a = NormalU32::new(1);
+        let b = crate::sparse::SparseBinary::amazon_like(1);
+        let _ = Interleaved::new(a, b, 1, 1);
+    }
+
+    #[test]
+    fn phased_advances_through_schedule() {
+        let mut p = Phased::new(vec![
+            (Box::new(NormalU32::new(1)), 3),
+            (Box::new(UniformU32::new(2)), 2),
+        ]);
+        assert_eq!(p.current_phase(), 0);
+        for _ in 0..3 {
+            p.next_value();
+        }
+        p.next_value();
+        assert_eq!(p.current_phase(), 1);
+        // Final phase streams forever.
+        for _ in 0..10 {
+            p.next_value();
+        }
+        assert_eq!(p.current_phase(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_schedule_rejected() {
+        let _ = Phased::new(vec![]);
+    }
+}

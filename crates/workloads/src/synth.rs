@@ -1,0 +1,158 @@
+//! Synthetic integer distributions (§VI-D).
+//!
+//! *"For the synthetic data sets, we used 32-bit keys and values. We also
+//! generated two types of integer data (normal and uniformly distributed),
+//! ranging from 0 to 2³². … for the normal data set, we generated a
+//! synthetic data set of 100M unique values sampled from a normal
+//! distribution with µ = 2³¹ and σ = 2²⁸."*
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::Workload;
+
+/// Uniform 32-bit values — the paper's hard-to-cluster worst case
+/// (Figure 6f).
+#[derive(Debug, Clone)]
+pub struct UniformU32 {
+    rng: StdRng,
+}
+
+impl UniformU32 {
+    /// Creates the generator.
+    pub fn new(seed: u64) -> Self {
+        UniformU32 {
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+}
+
+impl Workload for UniformU32 {
+    fn name(&self) -> &'static str {
+        "uniform distribution"
+    }
+    fn value_size(&self) -> usize {
+        4
+    }
+    fn next_value(&mut self) -> Vec<u8> {
+        self.rng.gen::<u32>().to_le_bytes().to_vec()
+    }
+}
+
+/// Normal 32-bit values with the paper's µ = 2³¹, σ = 2²⁸ (Figure 6e).
+#[derive(Debug, Clone)]
+pub struct NormalU32 {
+    rng: StdRng,
+    mu: f64,
+    sigma: f64,
+    /// Spare Box-Muller deviate.
+    spare: Option<f64>,
+}
+
+impl NormalU32 {
+    /// The paper's parameters.
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(seed, 2f64.powi(31), 2f64.powi(28))
+    }
+
+    /// Custom mean and standard deviation.
+    pub fn with_params(seed: u64, mu: f64, sigma: f64) -> Self {
+        NormalU32 {
+            rng: StdRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D),
+            mu,
+            sigma,
+            spare: None,
+        }
+    }
+
+    /// One standard normal deviate via Box–Muller.
+    fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.spare = Some(r * s);
+        r * c
+    }
+}
+
+impl Workload for NormalU32 {
+    fn name(&self) -> &'static str {
+        "normal distribution"
+    }
+    fn value_size(&self) -> usize {
+        4
+    }
+    fn next_value(&mut self) -> Vec<u8> {
+        let z = self.std_normal();
+        let v = (self.mu + self.sigma * z).clamp(0.0, u32::MAX as f64) as u32;
+        v.to_le_bytes().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let mut w = UniformU32::new(1);
+        let vals: Vec<u32> = (0..2000)
+            .map(|_| u32::from_le_bytes(w.next_value().try_into().unwrap()))
+            .collect();
+        let lo = vals.iter().filter(|&&v| v < u32::MAX / 2).count();
+        // Roughly half below the midpoint.
+        assert!((800..1200).contains(&lo), "lo={lo}");
+    }
+
+    #[test]
+    fn normal_concentrates_around_mu() {
+        let mut w = NormalU32::new(2);
+        let vals: Vec<f64> = (0..4000)
+            .map(|_| u32::from_le_bytes(w.next_value().try_into().unwrap()) as f64)
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mu = 2f64.powi(31);
+        let sigma = 2f64.powi(28);
+        assert!((mean - mu).abs() < sigma, "mean={mean:e}");
+        // ~68% within one sigma.
+        let within = vals.iter().filter(|&&v| (v - mu).abs() < sigma).count();
+        let frac = within as f64 / vals.len() as f64;
+        assert!((0.6..0.76).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn normal_shares_high_bits_more_than_uniform() {
+        // The reason PNW clusters normal data well: high-order bytes repeat.
+        let mut n = NormalU32::new(3);
+        let mut u = UniformU32::new(3);
+        let top_byte = |v: Vec<u8>| v[3];
+        let mut n_hist = [0u32; 256];
+        let mut u_hist = [0u32; 256];
+        for _ in 0..2000 {
+            n_hist[top_byte(n.next_value()) as usize] += 1;
+            u_hist[top_byte(u.next_value()) as usize] += 1;
+        }
+        let n_distinct = n_hist.iter().filter(|&&c| c > 0).count();
+        let u_distinct = u_hist.iter().filter(|&&c| c > 0).count();
+        assert!(n_distinct < u_distinct, "n={n_distinct} u={u_distinct}");
+    }
+
+    #[test]
+    fn box_muller_spare_is_consumed() {
+        let mut w = NormalU32::new(4);
+        // Two draws exercise both halves of the Box-Muller pair.
+        let a = w.next_value();
+        let b = w.next_value();
+        assert_ne!(a, b);
+    }
+}

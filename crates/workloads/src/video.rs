@@ -1,0 +1,259 @@
+//! Synthetic surveillance video — the Sherbrooke / AAU traffic stand-in
+//! (Figures 6c, 6d, 11).
+//!
+//! A CCTV stream recorded to NVM is the paper's motivating media workload:
+//! consecutive frames share the static background, so frames are mutually
+//! close in Hamming distance and cluster by scene. The generator renders a
+//! seed-derived static background, moves a handful of rectangular "vehicles"
+//! across it with per-frame position updates, and adds salt-and-pepper
+//! sensor noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::Workload;
+
+/// Video stream geometry and dynamics.
+#[derive(Debug, Clone)]
+pub struct VideoConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// 1 = grayscale, 3 = RGB.
+    pub channels: usize,
+    /// Number of moving objects.
+    pub objects: usize,
+    /// Per-pixel probability of sensor noise.
+    pub noise: f64,
+}
+
+impl VideoConfig {
+    /// Grayscale 48×36 stream mirroring the Sherbrooke intersection video
+    /// (scaled from 800×600 to keep values cache-friendly; similarity
+    /// structure is resolution-independent).
+    pub fn sherbrooke_like() -> Self {
+        VideoConfig {
+            width: 48,
+            height: 36,
+            channels: 1,
+            objects: 5,
+            noise: 0.01,
+        }
+    }
+
+    /// RGB 32×24 stream mirroring the AAU traffic "day sequence 2" camera
+    /// (640×480 RGB in the original).
+    pub fn traffic_like() -> Self {
+        VideoConfig {
+            width: 32,
+            height: 24,
+            channels: 3,
+            objects: 7,
+            noise: 0.015,
+        }
+    }
+
+    /// Bytes per frame.
+    pub fn frame_bytes(&self) -> usize {
+        self.width * self.height * self.channels
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MovingObject {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+    w: usize,
+    h: usize,
+    color: [u8; 3],
+}
+
+/// Frame-sequence generator.
+#[derive(Debug, Clone)]
+pub struct VideoFrames {
+    cfg: VideoConfig,
+    rng: StdRng,
+    /// Scene-mode backgrounds (lighting conditions / camera presets); real
+    /// surveillance footage alternates between a few such modes, and the
+    /// mode structure is what clustering exploits beyond frame-to-frame
+    /// similarity.
+    backgrounds: Vec<Vec<u8>>,
+    mode: usize,
+    objects: Vec<MovingObject>,
+    frame_no: u64,
+}
+
+impl VideoFrames {
+    /// Creates a stream; the background and object fleet derive from the
+    /// seed.
+    pub fn new(cfg: VideoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6C62_272E_07BB_0142);
+        // Scene modes: the same gradient-plus-texture background rendered
+        // under four lighting conditions (dawn/day/dusk/night). The camera
+        // dwells in a mode for stretches of frames.
+        let row_tex: Vec<u8> = (0..cfg.height).map(|_| rng.gen_range(0..32)).collect();
+        let backgrounds: Vec<Vec<u8>> = (0..4u8)
+            .map(|mode| {
+                let mut background = vec![0u8; cfg.frame_bytes()];
+                let light = 30 + mode * 55;
+                for y in 0..cfg.height {
+                    for x in 0..cfg.width {
+                        for c in 0..cfg.channels {
+                            let base = light.wrapping_add((x * 100 / cfg.width.max(1)) as u8);
+                            let px = base
+                                .wrapping_add(row_tex[y])
+                                .wrapping_add((c as u8) * 10);
+                            background[(y * cfg.width + x) * cfg.channels + c] = px;
+                        }
+                    }
+                }
+                background
+            })
+            .collect();
+        let objects = (0..cfg.objects)
+            .map(|_| MovingObject {
+                x: rng.gen_range(0.0..cfg.width as f64),
+                y: rng.gen_range(0.0..cfg.height as f64),
+                vx: rng.gen_range(-1.5..1.5),
+                vy: rng.gen_range(-0.5..0.5),
+                w: rng.gen_range(2..(cfg.width / 4).max(3)),
+                h: rng.gen_range(2..(cfg.height / 4).max(3)),
+                color: [rng.gen(), rng.gen(), rng.gen()],
+            })
+            .collect();
+        VideoFrames {
+            cfg,
+            rng,
+            backgrounds,
+            mode: 0,
+            objects,
+            frame_no: 0,
+        }
+    }
+
+    /// Number of frames emitted so far.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frame_no
+    }
+}
+
+impl Workload for VideoFrames {
+    fn name(&self) -> &'static str {
+        if self.cfg.channels == 1 {
+            "Sherbrooke"
+        } else {
+            "seq2 traffic surveillance"
+        }
+    }
+
+    fn value_size(&self) -> usize {
+        self.cfg.frame_bytes()
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        // Dwell in a lighting mode; switch occasionally (≈ every 50 frames).
+        if self.rng.gen::<f64>() < 0.02 {
+            self.mode = self.rng.gen_range(0..self.backgrounds.len());
+        }
+        let mut frame = self.backgrounds[self.mode].clone();
+        let (w, h, ch) = (self.cfg.width, self.cfg.height, self.cfg.channels);
+
+        // Advance and draw objects.
+        for obj in &mut self.objects {
+            obj.x += obj.vx;
+            obj.y += obj.vy;
+            // Wrap around the scene like traffic re-entering the frame.
+            if obj.x < -(obj.w as f64) {
+                obj.x = w as f64;
+            }
+            if obj.x > w as f64 {
+                obj.x = -(obj.w as f64);
+            }
+            obj.y = obj.y.rem_euclid(h as f64);
+            let ox = obj.x as isize;
+            let oy = obj.y as isize;
+            for dy in 0..obj.h as isize {
+                for dx in 0..obj.w as isize {
+                    let (px, py) = (ox + dx, oy + dy);
+                    if px < 0 || py < 0 || px >= w as isize || py >= h as isize {
+                        continue;
+                    }
+                    let idx = (py as usize * w + px as usize) * ch;
+                    for c in 0..ch {
+                        frame[idx + c] = obj.color[c.min(2)];
+                    }
+                }
+            }
+        }
+
+        // Sensor noise.
+        let noisy_pixels = (self.cfg.noise * (w * h) as f64) as usize;
+        for _ in 0..noisy_pixels {
+            let p = self.rng.gen_range(0..w * h);
+            for c in 0..ch {
+                frame[p * ch + c] = self.rng.gen();
+            }
+        }
+
+        self.frame_no += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming(a: &[u8], b: &[u8]) -> u64 {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as u64).sum()
+    }
+
+    #[test]
+    fn frame_sizes() {
+        assert_eq!(VideoConfig::sherbrooke_like().frame_bytes(), 48 * 36);
+        assert_eq!(VideoConfig::traffic_like().frame_bytes(), 32 * 24 * 3);
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar() {
+        let mut v = VideoFrames::new(VideoConfig::sherbrooke_like(), 1);
+        let a = v.next_value();
+        let b = v.next_value();
+        let total_bits = (a.len() * 8) as u64;
+        let d = hamming(&a, &b);
+        // Background dominates: well under a quarter of bits differ.
+        assert!(d < total_bits / 4, "d={d}/{total_bits}");
+        assert!(d > 0, "frames should not be identical (objects move)");
+    }
+
+    #[test]
+    fn distant_streams_differ_more_than_consecutive_frames() {
+        let mut v1 = VideoFrames::new(VideoConfig::sherbrooke_like(), 1);
+        let mut v2 = VideoFrames::new(VideoConfig::sherbrooke_like(), 2);
+        let a1 = v1.next_value();
+        let a2 = v1.next_value();
+        let b1 = v2.next_value();
+        assert!(hamming(&a1, &b1) > hamming(&a1, &a2));
+    }
+
+    #[test]
+    fn objects_eventually_move_everything() {
+        let mut v = VideoFrames::new(VideoConfig::traffic_like(), 3);
+        let first = v.next_value();
+        for _ in 0..50 {
+            v.next_value();
+        }
+        let late = v.next_value();
+        assert_ne!(first, late);
+        assert_eq!(v.frames_emitted(), 52);
+    }
+
+    #[test]
+    fn rgb_frames_have_three_channels() {
+        let mut v = VideoFrames::new(VideoConfig::traffic_like(), 4);
+        assert_eq!(v.next_value().len(), 32 * 24 * 3);
+    }
+}

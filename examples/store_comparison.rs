@@ -1,0 +1,86 @@
+//! Head-to-head: PNW vs FPTree vs NoveLSM vs Path hashing on one workload —
+//! a minimized Figure 9.
+//!
+//! Run with: `cargo run --release --example store_comparison`
+
+use pnw_baselines::{FpTreeLike, KvStore, NoveLsmLike, PathHashStore};
+use pnw_core::{PnwConfig, PnwStore, RetrainMode};
+use pnw_workloads::{DatasetKind, Workload};
+
+fn main() {
+    let dataset = DatasetKind::Road;
+    let n = 2000usize;
+    let mut w = dataset.build(42);
+    let vs = w.value_size();
+    let values = w.take_values(n);
+    println!(
+        "workload: {} — insert {n} records of {vs} bytes, then delete half\n",
+        dataset.name()
+    );
+
+    // Build the four stores.
+    let mut pnw = {
+        let mut s = PnwStore::new(
+            PnwConfig::new(n * 2, vs)
+                .with_clusters(10)
+                .with_retrain(RetrainMode::Manual),
+        );
+        let mut warm = dataset.build(7);
+        s.prefill_free_buckets(|| warm.next_value()).expect("warm");
+        s.retrain_now().expect("train");
+        s
+    };
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+
+    // PNW runs through its own API so the prediction path is exercised.
+    pnw.reset_device_stats();
+    for (i, v) in values.iter().enumerate() {
+        pnw.put(i as u64, v).expect("room");
+    }
+    for i in 0..n / 2 {
+        pnw.delete(i as u64).expect("present");
+    }
+    let ops = (n + n / 2) as f64;
+    let s = pnw.device_stats();
+    results.push((
+        "PNW".into(),
+        s.totals.lines_written as f64 / ops,
+        s.mean_flips_per_512(),
+    ));
+
+    let mut baselines: Vec<Box<dyn KvStore>> = vec![
+        Box::new(FpTreeLike::new(n * 2, vs)),
+        Box::new(NoveLsmLike::new(n * 2, vs)),
+        Box::new(PathHashStore::new(n * 2, vs)),
+    ];
+    for store in &mut baselines {
+        for (i, v) in values.iter().enumerate() {
+            store.put(i as u64, v).expect("room");
+        }
+        for i in 0..n / 2 {
+            store.delete(i as u64).expect("present");
+        }
+        let s = store.device_stats();
+        results.push((
+            store.name().into(),
+            s.totals.lines_written as f64 / ops,
+            s.mean_flips_per_512(),
+        ));
+    }
+
+    println!("store         lines/request   bit flips per 512 bits");
+    for (name, lines, flips) in &results {
+        println!("{name:<13} {lines:>13.2} {flips:>22.1}");
+    }
+    let pnw_lines = results[0].1;
+    let worst = results
+        .iter()
+        .skip(1)
+        .map(|r| r.1)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nPNW writes {:.1}x fewer cache lines than the most line-hungry baseline",
+        worst / pnw_lines.max(1e-9)
+    );
+}

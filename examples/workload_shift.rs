@@ -1,0 +1,94 @@
+//! Workload shift with background retraining (§V-C + §VI-F).
+//!
+//! The store serves a stream that abruptly changes distribution
+//! (digit images → fashion images) while holding a working set at ~70%
+//! occupancy — past the configured load factor, so the store notices pool
+//! pressure, retrains on a worker thread and swaps the model without
+//! blocking writes: the paper's "hide the re-training latency" design.
+//!
+//! Run with: `cargo run --release --example workload_shift`
+
+use std::collections::VecDeque;
+
+use pnw_core::{PnwConfig, PnwStore, RetrainMode};
+use pnw_workloads::{ImageStyle, TemplateImages, Workload};
+
+const CAPACITY: usize = 768;
+const LIVE_TARGET: usize = CAPACITY * 7 / 10;
+const PER_PHASE: usize = 1500;
+
+fn main() {
+    let mut store = PnwStore::new(
+        PnwConfig::new(CAPACITY, 784)
+            .with_clusters(12)
+            // Occupancy beyond 60% counts as load-factor pressure, so the
+            // 70% working set keeps background retraining armed.
+            .with_load_factor(0.6)
+            .with_retrain(RetrainMode::Background),
+    );
+
+    let mut digits = TemplateImages::new(ImageStyle::Digits, 1);
+    store
+        .prefill_free_buckets(|| digits.next_value())
+        .expect("prefill");
+    store.retrain_now().expect("initial training");
+    store.reset_device_stats();
+
+    let mut live: VecDeque<u64> = VecDeque::new();
+    let mut next_key = 0u64;
+
+    println!("phase 1: digit images (model trained on digits)");
+    // Same templates as the warm-up (seed 1) but a fresh sample stream —
+    // replaying the warm-up stream verbatim would score exact matches.
+    stream(
+        &mut store,
+        &mut TemplateImages::new(ImageStyle::Digits, 1).with_stream_seed(11),
+        &mut live,
+        &mut next_key,
+    );
+
+    println!("\nphase 2: fashion images (stale model; background retrain kicks in)");
+    let mut fashion = TemplateImages::new(ImageStyle::Fashion, 2);
+    stream(&mut store, &mut fashion, &mut live, &mut next_key);
+
+    // Let any in-flight retrain install, then measure the adapted model.
+    store.wait_for_retrain();
+    println!("\nphase 3: fashion images (model retrained in background)");
+    stream(&mut store, &mut fashion, &mut live, &mut next_key);
+
+    let snap = store.snapshot();
+    println!(
+        "\nmodel retrained {} time(s) in the background; {} pool fallbacks",
+        snap.retrains.saturating_sub(1),
+        snap.fallbacks
+    );
+    assert!(snap.retrains > 1, "background retraining should have fired");
+}
+
+fn stream(
+    store: &mut PnwStore,
+    w: &mut dyn Workload,
+    live: &mut VecDeque<u64>,
+    next_key: &mut u64,
+) {
+    let mut flips = 0u64;
+    let mut bits = 0u64;
+    for _ in 0..PER_PHASE {
+        // Keep the working set at the target size: expire the oldest key
+        // once the window is full, then insert the new one.
+        if live.len() >= LIVE_TARGET {
+            let old = live.pop_front().expect("window non-empty");
+            store.delete(old).expect("present");
+        }
+        let v = w.next_value();
+        let r = store.put(*next_key, &v).expect("capacity suffices");
+        live.push_back(*next_key);
+        *next_key += 1;
+        flips += r.value_write.total_bit_flips();
+        bits += r.value_write.bits_addressed;
+    }
+    println!(
+        "  mean bit updates per 512 bits: {:.1}",
+        flips as f64 * 512.0 / bits.max(1) as f64
+    );
+}

@@ -1,0 +1,1 @@
+pub use pnw_core as core_api;

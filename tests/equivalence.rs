@@ -1,0 +1,133 @@
+//! Cross-crate equivalence checks: the invariants tying the crates
+//! together.
+
+use pnw_ml::featurize::bits_to_features;
+use pnw_ml::matrix::sq_dist;
+use pnw_nvm_sim::device::hamming;
+use pnw_schemes::{apply, Dcw};
+use pnw_workloads::{DatasetKind, Workload};
+
+/// The ML crate's distance on bit features must equal the device's Hamming
+/// kernel — this is the identity PNW's whole design rests on (squared L2 on
+/// 0/1 features == Hamming distance).
+#[test]
+fn sq_dist_on_bits_equals_device_hamming() {
+    let mut w = DatasetKind::Amazon.build(3);
+    for _ in 0..20 {
+        let a = w.next_value();
+        let b = w.next_value();
+        let fa = bits_to_features(&a);
+        let fb = bits_to_features(&b);
+        assert_eq!(sq_dist(&fa, &fb) as u64, hamming(&a, &b));
+    }
+}
+
+/// §VI-D: PNW with K = 1 degenerates to DCW. With a single cluster the
+/// model provides no steering, so the expected flips of a steered write
+/// equal DCW's against a random old location. Verified as a paired
+/// comparison over the same random replacement sequence.
+#[test]
+fn pnw_k1_matches_dcw_within_noise() {
+    use pnw_core::{PnwConfig, PnwStore};
+    use pnw_nvm_sim::{NvmConfig, NvmDevice, WriteMode};
+
+    let buckets = 256usize;
+    let writes = 1024usize;
+
+    // PNW, K = 1.
+    let mut w = DatasetKind::Normal.build(8);
+    let mut store = PnwStore::new(PnwConfig::new(buckets, 4).with_clusters(1).with_seed(1));
+    store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+    store.retrain_now().expect("train");
+    store.reset_device_stats();
+    let mut pnw_flips = 0u64;
+    let mut pnw_bits = 0u64;
+    for i in 0..writes as u64 {
+        let v = w.next_value();
+        let r = store.put(i, &v).expect("room");
+        pnw_flips += r.value_write.total_bit_flips();
+        pnw_bits += r.value_write.bits_addressed;
+        store.delete(i).expect("present");
+    }
+    let pnw = pnw_flips as f64 * 512.0 / pnw_bits as f64;
+
+    // DCW over the same kind of stream.
+    let mut w = DatasetKind::Normal.build(8);
+    let mut dev = NvmDevice::new(NvmConfig::default().with_size(buckets * 8));
+    for b in 0..buckets {
+        let v = w.next_value();
+        dev.write(b * 8, &v, WriteMode::Raw).expect("warm");
+    }
+    dev.reset_stats();
+    let mut dcw = Dcw;
+    let mut rng_state = 0x2545F491u64;
+    let mut flips = 0u64;
+    let mut bits = 0u64;
+    for _ in 0..writes {
+        let v = w.next_value();
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = (rng_state >> 33) as usize % buckets;
+        let s = apply(&mut dcw, &mut dev, b * 8, &v).expect("in range");
+        flips += s.total_bit_flips();
+        bits += s.bits_addressed;
+    }
+    let dcw_flips = flips as f64 * 512.0 / bits as f64;
+
+    let ratio = pnw / dcw_flips;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "PNW k=1 ({pnw:.1}) should match DCW ({dcw_flips:.1}); ratio {ratio:.3}"
+    );
+}
+
+/// More clusters never make PNW dramatically worse on clusterable data
+/// (the paper's K sweep trends downward; anomalies are small).
+#[test]
+fn flips_trend_downward_in_k() {
+    use pnw_core::{PnwConfig, PnwStore};
+
+    let run = |k: usize| -> f64 {
+        let mut w = DatasetKind::Normal.build(6);
+        let mut store = PnwStore::new(PnwConfig::new(512, 4).with_clusters(k).with_seed(2));
+        store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+        store.retrain_now().expect("train");
+        store.reset_device_stats();
+        let mut flips = 0u64;
+        let mut bits = 0u64;
+        for i in 0..512u64 {
+            let v = w.next_value();
+            let r = store.put(i, &v).expect("room");
+            flips += r.value_write.total_bit_flips();
+            bits += r.value_write.bits_addressed;
+            store.delete(i).expect("present");
+        }
+        flips as f64 * 512.0 / bits as f64
+    };
+    let k1 = run(1);
+    let k10 = run(10);
+    let k30 = run(30);
+    assert!(k10 < k1, "k10 {k10:.1} !< k1 {k1:.1}");
+    assert!(k30 < k1, "k30 {k30:.1} !< k1 {k1:.1}");
+}
+
+/// Scheme codecs and the device agree on stored state: reading through the
+/// codec always returns the logical value, regardless of scheme history.
+#[test]
+fn codec_state_is_consistent_across_schemes() {
+    use pnw_nvm_sim::{NvmConfig, NvmDevice};
+    use pnw_schemes::{make_scheme, read_value, SchemeKind};
+
+    let mut w = DatasetKind::Road.build(12);
+    for kind in SchemeKind::all() {
+        let mut dev = NvmDevice::new(NvmConfig::default().with_size(4096));
+        let mut scheme = make_scheme(kind);
+        let mut last = Vec::new();
+        for _ in 0..50 {
+            let v = w.next_value();
+            apply(scheme.as_mut(), &mut dev, 128, &v).expect("in range");
+            last = v;
+        }
+        let got = read_value(scheme.as_ref(), &mut dev, 128, last.len()).expect("read");
+        assert_eq!(got, last, "{kind:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Wear-leveling integration tests (the Figure 12/13 properties).
+
+use pnw_core::{PnwConfig, PnwStore};
+use pnw_workloads::{DatasetKind, Workload};
+
+fn replacement_stream(k: usize, buckets: usize, writes: usize) -> PnwStore {
+    let mut w = DatasetKind::Normal.build(31);
+    let mut store = PnwStore::new(
+        PnwConfig::new(buckets, 4)
+            .with_clusters(k)
+            .with_seed(7)
+            .with_bit_wear(true),
+    );
+    store.prefill_free_buckets(|| w.next_value()).expect("prefill");
+    store.retrain_now().expect("train");
+    store.reset_wear();
+    for i in 0..writes as u64 {
+        let v = w.next_value();
+        store.put(i, &v).expect("room");
+        store.delete(i).expect("present");
+    }
+    store
+}
+
+/// The FIFO pool rotation spreads writes: after W writes over B buckets, no
+/// word is written wildly more often than the mean (the paper: "PNW
+/// distributes write activities across the whole PCM chip").
+#[test]
+fn writes_spread_across_the_data_zone() {
+    let buckets = 256;
+    let writes = 4 * buckets;
+    let store = replacement_stream(8, buckets, writes);
+    let max = store.device().max_word_writes();
+    // Each logical write touches the value word + header words of one
+    // bucket; mean per-bucket writes = 4. A hot-spot design (LIFO) would
+    // concentrate hundreds of writes on a few buckets.
+    assert!(max <= 40, "hottest word written {max} times (mean ≈ 4-12)");
+}
+
+/// CDFs behave like Figure 12: the bulk of addresses see few writes.
+#[test]
+fn word_cdf_matches_figure12_shape() {
+    let buckets = 256;
+    let store = replacement_stream(8, buckets, 4 * buckets);
+    let (start, len) = store.data_zone_range();
+    let cdf = store.device().word_wear_cdf(start, len);
+    // Figure 12: P(X <= 2*mean) is already most of the population.
+    let p = cdf.probability_le(10);
+    assert!(p > 0.8, "P(writes <= 10) = {p:.3}");
+    // CDF sanity.
+    assert!((cdf.probability_le(cdf.max()) - 1.0).abs() < 1e-9);
+}
+
+/// Figure 13's key claim: increasing K improves *bit-level* wear leveling,
+/// because items within a cluster are more similar, so the same few bits
+/// are not flipped over and over.
+#[test]
+fn higher_k_flips_bits_more_evenly() {
+    let buckets = 384;
+    let writes = 6 * buckets;
+    let lo = replacement_stream(2, buckets, writes);
+    let hi = replacement_stream(24, buckets, writes);
+
+    let mass = |s: &PnwStore| -> (f64, u64) {
+        let (start, len) = s.data_zone_range();
+        let cdf = s.device().bit_wear_cdf(start, len).expect("bit wear on");
+        // Total flips concentrated in the hottest tail vs overall.
+        (cdf.probability_le(4), u64::from(cdf.max()))
+    };
+    let (lo_p4, _) = mass(&lo);
+    let (hi_p4, _) = mass(&hi);
+    // With more clusters, more bits stay at low flip counts (the paper sees
+    // P(X<=4) rise from 74% at k=5 to 98% at k=30). Allow generous noise.
+    assert!(
+        hi_p4 >= lo_p4 - 0.02,
+        "k=24 P(<=4)={hi_p4:.3} should not trail k=2 P(<=4)={lo_p4:.3}"
+    );
+    // And high K must actually flip fewer bits in total.
+    let lo_flips = lo.device_stats().totals.bit_flips;
+    let hi_flips = hi.device_stats().totals.bit_flips;
+    assert!(hi_flips < lo_flips, "{hi_flips} !< {lo_flips}");
+}
+
+/// Raw (conventional) writes wear every word they touch; differential
+/// writes only the dirty ones — the device-level invariant behind all wear
+/// numbers.
+#[test]
+fn diff_writes_wear_less_than_raw() {
+    use pnw_nvm_sim::{NvmConfig, NvmDevice, WriteMode};
+    let mut raw = NvmDevice::new(NvmConfig::default().with_size(1024));
+    let mut diff = NvmDevice::new(NvmConfig::default().with_size(1024));
+    let v = [0x55u8; 64];
+    for _ in 0..10 {
+        raw.write(0, &v, WriteMode::Raw).expect("ok");
+        diff.write(0, &v, WriteMode::Diff).expect("ok");
+    }
+    assert_eq!(raw.max_word_writes(), 10);
+    assert_eq!(diff.max_word_writes(), 1); // only the first write dirtied
+}
