@@ -1,6 +1,6 @@
 //! Figure 6: bit updates per 512 bits, all methods, one panel per dataset.
-//! Usage: fig6 [--quick] [dataset]   (dataset in: amazon road sherbrooke
-//! traffic normal uniform; default = all six panels)
+//! Usage: `fig6 [--quick] [dataset]` — dataset in: amazon road sherbrooke
+//! traffic normal uniform; default = all six panels.
 use pnw_workloads::DatasetKind;
 
 fn main() {

@@ -18,6 +18,8 @@
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
 //! repro_all`.
 
+#![warn(missing_docs)]
+
 pub mod adapter;
 pub mod figures;
 pub mod replace;

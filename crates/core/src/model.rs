@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
 use pnw_ml::featurize::bits_to_features;
 use pnw_ml::kmeans::{KMeans, KMeansConfig};
 use pnw_ml::matrix::Matrix;
@@ -202,7 +202,7 @@ impl ModelManager {
         if self.pending.is_some() {
             return;
         }
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         let (clusters, auto_k, seed, threads, iters) = (
             self.clusters,
             self.auto_k,
@@ -240,8 +240,8 @@ impl ModelManager {
                 self.install(m);
                 true
             }
-            Err(crossbeam::channel::TryRecvError::Empty) => false,
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+            Err(TryRecvError::Empty) => false,
+            Err(TryRecvError::Disconnected) => {
                 self.pending = None;
                 false
             }

@@ -89,12 +89,15 @@ impl TemplateImages {
             }
             ImageStyle::Fashion => {
                 // A filled rectangle silhouette with texture bands.
-                let x0 = rng.gen_range(2..8);
-                let y0 = rng.gen_range(2..8);
-                let x1 = rng.gen_range(20..26);
-                let y1 = rng.gen_range(20..26);
+                // Fashion-MNIST silhouettes fill most of the frame: keep
+                // the rectangle ≥ 20×20 of the 28×28 image so every
+                // template stays dense (> half the pixels inked).
+                let x0 = rng.gen_range(1..5usize);
+                let y0 = rng.gen_range(1..5usize);
+                let x1 = rng.gen_range(24..28usize);
+                let y1 = rng.gen_range(24..28usize);
                 let base: u8 = rng.gen_range(120..220);
-                let band = rng.gen_range(2..5);
+                let band = rng.gen_range(2..5usize);
                 for y in y0..y1 {
                     for x in x0..x1 {
                         let tex = if (y / band) % 2 == 0 { 0 } else { 40 };

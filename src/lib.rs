@@ -1,1 +1,41 @@
+//! # pnw — Predict-and-Write, the workspace facade
+//!
+//! An implementation of **"Predict and Write: Using K-Means Clustering to
+//! Extend the Lifetime of NVM Storage"** (Kargar, Litz & Nawab, ICDE 2021):
+//! a key/value store for hybrid DRAM–NVM systems that clusters stored
+//! values by bit pattern and steers every PUT/UPDATE to the free location
+//! whose current cell content is most similar, so the differential write
+//! flips as few NVM bits as possible.
+//!
+//! This crate is the front door of the workspace: it re-exports the store
+//! API from [`pnw_core`] (also available unrenamed as [`core_api`]) and
+//! ships the `pnw-cli` binary, the examples, and the workspace-level
+//! integration tests. The subsystems live in dedicated crates — see
+//! `docs/ARCHITECTURE.md` at the repository root for the full map:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | `pnw-core` | the PNW store: model manager, address pool, write path |
+//! | `pnw-ml` | K-means, mini-batch K-means, PCA, elbow method |
+//! | `pnw-index` | DRAM hash index and NVM Path Hashing |
+//! | `pnw-nvm-sim` | emulated NVM device with bit-flip/wear accounting |
+//! | `pnw-schemes` | DCW, Flip-N-Write, MinShift, Captopril codecs |
+//! | `pnw-baselines` | FPTree-like, NoveLSM-like, Path-Hashing stores |
+//! | `pnw-workloads` | deterministic stand-ins for the paper's datasets |
+//! | `pnw-bench` | figure/table reproduction harness and benches |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pnw::{PnwConfig, PnwStore};
+//!
+//! let mut store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
+//! store.put(7, b"pnw-demo").unwrap();
+//! assert_eq!(store.get(7).unwrap().as_deref(), Some(&b"pnw-demo"[..]));
+//! ```
+
+#![warn(missing_docs)]
+
 pub use pnw_core as core_api;
+
+pub use pnw_core::{PnwConfig, PnwStore};

@@ -1,0 +1,32 @@
+//! Smoke test for the workspace facade: the `pnw` crate's re-exports must
+//! be enough to build and drive a store without naming any subsystem
+//! crate.
+
+use pnw::core_api::{PnwConfig as CorePnwConfig, PnwStore as CorePnwStore};
+use pnw::{PnwConfig, PnwStore};
+
+#[test]
+fn core_api_reexport_round_trips_put_get() {
+    let mut store = CorePnwStore::new(CorePnwConfig::new(64, 8).with_clusters(2));
+    store.put(1, &42u64.to_le_bytes()).expect("put");
+    assert_eq!(
+        store.get(1).expect("device ok").as_deref(),
+        Some(&42u64.to_le_bytes()[..])
+    );
+    assert!(store.delete(1).expect("device ok"));
+    assert_eq!(store.get(1).expect("device ok"), None);
+}
+
+#[test]
+fn root_reexports_match_core_api() {
+    // `pnw::PnwStore` and `pnw::core_api::PnwStore` are the same type; a
+    // store built via one is usable via the other's config builder.
+    let mut store = PnwStore::new(PnwConfig::new(32, 4).with_clusters(2));
+    for k in 0..8u64 {
+        store.put(k, &(k as u32).to_le_bytes()).expect("put");
+    }
+    store.retrain_now().expect("train");
+    store.put(100, &7u32.to_le_bytes()).expect("steered put");
+    assert_eq!(store.len(), 9);
+    assert!(store.device_stats().totals.bit_flips > 0);
+}

@@ -1,0 +1,186 @@
+//! # criterion (vendored shim)
+//!
+//! A minimal, dependency-free stand-in for the subset of the Criterion
+//! benchmarking API this workspace uses (`Criterion`, benchmark groups,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros and
+//! `black_box`). The build environment has no access to crates.io.
+//!
+//! Measurement model: each benchmark closure is warmed up briefly, then
+//! timed over enough iterations to fill the configured measurement window;
+//! the mean per-iteration wall time is printed. There are no statistics,
+//! plots or baselines — swap in real Criterion when the registry is
+//! reachable and every call site compiles unchanged.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects timing settings and runs benchmark closures.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    window: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            window: Duration::from_millis(600),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window each benchmark tries to fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.window = d;
+        self
+    }
+
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks. Group-level setting
+    /// overrides are scoped to the group, as in real Criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.clone();
+        BenchmarkGroup { settings, name: name.into(), _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = name.into();
+        run_one(self, &label, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing group-level settings.
+pub struct BenchmarkGroup<'a> {
+    /// Group-local copy of the driver's settings; overrides die with the
+    /// group instead of leaking into later groups.
+    settings: Criterion,
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for the rest of this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.window = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&self.settings, &label, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(c: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up and iteration-count calibration: run single iterations until
+    // the warm-up window is spent, tracking the mean cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < c.warm_up || warm_iters == 0 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let per_sample = c.window.as_secs_f64() / c.sample_size as f64;
+    let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("{label:<40} {:>12.1} ns/iter  ({total_iters} iters)", mean_ns);
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn_a, fn_b)`
+/// or the `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,173 @@
+//! # proptest (vendored shim)
+//!
+//! A minimal, dependency-free, API-compatible stand-in for the subset of
+//! `proptest` this workspace uses. The build environment has no access to
+//! crates.io, so the workspace vendors a random-testing core with the same
+//! surface syntax:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, ranges, tuples, [`strategy::Just`],
+//! * [`collection::vec`] / [`collection::btree_set`], [`strategy::any`],
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` random cases from
+//! a generator seeded deterministically from the test's name, so failures
+//! replay identically run-to-run. Unlike real proptest there is **no
+//! shrinking** — a failing case reports its case index and message only.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs `cases` deterministic random cases of a closed test body.
+///
+/// This is the engine behind the [`proptest!`] macro; the macro hands it
+/// the test name (for seeding) and a closure that draws its inputs from
+/// the provided generator and returns `Err` on assertion failure.
+pub fn run_cases<F>(test_name: &str, cases: u32, mut case: F)
+where
+    F: FnMut(&mut rand::StdRng) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Stable FNV-1a over the test name: the same test always replays the
+    // same input stream.
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    let mut rng = rand::StdRng::seed_from_u64(seed);
+    for i in 0..cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{test_name}' failed at case {i}/{cases}: {e}");
+        }
+    }
+}
+
+/// Expands each `fn name(arg in strategy, ..) { body }` item into a plain
+/// `#[test]` that runs [`ProptestConfig::cases`](test_runner::ProptestConfig)
+/// deterministic random cases. `prop_assert*` failures abort the case with
+/// a message; panics propagate as ordinary test failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), cfg.cases, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies that
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current case with a `TestCaseError`
+/// instead of panicking, so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case with a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current case with a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __l
+                ),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,50 @@
+//! Case-count configuration and the error type `prop_assert*` produce.
+
+use std::fmt;
+
+/// Per-test configuration; only the case count is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each `#[test]` inside [`proptest!`](crate::proptest)
+    /// runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast on CI
+        // while still exploring a meaningful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed assertion inside a property-test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assertions did not hold; carries the rendered message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,20 @@
+//! # serde (vendored shim)
+//!
+//! The workspace marks its config types `#[derive(Serialize, Deserialize)]`
+//! so they are ready for real serde, but the build environment has no
+//! access to crates.io. This shim supplies the two marker traits and no-op
+//! derive macros so those derives compile; no actual serialization
+//! framework is provided (the workspace's only serializer is the
+//! hand-rolled JSON writer in `pnw-core`'s config tests).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; carries no methods in
+/// this shim.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name; carries no methods
+/// in this shim.
+pub trait Deserialize<'de> {}

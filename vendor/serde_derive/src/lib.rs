@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! shim: they accept the derive syntax and emit nothing, so types stay
+//! source-compatible with real serde without pulling in the framework.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
