@@ -1,0 +1,116 @@
+//! Multi-threaded throughput sweep over the sharded store.
+//!
+//! ```text
+//! cargo run --release -p pnw-bench --bin throughput -- [--quick]
+//!     [--threads 1,2,4] [--shards N] [--ops N] [--value-size N]
+//!     [--no-latency] [--out BENCH_throughput.json]
+//! ```
+//!
+//! Emits a table plus `BENCH_throughput.json` (the perf-trajectory file)
+//! in the working directory.
+
+use pnw_bench::throughput::{run, write_json, ThroughputConfig, ThroughputReport};
+use pnw_bench::Scale;
+
+struct Args {
+    threads: Vec<usize>,
+    cfg: ThroughputConfig,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let scale = Scale::from_env();
+    let mut out = Args {
+        threads: vec![1, 2, 4],
+        cfg: ThroughputConfig {
+            ops_per_thread: scale.pick(500, 2_000),
+            ..Default::default()
+        },
+        out: "BENCH_throughput.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => {} // consumed by Scale::from_env
+            "--threads" => {
+                out.threads = grab("--threads")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad thread count: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if out.threads.is_empty() {
+                    return Err("--threads needs at least one value".into());
+                }
+            }
+            "--shards" => {
+                out.cfg.shards = grab("--shards")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--ops" => {
+                out.cfg.ops_per_thread = grab("--ops")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--value-size" => {
+                out.cfg.value_size = grab("--value-size")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--no-latency" => out.cfg.emulate_latency = false,
+            "--out" => out.out = grab("--out")?.into(),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn print_row(r: &ThroughputReport) {
+    println!(
+        "{:>7} {:>7} {:>10} {:>12.0} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        r.threads,
+        r.shards,
+        r.total_ops,
+        r.ops_per_sec,
+        r.p50_modeled_ns,
+        r.p99_modeled_ns,
+        r.puts,
+        r.gets,
+        r.deletes,
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Throughput sweep — {} ops/thread, {} shards, mixed {}% put / {}% get / {}% del, Zipf θ={}",
+        args.cfg.ops_per_thread,
+        args.cfg.shards,
+        args.cfg.mix.put_pct,
+        args.cfg.mix.get_pct,
+        args.cfg.mix.del_pct,
+        args.cfg.zipf_theta,
+    );
+    println!(
+        "{:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "threads", "shards", "ops", "ops/sec", "p50(ns)", "p99(ns)", "puts", "gets", "dels"
+    );
+    let mut reports = Vec::new();
+    for &threads in &args.threads {
+        let r = run(&ThroughputConfig {
+            threads,
+            ..args.cfg.clone()
+        });
+        print_row(&r);
+        reports.push(r);
+    }
+    match write_json(&args.out, &reports) {
+        Ok(()) => println!("\nwrote {}", args.out.display()),
+        Err(e) => eprintln!("error writing {}: {e}", args.out.display()),
+    }
+}

@@ -13,10 +13,14 @@
 //! * [`adapter`] — a [`KvStore`](pnw_baselines::KvStore) adapter for
 //!   [`PnwStore`](pnw_core::PnwStore) so Figure 9 drives all four stores
 //!   uniformly.
+//! * [`throughput`] — the multi-threaded throughput harness over
+//!   [`ShardedPnwStore`](pnw_core::ShardedPnwStore): configurable thread
+//!   count, PUT/GET/DELETE mix and Zipfian keys, reporting ops/sec and
+//!   p50/p99 modeled latency.
 //!
 //! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-//! repro_all`.
+//! repro_all throughput`.
 
 #![warn(missing_docs)]
 
@@ -24,6 +28,7 @@ pub mod adapter;
 pub mod figures;
 pub mod replace;
 pub mod table;
+pub mod throughput;
 
 /// Experiment scale, so harnesses run both as smoke tests and full repros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

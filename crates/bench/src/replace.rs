@@ -58,7 +58,7 @@ pub fn run_scheme(kind: SchemeKind, dataset: DatasetKind, p: &ReplaceParams) -> 
     dev.reset_stats();
 
     let mut scheme = make_scheme(kind);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xF16_6);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xF166);
     let mut flips = 0u64;
     let mut bits = 0u64;
     let mut lines = 0u64;

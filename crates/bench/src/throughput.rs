@@ -1,0 +1,427 @@
+//! Multi-threaded throughput harness over the sharded store.
+//!
+//! The paper's figures measure bit flips and modeled latency per operation;
+//! this harness measures the dimension the figures hold fixed — how many
+//! operations per second the *store* sustains when several client threads
+//! hit it at once. Each thread drives a shared
+//! [`ShardedPnwStore`] with a configurable PUT/GET/DELETE mix over
+//! Zipfian-distributed keys (skewed access is the worst case for a sharded
+//! design: hot keys pile onto a few shards).
+//!
+//! Two numbers come out per run:
+//!
+//! * **ops/sec** — wall-clock throughput across all threads;
+//! * **p50/p99 modeled latency** — the per-operation NVM cost under the
+//!   device's latency model (PUTs report their exact
+//!   [`OpReport`](pnw_core::OpReport) cost; GETs are charged the model's
+//!   per-line read cost for the value span, DELETEs one flag-line write).
+//!
+//! By default the harness *emulates* the modeled device latency by
+//! sleeping it (scaled by [`ThroughputConfig::latency_scale`]) after every
+//! operation. That makes each client I/O-bound — exactly like a thread
+//! waiting on a real NVM DIMM — so the measured scaling reflects the
+//! store's concurrency (shard parallelism, lock contention), not how many
+//! cores the benchmark machine happens to have. Disable it
+//! (`emulate_latency: false`) to stress raw lock throughput instead.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pnw_core::{PnwConfig, RetrainMode, ShardedPnwStore};
+use pnw_nvm_sim::LatencyModel;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Operation mix in percent; must sum to 100.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// PUT share (fresh writes and updates).
+    pub put_pct: u8,
+    /// GET share.
+    pub get_pct: u8,
+    /// DELETE share.
+    pub del_pct: u8,
+}
+
+impl OpMix {
+    /// The default mixed workload: 40% PUT / 50% GET / 10% DELETE.
+    pub fn mixed() -> Self {
+        OpMix {
+            put_pct: 40,
+            get_pct: 50,
+            del_pct: 10,
+        }
+    }
+
+    /// A write-only workload (the paper's replacement-stream shape).
+    pub fn write_only() -> Self {
+        OpMix {
+            put_pct: 100,
+            get_pct: 0,
+            del_pct: 0,
+        }
+    }
+}
+
+/// Configuration of one throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Client threads.
+    pub threads: usize,
+    /// Store shards (see [`PnwConfig::with_shards`]).
+    pub shards: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Distinct keys; capacity is sized to 2× this.
+    pub key_space: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Cluster count K for the model.
+    pub clusters: usize,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Zipf exponent for key popularity (0 = uniform; 0.99 = YCSB-like).
+    pub zipf_theta: f64,
+    /// RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+    /// Multiplier applied to the modeled latency when emulating it. The
+    /// default of 10× models a device an order of magnitude slower than
+    /// Optane so per-op device time dominates per-op CPU time.
+    pub latency_scale: u32,
+    /// Sleep the (scaled) modeled latency after every operation.
+    pub emulate_latency: bool,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            threads: 1,
+            shards: 8,
+            ops_per_thread: 2_000,
+            key_space: 4_096,
+            value_size: 64,
+            clusters: 4,
+            mix: OpMix::mixed(),
+            zipf_theta: 0.99,
+            seed: 0xBEE5,
+            latency_scale: 10,
+            emulate_latency: true,
+        }
+    }
+}
+
+/// Results of one throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Client threads used.
+    pub threads: usize,
+    /// Store shards used.
+    pub shards: usize,
+    /// Operations completed (all threads).
+    pub total_ops: u64,
+    /// Wall-clock time of the measured window.
+    pub elapsed: Duration,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Median modeled per-op NVM latency, in nanoseconds.
+    pub p50_modeled_ns: u64,
+    /// 99th-percentile modeled per-op NVM latency, in nanoseconds.
+    pub p99_modeled_ns: u64,
+    /// PUTs served.
+    pub puts: u64,
+    /// GETs served.
+    pub gets: u64,
+    /// DELETEs served.
+    pub deletes: u64,
+    /// PUTs rejected with `Full` (shard out of space).
+    pub full_errors: u64,
+    /// Total NVM bit flips across all shards during the measured window.
+    pub bit_flips: u64,
+}
+
+/// Zipfian rank sampler over `0..n` via an inverted CDF table.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    cum: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Builds the popularity distribution `p(rank) ∝ 1/(rank+1)^theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cum.push(acc);
+        }
+        let total = acc;
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipfian { cum }
+    }
+
+    /// Draws one rank (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cum.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Deterministic value for a key: one of four bit-pattern families plus a
+/// per-write random tail, so the K-means model has real structure to steer
+/// by while updates still flip some bits.
+fn value_for(key: u64, value_size: usize, rng: &mut StdRng) -> Vec<u8> {
+    let fill = match key % 4 {
+        0 => 0x00,
+        1 => 0xFF,
+        2 => 0x0F,
+        _ => 0xAA,
+    };
+    let mut v = vec![fill; value_size];
+    let tail = value_size.min(8);
+    for b in &mut v[value_size - tail..] {
+        *b = rng.gen();
+    }
+    v
+}
+
+/// Runs one throughput measurement and returns its report.
+pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
+    assert_eq!(
+        cfg.mix.put_pct as u16 + cfg.mix.get_pct as u16 + cfg.mix.del_pct as u16,
+        100,
+        "op mix must sum to 100"
+    );
+    let store_cfg = PnwConfig::new((cfg.key_space * 2) as usize, cfg.value_size)
+        .with_clusters(cfg.clusters)
+        .with_seed(cfg.seed)
+        .with_shards(cfg.shards)
+        .with_load_factor(0.95)
+        .with_retrain(RetrainMode::Background);
+    let store = Arc::new(ShardedPnwStore::new(store_cfg));
+
+    // Warm-up: half the key space live, model trained on it.
+    let mut warm_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    for key in 0..cfg.key_space / 2 {
+        let v = value_for(key, cfg.value_size, &mut warm_rng);
+        store.put(key, &v).expect("warm-up fits");
+    }
+    store.retrain_now().expect("training");
+    store.reset_device_stats();
+
+    let zipf = Arc::new(Zipfian::new(cfg.key_space as usize, cfg.zipf_theta));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let puts = Arc::new(AtomicU64::new(0));
+    let gets = Arc::new(AtomicU64::new(0));
+    let deletes = Arc::new(AtomicU64::new(0));
+    let full_errors = Arc::new(AtomicU64::new(0));
+
+    let latency = LatencyModel::xpoint();
+    let value_lines = (cfg.value_size as u64).div_ceil(64);
+    let get_cost = latency.read_cost(value_lines);
+    let del_cost = Duration::from_nanos(600); // one flag-line write
+
+    let mut handles = Vec::new();
+    for t in 0..cfg.threads {
+        let store = Arc::clone(&store);
+        let zipf = Arc::clone(&zipf);
+        let barrier = Arc::clone(&barrier);
+        let (puts, gets, deletes, full_errors) = (
+            Arc::clone(&puts),
+            Arc::clone(&gets),
+            Arc::clone(&deletes),
+            Arc::clone(&full_errors),
+        );
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
+            let mut lat_ns: Vec<u64> = Vec::with_capacity(cfg.ops_per_thread);
+            barrier.wait();
+            for _ in 0..cfg.ops_per_thread {
+                let key = zipf.sample(&mut rng);
+                let dice: u8 = rng.gen_range(0..100u8);
+                let cost = if dice < cfg.mix.put_pct {
+                    let v = value_for(key, cfg.value_size, &mut rng);
+                    match store.put(key, &v) {
+                        Ok(r) => {
+                            puts.fetch_add(1, Ordering::Relaxed);
+                            r.modeled_latency
+                        }
+                        Err(pnw_core::PnwError::Full) => {
+                            // Shard out of space: reclaim by deleting the
+                            // key we were about to overwrite (or skip).
+                            full_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = store.delete(key);
+                            del_cost
+                        }
+                        Err(e) => panic!("put failed: {e}"),
+                    }
+                } else if dice < cfg.mix.put_pct + cfg.mix.get_pct {
+                    let _ = store.get(key).expect("get ok");
+                    gets.fetch_add(1, Ordering::Relaxed);
+                    get_cost
+                } else {
+                    let _ = store.delete(key).expect("delete ok");
+                    deletes.fetch_add(1, Ordering::Relaxed);
+                    del_cost
+                };
+                lat_ns.push(cost.as_nanos() as u64);
+                if cfg.emulate_latency {
+                    std::thread::sleep(cost * cfg.latency_scale);
+                }
+            }
+            lat_ns
+        }));
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.threads * cfg.ops_per_thread);
+    for h in handles {
+        latencies.extend(h.join().expect("worker thread"));
+    }
+    let elapsed = t0.elapsed();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        }
+    };
+    let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
+    ThroughputReport {
+        threads: cfg.threads,
+        shards: cfg.shards,
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_modeled_ns: pct(0.50),
+        p99_modeled_ns: pct(0.99),
+        puts: puts.load(Ordering::Relaxed),
+        gets: gets.load(Ordering::Relaxed),
+        deletes: deletes.load(Ordering::Relaxed),
+        full_errors: full_errors.load(Ordering::Relaxed),
+        bit_flips: store.device_stats().totals.bit_flips,
+    }
+}
+
+/// Runs the same configuration at each thread count.
+pub fn sweep(base: &ThroughputConfig, thread_counts: &[usize]) -> Vec<ThroughputReport> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = ThroughputConfig {
+                threads,
+                ..base.clone()
+            };
+            run(&cfg)
+        })
+        .collect()
+}
+
+/// Serializes reports as JSON (hand-rolled — the workspace has no JSON
+/// dependency) for the perf-trajectory file `BENCH_throughput.json`.
+pub fn to_json(reports: &[ThroughputReport]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"results\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"shards\": {}, \"total_ops\": {}, \
+             \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
+             \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
+             \"puts\": {}, \"gets\": {}, \"deletes\": {}, \
+             \"full_errors\": {}, \"bit_flips\": {}}}{}\n",
+            r.threads,
+            r.shards,
+            r.total_ops,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.ops_per_sec,
+            r.p50_modeled_ns,
+            r.p99_modeled_ns,
+            r.puts,
+            r.gets,
+            r.deletes,
+            r.full_errors,
+            r.bit_flips,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(path: &Path, reports: &[ThroughputReport]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_a_distribution_and_skewed() {
+        let z = Zipfian::new(100, 0.99);
+        assert_eq!(z.cum.len(), 100);
+        assert!((z.cum.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(z.cum.windows(2).all(|w| w[1] >= w[0]));
+        // Head dominance: rank 0 carries more mass than ranks 50..100 together.
+        let head = z.cum[0];
+        let tail = z.cum[99] - z.cum[49];
+        assert!(head > tail, "head {head} vs tail {tail}");
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn uniform_theta_zero() {
+        let z = Zipfian::new(4, 0.0);
+        assert!((z.cum[0] - 0.25).abs() < 1e-12);
+        assert!((z.cum[1] - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_run_reports_consistent_counts() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            shards: 2,
+            ops_per_thread: 200,
+            key_space: 256,
+            value_size: 16,
+            clusters: 2,
+            emulate_latency: false,
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.total_ops, 400);
+        assert_eq!(r.puts + r.gets + r.deletes + r.full_errors, 400);
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.p50_modeled_ns <= r.p99_modeled_ns);
+        assert!(r.bit_flips > 0, "PUTs must have flipped bits");
+    }
+
+    #[test]
+    fn json_shape() {
+        let cfg = ThroughputConfig {
+            threads: 1,
+            shards: 1,
+            ops_per_thread: 50,
+            key_space: 64,
+            value_size: 8,
+            clusters: 1,
+            emulate_latency: false,
+            ..Default::default()
+        };
+        let j = to_json(&[run(&cfg)]);
+        assert!(j.contains("\"bench\": \"throughput\""));
+        assert!(j.contains("\"threads\": 1"));
+        assert!(j.contains("\"ops_per_sec\""));
+    }
+}

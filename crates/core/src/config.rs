@@ -109,6 +109,13 @@ pub struct PnwConfig {
     /// counts on a training subsample. `clusters` is then only the initial
     /// placeholder.
     pub auto_k: Option<(usize, usize)>,
+    /// Shard count for [`ShardedPnwStore`](crate::ShardedPnwStore): the
+    /// data zone is split into this many independent slices, each with its
+    /// own device region, index and address pool, routed by key hash. `1`
+    /// (the default) reproduces the single-threaded
+    /// [`PnwStore`](crate::PnwStore) behavior bit-for-bit. Ignored by
+    /// `PnwStore` itself.
+    pub shards: usize,
 }
 
 impl PnwConfig {
@@ -118,7 +125,7 @@ impl PnwConfig {
             capacity,
             value_size,
             clusters: 10,
-            seed: 0x504E_57,
+            seed: 0x0050_4E57, // "PNW"
             load_factor: 0.9,
             index: IndexPlacement::Dram,
             update_policy: UpdatePolicy::DeletePut,
@@ -130,6 +137,7 @@ impl PnwConfig {
             track_bit_wear: false,
             reserve_buckets: 0,
             auto_k: None,
+            shards: 1,
         }
     }
 
@@ -199,6 +207,13 @@ impl PnwConfig {
         self
     }
 
+    /// Sets the shard count for
+    /// [`ShardedPnwStore`](crate::ShardedPnwStore) (clamped to ≥ 1).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
     /// Whether values of this size go through PCA.
     pub fn uses_pca(&self) -> bool {
         self.value_size * 8 > self.pca.threshold_bits
@@ -231,10 +246,13 @@ mod tests {
         let c = PnwConfig::new(1, 1)
             .with_clusters(0)
             .with_load_factor(7.0)
-            .with_train_threads(0);
+            .with_train_threads(0)
+            .with_shards(0);
         assert_eq!(c.clusters, 1);
         assert_eq!(c.load_factor, 1.0);
         assert_eq!(c.train_threads, 1);
+        assert_eq!(c.shards, 1);
+        assert_eq!(PnwConfig::new(8, 8).with_shards(4).shards, 4);
     }
 
     #[test]

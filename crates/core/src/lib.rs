@@ -17,6 +17,15 @@
 //!   NVM Path Hashing (Figure 2b), both via `pnw-index`.
 //! * **K/V data zone** — fixed-size buckets on the emulated NVM device.
 //!
+//! Two store frontends compose these pieces:
+//!
+//! * [`PnwStore`] — the single-threaded reference store the figure
+//!   harnesses drive; one [`shard::ShardEngine`] plus a private model.
+//! * [`ShardedPnwStore`] — N engines routed by key hash behind per-shard
+//!   locks, sharing one background-retrained model; PUT/GET/DELETE take
+//!   `&self` and scale across threads. `shards = 1` reproduces
+//!   [`PnwStore`] bit-for-bit.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,6 +56,8 @@ pub mod error;
 pub mod metrics;
 pub mod model;
 pub mod pool;
+pub mod shard;
+pub mod sharded;
 pub mod store;
 
 pub use config::{IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
@@ -54,4 +65,6 @@ pub use error::PnwError;
 pub use metrics::{OpReport, StoreSnapshot};
 pub use model::ModelManager;
 pub use pool::DynamicAddressPool;
+pub use shard::{PutPath, ShardEngine};
+pub use sharded::ShardedPnwStore;
 pub use store::PnwStore;

@@ -12,6 +12,7 @@
 use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::sync::Mutex;
 use pnw_ml::featurize::bits_to_features;
 use pnw_ml::kmeans::{KMeans, KMeansConfig};
 use pnw_ml::matrix::Matrix;
@@ -47,7 +48,11 @@ pub struct ModelManager {
     kmeans: KMeans,
     trained: bool,
     retrains: u64,
-    pending: Option<Receiver<TrainedModel>>,
+    /// In-flight background training run. Behind a `Mutex` only so that the
+    /// manager stays `Sync` — a sharded store shares one manager across all
+    /// shards behind an `RwLock`, and `mpsc::Receiver` is not `Sync` on its
+    /// own. Mutating methods go through `get_mut` (no lock traffic).
+    pending: Mutex<Option<Receiver<TrainedModel>>>,
 }
 
 impl ModelManager {
@@ -74,7 +79,7 @@ impl ModelManager {
             kmeans: KMeans::from_centroids(Matrix::zeros(1, dims), 0),
             trained: false,
             retrains: 0,
-            pending: None,
+            pending: Mutex::new(None),
         }
     }
 
@@ -199,7 +204,7 @@ impl ModelManager {
     /// Starts a background training run on the snapshot. No-op if one is
     /// already pending.
     pub fn train_in_background(&mut self, values: Vec<Vec<u8>>) {
-        if self.pending.is_some() {
+        if self.pending.get_mut().unwrap().is_some() {
             return;
         }
         let (tx, rx) = sync_channel(1);
@@ -220,29 +225,30 @@ impl ModelManager {
             // Receiver may have been dropped (store torn down) — ignore.
             let _ = tx.send(m);
         });
-        self.pending = Some(rx);
+        *self.pending.get_mut().unwrap() = Some(rx);
     }
 
     /// Whether a background run is in flight.
     pub fn training_in_progress(&self) -> bool {
-        self.pending.is_some()
+        self.pending.lock().unwrap().is_some()
     }
 
     /// Installs a finished background model if one is ready. Returns true
     /// when a swap happened (the store must then relabel its pool).
     pub fn try_install_background(&mut self) -> bool {
-        let Some(rx) = &self.pending else {
+        let pending = self.pending.get_mut().unwrap();
+        let Some(rx) = pending else {
             return false;
         };
         match rx.try_recv() {
             Ok(m) => {
-                self.pending = None;
+                *pending = None;
                 self.install(m);
                 true
             }
             Err(TryRecvError::Empty) => false,
             Err(TryRecvError::Disconnected) => {
-                self.pending = None;
+                *pending = None;
                 false
             }
         }
@@ -250,7 +256,7 @@ impl ModelManager {
 
     /// Blocks until the in-flight background run (if any) is installed.
     pub fn wait_for_background(&mut self) -> bool {
-        let Some(rx) = self.pending.take() else {
+        let Some(rx) = self.pending.get_mut().unwrap().take() else {
             return false;
         };
         match rx.recv() {
@@ -325,6 +331,14 @@ mod tests {
 
     fn small_cfg() -> PnwConfig {
         PnwConfig::new(64, 4).with_clusters(2)
+    }
+
+    /// The sharded store shares one manager behind an `RwLock`; that only
+    /// compiles if the manager is `Send + Sync`.
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelManager>();
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The per-shard engine: Algorithms 1–3's write path over one device slice.
+//!
+//! [`ShardEngine`] owns everything a store shard needs exclusive access to —
+//! the emulated device, the data-zone region, the hash index and the dynamic
+//! address pool — but **not** the ML model: the model is DRAM-resident,
+//! read-mostly, and shared across shards, so every operation that needs a
+//! prediction takes `&ModelManager` from the caller. A single-shard store
+//! ([`PnwStore`](crate::PnwStore)) passes its own private manager; the
+//! concurrent [`ShardedPnwStore`](crate::ShardedPnwStore) passes a read
+//! guard on the one manager all shards share.
+//!
+//! Data-zone bucket layout (16-byte header + value, rounded to whole
+//! words):
+//!
+//! ```text
+//! [ flags: u8 | pad ×7 | key: u64 LE | value ×value_size ]
+//! ```
+//!
+//! The valid flag implements the paper's deletion protocol (*"resetting the
+//! associated flag bit"*, Algorithm 3 line 2); the key in the header is what
+//! lets a DRAM-index store rebuild its index after a crash (§V-A.3).
+//!
+//! GETs go through [`NvmDevice::peek`] and [`KeyIndex::lookup`], which need
+//! only shared references — concurrent readers of one shard never contend
+//! on a write lock (§VI-E: lookups *"do not go through the model or the
+//! dynamic address pool"*).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pnw_index::{DramHashIndex, KeyIndex, PathHashIndex};
+use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
+
+use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
+use crate::error::PnwError;
+use crate::metrics::{OpReport, StoreSnapshot};
+use crate::model::{stride_sample, ModelManager};
+use crate::pool::DynamicAddressPool;
+
+pub(crate) const HDR_BYTES: usize = 16;
+const FLAG_VALID: u8 = 1;
+
+/// Validates a value against a configuration's value size — the one
+/// implementation behind both store frontends' early rejection.
+pub(crate) fn check_value(cfg: &PnwConfig, value: &[u8]) -> Result<(), PnwError> {
+    if value.len() != cfg.value_size {
+        return Err(PnwError::WrongValueSize {
+            expected: cfg.value_size,
+            got: value.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Which code path a PUT took — callers use this to decide whether the
+/// retrain trigger should be evaluated (an in-place update touches neither
+/// the pool nor the model, so it never makes retraining due).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutPath {
+    /// A fresh predicted allocation from the pool (also the DELETE-then-PUT
+    /// update path).
+    Fresh,
+    /// An in-place update straight through the hash index
+    /// ([`UpdatePolicy::InPlace`]).
+    InPlace,
+}
+
+/// One shard of the Predict-and-Write store: device slice + index + pool.
+pub struct ShardEngine {
+    cfg: PnwConfig,
+    dev: NvmDevice,
+    data: Region,
+    /// Buckets currently in the active data zone (grows via
+    /// [`ShardEngine::extend_zone`] up to `cfg.capacity +
+    /// cfg.reserve_buckets`).
+    active_buckets: usize,
+    bucket_size: usize,
+    index: Box<dyn KeyIndex>,
+    index_region: Option<Region>,
+    index_leaves: usize,
+    pool: DynamicAddressPool,
+    live: usize,
+    predict_total: Duration,
+    puts: u64,
+    /// GET counter; atomic because the read path takes `&self`.
+    gets: AtomicU64,
+    deletes: u64,
+}
+
+impl ShardEngine {
+    /// Creates an engine with a fresh zeroed device slice.
+    pub fn new(cfg: PnwConfig) -> Self {
+        Self::with_device(cfg, None)
+    }
+
+    pub(crate) fn with_device(cfg: PnwConfig, image: Option<Vec<u8>>) -> Self {
+        let bucket_size = (HDR_BYTES + cfg.value_size).next_multiple_of(8);
+        let total_buckets = cfg.capacity + cfg.reserve_buckets;
+        let data_bytes = total_buckets * bucket_size;
+
+        let (index_leaves, index_bytes) = match cfg.index {
+            IndexPlacement::Dram => (0, 0),
+            IndexPlacement::Nvm => {
+                // Sized for the fully-extended zone so the index never has
+                // to move (the §V-C property: extension touches only the
+                // DRAM-side model and pool).
+                let leaves = (total_buckets * 2).next_power_of_two().max(8);
+                (leaves, PathHashIndex::region_bytes_for(leaves))
+            }
+        };
+        let total = (index_bytes + data_bytes + 4096).next_multiple_of(64);
+        let mut alloc = RegionAllocator::new(total);
+        let index_region = (index_bytes > 0).then(|| alloc.alloc(index_bytes, 64).expect("index"));
+        let data = alloc
+            .alloc_buckets(total_buckets, bucket_size)
+            .expect("data zone");
+
+        let nvm_cfg = NvmConfig::default()
+            .with_size(total)
+            .with_bit_wear(cfg.track_bit_wear);
+        let dev = match image {
+            Some(image) => {
+                assert_eq!(
+                    image.len(),
+                    total,
+                    "image size does not match the configured geometry"
+                );
+                NvmDevice::from_image(nvm_cfg, image)
+            }
+            None => NvmDevice::new(nvm_cfg),
+        };
+        let index: Box<dyn KeyIndex> = match index_region {
+            Some(r) => Box::new(PathHashIndex::create(r, index_leaves)),
+            None => Box::new(DramHashIndex::with_capacity(cfg.capacity)),
+        };
+        // Untrained model: one cluster, all buckets free.
+        let mut pool = DynamicAddressPool::new(1, cfg.capacity);
+        for b in 0..cfg.capacity as u32 {
+            pool.push(0, b);
+        }
+        let active_buckets = cfg.capacity;
+        ShardEngine {
+            cfg,
+            dev,
+            data,
+            active_buckets,
+            bucket_size,
+            index,
+            index_region,
+            index_leaves,
+            pool,
+            live: 0,
+            predict_total: Duration::ZERO,
+            puts: 0,
+            gets: AtomicU64::new(0),
+            deletes: 0,
+        }
+    }
+
+    /// The shard's configuration (capacity fields describe this shard's
+    /// slice, not the whole logical store).
+    pub fn config(&self) -> &PnwConfig {
+        &self.cfg
+    }
+
+    /// Live key count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Cumulative device statistics for this shard's slice.
+    pub fn device_stats(&self) -> &DeviceStats {
+        self.dev.stats()
+    }
+
+    /// The underlying device (wear CDFs, latency model).
+    pub fn device(&self) -> &NvmDevice {
+        &self.dev
+    }
+
+    /// Clears device statistics so a measurement window excludes warm-up
+    /// traffic.
+    pub fn reset_device_stats(&mut self) {
+        self.dev.reset_stats();
+    }
+
+    /// Clears wear counters (Figures 12/13 measure wear over a stream that
+    /// excludes warm-up writes).
+    pub fn reset_wear(&mut self) {
+        self.dev.reset_wear();
+    }
+
+    /// Byte range of the *active* data zone (for wear CDFs restricted to
+    /// it, as in Figures 12/13).
+    pub fn data_zone_range(&self) -> (usize, usize) {
+        (self.data.start, self.active_buckets * self.bucket_size)
+    }
+
+    /// Buckets currently in the active data zone.
+    pub fn active_capacity(&self) -> usize {
+        self.active_buckets
+    }
+
+    /// Reserved buckets not yet activated.
+    pub fn reserve_remaining(&self) -> usize {
+        self.cfg.capacity + self.cfg.reserve_buckets - self.active_buckets
+    }
+
+    /// Whether pool availability has fallen below `1 - load_factor`, i.e.
+    /// the §V-C retrain/extension trigger is due.
+    pub fn retrain_due(&self) -> bool {
+        self.pool.availability() < 1.0 - self.cfg.load_factor
+    }
+
+    /// Extends the data zone by up to `buckets` reserved buckets (§V-C).
+    ///
+    /// The freshly-activated addresses join the dynamic address pool under
+    /// the current model's labels; nothing in the NVM hash index moves —
+    /// *"our method to expand the size of a cluster does not impose any
+    /// extra writes to the NVM"*. Retrain afterwards (or rely on the
+    /// caller's load-factor trigger) to refresh the model on the grown
+    /// zone.
+    ///
+    /// Returns how many buckets were activated (0 when the reserve is
+    /// exhausted).
+    pub fn extend_zone(&mut self, model: &ModelManager, buckets: usize) -> usize {
+        let add = buckets.min(self.reserve_remaining());
+        let first = self.active_buckets as u32;
+        for b in first..first + add as u32 {
+            let content = self.peek_value(b).expect("bucket in range");
+            let label = model.predict(&content);
+            self.pool.push(label, b);
+        }
+        self.active_buckets += add;
+        self.pool.set_capacity(self.active_buckets);
+        add
+    }
+
+    fn bucket_addr(&self, b: u32) -> usize {
+        self.data.bucket_addr(b as usize, self.bucket_size)
+    }
+
+    fn bucket_of_addr(&self, addr: u64) -> u32 {
+        ((addr as usize - self.data.start) / self.bucket_size) as u32
+    }
+
+    /// Validates a value against the configured value size.
+    pub fn check_value(&self, value: &[u8]) -> Result<(), PnwError> {
+        check_value(&self.cfg, value)
+    }
+
+    /// Reads a bucket's stored value (without stats side effects).
+    fn peek_value(&self, bucket: u32) -> Result<Vec<u8>, PnwError> {
+        let addr = self.bucket_addr(bucket) + HDR_BYTES;
+        Ok(self.dev.peek(addr, self.cfg.value_size)?.to_vec())
+    }
+
+    /// Physical byte address a key's bucket currently occupies (diagnostics
+    /// and tests; takes no locks, records no stats).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn locate(&self, key: u64) -> Result<Option<u64>, PnwError> {
+        Ok(self.index.lookup(&self.dev, key)?)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// PUT / UPDATE (Algorithm 2 + §V-B.3) under the given model.
+    pub fn put(
+        &mut self,
+        model: &ModelManager,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(OpReport, PutPath), PnwError> {
+        self.check_value(value)?;
+
+        // UPDATE handling.
+        if let Some(addr) = self.index.get(&mut self.dev, key)? {
+            match self.cfg.update_policy {
+                UpdatePolicy::InPlace => {
+                    // Latency-first: straight through the hash index.
+                    let before = self.dev.stats().clone();
+                    let vstats =
+                        self.dev.write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
+                    let total = self.dev.stats().since(&before).totals;
+                    self.puts += 1;
+                    return Ok((
+                        OpReport {
+                            cluster: 0,
+                            fallback: false,
+                            predict: Duration::ZERO,
+                            value_write: vstats,
+                            total_write: total,
+                            modeled_latency: self.dev.modeled_write_cost(&total),
+                        },
+                        PutPath::InPlace,
+                    ));
+                }
+                UpdatePolicy::DeletePut => {
+                    // Endurance-first: free the old location (it returns to
+                    // the pool under its content's label), then fall through
+                    // to a fresh predicted write.
+                    self.delete_internal(model, key, addr)?;
+                }
+            }
+        }
+
+        let before = self.dev.stats().clone();
+
+        // Algorithm 2 line 1: predict the entry.
+        let t0 = Instant::now();
+        let (cluster, ranked) = model.predict_ranked(value);
+        let predict = t0.elapsed();
+        self.predict_total += predict;
+
+        // Line 2: get an address from the dynamic address pool.
+        let (bucket, fallback) = self.pool.pop(cluster, &ranked).ok_or(PnwError::Full)?;
+        let addr = self.bucket_addr(bucket);
+
+        // Lines 3–6: one differential write covers the whole bucket
+        // (header + value share cache lines; writing them separately would
+        // double-count dirty lines). Value-only accounting is previewed
+        // first for the Figure 6 metric.
+        let value_write = self.dev.diff_stats(addr + HDR_BYTES, value)?;
+        let mut bucket_img = vec![0u8; HDR_BYTES + value.len()];
+        bucket_img[0] = FLAG_VALID;
+        bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
+        bucket_img[HDR_BYTES..].copy_from_slice(value);
+        self.dev.write(addr, &bucket_img, WriteMode::Diff)?;
+
+        // Line 7: update the hash index.
+        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
+            self.pool.push(cluster, bucket);
+            return Err(e.into());
+        }
+        self.live += 1;
+        self.puts += 1;
+
+        let total = self.dev.stats().since(&before).totals;
+        let report = OpReport {
+            cluster,
+            fallback,
+            predict,
+            value_write,
+            total_write: total,
+            modeled_latency: self.dev.modeled_write_cost(&total),
+        };
+        Ok((report, PutPath::Fresh))
+    }
+
+    /// GET (§V-B.4): through the hash index, no data-structure changes and
+    /// no exclusive access — index lookup and value read both go through
+    /// shared references ([`NvmDevice::peek`]), so any number of readers
+    /// can run concurrently.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        match self.index.lookup(&self.dev, key)? {
+            Some(addr) => {
+                let v = self
+                    .dev
+                    .peek(addr as usize + HDR_BYTES, self.cfg.value_size)?
+                    .to_vec();
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// DELETE (Algorithm 3): reset the flag bit, recycle the address into
+    /// the pool under its *content's* label (as the given model sees it).
+    pub fn delete(&mut self, model: &ModelManager, key: u64) -> Result<bool, PnwError> {
+        match self.index.remove(&mut self.dev, key)? {
+            Some(addr) => {
+                self.delete_bucket_only(model, addr)?;
+                self.deletes += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Internal delete used by the DELETE-then-PUT update path: the index
+    /// entry is removed and the bucket recycled.
+    fn delete_internal(&mut self, model: &ModelManager, key: u64, addr: u64) -> Result<(), PnwError> {
+        self.index.remove(&mut self.dev, key)?;
+        self.delete_bucket_only(model, addr)
+    }
+
+    fn delete_bucket_only(&mut self, model: &ModelManager, addr: u64) -> Result<(), PnwError> {
+        // Line 2: reset the flag bit (a one-bit NVM update).
+        self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
+        // Lines 3–4: predict the label of the *stored content* and return
+        // the address to the pool.
+        let bucket = self.bucket_of_addr(addr);
+        let content = self.peek_value(bucket)?;
+        let label = model.predict(&content);
+        self.pool.push(label, bucket);
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Pre-fills every *free* bucket's cells with values from `gen`,
+    /// leaving them free. This reproduces the paper's experimental setup
+    /// (§VI-B: *"we first have set aside 5K buckets as the 'old data' on
+    /// the NVM"*): the pool then steers incoming writes onto bit-similar
+    /// stale content. Retrain afterwards so the model learns the prefilled
+    /// distribution.
+    pub fn prefill_free_buckets(
+        &mut self,
+        model: &ModelManager,
+        mut gen: impl FnMut() -> Vec<u8>,
+    ) -> Result<usize, PnwError> {
+        let free = self.pool.drain_all();
+        let mut n = 0;
+        for &bucket in &free {
+            let v = gen();
+            self.check_value(&v)?;
+            let addr = self.bucket_addr(bucket) + HDR_BYTES;
+            self.dev.write(addr, &v, WriteMode::Raw)?;
+            n += 1;
+        }
+        // Back into the pool under the (still current) model's labels.
+        let relabeled: Vec<(u32, usize)> = free
+            .iter()
+            .map(|&b| {
+                let content = self.peek_value(b).expect("bucket in range");
+                (b, model.predict(&content))
+            })
+            .collect();
+        self.pool.rebuild(model.k(), relabeled);
+        Ok(n)
+    }
+
+    /// Collects a training snapshot: the contents of all data-zone buckets
+    /// (Algorithm 1 trains on "all the available data in the NVM storage"),
+    /// subsampled to `cap` values.
+    pub fn training_values(&self, cap: usize) -> Vec<Vec<u8>> {
+        let idx = stride_sample(self.active_buckets, cap);
+        idx.iter()
+            .map(|&b| self.peek_value(b as u32).expect("bucket in range"))
+            .collect()
+    }
+
+    /// Relabels all free buckets under the given (usually freshly-trained)
+    /// model.
+    pub fn relabel_pool(&mut self, model: &ModelManager) {
+        let free = self.pool.drain_all();
+        let relabeled: Vec<(u32, usize)> = free
+            .into_iter()
+            .map(|b| {
+                let content = self.peek_value(b).expect("bucket in range");
+                (b, model.predict(&content))
+            })
+            .collect();
+        self.pool.rebuild(model.k(), relabeled);
+    }
+
+    /// Simulates a power failure followed by a restart of this shard: the
+    /// DRAM-side index (if [`IndexPlacement::Dram`]) and pool are discarded
+    /// and rebuilt from NVM, exactly as §V-A.3 describes. The caller owns
+    /// the model and must retrain + [`ShardEngine::relabel_pool`]
+    /// afterwards (the model *"can be reconstructed after a crash"*,
+    /// §V-A.1).
+    pub fn recover_structures(&mut self) -> Result<(), PnwError> {
+        self.dev.crash();
+        self.dev.recover();
+
+        // Rebuild the index.
+        match self.cfg.index {
+            IndexPlacement::Dram => {
+                // Scan the data zone headers.
+                let mut idx = DramHashIndex::with_capacity(self.active_buckets);
+                let mut live = 0;
+                for b in 0..self.active_buckets as u32 {
+                    let addr = self.bucket_addr(b);
+                    let hdr = self.dev.peek(addr, HDR_BYTES)?;
+                    if hdr[0] & FLAG_VALID != 0 {
+                        let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+                        idx.insert(&mut self.dev, key, addr as u64)?;
+                        live += 1;
+                    }
+                }
+                self.index = Box::new(idx);
+                self.live = live;
+            }
+            IndexPlacement::Nvm => {
+                let region = self.index_region.expect("nvm index has a region");
+                let idx = PathHashIndex::recover(region, self.index_leaves, &self.dev);
+                self.live = idx.len();
+                self.index = Box::new(idx);
+            }
+        }
+
+        // Rebuild the pool from non-valid buckets under the untrained
+        // single-cluster placeholder; the caller retrains next.
+        let mut free_buckets = Vec::new();
+        for b in 0..self.active_buckets as u32 {
+            let addr = self.bucket_addr(b);
+            let hdr = self.dev.peek(addr, 1)?;
+            if hdr[0] & FLAG_VALID == 0 {
+                free_buckets.push(b);
+            }
+        }
+        self.pool = DynamicAddressPool::new(1, self.active_buckets);
+        for b in free_buckets {
+            self.pool.push(0, b);
+        }
+        Ok(())
+    }
+
+    /// Point-in-time metrics snapshot; the model-owned fields (`k`,
+    /// `retrains`) come from the caller.
+    pub fn snapshot(&self, k: usize, retrains: u64) -> StoreSnapshot {
+        StoreSnapshot {
+            live: self.live,
+            free: self.pool.free(),
+            capacity: self.active_buckets,
+            k,
+            retrains,
+            fallbacks: self.pool.fallbacks(),
+            device: self.dev.stats().clone(),
+            predict_total: self.predict_total,
+            puts: self.puts,
+            gets: self.gets.load(Ordering::Relaxed),
+            deletes: self.deletes,
+        }
+    }
+
+    /// Access to the pool (read-only).
+    pub fn pool(&self) -> &DynamicAddressPool {
+        &self.pool
+    }
+
+    /// Persists the device's cell image (the NVM part's durable state) to a
+    /// file.
+    pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.dev.save_image(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardEngine>();
+    }
+
+    #[test]
+    fn engine_put_get_delete_with_external_model() {
+        let cfg = PnwConfig::new(32, 8).with_clusters(2);
+        let model = ModelManager::new(&cfg);
+        let mut e = ShardEngine::new(cfg);
+        let (r, path) = e.put(&model, 1, &[0xAA; 8]).unwrap();
+        assert_eq!(path, PutPath::Fresh);
+        assert!(r.total_write.bit_flips > 0);
+        assert_eq!(e.get(1).unwrap().unwrap(), vec![0xAA; 8]);
+        assert!(e.delete(&model, 1).unwrap());
+        assert_eq!(e.get(1).unwrap(), None);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn engine_get_records_no_device_reads() {
+        let cfg = PnwConfig::new(16, 8).with_clusters(1);
+        let model = ModelManager::new(&cfg);
+        let mut e = ShardEngine::new(cfg);
+        e.put(&model, 7, &[1; 8]).unwrap();
+        let reads = e.device_stats().read_ops;
+        for _ in 0..10 {
+            e.get(7).unwrap();
+        }
+        assert_eq!(e.device_stats().read_ops, reads);
+        assert_eq!(e.snapshot(1, 0).gets, 10);
+    }
+
+    #[test]
+    fn in_place_put_reports_its_path() {
+        let cfg = PnwConfig::new(16, 8)
+            .with_clusters(1)
+            .with_update_policy(UpdatePolicy::InPlace);
+        let model = ModelManager::new(&cfg);
+        let mut e = ShardEngine::new(cfg);
+        let (_, p1) = e.put(&model, 5, &[0; 8]).unwrap();
+        let (_, p2) = e.put(&model, 5, &[1; 8]).unwrap();
+        assert_eq!(p1, PutPath::Fresh);
+        assert_eq!(p2, PutPath::InPlace);
+    }
+}

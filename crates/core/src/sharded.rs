@@ -1,0 +1,512 @@
+//! The sharded, thread-safe PNW store.
+//!
+//! [`ShardedPnwStore`] splits the data zone into N independent
+//! [`ShardEngine`]s — each with its own device slice, hash index and
+//! dynamic address pool — and routes every key to one shard by hash.
+//! Operations on different shards run fully in parallel; operations on one
+//! shard serialize on that shard's `RwLock` (GETs take it shared, so
+//! readers never block readers).
+//!
+//! The ML model is the one deliberately *shared* component: the paper keeps
+//! it in DRAM, read-mostly, retrained in the background (§V-A.1/§V-C), and
+//! that translates directly to `RwLock<ModelManager>`:
+//!
+//! * every PUT/DELETE takes the model lock **shared** for its prediction —
+//!   readers never block each other, and never block on a background
+//!   retrain (training runs on a worker thread against a snapshot);
+//! * when a background run finishes, the next operation that wins a
+//!   non-blocking `try_write` swaps the model in and relabels every
+//!   shard's pool under the new centroids — the paper's *"swap the old
+//!   model with the new one"* made multi-shard.
+//!
+//! Lock order is always **model → shard**; nothing acquires the model lock
+//! while holding a shard lock, which makes the pair deadlock-free.
+//!
+//! With `shards = 1` the store is byte-for-byte the single-threaded
+//! [`PnwStore`](crate::PnwStore): same engine code, same model seeds, same
+//! trigger points — so the same seeded workload produces identical
+//! [`DeviceStats`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+use pnw_nvm_sim::{DeviceStats, WearCdf};
+
+use crate::config::{PnwConfig, RetrainMode};
+use crate::error::PnwError;
+use crate::metrics::{OpReport, StoreSnapshot};
+use crate::model::ModelManager;
+use crate::shard::{PutPath, ShardEngine};
+
+/// A concurrent Predict-and-Write store: N shards behind one logical
+/// key/value interface. All operations take `&self`; wrap the store in an
+/// [`std::sync::Arc`] and clone it across threads.
+pub struct ShardedPnwStore {
+    cfg: PnwConfig,
+    shards: Vec<RwLock<ShardEngine>>,
+    model: RwLock<ModelManager>,
+    /// Serializes zone-extension/retrain maintenance so a burst of
+    /// concurrent PUTs past the load factor triggers one run, not a
+    /// stampede. In [`RetrainMode::Background`] it stays set until the
+    /// trained model installs.
+    maintenance: AtomicBool,
+}
+
+/// splitmix64 finalizer — the shard router. Independent of both index hash
+/// functions so shard choice and in-shard placement stay uncorrelated.
+fn route(key: u64) -> u64 {
+    let mut x = key.wrapping_add(0x2545_F491_4F6C_DD1D);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardedPnwStore {
+    /// Creates a store with `cfg.shards` shards (see
+    /// [`PnwConfig::with_shards`]). `cfg.capacity` and
+    /// `cfg.reserve_buckets` describe the *whole* logical store and are
+    /// split as evenly as possible across shards; the shard count is
+    /// clamped so every shard gets at least one bucket.
+    pub fn new(cfg: PnwConfig) -> Self {
+        let n = cfg.shards.max(1).min(cfg.capacity.max(1));
+        let shards = (0..n)
+            .map(|i| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.capacity = split(cfg.capacity, n, i);
+                shard_cfg.reserve_buckets = split(cfg.reserve_buckets, n, i);
+                shard_cfg.shards = 1;
+                RwLock::new(ShardEngine::new(shard_cfg))
+            })
+            .collect();
+        let model = RwLock::new(ModelManager::new(&cfg));
+        ShardedPnwStore {
+            cfg,
+            shards,
+            model,
+            maintenance: AtomicBool::new(false),
+        }
+    }
+
+    /// The store's configuration (capacity fields describe the whole
+    /// logical store).
+    pub fn config(&self) -> &PnwConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (route(key) % self.shards.len() as u64) as usize
+        }
+    }
+
+    /// PUT / UPDATE (Algorithm 2 + §V-B.3), routed to the key's shard.
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
+        crate::shard::check_value(&self.cfg, value)?;
+        self.try_install_background();
+        let sid = self.shard_of(key);
+        let (report, due) = {
+            let model = self.model.read().unwrap();
+            let mut shard = self.shards[sid].write().unwrap();
+            let (report, path) = shard.put(&model, key, value)?;
+            let due = path == PutPath::Fresh && shard.retrain_due();
+            (report, due)
+        };
+        if due {
+            self.run_maintenance(sid);
+        }
+        Ok(report)
+    }
+
+    /// GET (§V-B.4): a shared shard lock plus [`pnw_nvm_sim::NvmDevice::peek`]
+    /// — concurrent readers of the same shard run in parallel and never
+    /// wait on the model lock.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
+        self.shards[self.shard_of(key)].read().unwrap().get(key)
+    }
+
+    /// DELETE (Algorithm 3), routed to the key's shard.
+    pub fn delete(&self, key: u64) -> Result<bool, PnwError> {
+        self.try_install_background();
+        let sid = self.shard_of(key);
+        let model = self.model.read().unwrap();
+        let mut shard = self.shards[sid].write().unwrap();
+        shard.delete(&model, key)
+    }
+
+    /// Live key count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cross-shard device statistics: the sum of every shard's counters,
+    /// exactly what one device serving the combined traffic would report
+    /// (the shards tile one logical address space).
+    pub fn device_stats(&self) -> DeviceStats {
+        let parts = self.per_shard_device_stats();
+        DeviceStats::merged(parts.iter())
+    }
+
+    /// Per-shard device statistics, in shard order.
+    pub fn per_shard_device_stats(&self) -> Vec<DeviceStats> {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().device_stats().clone())
+            .collect()
+    }
+
+    /// Clears every shard's device statistics (measurement windows exclude
+    /// warm-up traffic).
+    pub fn reset_device_stats(&self) {
+        for s in &self.shards {
+            s.write().unwrap().reset_device_stats();
+        }
+    }
+
+    /// Figure-12-style per-word wear CDF over the *combined* active data
+    /// zones of all shards (the per-shard CDFs merged into one
+    /// population).
+    pub fn word_wear_cdf(&self) -> WearCdf {
+        let mut merged: Option<WearCdf> = None;
+        for s in &self.shards {
+            let shard = s.read().unwrap();
+            let (start, len) = shard.data_zone_range();
+            let cdf = shard.device().word_wear_cdf(start, len);
+            merged = Some(match merged {
+                Some(m) => m.merge(&cdf),
+                None => cdf,
+            });
+        }
+        merged.expect("at least one shard")
+    }
+
+    /// Aggregated point-in-time snapshot: counters summed across shards,
+    /// `k`/`retrains` from the shared model.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let model = self.model.read().unwrap();
+        let (k, retrains) = (model.k(), model.retrains());
+        drop(model);
+        let mut parts = self
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().snapshot(k, retrains));
+        let mut agg = parts.next().expect("at least one shard");
+        for p in parts {
+            agg.live += p.live;
+            agg.free += p.free;
+            agg.capacity += p.capacity;
+            agg.fallbacks += p.fallbacks;
+            agg.device.merge(&p.device);
+            agg.predict_total += p.predict_total;
+            agg.puts += p.puts;
+            agg.gets += p.gets;
+            agg.deletes += p.deletes;
+        }
+        agg
+    }
+
+    /// Training snapshot across every shard's active data zone, capped at
+    /// `train_sample` values total (split evenly across shards).
+    fn training_snapshot(&self) -> Vec<Vec<u8>> {
+        let per_shard = self.cfg.train_sample.div_ceil(self.shards.len());
+        let mut values = Vec::new();
+        for s in &self.shards {
+            values.extend(s.read().unwrap().training_values(per_shard));
+        }
+        values
+    }
+
+    /// Trains the shared model synchronously on all shards' data zones and
+    /// relabels every shard's pool under the new centroids (Algorithm 1,
+    /// cross-shard). Blocks writers for the duration; prefer
+    /// [`RetrainMode::Background`] under live traffic. Returns training
+    /// time.
+    pub fn retrain_now(&self) -> Result<Duration, PnwError> {
+        let snapshot = self.training_snapshot();
+        let mut model = self.model.write().unwrap();
+        let elapsed = model.train(&snapshot);
+        for s in &self.shards {
+            s.write().unwrap().relabel_pool(&model);
+        }
+        Ok(elapsed)
+    }
+
+    /// Starts a background retraining run if none is pending (§V-C). The
+    /// new model is installed — and every shard's pool relabeled — at a
+    /// later operation boundary.
+    pub fn retrain_in_background(&self) {
+        let snapshot = self.training_snapshot();
+        let mut model = self.model.write().unwrap();
+        if !model.training_in_progress() {
+            model.train_in_background(snapshot);
+        }
+    }
+
+    /// Blocks until an in-flight background retrain (if any) installs, then
+    /// relabels every shard's pool.
+    pub fn wait_for_retrain(&self) {
+        let mut model = self.model.write().unwrap();
+        if model.wait_for_background() {
+            for s in &self.shards {
+                s.write().unwrap().relabel_pool(&model);
+            }
+            self.maintenance.store(false, Ordering::Release);
+        }
+    }
+
+    /// Whether the shared model has completed at least one training run.
+    pub fn is_trained(&self) -> bool {
+        self.model.read().unwrap().is_trained()
+    }
+
+    /// Completed training runs of the shared model.
+    pub fn retrains(&self) -> u64 {
+        self.model.read().unwrap().retrains()
+    }
+
+    /// Non-blocking: if a background-trained model is ready and the model
+    /// lock is uncontended, swap it in and relabel every shard's pool.
+    fn try_install_background(&self) {
+        let Ok(mut model) = self.model.try_write() else {
+            return;
+        };
+        if model.try_install_background() {
+            for s in &self.shards {
+                s.write().unwrap().relabel_pool(&model);
+            }
+            self.maintenance.store(false, Ordering::Release);
+        }
+    }
+
+    /// The §V-C trigger: extend the due shard's zone from its reserve, then
+    /// retrain per policy (the retrain half serialized by the `maintenance`
+    /// flag).
+    fn run_maintenance(&self, sid: usize) {
+        // Zone extension is shard-local and cheap, so it runs on *every*
+        // due PUT — exactly like the single-threaded store — and is never
+        // gated on a pending retrain: a shard must not report `Full` while
+        // its reserve still has buckets just because another shard's
+        // background training is in flight.
+        {
+            let model = self.model.read().unwrap();
+            let mut shard = self.shards[sid].write().unwrap();
+            if shard.retrain_due() && shard.reserve_remaining() > 0 {
+                let chunk = (shard.config().capacity / 4).max(1);
+                shard.extend_zone(&model, chunk);
+            }
+        }
+        if self.cfg.retrain == RetrainMode::Manual {
+            return;
+        }
+        if self
+            .maintenance
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        match self.cfg.retrain {
+            RetrainMode::Manual => unreachable!("handled above"),
+            RetrainMode::OnLoadFactor => {
+                let _ = self.retrain_now();
+                self.maintenance.store(false, Ordering::Release);
+            }
+            RetrainMode::Background => {
+                let snapshot = self.training_snapshot();
+                let mut model = self.model.write().unwrap();
+                if model.training_in_progress() {
+                    // A run is already pending; let its install clear the flag.
+                } else {
+                    model.train_in_background(snapshot);
+                }
+                // Flag stays set until try_install_background() swaps the
+                // model in — that is what stops every subsequent PUT from
+                // re-snapshotting the data zone.
+            }
+        }
+    }
+}
+
+fn split(total: usize, parts: usize, i: usize) -> usize {
+    total / parts + usize::from(i < total % parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedPnwStore>();
+    }
+
+    #[test]
+    fn split_distributes_remainders() {
+        let parts: Vec<usize> = (0..3).map(|i| split(10, 3, i)).collect();
+        assert_eq!(parts, vec![4, 3, 3]);
+        assert_eq!((0..4).map(|i| split(8, 4, i)).sum::<usize>(), 8);
+        assert_eq!(split(0, 4, 0), 0);
+    }
+
+    #[test]
+    fn basic_roundtrip_across_shards() {
+        let s = ShardedPnwStore::new(PnwConfig::new(64, 8).with_clusters(2).with_shards(4));
+        assert_eq!(s.shard_count(), 4);
+        for k in 0..32u64 {
+            s.put(k, &[k as u8; 8]).unwrap();
+        }
+        assert_eq!(s.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 8]);
+        }
+        assert!(s.delete(5).unwrap());
+        assert!(!s.delete(5).unwrap());
+        assert_eq!(s.get(5).unwrap(), None);
+        assert_eq!(s.len(), 31);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_capacity() {
+        let s = ShardedPnwStore::new(PnwConfig::new(2, 8).with_shards(16));
+        assert_eq!(s.shard_count(), 2);
+    }
+
+    #[test]
+    fn wrong_value_size_rejected_before_routing() {
+        let s = ShardedPnwStore::new(PnwConfig::new(16, 8).with_shards(2));
+        assert!(matches!(
+            s.put(1, &[0u8; 3]),
+            Err(PnwError::WrongValueSize { expected: 8, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn merged_stats_are_the_sum_of_shard_stats() {
+        let s = ShardedPnwStore::new(PnwConfig::new(64, 8).with_clusters(2).with_shards(4));
+        for k in 0..40u64 {
+            s.put(k, &(k * 11).to_le_bytes()).unwrap();
+        }
+        for k in 0..10u64 {
+            s.delete(k).unwrap();
+        }
+        let merged = s.device_stats();
+        let manual = DeviceStats::merged(s.per_shard_device_stats().iter());
+        assert_eq!(merged, manual);
+        assert!(merged.totals.bit_flips > 0);
+        // Bit-flip conservation: no shard's flips are lost or double
+        // counted in the merge.
+        let sum: u64 = s
+            .per_shard_device_stats()
+            .iter()
+            .map(|d| d.totals.bit_flips)
+            .sum();
+        assert_eq!(merged.totals.bit_flips, sum);
+    }
+
+    #[test]
+    fn retrain_relabels_every_shard() {
+        let s = ShardedPnwStore::new(PnwConfig::new(64, 8).with_clusters(2).with_shards(2));
+        for k in 0..32u64 {
+            let v = if k % 2 == 0 { [0x00u8; 8] } else { [0xFFu8; 8] };
+            s.put(k, &v).unwrap();
+        }
+        s.retrain_now().unwrap();
+        assert!(s.is_trained());
+        assert_eq!(s.retrains(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.k, 2);
+        assert_eq!(snap.live, 32);
+    }
+
+    #[test]
+    fn background_retrain_swaps_on_finish() {
+        let s = ShardedPnwStore::new(
+            PnwConfig::new(64, 8)
+                .with_clusters(2)
+                .with_shards(2)
+                .with_load_factor(0.25)
+                .with_retrain(RetrainMode::Background),
+        );
+        for k in 0..48u64 {
+            s.put(k, &(k * 7).to_le_bytes()).unwrap();
+        }
+        s.wait_for_retrain();
+        assert!(s.is_trained());
+        assert!(s.retrains() >= 1);
+        // The store keeps serving after the swap.
+        s.put(999, &[3u8; 8]).unwrap();
+        assert_eq!(s.get(999).unwrap().unwrap(), vec![3u8; 8]);
+    }
+
+    #[test]
+    fn background_retrain_does_not_block_zone_extension() {
+        // Regression: extension must run on every due PUT even while a
+        // background training run is pending — a shard with reserve left
+        // must never report Full just because the maintenance flag is
+        // held by an uninstalled retrain.
+        let s = ShardedPnwStore::new(
+            PnwConfig::new(32, 8)
+                .with_clusters(2)
+                .with_shards(1)
+                .with_reserve(96)
+                .with_load_factor(0.5)
+                .with_retrain(RetrainMode::Background),
+        );
+        for k in 0..100u64 {
+            s.put(k, &(k * 3).to_le_bytes())
+                .expect("reserve must absorb every put");
+        }
+        assert!(s.snapshot().capacity > 32, "zone must have extended");
+        s.wait_for_retrain();
+        assert!(s.is_trained());
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_smoke() {
+        let s = Arc::new(ShardedPnwStore::new(
+            PnwConfig::new(256, 8).with_clusters(2).with_shards(4),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let key = t * 1000 + i;
+                    s.put(key, &key.to_le_bytes()).unwrap();
+                    assert_eq!(s.get(key).unwrap().unwrap(), key.to_le_bytes().to_vec());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 200);
+    }
+
+    #[test]
+    fn merged_wear_cdf_covers_all_shards() {
+        let s = ShardedPnwStore::new(PnwConfig::new(32, 8).with_clusters(1).with_shards(4));
+        for k in 0..24u64 {
+            s.put(k, &(!k).to_le_bytes()).unwrap();
+        }
+        let cdf = s.word_wear_cdf();
+        // Population = every data-zone word of every shard: 32 buckets ×
+        // 3 words (16 B header + 8 B value).
+        assert_eq!(cdf.population, 32 * 3);
+        assert!(cdf.max() >= 1);
+    }
+}

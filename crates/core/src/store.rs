@@ -1,228 +1,112 @@
-//! The PNW store: Algorithms 1–3 of the paper over the emulated device.
+//! The single-threaded PNW store: a [`ShardEngine`] plus a private
+//! [`ModelManager`].
 //!
-//! Data-zone bucket layout (16-byte header + value, rounded to whole
-//! words):
-//!
-//! ```text
-//! [ flags: u8 | pad ×7 | key: u64 LE | value ×value_size ]
-//! ```
-//!
-//! The valid flag implements the paper's deletion protocol (*"resetting the
-//! associated flag bit"*, Algorithm 3 line 2); the key in the header is what
-//! lets a DRAM-index store rebuild its index after a crash (§V-A.3).
+//! This is the paper's Figure 2 system exactly as Algorithms 1–3 describe
+//! it. The write path itself lives in [`crate::shard`] so the concurrent
+//! [`ShardedPnwStore`](crate::ShardedPnwStore) can reuse it per shard;
+//! `PnwStore` is the one-shard composition and remains the reference
+//! implementation every figure harness drives.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use pnw_index::{DramHashIndex, KeyIndex, PathHashIndex};
-use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
+use pnw_nvm_sim::{DeviceStats, NvmDevice};
 
-use crate::config::{IndexPlacement, PnwConfig, RetrainMode, UpdatePolicy};
+use crate::config::{PnwConfig, RetrainMode};
 use crate::error::PnwError;
 use crate::metrics::{OpReport, StoreSnapshot};
-use crate::model::{stride_sample, ModelManager};
+use crate::model::ModelManager;
 use crate::pool::DynamicAddressPool;
-
-const HDR_BYTES: usize = 16;
-const FLAG_VALID: u8 = 1;
-
-enum Index {
-    Dram(DramHashIndex),
-    Nvm(PathHashIndex),
-}
-
-impl Index {
-    fn insert(&mut self, dev: &mut NvmDevice, k: u64, a: u64) -> Result<(), pnw_index::IndexError> {
-        match self {
-            Index::Dram(i) => i.insert(dev, k, a),
-            Index::Nvm(i) => i.insert(dev, k, a),
-        }
-    }
-    fn get(&mut self, dev: &mut NvmDevice, k: u64) -> Result<Option<u64>, pnw_index::IndexError> {
-        match self {
-            Index::Dram(i) => i.get(dev, k),
-            Index::Nvm(i) => i.get(dev, k),
-        }
-    }
-    fn remove(
-        &mut self,
-        dev: &mut NvmDevice,
-        k: u64,
-    ) -> Result<Option<u64>, pnw_index::IndexError> {
-        match self {
-            Index::Dram(i) => i.remove(dev, k),
-            Index::Nvm(i) => i.remove(dev, k),
-        }
-    }
-    /// Used by consistency checks in the test suite.
-    #[cfg_attr(not(test), allow(dead_code))]
-    fn len(&self) -> usize {
-        match self {
-            Index::Dram(i) => i.len(),
-            Index::Nvm(i) => i.len(),
-        }
-    }
-}
+use crate::shard::{PutPath, ShardEngine};
 
 /// The Predict-and-Write key/value store.
 pub struct PnwStore {
-    cfg: PnwConfig,
-    dev: NvmDevice,
-    data: Region,
-    /// Buckets currently in the active data zone (grows via
-    /// [`PnwStore::extend_zone`] up to `cfg.capacity + cfg.reserve_buckets`).
-    active_buckets: usize,
-    bucket_size: usize,
-    index: Index,
-    index_region: Option<Region>,
-    index_leaves: usize,
+    engine: ShardEngine,
     model: ModelManager,
-    pool: DynamicAddressPool,
-    live: usize,
-    predict_total: Duration,
-    puts: u64,
-    gets: u64,
-    deletes: u64,
 }
 
 impl PnwStore {
     /// Creates a store with a fresh zeroed device.
     pub fn new(cfg: PnwConfig) -> Self {
-        Self::with_device(cfg, None)
+        let model = ModelManager::new(&cfg);
+        PnwStore {
+            engine: ShardEngine::new(cfg),
+            model,
+        }
     }
 
     /// Persists the device's cell image (the NVM part's durable state) to a
     /// file. Reopen with [`PnwStore::load_image`].
     pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.dev.save_image(path)
+        self.engine.save_image(path)
     }
 
     /// Opens a store from a previously saved cell image, rebuilding all
-    /// DRAM-side state (index if [`IndexPlacement::Dram`], model, pool)
+    /// DRAM-side state (index if
+    /// [`IndexPlacement::Dram`](crate::IndexPlacement::Dram), model, pool)
     /// exactly as crash recovery would. `cfg` must match the geometry the
     /// image was created with.
     pub fn load_image(cfg: PnwConfig, path: &std::path::Path) -> Result<Self, PnwError> {
         let image = std::fs::read(path).map_err(|_| PnwError::Nvm(pnw_nvm_sim::NvmError::Crashed))?;
-        let mut store = Self::with_device(cfg, Some(image));
+        let model = ModelManager::new(&cfg);
+        let mut store = PnwStore {
+            engine: ShardEngine::with_device(cfg, Some(image)),
+            model,
+        };
         store.crash_and_recover()?;
         Ok(store)
     }
 
-    fn with_device(cfg: PnwConfig, image: Option<Vec<u8>>) -> Self {
-        let bucket_size = (HDR_BYTES + cfg.value_size).next_multiple_of(8);
-        let total_buckets = cfg.capacity + cfg.reserve_buckets;
-        let data_bytes = total_buckets * bucket_size;
-
-        let (index_leaves, index_bytes) = match cfg.index {
-            IndexPlacement::Dram => (0, 0),
-            IndexPlacement::Nvm => {
-                // Sized for the fully-extended zone so the index never has
-                // to move (the §V-C property: extension touches only the
-                // DRAM-side model and pool).
-                let leaves = (total_buckets * 2).next_power_of_two().max(8);
-                (leaves, PathHashIndex::region_bytes_for(leaves))
-            }
-        };
-        let total = (index_bytes + data_bytes + 4096).next_multiple_of(64);
-        let mut alloc = RegionAllocator::new(total);
-        let index_region = (index_bytes > 0).then(|| alloc.alloc(index_bytes, 64).expect("index"));
-        let data = alloc
-            .alloc_buckets(total_buckets, bucket_size)
-            .expect("data zone");
-
-        let nvm_cfg = NvmConfig::default()
-            .with_size(total)
-            .with_bit_wear(cfg.track_bit_wear);
-        let dev = match image {
-            Some(image) => {
-                assert_eq!(
-                    image.len(),
-                    total,
-                    "image size does not match the configured geometry"
-                );
-                NvmDevice::from_image(nvm_cfg, image)
-            }
-            None => NvmDevice::new(nvm_cfg),
-        };
-        let index = match index_region {
-            Some(r) => Index::Nvm(PathHashIndex::create(r, index_leaves)),
-            None => Index::Dram(DramHashIndex::with_capacity(cfg.capacity)),
-        };
-        let model = ModelManager::new(&cfg);
-        let mut pool = DynamicAddressPool::new(model.k(), cfg.capacity);
-        for b in 0..cfg.capacity as u32 {
-            pool.push(0, b); // untrained model: one cluster, all buckets free
-        }
-        let active_buckets = cfg.capacity;
-        PnwStore {
-            cfg,
-            dev,
-            data,
-            active_buckets,
-            bucket_size,
-            index,
-            index_region,
-            index_leaves,
-            model,
-            pool,
-            live: 0,
-            predict_total: Duration::ZERO,
-            puts: 0,
-            gets: 0,
-            deletes: 0,
-        }
-    }
-
     /// The store's configuration.
     pub fn config(&self) -> &PnwConfig {
-        &self.cfg
+        self.engine.config()
     }
 
     /// Live key count.
     pub fn len(&self) -> usize {
-        self.live
+        self.engine.len()
     }
 
     /// Whether no keys are stored.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.engine.is_empty()
     }
 
     /// Cumulative device statistics.
     pub fn device_stats(&self) -> &DeviceStats {
-        self.dev.stats()
+        self.engine.device_stats()
     }
 
     /// The underlying device (wear CDFs, latency model).
     pub fn device(&self) -> &NvmDevice {
-        &self.dev
+        self.engine.device()
     }
 
     /// Clears device statistics so a measurement window excludes warm-up
     /// traffic.
     pub fn reset_device_stats(&mut self) {
-        self.dev.reset_stats();
+        self.engine.reset_device_stats();
     }
 
     /// Clears wear counters (Figures 12/13 measure wear over a stream that
     /// excludes warm-up writes).
     pub fn reset_wear(&mut self) {
-        self.dev.reset_wear();
+        self.engine.reset_wear();
     }
 
     /// Byte range of the *active* data zone (for wear CDFs restricted to
     /// it, as in Figures 12/13).
     pub fn data_zone_range(&self) -> (usize, usize) {
-        (self.data.start, self.active_buckets * self.bucket_size)
+        self.engine.data_zone_range()
     }
 
     /// Buckets currently in the active data zone.
     pub fn active_capacity(&self) -> usize {
-        self.active_buckets
+        self.engine.active_capacity()
     }
 
     /// Reserved buckets not yet activated.
     pub fn reserve_remaining(&self) -> usize {
-        self.cfg.capacity + self.cfg.reserve_buckets - self.active_buckets
+        self.engine.reserve_remaining()
     }
 
     /// Extends the data zone by up to `buckets` reserved buckets (§V-C).
@@ -236,165 +120,34 @@ impl PnwStore {
     /// Returns how many buckets were activated (0 when the reserve is
     /// exhausted).
     pub fn extend_zone(&mut self, buckets: usize) -> usize {
-        let add = buckets.min(self.reserve_remaining());
-        let first = self.active_buckets as u32;
-        for b in first..first + add as u32 {
-            let content = self.peek_value(b).expect("bucket in range");
-            let label = self.model.predict(&content);
-            self.pool.push(label, b);
-        }
-        self.active_buckets += add;
-        self.pool.set_capacity(self.active_buckets);
-        add
-    }
-
-    fn bucket_addr(&self, b: u32) -> usize {
-        self.data.bucket_addr(b as usize, self.bucket_size)
-    }
-
-    fn bucket_of_addr(&self, addr: u64) -> u32 {
-        ((addr as usize - self.data.start) / self.bucket_size) as u32
-    }
-
-    fn check_value(&self, value: &[u8]) -> Result<(), PnwError> {
-        if value.len() != self.cfg.value_size {
-            return Err(PnwError::WrongValueSize {
-                expected: self.cfg.value_size,
-                got: value.len(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Reads a bucket's stored value (without stats side effects).
-    fn peek_value(&self, bucket: u32) -> Result<Vec<u8>, PnwError> {
-        let addr = self.bucket_addr(bucket) + HDR_BYTES;
-        Ok(self.dev.peek(addr, self.cfg.value_size)?.to_vec())
+        self.engine.extend_zone(&self.model, buckets)
     }
 
     /// PUT / UPDATE (Algorithm 2 + §V-B.3).
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
-        self.check_value(value)?;
+        self.engine.check_value(value)?;
         self.maybe_install_background();
-
-        // UPDATE handling.
-        if let Some(addr) = self.index.get(&mut self.dev, key)? {
-            match self.cfg.update_policy {
-                UpdatePolicy::InPlace => {
-                    // Latency-first: straight through the hash index.
-                    let before = self.dev.stats().clone();
-                    let vstats = self.dev.write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
-                    let total = self.dev.stats().since(&before).totals;
-                    self.puts += 1;
-                    return Ok(OpReport {
-                        cluster: 0,
-                        fallback: false,
-                        predict: Duration::ZERO,
-                        value_write: vstats,
-                        total_write: total,
-                        modeled_latency: self.dev.modeled_write_cost(&total),
-                    });
-                }
-                UpdatePolicy::DeletePut => {
-                    // Endurance-first: free the old location (it returns to
-                    // the pool under its content's label), then fall through
-                    // to a fresh predicted write.
-                    self.delete_internal(key, addr)?;
-                }
-            }
+        let (report, path) = self.engine.put(&self.model, key, value)?;
+        if path == PutPath::Fresh {
+            self.maybe_trigger_retrain();
         }
-
-        let before = self.dev.stats().clone();
-
-        // Algorithm 2 line 1: predict the entry.
-        let t0 = Instant::now();
-        let (cluster, ranked) = self.model.predict_ranked(value);
-        let predict = t0.elapsed();
-        self.predict_total += predict;
-
-        // Line 2: get an address from the dynamic address pool.
-        let (bucket, fallback) = self.pool.pop(cluster, &ranked).ok_or(PnwError::Full)?;
-        let addr = self.bucket_addr(bucket);
-
-        // Lines 3–6: one differential write covers the whole bucket
-        // (header + value share cache lines; writing them separately would
-        // double-count dirty lines). Value-only accounting is previewed
-        // first for the Figure 6 metric.
-        let value_write = self.dev.diff_stats(addr + HDR_BYTES, value)?;
-        let mut bucket_img = vec![0u8; HDR_BYTES + value.len()];
-        bucket_img[0] = FLAG_VALID;
-        bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
-        bucket_img[HDR_BYTES..].copy_from_slice(value);
-        self.dev.write(addr, &bucket_img, WriteMode::Diff)?;
-
-        // Line 7: update the hash index.
-        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
-            self.pool.push(cluster, bucket);
-            return Err(e.into());
-        }
-        self.live += 1;
-        self.puts += 1;
-
-        let total = self.dev.stats().since(&before).totals;
-        let report = OpReport {
-            cluster,
-            fallback,
-            predict,
-            value_write,
-            total_write: total,
-            modeled_latency: self.dev.modeled_write_cost(&total),
-        };
-        self.maybe_trigger_retrain();
         Ok(report)
     }
 
     /// GET (§V-B.4): through the hash index, no data-structure changes.
-    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
-        self.gets += 1;
-        match self.index.get(&mut self.dev, key)? {
-            Some(addr) => {
-                let v = self
-                    .dev
-                    .read(addr as usize + HDR_BYTES, self.cfg.value_size)?
-                    .to_vec();
-                Ok(Some(v))
-            }
-            None => Ok(None),
-        }
+    ///
+    /// Takes `&self`: the lookup and the value read go through
+    /// [`NvmDevice::peek`], so concurrent readers need no write lock (and
+    /// GETs record no device statistics).
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
+        self.engine.get(key)
     }
 
     /// DELETE (Algorithm 3): reset the flag bit, recycle the address into
     /// the pool under its *content's* label.
     pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {
         self.maybe_install_background();
-        match self.index.remove(&mut self.dev, key)? {
-            Some(addr) => {
-                self.delete_bucket_only(addr)?;
-                self.deletes += 1;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
-    }
-
-    /// Internal delete used by the DELETE-then-PUT update path: the index
-    /// entry is removed and the bucket recycled.
-    fn delete_internal(&mut self, key: u64, addr: u64) -> Result<(), PnwError> {
-        self.index.remove(&mut self.dev, key)?;
-        self.delete_bucket_only(addr)
-    }
-
-    fn delete_bucket_only(&mut self, addr: u64) -> Result<(), PnwError> {
-        // Line 2: reset the flag bit (a one-bit NVM update).
-        self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
-        // Lines 3–4: predict the label of the *stored content* and return
-        // the address to the pool.
-        let bucket = self.bucket_of_addr(addr);
-        let content = self.peek_value(bucket)?;
-        let label = self.model.predict(&content);
-        self.pool.push(label, bucket);
-        self.live -= 1;
-        Ok(())
+        self.engine.delete(&self.model, key)
     }
 
     /// Pre-fills every *free* bucket's cells with values from `gen`,
@@ -405,82 +158,52 @@ impl PnwStore {
     /// model learns the prefilled distribution.
     pub fn prefill_free_buckets(
         &mut self,
-        mut gen: impl FnMut() -> Vec<u8>,
+        gen: impl FnMut() -> Vec<u8>,
     ) -> Result<usize, PnwError> {
-        let free = self.pool.drain_all();
-        let mut n = 0;
-        for &bucket in &free {
-            let v = gen();
-            self.check_value(&v)?;
-            let addr = self.bucket_addr(bucket) + HDR_BYTES;
-            self.dev.write(addr, &v, WriteMode::Raw)?;
-            n += 1;
-        }
-        // Back into the pool under the (still current) model's labels.
-        let relabeled: Vec<(u32, usize)> = free
-            .iter()
-            .map(|&b| {
-                let content = self.peek_value(b).expect("bucket in range");
-                (b, self.model.predict(&content))
-            })
-            .collect();
-        let k = self.model.k();
-        self.pool.rebuild(k, relabeled);
-        Ok(n)
-    }
-
-    /// Collects the training snapshot: the contents of all data-zone
-    /// buckets (Algorithm 1 trains on "all the available data in the NVM
-    /// storage"), subsampled to the configured cap.
-    fn training_snapshot(&self) -> Vec<Vec<u8>> {
-        let idx = stride_sample(self.active_buckets, self.cfg.train_sample);
-        idx.iter()
-            .map(|&b| self.peek_value(b as u32).expect("bucket in range"))
-            .collect()
+        self.engine.prefill_free_buckets(&self.model, gen)
     }
 
     /// Trains the model synchronously on the current data zone and rebuilds
     /// the pool under the new labels (Algorithm 1). Returns training time.
     pub fn retrain_now(&mut self) -> Result<Duration, PnwError> {
-        let snapshot = self.training_snapshot();
+        let snapshot = self.engine.training_values(self.config().train_sample);
         let elapsed = self.model.train(&snapshot);
-        self.relabel_pool();
+        self.engine.relabel_pool(&self.model);
         Ok(elapsed)
     }
 
     /// Starts a background retraining run if none is pending (§V-C). The
     /// new model is installed at a later operation boundary.
     pub fn retrain_in_background(&mut self) {
-        let snapshot = self.training_snapshot();
+        let snapshot = self.engine.training_values(self.config().train_sample);
         self.model.train_in_background(snapshot);
     }
 
     /// Blocks until an in-flight background retrain (if any) installs.
     pub fn wait_for_retrain(&mut self) {
         if self.model.wait_for_background() {
-            self.relabel_pool();
+            self.engine.relabel_pool(&self.model);
         }
     }
 
     fn maybe_install_background(&mut self) {
         if self.model.try_install_background() {
-            self.relabel_pool();
+            self.engine.relabel_pool(&self.model);
         }
     }
 
     fn maybe_trigger_retrain(&mut self) {
-        let due = self.pool.availability() < 1.0 - self.cfg.load_factor;
-        if !due {
+        if !self.engine.retrain_due() {
             return;
         }
         // §V-C: the load factor "warns that the system will need to be
         // retrained in the near future" — extend the zone first if reserve
         // remains, then retrain per policy.
-        if self.reserve_remaining() > 0 {
-            let chunk = (self.cfg.capacity / 4).max(1);
-            self.extend_zone(chunk);
+        if self.engine.reserve_remaining() > 0 {
+            let chunk = (self.config().capacity / 4).max(1);
+            self.engine.extend_zone(&self.model, chunk);
         }
-        match self.cfg.retrain {
+        match self.config().retrain {
             RetrainMode::Manual => {}
             RetrainMode::OnLoadFactor => {
                 let _ = self.retrain_now();
@@ -493,88 +216,22 @@ impl PnwStore {
         }
     }
 
-    /// Relabels all free buckets under the current model.
-    fn relabel_pool(&mut self) {
-        let free = self.pool.drain_all();
-        let relabeled: Vec<(u32, usize)> = free
-            .into_iter()
-            .map(|b| {
-                let content = self.peek_value(b).expect("bucket in range");
-                (b, self.model.predict(&content))
-            })
-            .collect();
-        let k = self.model.k();
-        self.pool.rebuild(k, relabeled);
-    }
-
     /// Simulates a power failure followed by a restart: the DRAM state
-    /// (index if [`IndexPlacement::Dram`], model, pool) is discarded and
-    /// rebuilt from NVM, exactly as §V-A.3 describes for each architecture.
+    /// (index if [`IndexPlacement::Dram`](crate::IndexPlacement::Dram),
+    /// model, pool) is discarded and rebuilt from NVM, exactly as §V-A.3
+    /// describes for each architecture.
     pub fn crash_and_recover(&mut self) -> Result<(), PnwError> {
-        self.dev.crash();
-        self.dev.recover();
-
-        // Rebuild the index.
-        match self.cfg.index {
-            IndexPlacement::Dram => {
-                // Scan the data zone headers.
-                let mut idx = DramHashIndex::with_capacity(self.active_buckets);
-                let mut live = 0;
-                for b in 0..self.active_buckets as u32 {
-                    let addr = self.bucket_addr(b);
-                    let hdr = self.dev.peek(addr, HDR_BYTES)?;
-                    if hdr[0] & FLAG_VALID != 0 {
-                        let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
-                        idx.insert(&mut self.dev, key, addr as u64)?;
-                        live += 1;
-                    }
-                }
-                self.index = Index::Dram(idx);
-                self.live = live;
-            }
-            IndexPlacement::Nvm => {
-                let region = self.index_region.expect("nvm index has a region");
-                let idx = PathHashIndex::recover(region, self.index_leaves, &self.dev);
-                self.live = idx.len();
-                self.index = Index::Nvm(idx);
-            }
-        }
-
+        self.engine.recover_structures()?;
         // The model is DRAM-resident: reconstruct it by retraining
         // (§V-A.1: "can be reconstructed after a crash").
-        self.model = ModelManager::new(&self.cfg);
-        // Rebuild the pool from non-valid buckets, then retrain.
-        let mut free_buckets = Vec::new();
-        for b in 0..self.active_buckets as u32 {
-            let addr = self.bucket_addr(b);
-            let hdr = self.dev.peek(addr, 1)?;
-            if hdr[0] & FLAG_VALID == 0 {
-                free_buckets.push(b);
-            }
-        }
-        self.pool = DynamicAddressPool::new(self.model.k(), self.active_buckets);
-        for b in free_buckets {
-            self.pool.push(0, b);
-        }
+        self.model = ModelManager::new(self.config());
         self.retrain_now()?;
         Ok(())
     }
 
     /// Point-in-time metrics snapshot.
     pub fn snapshot(&self) -> StoreSnapshot {
-        StoreSnapshot {
-            live: self.live,
-            free: self.pool.free(),
-            capacity: self.active_buckets,
-            k: self.model.k(),
-            retrains: self.model.retrains(),
-            fallbacks: self.pool.fallbacks(),
-            device: self.dev.stats().clone(),
-            predict_total: self.predict_total,
-            puts: self.puts,
-            gets: self.gets,
-            deletes: self.deletes,
-        }
+        self.engine.snapshot(self.model.k(), self.model.retrains())
     }
 
     /// Access to the model manager (read-only).
@@ -584,13 +241,20 @@ impl PnwStore {
 
     /// Access to the pool (read-only).
     pub fn pool(&self) -> &DynamicAddressPool {
-        &self.pool
+        self.engine.pool()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn engine(&self) -> &ShardEngine {
+        &self.engine
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{IndexPlacement, UpdatePolicy};
+    use std::time::Duration;
 
     fn store(capacity: usize, value_size: usize, k: usize) -> PnwStore {
         PnwStore::new(
@@ -692,15 +356,9 @@ mod tests {
     fn delete_put_update_policy_changes_address() {
         let mut s = store(32, 8, 2);
         s.put(5, &[0xAAu8; 8]).unwrap();
-        let addr1 = match &mut s.index {
-            Index::Dram(i) => i.get(&mut s.dev, 5).unwrap().unwrap(),
-            _ => unreachable!(),
-        };
+        let addr1 = s.engine().locate(5).unwrap().unwrap();
         s.put(5, &[0x55u8; 8]).unwrap();
-        let addr2 = match &mut s.index {
-            Index::Dram(i) => i.get(&mut s.dev, 5).unwrap().unwrap(),
-            _ => unreachable!(),
-        };
+        let addr2 = s.engine().locate(5).unwrap().unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(5).unwrap().unwrap(), vec![0x55u8; 8]);
         // With 31 other free buckets, the fresh PUT practically never
@@ -716,7 +374,7 @@ mod tests {
         let mut i = 0u32;
         s.prefill_free_buckets(|| {
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 vec![0x00u8; 8]
             } else {
                 vec![0xFFu8; 8]
@@ -847,6 +505,16 @@ mod tests {
     }
 
     #[test]
+    fn get_needs_only_a_shared_reference() {
+        let mut s = store(32, 8, 2);
+        s.put(1, &[9u8; 8]).unwrap();
+        // Two simultaneous shared borrows — this is the satellite contract:
+        // concurrent readers need no exclusive access.
+        let (a, b) = (&s, &s);
+        assert_eq!(a.get(1).unwrap(), b.get(1).unwrap());
+    }
+
+    #[test]
     fn save_load_image_roundtrip() {
         let dir = std::env::temp_dir().join("pnw_store_image_test.bin");
         let cfg = PnwConfig::new(32, 8).with_clusters(2).with_seed(5);
@@ -944,6 +612,6 @@ mod tests {
             s.put(k, &[k as u8; 8]).unwrap();
         }
         s.delete(0).unwrap();
-        assert_eq!(s.index.len(), s.len());
+        assert_eq!(s.engine().index_len(), s.len());
     }
 }

@@ -51,6 +51,10 @@ impl KeyIndex for DramHashIndex {
         Ok(self.map.get(&key).copied())
     }
 
+    fn lookup(&self, _dev: &NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
+        Ok(self.map.get(&key).copied())
+    }
+
     fn remove(&mut self, _dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
         Ok(self.map.remove(&key))
     }

@@ -147,6 +147,15 @@ impl PathHashIndex {
         Ok((flags, key, val))
     }
 
+    /// Reads a bucket through [`NvmDevice::peek`] — no stats, no write lock.
+    fn peek_bucket(dev: &NvmDevice, addr: usize) -> Result<(u8, u64, u64), IndexError> {
+        let bytes = dev.peek(addr, BUCKET_BYTES)?;
+        let flags = bytes[0];
+        let key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let val = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        Ok((flags, key, val))
+    }
+
     fn write_bucket(
         dev: &mut NvmDevice,
         addr: usize,
@@ -205,6 +214,18 @@ impl KeyIndex for PathHashIndex {
             }
             None => Ok(None),
         }
+    }
+
+    fn lookup(&self, dev: &NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
+        // Unlike `find`, no `&mut dev` conflict forces collecting the
+        // candidates — probe straight off the iterator.
+        for addr in self.candidates(key) {
+            let (flags, k, val) = Self::peek_bucket(dev, addr)?;
+            if flags & FLAG_VALID != 0 && k == key {
+                return Ok(Some(val));
+            }
+        }
+        Ok(None)
     }
 
     fn remove(&mut self, dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError> {
@@ -303,6 +324,34 @@ mod tests {
         assert_eq!(idx2.len(), 29);
         assert_eq!(idx2.get(&mut dev, 10).unwrap(), Some(1010));
         assert_eq!(idx2.get(&mut dev, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn lookup_matches_get_without_read_stats() {
+        let (mut dev, mut idx) = setup(64);
+        for k in 0..20u64 {
+            idx.insert(&mut dev, k, k + 500).unwrap();
+        }
+        let reads_before = dev.stats().read_ops;
+        for k in 0..25u64 {
+            let via_lookup = idx.lookup(&dev, k).unwrap();
+            assert_eq!(via_lookup, idx.get(&mut dev, k).unwrap(), "key {k}");
+        }
+        // get() above recorded reads; lookup() itself must not have.
+        let gets_only = dev.stats().read_ops - reads_before;
+        assert!(gets_only > 0);
+        let reads_now = dev.stats().read_ops;
+        idx.lookup(&dev, 3).unwrap();
+        assert_eq!(dev.stats().read_ops, reads_now);
+    }
+
+    #[test]
+    fn usable_as_boxed_trait_object() {
+        let (mut dev, idx) = setup(32);
+        let mut boxed: Box<dyn KeyIndex> = Box::new(idx);
+        boxed.insert(&mut dev, 1, 10).unwrap();
+        assert_eq!(boxed.lookup(&dev, 1).unwrap(), Some(10));
+        assert_eq!(boxed.name(), "path-hash");
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl std::error::Error for IndexError {}
 
 /// A key → address map whose persistent variants charge their writes to an
 /// [`NvmDevice`]. DRAM implementations ignore the device parameter.
-pub trait KeyIndex: Send {
+///
+/// The trait is object-safe and `Send + Sync`: a sharded store holds one
+/// boxed index per shard behind that shard's lock, and concurrent readers
+/// go through [`KeyIndex::lookup`], which needs only shared references.
+pub trait KeyIndex: Send + Sync {
     /// Implementation name for experiment output.
     fn name(&self) -> &'static str;
 
@@ -39,6 +43,15 @@ pub trait KeyIndex: Send {
 
     /// Looks up a key.
     fn get(&mut self, dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError>;
+
+    /// Looks up a key through shared references only.
+    ///
+    /// NVM implementations probe via [`NvmDevice::peek`], so a lookup
+    /// records no device statistics and takes no write lock — this is the
+    /// read path of the concurrent store (GETs *"do not go through the
+    /// model or the dynamic address pool"*, §VI-E, and with this method
+    /// they do not serialize on the device either).
+    fn lookup(&self, dev: &NvmDevice, key: u64) -> Result<Option<u64>, IndexError>;
 
     /// Removes a key, returning its previous address. NVM implementations
     /// reset the entry's valid flag (a 1-bit write) rather than erasing it.
@@ -52,3 +65,7 @@ pub trait KeyIndex: Send {
         self.len() == 0
     }
 }
+
+/// Compile-time proof that [`KeyIndex`] stays object-safe (the sharded
+/// store boxes one per shard).
+const _: fn(&dyn KeyIndex) = |_| {};

@@ -255,9 +255,9 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
             sums: vec![0.0; k * d],
             sse: 0.0,
         };
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate().take(n) {
             let (c, dist) = nearest(centroids, data.row(i));
-            labels[i] = c;
+            *label = c;
             a.counts[c] += 1;
             a.sse += dist;
             for (s, &x) in a.sums[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
@@ -317,8 +317,8 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
 
 fn farthest_sample(data: &Matrix, centroids: &Matrix, labels: &[usize]) -> usize {
     let mut best = (0usize, -1.0f32);
-    for i in 0..data.rows() {
-        let d = sq_dist(data.row(i), centroids.row(labels[i]));
+    for (i, &label) in labels.iter().enumerate().take(data.rows()) {
+        let d = sq_dist(data.row(i), centroids.row(label));
         if d > best.1 {
             best = (i, d);
         }
@@ -364,10 +364,10 @@ fn kmeans_pp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
             pick
         };
         chosen.push(next);
-        for i in 0..n {
+        for (i, slot) in dist2.iter_mut().enumerate().take(n) {
             let d = sq_dist(data.row(i), data.row(next));
-            if d < dist2[i] {
-                dist2[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
     }

@@ -73,8 +73,8 @@ impl Pca {
                         scope.spawn(move || {
                             for (off, row) in rows.chunks_mut(n).enumerate() {
                                 let i = t * chunk + off;
-                                for j in 0..=i {
-                                    row[j] =
+                                for (j, slot) in row.iter_mut().enumerate().take(i + 1) {
+                                    *slot =
                                         f64::from(crate::matrix::dot(xc.row(i), xc.row(j))) / denom;
                                 }
                             }

@@ -34,11 +34,7 @@ impl Region {
     /// Splits the region into `n` equal-size buckets of `bucket` bytes each,
     /// returning how many fit.
     pub fn bucket_count(&self, bucket: usize) -> usize {
-        if bucket == 0 {
-            0
-        } else {
-            self.len / bucket
-        }
+        self.len.checked_div(bucket).unwrap_or(0)
     }
 
     /// Absolute address of bucket `i` with the given bucket size.

@@ -121,6 +121,29 @@ impl DeviceStats {
         *self = DeviceStats::default();
     }
 
+    /// Accumulates another device's counters into this one.
+    ///
+    /// This is the cross-shard aggregation primitive: a sharded store gives
+    /// every shard its own device over a disjoint slice of one logical
+    /// address space, and the merged counters are exactly what a single
+    /// device serving the combined traffic would have reported (every field
+    /// is a plain sum).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.totals.merge(&other.totals);
+        self.write_ops += other.write_ops;
+        self.read_ops += other.read_ops;
+        self.bytes_read += other.bytes_read;
+    }
+
+    /// Sums an iterator of per-shard statistics into one logical view.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a DeviceStats>) -> DeviceStats {
+        let mut out = DeviceStats::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
     /// Returns the difference `self - earlier`, for windowed measurements.
     ///
     /// All counters in `earlier` must be ≤ the corresponding counter in
@@ -216,5 +239,28 @@ mod tests {
         d.record_write(&sample());
         d.reset();
         assert_eq!(d, DeviceStats::default());
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = DeviceStats::default();
+        a.record_write(&sample());
+        a.record_read(32);
+        let mut b = DeviceStats::default();
+        b.record_write(&sample());
+        b.record_write(&sample());
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.write_ops, 3);
+        assert_eq!(m.read_ops, 1);
+        assert_eq!(m.bytes_read, 32);
+        assert_eq!(m.totals.bit_flips, 30);
+        // merged() over the parts gives the same logical view.
+        assert_eq!(DeviceStats::merged([&a, &b]), m);
+        // Merging nothing is the identity.
+        assert_eq!(
+            DeviceStats::merged(std::iter::empty::<&DeviceStats>()),
+            DeviceStats::default()
+        );
     }
 }

@@ -102,6 +102,34 @@ impl WearTracker {
             b.fill(0);
         }
     }
+
+    /// Accumulates another tracker's counters into this one, elementwise.
+    ///
+    /// Both trackers must describe the same geometry (same word size and
+    /// cell count); this models two traffic streams hitting one physical
+    /// address space — e.g. folding separate measurement windows, or
+    /// mirrored replicas of one device, into a combined view. (Shards of a
+    /// sharded store cover *disjoint* slices with differently-sized
+    /// trackers — aggregate those with [`WearCdf::merge`] instead.)
+    ///
+    /// # Panics
+    /// Panics if the geometries differ.
+    pub fn absorb(&mut self, other: &WearTracker) {
+        assert_eq!(self.word_bytes, other.word_bytes, "word size mismatch");
+        assert_eq!(
+            self.word_writes.len(),
+            other.word_writes.len(),
+            "tracker size mismatch"
+        );
+        for (a, b) in self.word_writes.iter_mut().zip(&other.word_writes) {
+            *a = a.saturating_add(*b);
+        }
+        if let (Some(mine), Some(theirs)) = (self.bit_flips.as_mut(), other.bit_flips.as_ref()) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a = a.saturating_add(*b);
+            }
+        }
+    }
 }
 
 /// An empirical CDF over wear counts: `p(x) = P(count <= x)`.
@@ -180,6 +208,44 @@ impl WearCdf {
     /// Largest observed count.
     pub fn max(&self) -> u32 {
         self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Per-value cell counts recovered from the cumulative series.
+    ///
+    /// Exact as long as the population fits in 52 bits (cumulative
+    /// probabilities are stored as `acc / population`, so `cum * population`
+    /// round-trips the integer accumulator).
+    fn counts(&self) -> Vec<(u32, u64)> {
+        let mut prev = 0u64;
+        self.values
+            .iter()
+            .zip(&self.cumulative)
+            .map(|(&v, &c)| {
+                let acc = (c * self.population as f64).round() as u64;
+                let n = acc - prev;
+                prev = acc;
+                (v, n)
+            })
+            .collect()
+    }
+
+    /// CDF of the union of two cell populations.
+    ///
+    /// A sharded store keeps one device (and so one wear tracker) per shard
+    /// over disjoint slices of the logical address space; merging the
+    /// per-shard CDFs yields exactly the Figure 12/13 curve a single device
+    /// spanning all shards would report.
+    pub fn merge(&self, other: &WearCdf) -> WearCdf {
+        let max = self.max().max(other.max()) as usize;
+        let population = self.population + other.population;
+        if population == 0 {
+            return WearCdf::from_counts_u32(&[]);
+        }
+        let mut hist = vec![0u64; max + 1];
+        for (v, n) in self.counts().into_iter().chain(other.counts()) {
+            hist[v as usize] += n;
+        }
+        WearCdf::from_histogram(&hist, population)
     }
 }
 
@@ -260,6 +326,37 @@ mod tests {
         t.reset();
         assert_eq!(t.max_word_writes(), 0);
         assert!(t.bit_flips().unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn merged_cdf_equals_cdf_of_concatenated_counts() {
+        let a = [0u32, 1, 1, 5];
+        let b = [2u32, 2, 0];
+        let merged = WearCdf::from_counts_u32(&a).merge(&WearCdf::from_counts_u32(&b));
+        let concat: Vec<u32> = a.iter().chain(&b).copied().collect();
+        assert_eq!(merged, WearCdf::from_counts_u32(&concat));
+        // Merging with an empty population is the identity.
+        let empty = WearCdf::from_counts_u32(&[]);
+        assert_eq!(empty.merge(&empty).population, 0);
+        assert_eq!(
+            WearCdf::from_counts_u32(&a).merge(&empty),
+            WearCdf::from_counts_u32(&a)
+        );
+    }
+
+    #[test]
+    fn absorb_sums_counters_elementwise() {
+        let mut a = WearTracker::new(32, 8, true);
+        a.record_word_write(0);
+        a.record_bit_flip(0, 1);
+        let mut b = WearTracker::new(32, 8, true);
+        b.record_word_write(0);
+        b.record_word_write(2);
+        b.record_bit_flip(0, 1);
+        a.absorb(&b);
+        assert_eq!(a.word_writes()[0], 2);
+        assert_eq!(a.word_writes()[2], 1);
+        assert_eq!(a.bit_flips().unwrap()[1], 2);
     }
 
     #[test]

@@ -44,8 +44,9 @@ impl BagOfWords {
                 // whole cache lines) in their count vectors.
                 let band = vocab / 10;
                 let start = rng.gen_range(0..vocab.saturating_sub(band).max(1));
-                for w in start..(start + band).min(vocab) {
-                    weights[w] *= 500.0;
+                let end = (start + band).min(vocab);
+                for w in &mut weights[start..end] {
+                    *w *= 500.0;
                 }
                 // Cumulative distribution for O(log V) sampling.
                 let mut acc = 0.0;

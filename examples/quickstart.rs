@@ -63,7 +63,7 @@ fn main() {
 /// Two value families keyed by parity.
 fn make_value(k: u64) -> Vec<u8> {
     let mut v = vec![0u8; 64];
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         // Sparse sensor frame: a few set bytes.
         v[(k % 61) as usize] = 0x80 | (k % 32) as u8;
         v[((k / 7) % 61) as usize] = 0x01;

@@ -33,9 +33,43 @@
 //! store.put(7, b"pnw-demo").unwrap();
 //! assert_eq!(store.get(7).unwrap().as_deref(), Some(&b"pnw-demo"[..]));
 //! ```
+//!
+//! ## Concurrent store
+//!
+//! [`ShardedPnwStore`] serves PUT/GET/DELETE from many threads at once:
+//! keys are routed to independent shards by hash, and all shards share one
+//! background-retrained model. `shards = 1` reproduces [`PnwStore`]
+//! bit-for-bit.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pnw::{PnwConfig, ShardedPnwStore};
+//!
+//! let store = Arc::new(ShardedPnwStore::new(
+//!     PnwConfig::new(256, 8).with_clusters(4).with_shards(4),
+//! ));
+//! let handles: Vec<_> = (0..4u64)
+//!     .map(|t| {
+//!         let store = Arc::clone(&store);
+//!         std::thread::spawn(move || {
+//!             for i in 0..16 {
+//!                 store.put(t * 100 + i, &[t as u8; 8]).unwrap();
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(store.len(), 64);
+//! ```
+//!
+//! The [`throughput`] module (re-exported from `pnw-bench`) measures how
+//! this scales: `cargo run --release -p pnw-bench --bin throughput`.
 
 #![warn(missing_docs)]
 
 pub use pnw_core as core_api;
 
-pub use pnw_core::{PnwConfig, PnwStore};
+pub use pnw_bench::throughput;
+pub use pnw_core::{PnwConfig, PnwStore, ShardedPnwStore};

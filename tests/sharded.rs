@@ -1,0 +1,246 @@
+//! Workspace-level tests for the sharded concurrent store: model-based
+//! multi-threaded stress, single-shard equivalence with [`PnwStore`], and
+//! bit-flip conservation across shards.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pnw::core_api::{PnwConfig, PnwStore, RetrainMode, ShardedPnwStore};
+use pnw_nvm_sim::DeviceStats;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One step of the seeded reference workload.
+enum Op {
+    Put(u64, [u8; 16]),
+    Get(u64),
+    Delete(u64),
+    Retrain,
+}
+
+/// Drives a seeded workload of puts, overwrites, gets, deletes and
+/// retrains through one applier closure, so the single-threaded and
+/// sharded stores see byte-identical operation sequences.
+fn drive(mut apply: impl FnMut(Op)) {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    // Warm with two bit-pattern families, train, then churn.
+    for k in 0..96u64 {
+        let fill = if k % 2 == 0 { 0x00 } else { 0xFF };
+        apply(Op::Put(k, [fill; 16]));
+    }
+    apply(Op::Retrain);
+    for _ in 0..400 {
+        let k = rng.gen_range(0..128u64);
+        match rng.gen_range(0..10u8) {
+            0..=5 => {
+                let mut v = [if k % 2 == 0 { 0x00u8 } else { 0xFFu8 }; 16];
+                v[15] = rng.gen();
+                apply(Op::Put(k, v));
+            }
+            6..=7 => apply(Op::Get(k)),
+            _ => apply(Op::Delete(k)),
+        }
+    }
+}
+
+/// The acceptance criterion: `shards = 1` reproduces the single-threaded
+/// store's device accounting bit-for-bit on the same seeded workload.
+#[test]
+fn single_shard_matches_pnw_store_exactly() {
+    let cfg = PnwConfig::new(256, 16)
+        .with_clusters(3)
+        .with_seed(99)
+        .with_load_factor(0.6)
+        .with_retrain(RetrainMode::OnLoadFactor);
+
+    let mut single = PnwStore::new(cfg.clone());
+    drive(|op| match op {
+        Op::Put(k, v) => {
+            let _ = single.put(k, &v);
+        }
+        Op::Get(k) => {
+            let _ = single.get(k).unwrap();
+        }
+        Op::Delete(k) => {
+            let _ = single.delete(k).unwrap();
+        }
+        Op::Retrain => {
+            single.retrain_now().unwrap();
+        }
+    });
+
+    let sharded = ShardedPnwStore::new(cfg.with_shards(1));
+    drive(|op| match op {
+        Op::Put(k, v) => {
+            let _ = sharded.put(k, &v);
+        }
+        Op::Get(k) => {
+            let _ = sharded.get(k).unwrap();
+        }
+        Op::Delete(k) => {
+            let _ = sharded.delete(k).unwrap();
+        }
+        Op::Retrain => {
+            sharded.retrain_now().unwrap();
+        }
+    });
+
+    // Identical bit flips, words written, lines written, ops — the whole
+    // DeviceStats struct.
+    assert_eq!(single.device_stats(), &sharded.device_stats());
+    assert_eq!(single.len(), sharded.len());
+    for k in 0..128u64 {
+        assert_eq!(single.get(k).unwrap(), sharded.get(k).unwrap(), "key {k}");
+    }
+    let (s1, s2) = (single.snapshot(), sharded.snapshot());
+    assert_eq!(s1.puts, s2.puts);
+    assert_eq!(s1.deletes, s2.deletes);
+    assert_eq!(s1.free, s2.free);
+    assert_eq!(s1.fallbacks, s2.fallbacks);
+    assert_eq!(s1.retrains, s2.retrains);
+}
+
+/// Multi-threaded stress against a `HashMap` reference model: each thread
+/// owns a disjoint key range (so the model needs no cross-thread locking)
+/// and random-walks puts/overwrites/gets/deletes; afterwards the store
+/// must agree with the union of the per-thread models.
+#[test]
+fn concurrent_stress_matches_hashmap_model() {
+    const THREADS: u64 = 4;
+    const KEYS_PER_THREAD: u64 = 64;
+    const OPS: usize = 600;
+
+    let store = Arc::new(ShardedPnwStore::new(
+        PnwConfig::new(1024, 8)
+            .with_clusters(2)
+            .with_shards(4)
+            .with_load_factor(0.8)
+            .with_retrain(RetrainMode::Background),
+    ));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            let mut rng = StdRng::seed_from_u64(0xACE0 + t);
+            let lo = t * KEYS_PER_THREAD;
+            for _ in 0..OPS {
+                let key = lo + rng.gen_range(0..KEYS_PER_THREAD);
+                match rng.gen_range(0..10u8) {
+                    0..=5 => {
+                        let v: Vec<u8> = (0..8).map(|_| rng.gen()).collect();
+                        store.put(key, &v).expect("capacity is ample");
+                        model.insert(key, v);
+                    }
+                    6..=7 => {
+                        assert_eq!(
+                            store.get(key).expect("get ok"),
+                            model.get(&key).cloned(),
+                            "key {key} diverged mid-run"
+                        );
+                    }
+                    _ => {
+                        let existed = store.delete(key).expect("delete ok");
+                        assert_eq!(existed, model.remove(&key).is_some(), "key {key}");
+                    }
+                }
+            }
+            model
+        }));
+    }
+
+    let mut combined: HashMap<u64, Vec<u8>> = HashMap::new();
+    for h in handles {
+        combined.extend(h.join().expect("stress thread"));
+    }
+
+    assert_eq!(store.len(), combined.len());
+    for t in 0..THREADS {
+        for key in t * KEYS_PER_THREAD..(t + 1) * KEYS_PER_THREAD {
+            assert_eq!(
+                store.get(key).expect("get ok"),
+                combined.get(&key).cloned(),
+                "key {key} diverged after join"
+            );
+        }
+    }
+}
+
+/// Bit-flip conservation: the merged cross-shard statistics are exactly
+/// the sum of the per-shard deltas over any measurement window — no
+/// traffic is lost or double counted by the merge.
+#[test]
+fn bit_flips_are_conserved_across_shards() {
+    let store = ShardedPnwStore::new(PnwConfig::new(512, 16).with_clusters(2).with_shards(8));
+
+    // Warm-up window, then reset and measure a churn window.
+    for k in 0..200u64 {
+        store.put(k, &[k as u8; 16]).unwrap();
+    }
+    let warm_parts = store.per_shard_device_stats();
+    store.reset_device_stats();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..300 {
+        let k = rng.gen_range(0..256u64);
+        if rng.gen_bool(0.7) {
+            let v: Vec<u8> = (0..16).map(|_| rng.gen()).collect();
+            store.put(k, &v).unwrap();
+        } else {
+            let _ = store.delete(k).unwrap();
+        }
+    }
+
+    let parts = store.per_shard_device_stats();
+    let merged = store.device_stats();
+    assert_eq!(merged, DeviceStats::merged(parts.iter()));
+    assert_eq!(
+        merged.totals.bit_flips,
+        parts.iter().map(|p| p.totals.bit_flips).sum::<u64>()
+    );
+    assert_eq!(
+        merged.totals.lines_written,
+        parts.iter().map(|p| p.totals.lines_written).sum::<u64>()
+    );
+    assert_eq!(
+        merged.write_ops,
+        parts.iter().map(|p| p.write_ops).sum::<u64>()
+    );
+    // The reset cleared the warm-up traffic from every shard.
+    assert!(warm_parts.iter().any(|p| p.totals.bit_flips > 0));
+    assert!(merged.totals.bit_flips > 0);
+    // Traffic really is spread over multiple shards.
+    let active = parts.iter().filter(|p| p.write_ops > 0).count();
+    assert!(active >= 2, "only {active} shards saw traffic");
+}
+
+/// Concurrent readers share one shard lock in read mode and see a frozen
+/// value while writers on *other* shards proceed.
+#[test]
+fn readers_scale_while_writers_run_elsewhere() {
+    let store = Arc::new(ShardedPnwStore::new(
+        PnwConfig::new(512, 8).with_clusters(2).with_shards(4),
+    ));
+    store.put(1, &[0x42; 8]).unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..3 {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200u64 {
+                // Reader threads hammer key 1; one writer thread churns a
+                // disjoint range.
+                if t == 0 {
+                    store.put(1000 + i, &[i as u8; 8]).unwrap();
+                } else {
+                    assert_eq!(store.get(1).unwrap().unwrap(), vec![0x42; 8]);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(store.get(1).unwrap().unwrap(), vec![0x42; 8]);
+    assert_eq!(store.len(), 201);
+}
