@@ -1,0 +1,48 @@
+//! Criterion bench for the prediction kernel: the packed bit-domain LUT
+//! path against the reference float featurize-then-scan path, across value
+//! sizes and cluster counts (the `BENCH_predict.json` sweep's criterion
+//! twin; §VI-D of the paper budgets 5–6 µs per prediction).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pnw_bench::predictbench::{default_cases, trained_manager};
+use pnw_core::PredictScratch;
+use pnw_ml::featurize::bits_to_features;
+
+fn bench_predict_paths(c: &mut Criterion) {
+    for case in default_cases() {
+        let m = trained_manager(case, 0xACE5);
+        let v = vec![0x5Au8; case.value_size];
+        let label = format!("{}B-k{}", case.value_size, case.k);
+
+        let mut g = c.benchmark_group("predict_packed");
+        let mut scratch = PredictScratch::new();
+        g.bench_function(&label, |b| {
+            b.iter(|| m.predict_into(black_box(&v), &mut scratch))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("predict_float");
+        g.bench_function(&label, |b| {
+            b.iter(|| m.kmeans().predict(&bits_to_features(black_box(&v))))
+        });
+        g.finish();
+    }
+}
+
+/// Short windows: deterministic kernels on shared CI (same rationale as
+/// `micro.rs`).
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_predict_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Packed-vs-float prediction microbenchmark.
+//!
+//! ```text
+//! cargo run --release -p pnw-bench --bin predict -- [--quick]
+//!     [--iters N] [--out BENCH_predict.json]
+//! ```
+//!
+//! Prints a ns/op table and writes `BENCH_predict.json` (the prediction
+//! perf-trajectory file) in the working directory. `--quick` shrinks the
+//! iteration count for CI smoke runs.
+
+use pnw_bench::predictbench::{default_cases, run_sweep, write_json};
+use pnw_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut iters: u64 = scale.pick(20_000u64, 200_000u64);
+    let mut out = std::path::PathBuf::from("BENCH_predict.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {} // consumed by Scale::from_env
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --iters needs a number");
+                        std::process::exit(2);
+                    })
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --out needs a path");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Prediction kernel — packed LUT vs float featurize+scan ({iters} iters/case)");
+    println!(
+        "{:>10} {:>6} {:>12} {:>12} {:>9}",
+        "value", "K", "packed(ns)", "float(ns)", "speedup"
+    );
+    let results = run_sweep(&default_cases(), iters, 0xACE5);
+    for r in &results {
+        println!(
+            "{:>9}B {:>6} {:>12.1} {:>12.1} {:>8.1}x",
+            r.value_size, r.k, r.packed_ns, r.float_ns, r.speedup
+        );
+    }
+    match write_json(&out, &results) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("error writing {}: {e}", out.display()),
+    }
+}

@@ -66,13 +66,15 @@ fn parse_args() -> Result<Args, String> {
 
 fn print_row(r: &ThroughputReport) {
     println!(
-        "{:>7} {:>7} {:>10} {:>12.0} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "{:>7} {:>7} {:>10} {:>12.0} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8}",
         r.threads,
         r.shards,
         r.total_ops,
         r.ops_per_sec,
         r.p50_modeled_ns,
         r.p99_modeled_ns,
+        r.predict_p50_ns,
+        r.predict_p99_ns,
         r.puts,
         r.gets,
         r.deletes,
@@ -97,8 +99,18 @@ fn main() {
         args.cfg.zipf_theta,
     );
     println!(
-        "{:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "threads", "shards", "ops", "ops/sec", "p50(ns)", "p99(ns)", "puts", "gets", "dels"
+        "{:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "threads",
+        "shards",
+        "ops",
+        "ops/sec",
+        "p50(ns)",
+        "p99(ns)",
+        "pr50(ns)",
+        "pr99(ns)",
+        "puts",
+        "gets",
+        "dels"
     );
     let mut reports = Vec::new();
     for &threads in &args.threads {

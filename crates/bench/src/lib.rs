@@ -15,17 +15,21 @@
 //!   uniformly.
 //! * [`throughput`] — the multi-threaded throughput harness over
 //!   [`ShardedPnwStore`](pnw_core::ShardedPnwStore): configurable thread
-//!   count, PUT/GET/DELETE mix and Zipfian keys, reporting ops/sec and
-//!   p50/p99 modeled latency.
+//!   count, PUT/GET/DELETE mix and Zipfian keys, reporting ops/sec plus
+//!   p50/p99 modeled and prediction latency.
+//! * [`predictbench`] — the prediction-kernel microbenchmark: packed
+//!   bit-domain LUT path vs the reference float featurize-then-scan path,
+//!   across value sizes and cluster counts (`BENCH_predict.json`).
 //!
 //! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-//! repro_all throughput`.
+//! repro_all throughput predict`.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
 pub mod figures;
+pub mod predictbench;
 pub mod replace;
 pub mod table;
 pub mod throughput;

@@ -1,0 +1,198 @@
+//! Packed-vs-float prediction microbenchmark.
+//!
+//! The paper budgets 5–6 µs of model latency per PUT (§VI-D, Figure 6);
+//! the bit-domain LUT kernel ([`pnw_ml::packed`]) replaces the float
+//! featurize-then-scan path on that budget's critical path. This module
+//! measures both implementations on the *same trained model* across value
+//! sizes and cluster counts, reporting ns/op — the numbers recorded in
+//! `BENCH_predict.json` by the `predict` binary.
+//!
+//! PCA is disabled for these cases (threshold raised above every measured
+//! size) so the float baseline is always the full featurize + dense-scan
+//! pipeline the packed kernel replaces; PCA-configured models keep the
+//! sparse projector path in production and are out of scope here.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use pnw_core::{ModelManager, PcaPolicy, PnwConfig, PredictScratch};
+use pnw_ml::featurize::bits_to_features;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One (value size, cluster count) measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictCase {
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Cluster count K.
+    pub k: usize,
+}
+
+/// The default sweep: value sizes around the paper's small-item regime
+/// with a K sweep at 64 B (the acceptance point is 64 B / K = 16).
+pub fn default_cases() -> Vec<PredictCase> {
+    [(8, 16), (64, 4), (64, 16), (64, 64), (256, 16)]
+        .into_iter()
+        .map(|(value_size, k)| PredictCase { value_size, k })
+        .collect()
+}
+
+/// ns/op results for one case.
+#[derive(Debug, Clone)]
+pub struct PredictResult {
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Cluster count K actually fitted (may be below the request on tiny
+    /// data; the generator provides ≥ K distinct patterns so it never is).
+    pub k: usize,
+    /// Timed iterations per path.
+    pub iters: u64,
+    /// Packed LUT kernel, nanoseconds per prediction.
+    pub packed_ns: f64,
+    /// Float featurize + dense scan, nanoseconds per prediction.
+    pub float_ns: f64,
+    /// `float_ns / packed_ns`.
+    pub speedup: f64,
+}
+
+/// Deterministic value generator: `families` byte-fill patterns plus a
+/// random tail, the same shape the throughput harness writes.
+fn gen_values(n: usize, value_size: usize, families: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let fill = (255 / families.max(1) * (i % families.max(1))) as u8;
+            let mut v = vec![fill; value_size];
+            let tail = value_size.min(4);
+            for b in &mut v[value_size - tail..] {
+                *b = rng.gen();
+            }
+            v
+        })
+        .collect()
+}
+
+/// Trains a manager for one case (PCA disabled so the float baseline is
+/// the full bit-feature scan at every size).
+pub fn trained_manager(case: PredictCase, seed: u64) -> ModelManager {
+    let cfg = PnwConfig::new(1024, case.value_size)
+        .with_clusters(case.k)
+        .with_seed(seed)
+        .with_pca(PcaPolicy {
+            threshold_bits: usize::MAX,
+            ..PcaPolicy::default()
+        });
+    let mut m = ModelManager::new(&cfg);
+    m.train(&gen_values(512, case.value_size, case.k.max(4), seed ^ 0xFEED));
+    assert!(m.uses_packed(), "bench model must be bit-domain");
+    m
+}
+
+/// Measures one case: `iters` timed predictions per path (clamped to ≥ 1
+/// so the ns/op division is always defined) over a rotating probe set,
+/// after an eighth of that as warm-up.
+pub fn measure_case(case: PredictCase, iters: u64, seed: u64) -> PredictResult {
+    let iters = iters.max(1);
+    let m = trained_manager(case, seed);
+    let probes = gen_values(64, case.value_size, case.k.max(4), seed ^ 0xBEEF);
+    let mut scratch = PredictScratch::new();
+
+    let mut sink = 0usize;
+    for (i, v) in probes.iter().cycle().take((iters / 8).max(1) as usize).enumerate() {
+        sink ^= m.predict_into(v, &mut scratch) ^ i;
+    }
+    let t0 = Instant::now();
+    for v in probes.iter().cycle().take(iters as usize) {
+        sink ^= m.predict_into(black_box(v), &mut scratch);
+    }
+    let packed_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Reference float path: featurize into a fresh feature vector, dense
+    // K×d scan — exactly what every PUT paid before the packed kernel.
+    for v in probes.iter().cycle().take((iters / 8).max(1) as usize) {
+        sink ^= m.kmeans().predict(&bits_to_features(v));
+    }
+    let t0 = Instant::now();
+    for v in probes.iter().cycle().take(iters as usize) {
+        sink ^= m.kmeans().predict(&bits_to_features(black_box(v)));
+    }
+    let float_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    black_box(sink);
+
+    PredictResult {
+        value_size: case.value_size,
+        k: m.k(),
+        iters,
+        packed_ns,
+        float_ns,
+        speedup: float_ns / packed_ns.max(1e-9),
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run_sweep(cases: &[PredictCase], iters: u64, seed: u64) -> Vec<PredictResult> {
+    cases.iter().map(|&c| measure_case(c, iters, seed)).collect()
+}
+
+/// Serializes results as JSON (hand-rolled, like the throughput harness —
+/// the workspace has no JSON dependency) for `BENCH_predict.json`.
+pub fn to_json(results: &[PredictResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"predict\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"value_size\": {}, \"k\": {}, \"iters\": {}, \
+             \"packed_ns\": {:.1}, \"float_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.value_size,
+            r.k,
+            r.iters,
+            r.packed_ns,
+            r.float_ns,
+            r.speedup,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(path: &Path, results: &[PredictResult]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_sane_numbers() {
+        let r = measure_case(PredictCase { value_size: 16, k: 4 }, 200, 7);
+        assert_eq!(r.value_size, 16);
+        assert_eq!(r.k, 4);
+        assert!(r.packed_ns > 0.0);
+        assert!(r.float_ns > 0.0);
+        assert!(r.speedup > 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&run_sweep(&[PredictCase { value_size: 8, k: 2 }], 100, 3));
+        assert!(j.contains("\"bench\": \"predict\""));
+        assert!(j.contains("\"packed_ns\""));
+        assert!(j.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn both_paths_agree_on_predictions() {
+        let case = PredictCase { value_size: 32, k: 8 };
+        let m = trained_manager(case, 11);
+        let mut scratch = PredictScratch::new();
+        for v in gen_values(32, 32, 8, 99) {
+            assert_eq!(
+                m.predict_into(&v, &mut scratch),
+                m.kmeans().predict(&bits_to_features(&v)),
+            );
+        }
+    }
+}

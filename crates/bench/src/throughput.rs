@@ -8,13 +8,16 @@
 //! Zipfian-distributed keys (skewed access is the worst case for a sharded
 //! design: hot keys pile onto a few shards).
 //!
-//! Two numbers come out per run:
+//! Three numbers come out per run:
 //!
 //! * **ops/sec** — wall-clock throughput across all threads;
 //! * **p50/p99 modeled latency** — the per-operation NVM cost under the
 //!   device's latency model (PUTs report their exact
 //!   [`OpReport`](pnw_core::OpReport) cost; GETs are charged the model's
-//!   per-line read cost for the value span, DELETEs one flag-line write).
+//!   per-line read cost for the value span, DELETEs one flag-line write);
+//! * **p50/p99 predict latency** — the *measured* wall-clock cost of the
+//!   model prediction inside each fresh PUT (the packed bit-domain kernel),
+//!   so prediction-path regressions land in the BENCH history.
 //!
 //! By default the harness *emulates* the modeled device latency by
 //! sleeping it (scaled by [`ThroughputConfig::latency_scale`]) after every
@@ -128,6 +131,12 @@ pub struct ThroughputReport {
     pub p50_modeled_ns: u64,
     /// 99th-percentile modeled per-op NVM latency, in nanoseconds.
     pub p99_modeled_ns: u64,
+    /// Median *measured* model-prediction latency per fresh PUT, in
+    /// nanoseconds (the packed-kernel half of the paper's Figure 6 "latency
+    /// of prediction per item").
+    pub predict_p50_ns: u64,
+    /// 99th-percentile measured prediction latency per fresh PUT.
+    pub predict_p99_ns: u64,
     /// PUTs served.
     pub puts: u64,
     /// GETs served.
@@ -239,6 +248,10 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
             let mut lat_ns: Vec<u64> = Vec::with_capacity(cfg.ops_per_thread);
+            let mut predict_ns: Vec<u64> = Vec::with_capacity(cfg.ops_per_thread);
+            // GETs read into one reusable buffer per client thread — the
+            // store's allocation-free read path.
+            let mut get_buf = vec![0u8; cfg.value_size];
             barrier.wait();
             for _ in 0..cfg.ops_per_thread {
                 let key = zipf.sample(&mut rng);
@@ -248,6 +261,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                     match store.put(key, &v) {
                         Ok(r) => {
                             puts.fetch_add(1, Ordering::Relaxed);
+                            predict_ns.push(r.predict.as_nanos() as u64);
                             r.modeled_latency
                         }
                         Err(pnw_core::PnwError::Full) => {
@@ -260,7 +274,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                         Err(e) => panic!("put failed: {e}"),
                     }
                 } else if dice < cfg.mix.put_pct + cfg.mix.get_pct {
-                    let _ = store.get(key).expect("get ok");
+                    let _ = store.get_into(key, &mut get_buf).expect("get ok");
                     gets.fetch_add(1, Ordering::Relaxed);
                     get_cost
                 } else {
@@ -273,25 +287,29 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                     std::thread::sleep(cost * cfg.latency_scale);
                 }
             }
-            lat_ns
+            (lat_ns, predict_ns)
         }));
     }
 
     barrier.wait();
     let t0 = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.threads * cfg.ops_per_thread);
+    let mut predicts: Vec<u64> = Vec::new();
     for h in handles {
-        latencies.extend(h.join().expect("worker thread"));
+        let (lat, pred) = h.join().expect("worker thread");
+        latencies.extend(lat);
+        predicts.extend(pred);
     }
     let elapsed = t0.elapsed();
 
     latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
+    predicts.sort_unstable();
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
             0
         } else {
-            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-            latencies[idx]
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
         }
     };
     let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
@@ -301,8 +319,10 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         total_ops,
         elapsed,
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_modeled_ns: pct(0.50),
-        p99_modeled_ns: pct(0.99),
+        p50_modeled_ns: pct(&latencies, 0.50),
+        p99_modeled_ns: pct(&latencies, 0.99),
+        predict_p50_ns: pct(&predicts, 0.50),
+        predict_p99_ns: pct(&predicts, 0.99),
         puts: puts.load(Ordering::Relaxed),
         gets: gets.load(Ordering::Relaxed),
         deletes: deletes.load(Ordering::Relaxed),
@@ -334,6 +354,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             "    {{\"threads\": {}, \"shards\": {}, \"total_ops\": {}, \
              \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
              \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
+             \"predict_p50_ns\": {}, \"predict_p99_ns\": {}, \
              \"puts\": {}, \"gets\": {}, \"deletes\": {}, \
              \"full_errors\": {}, \"bit_flips\": {}}}{}\n",
             r.threads,
@@ -343,6 +364,8 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             r.ops_per_sec,
             r.p50_modeled_ns,
             r.p99_modeled_ns,
+            r.predict_p50_ns,
+            r.predict_p99_ns,
             r.puts,
             r.gets,
             r.deletes,
@@ -405,6 +428,31 @@ mod tests {
         assert!(r.ops_per_sec > 0.0);
         assert!(r.p50_modeled_ns <= r.p99_modeled_ns);
         assert!(r.bit_flips > 0, "PUTs must have flipped bits");
+    }
+
+    #[test]
+    fn predict_latencies_are_populated() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            shards: 2,
+            ops_per_thread: 150,
+            key_space: 128,
+            value_size: 16,
+            clusters: 2,
+            mix: OpMix::write_only(),
+            emulate_latency: false,
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        assert!(r.puts > 0);
+        assert!(
+            r.predict_p99_ns > 0,
+            "fresh PUTs must record measured prediction latency"
+        );
+        assert!(r.predict_p50_ns <= r.predict_p99_ns);
+        let j = to_json(&[r]);
+        assert!(j.contains("\"predict_p50_ns\""));
+        assert!(j.contains("\"predict_p99_ns\""));
     }
 
     #[test]

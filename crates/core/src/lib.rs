@@ -63,7 +63,7 @@ pub mod store;
 pub use config::{IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
 pub use error::PnwError;
 pub use metrics::{OpReport, StoreSnapshot};
-pub use model::ModelManager;
+pub use model::{ModelManager, PredictScratch};
 pub use pool::DynamicAddressPool;
 pub use shard::{PutPath, ShardEngine};
 pub use sharded::ShardedPnwStore;

@@ -13,12 +13,44 @@ use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
 use std::sync::Mutex;
-use pnw_ml::featurize::bits_to_features;
+use pnw_ml::featurize::{bits_into_features, bits_to_features};
 use pnw_ml::kmeans::{KMeans, KMeansConfig};
 use pnw_ml::matrix::Matrix;
+use pnw_ml::packed::PackedPredictor;
 use pnw_ml::pca::{BitProjector, Pca};
 
 use crate::config::PnwConfig;
+
+/// Reusable buffers for the allocation-free prediction path.
+///
+/// The manager itself is shared read-only across shards, so the mutable
+/// scratch lives with the caller — each [`ShardEngine`](crate::ShardEngine)
+/// owns one and threads it through every prediction, making steady-state
+/// PUT/DELETE heap-allocation-free. Buffers grow to the model's K (and the
+/// PCA component count) on first use and are reused afterwards.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    /// PCA-space feature buffer (projector models only).
+    features: Vec<f32>,
+    /// Per-cluster squared distances from the last
+    /// [`ModelManager::predict_into`] call.
+    dist: Vec<f32>,
+    /// Cluster-index buffer for [`ModelManager::ranked_after_predict`].
+    ranking: Vec<usize>,
+}
+
+impl PredictScratch {
+    /// A fresh scratch (buffers allocate lazily on first prediction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-cluster squared distances from the last prediction (empty
+    /// before the first [`ModelManager::predict_into`] call).
+    pub fn distances(&self) -> &[f32] {
+        &self.dist
+    }
+}
 
 /// Result of one training run.
 pub struct TrainedModel {
@@ -45,6 +77,10 @@ pub struct ModelManager {
     pca: Option<Pca>,
     /// Fast byte→PCA-space projector derived from `pca` (kept in sync).
     projector: Option<BitProjector>,
+    /// Bit-domain LUT predictor over the current centroids (non-PCA models
+    /// only). Rebuilt once per (re)train/swap in [`ModelManager::install`],
+    /// never per operation.
+    packed: Option<PackedPredictor>,
     kmeans: KMeans,
     trained: bool,
     retrains: u64,
@@ -76,6 +112,7 @@ impl ModelManager {
             pca_sample: cfg.pca.sample,
             pca: None,
             projector: None,
+            packed: Some(PackedPredictor::from_centroids(&Matrix::zeros(1, dims))),
             kmeans: KMeans::from_centroids(Matrix::zeros(1, dims), 0),
             trained: false,
             retrains: 0,
@@ -113,16 +150,79 @@ impl ModelManager {
     }
 
     /// Predicts the cluster for a value — Algorithm 2 line 1.
+    ///
+    /// Convenience wrapper over [`ModelManager::predict_into`] with a
+    /// throwaway scratch; hot paths hold a [`PredictScratch`] and call
+    /// `predict_into` directly.
     pub fn predict(&self, value: &[u8]) -> usize {
-        self.kmeans.predict(&self.featurize(value))
+        self.predict_into(value, &mut PredictScratch::default())
     }
 
-    /// Predicts and returns all clusters ranked nearest-first (for the
-    /// pool's fallback path).
+    /// Predicts the cluster for a value with zero heap allocation
+    /// (buffers in `scratch` are reused across calls).
+    ///
+    /// Non-PCA models go through the bit-domain packed LUT kernel
+    /// (`‖c‖² + popcount(x) − 2⟨c,x⟩` over the raw bytes — see
+    /// [`pnw_ml::packed`]); PCA models project through the sparse
+    /// [`BitProjector`] into the scratch feature buffer and scan the
+    /// (small) PCA-space centroids. Either way `scratch` afterwards holds
+    /// the per-cluster distances, so a fallback ranking costs one argsort,
+    /// not a second scan ([`ModelManager::ranked_after_predict`]).
+    pub fn predict_into(&self, value: &[u8], scratch: &mut PredictScratch) -> usize {
+        debug_assert_eq!(value.len() * 8, self.value_bits);
+        scratch.dist.resize(self.kmeans.k(), 0.0);
+        if let Some(packed) = &self.packed {
+            packed.distances_into(value, &mut scratch.dist)
+        } else if let Some(p) = &self.projector {
+            scratch.features.resize(p.n_components(), 0.0);
+            p.project_into(value, &mut scratch.features);
+            self.kmeans.distances_into(&scratch.features, &mut scratch.dist)
+        } else {
+            // Defensive fallback (install always builds one of the two):
+            // the reference float path through an owned feature buffer.
+            scratch.features.resize(self.value_bits, 0.0);
+            bits_into_features(value, &mut scratch.features);
+            self.kmeans.distances_into(&scratch.features, &mut scratch.dist)
+        }
+    }
+
+    /// Ranks all clusters nearest-first from the distances the last
+    /// [`ModelManager::predict_into`] call left in `scratch` — the lazy
+    /// half of the split prediction: the pool only asks for this when the
+    /// predicted cluster's free list is empty, so the sort is never paid on
+    /// the hit path. Ties break toward the lower cluster index, keeping
+    /// `ranked[0]` identical to the predicted argmin.
+    pub fn ranked_after_predict<'a>(&self, scratch: &'a mut PredictScratch) -> &'a [usize] {
+        scratch.ranking.clear();
+        scratch.ranking.extend(0..scratch.dist.len());
+        let dist = &scratch.dist;
+        scratch
+            .ranking
+            .sort_unstable_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
+        &scratch.ranking
+    }
+
+    /// Predicts and returns all clusters ranked nearest-first (the eager
+    /// convenience form; the store's hot path uses
+    /// [`ModelManager::predict_into`] + [`ModelManager::ranked_after_predict`]
+    /// so the ranking is only computed on pool fallback).
     pub fn predict_ranked(&self, value: &[u8]) -> (usize, Vec<usize>) {
-        let f = self.featurize(value);
-        let ranked = self.kmeans.ranked_clusters(&f);
-        (ranked[0], ranked)
+        let mut scratch = PredictScratch::default();
+        let cluster = self.predict_into(value, &mut scratch);
+        let ranked = self.ranked_after_predict(&mut scratch).to_vec();
+        (cluster, ranked)
+    }
+
+    /// The fitted K-means model — the reference float path equivalence
+    /// tests and the predict microbench compare the packed kernel against.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.kmeans
+    }
+
+    /// Whether predictions go through the bit-domain packed LUT kernel
+    /// (false for PCA-configured models, which keep the sparse projector).
+    pub fn uses_packed(&self) -> bool {
+        self.packed.is_some()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -272,6 +372,11 @@ impl ModelManager {
         self.kmeans = m.kmeans;
         self.projector = m.pca.as_ref().map(Pca::bit_projector);
         self.pca = m.pca;
+        // Rebuild the packed LUTs once per swap — the per-op hot path only
+        // ever reads them. PCA models predict in projected space, where
+        // inputs are no longer 0/1, so they keep the projector path.
+        self.packed = (self.projector.is_none() && self.kmeans.dims() == self.value_bits)
+            .then(|| PackedPredictor::from_centroids(self.kmeans.centroids()));
         self.trained = true;
         self.retrains += 1;
     }
@@ -413,6 +518,102 @@ mod tests {
         assert!(dims > 0 && dims <= cfg.pca.components, "dims={dims}");
         // The two macro-patterns still separate after projection.
         assert_ne!(m.predict(&values[0]), m.predict(&values[1]));
+    }
+
+    #[test]
+    fn packed_path_matches_reference_float_path() {
+        let mut m = ModelManager::new(&small_cfg());
+        let values: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i, !i, i ^ 0x3C, i / 3]).collect();
+        m.train(&values);
+        assert!(m.uses_packed());
+        let mut scratch = PredictScratch::new();
+        for v in &values {
+            let packed = m.predict_into(v, &mut scratch);
+            let float = m.kmeans().predict(&bits_to_features(v));
+            assert_eq!(packed, float, "value {v:?}");
+            // Scratch distances match the float scan within tolerance.
+            for (c, &d) in scratch.distances().iter().enumerate() {
+                let r = pnw_ml::matrix::sq_dist(m.kmeans().centroid(c), &bits_to_features(v));
+                assert!((d - r).abs() <= 1e-3 * (1.0 + r), "c{c}: {d} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_after_predict_orders_scratch_distances() {
+        let mut m = ModelManager::new(&PnwConfig::new(64, 4).with_clusters(4));
+        let values: Vec<Vec<u8>> = (0..48u8)
+            .map(|i| match i % 4 {
+                0 => vec![0x00, 0x00, 0x00, i % 2],
+                1 => vec![0xFF, 0xFF, 0xFF, i % 2],
+                2 => vec![0x0F, 0x0F, 0x0F, i % 2],
+                _ => vec![0xF0, 0xF0, 0xF0, i % 2],
+            })
+            .collect();
+        m.train(&values);
+        let mut scratch = PredictScratch::new();
+        let probe = [0xFFu8, 0xFF, 0xF0, 0x00];
+        let cluster = m.predict_into(&probe, &mut scratch);
+        let dists = scratch.distances().to_vec();
+        let ranked = m.ranked_after_predict(&mut scratch);
+        assert_eq!(ranked.len(), m.k());
+        assert_eq!(ranked[0], cluster, "nearest-first starts at the argmin");
+        for w in ranked.windows(2) {
+            assert!(dists[w[0]] <= dists[w[1]]);
+        }
+        // And the eager form agrees with the split form.
+        let (c2, ranked2) = m.predict_ranked(&probe);
+        assert_eq!(c2, cluster);
+        assert_eq!(ranked2, ranked.to_vec());
+    }
+
+    #[test]
+    fn pca_model_keeps_projector_path_with_scratch() {
+        let cfg = PnwConfig::new(32, 256).with_clusters(2);
+        let mut m = ModelManager::new(&cfg);
+        assert!(m.uses_packed(), "untrained model is bit-domain");
+        let mut values = Vec::new();
+        for i in 0..30u8 {
+            let mut a = vec![0u8; 256];
+            a[..128].fill(0xFF);
+            a[200] = i;
+            values.push(a);
+            let mut b = vec![0u8; 256];
+            b[128..].fill(0xFF);
+            b[10] = i;
+            values.push(b);
+        }
+        m.train(&values);
+        assert!(!m.uses_packed(), "PCA model keeps the projector path");
+        let mut scratch = PredictScratch::new();
+        for v in values.iter().take(8) {
+            assert_eq!(
+                m.predict_into(v, &mut scratch),
+                m.kmeans().predict(&m.featurize(v)),
+            );
+        }
+    }
+
+    #[test]
+    fn retrain_rebuilds_packed_tables() {
+        let mut m = ModelManager::new(&small_cfg());
+        let low: Vec<Vec<u8>> = (0..20u8).map(|i| vec![0, 0, 0, i % 2]).collect();
+        let high: Vec<Vec<u8>> = (0..20u8).map(|i| vec![0xFF, 0xFF, 0xFF, 0xF0 | (i % 2)]).collect();
+        let mut both = low.clone();
+        both.extend(high.clone());
+        m.train(&both);
+        let mut scratch = PredictScratch::new();
+        let before = m.predict_into(&[0xFF, 0xFF, 0xFF, 0xFF], &mut scratch);
+        // Retrain on *only* the low family: the swapped-in model must drive
+        // predictions (stale LUTs would keep the old separation).
+        m.train(&low);
+        for v in &both {
+            assert_eq!(
+                m.predict_into(v, &mut scratch),
+                m.kmeans().predict(&bits_to_features(v)),
+            );
+        }
+        let _ = before;
     }
 
     #[test]

@@ -95,14 +95,27 @@ impl DynamicAddressPool {
     }
 
     /// Pops a free address from `cluster`, or — if it is empty — from the
-    /// first non-empty cluster in `ranked` order (nearest centroid first).
-    /// Returns the bucket and whether a fallback occurred.
-    pub fn pop(&mut self, cluster: usize, ranked: &[usize]) -> Option<(u32, bool)> {
+    /// first non-empty cluster in the order `ranked` produces (nearest
+    /// centroid first). Returns the bucket and whether a fallback occurred.
+    ///
+    /// `ranked` is a closure so the ranking (an argsort of K distances) is
+    /// only computed when the predicted cluster actually misses — on the
+    /// hit path, which dominates under a healthy load factor, the pop costs
+    /// one deque operation and the ranking is never materialized.
+    pub fn pop<R: AsRef<[usize]>>(
+        &mut self,
+        cluster: usize,
+        ranked: impl FnOnce() -> R,
+    ) -> Option<(u32, bool)> {
         if let Some(b) = self.lists.get_mut(cluster).and_then(VecDeque::pop_front) {
             self.free -= 1;
             return Some((b, false));
         }
-        for &c in ranked {
+        if self.free == 0 {
+            // Nothing anywhere: don't pay for the ranking either.
+            return None;
+        }
+        for &c in ranked().as_ref() {
             if c == cluster {
                 continue;
             }
@@ -146,13 +159,19 @@ impl DynamicAddressPool {
 mod tests {
     use super::*;
 
+    /// Ranking order used by most tests (was previously a pre-built slice
+    /// argument; now a lazily-invoked closure).
+    fn ranked() -> [usize; 3] {
+        [0, 1, 2]
+    }
+
     #[test]
     fn push_pop_same_cluster() {
         let mut p = DynamicAddressPool::new(3, 10);
         p.push(1, 42);
         assert_eq!(p.free(), 1);
         assert_eq!(p.free_in(1), 1);
-        let (b, fb) = p.pop(1, &[0, 1, 2]).unwrap();
+        let (b, fb) = p.pop(1, ranked).unwrap();
         assert_eq!(b, 42);
         assert!(!fb);
         assert_eq!(p.free(), 0);
@@ -164,19 +183,58 @@ mod tests {
         p.push(0, 1);
         p.push(2, 2);
         // Cluster 1 is empty; ranking prefers 2 then 0.
-        let (b, fb) = p.pop(1, &[1, 2, 0]).unwrap();
+        let (b, fb) = p.pop(1, || [1, 2, 0]).unwrap();
         assert_eq!(b, 2);
         assert!(fb);
         assert_eq!(p.fallbacks(), 1);
     }
 
     #[test]
+    fn ranking_is_not_computed_on_a_pool_hit() {
+        let mut p = DynamicAddressPool::new(3, 10);
+        p.push(1, 42);
+        p.push(2, 43);
+        let mut ranked_calls = 0u32;
+        let (b, fb) = p
+            .pop(1, || {
+                ranked_calls += 1;
+                [0, 1, 2]
+            })
+            .unwrap();
+        assert_eq!((b, fb), (42, false));
+        assert_eq!(ranked_calls, 0, "hit path must never rank");
+        // The miss path computes it exactly once.
+        let (_, fb) = p
+            .pop(1, || {
+                ranked_calls += 1;
+                [2, 0, 1]
+            })
+            .unwrap();
+        assert!(fb);
+        assert_eq!(ranked_calls, 1);
+    }
+
+    #[test]
+    fn empty_pool_skips_ranking_entirely() {
+        let mut p = DynamicAddressPool::new(2, 4);
+        let mut ranked_calls = 0u32;
+        assert!(p
+            .pop(0, || {
+                ranked_calls += 1;
+                [0, 1]
+            })
+            .is_none());
+        assert_eq!(ranked_calls, 0, "nothing to allocate: no ranking");
+        assert_eq!(p.fallbacks(), 0);
+    }
+
+    #[test]
     fn pop_exhausted_returns_none() {
         let mut p = DynamicAddressPool::new(2, 4);
-        assert!(p.pop(0, &[0, 1]).is_none());
+        assert!(p.pop(0, || [0, 1]).is_none());
         p.push(0, 7);
-        p.pop(0, &[0, 1]).unwrap();
-        assert!(p.pop(0, &[0, 1]).is_none());
+        p.pop(0, || [0, 1]).unwrap();
+        assert!(p.pop(0, || [0, 1]).is_none());
     }
 
     #[test]
@@ -225,7 +283,7 @@ mod tests {
         let mut p = DynamicAddressPool::new(4, 8);
         p.push(3, 9);
         // Ranking mentions only empty clusters; the pool must still find 9.
-        let (b, fb) = p.pop(0, &[0, 1]).unwrap();
+        let (b, fb) = p.pop(0, || [0, 1]).unwrap();
         assert_eq!(b, 9);
         assert!(fb);
     }

@@ -34,7 +34,7 @@ use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, Wr
 use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
 use crate::error::PnwError;
 use crate::metrics::{OpReport, StoreSnapshot};
-use crate::model::{stride_sample, ModelManager};
+use crate::model::{stride_sample, ModelManager, PredictScratch};
 use crate::pool::DynamicAddressPool;
 
 pub(crate) const HDR_BYTES: usize = 16;
@@ -85,6 +85,16 @@ pub struct ShardEngine {
     /// GET counter; atomic because the read path takes `&self`.
     gets: AtomicU64,
     deletes: u64,
+    /// Per-shard prediction scratch (distances, ranking, PCA features) —
+    /// the model is shared and read-only, the mutable buffers live here so
+    /// steady-state PUT/DELETE allocates nothing.
+    scratch: PredictScratch,
+    /// Reusable bucket image for the PUT write (header + value); the pad
+    /// bytes `[1..8]` are zeroed once and never touched again.
+    bucket_img: Vec<u8>,
+    /// Reusable value buffer for DELETE's content relabeling and
+    /// maintenance scans.
+    value_buf: Vec<u8>,
 }
 
 impl ShardEngine {
@@ -139,6 +149,10 @@ impl ShardEngine {
             pool.push(0, b);
         }
         let active_buckets = cfg.capacity;
+        let (bucket_img, value_buf) = (
+            vec![0u8; HDR_BYTES + cfg.value_size],
+            vec![0u8; cfg.value_size],
+        );
         ShardEngine {
             cfg,
             dev,
@@ -154,6 +168,9 @@ impl ShardEngine {
             puts: 0,
             gets: AtomicU64::new(0),
             deletes: 0,
+            scratch: PredictScratch::new(),
+            bucket_img,
+            value_buf,
         }
     }
 
@@ -232,8 +249,11 @@ impl ShardEngine {
         let add = buckets.min(self.reserve_remaining());
         let first = self.active_buckets as u32;
         for b in first..first + add as u32 {
-            let content = self.peek_value(b).expect("bucket in range");
-            let label = model.predict(&content);
+            let vaddr = self.bucket_addr(b) + HDR_BYTES;
+            self.dev
+                .peek_into(vaddr, &mut self.value_buf)
+                .expect("bucket in range");
+            let label = model.predict_into(&self.value_buf, &mut self.scratch);
             self.pool.push(label, b);
         }
         self.active_buckets += add;
@@ -314,14 +334,21 @@ impl ShardEngine {
 
         let before = self.dev.stats().clone();
 
-        // Algorithm 2 line 1: predict the entry.
+        // Algorithm 2 line 1: predict the entry. The packed bit-domain
+        // kernel reads the raw bytes — no featurization, no allocation —
+        // and leaves the per-cluster distances in this shard's scratch.
         let t0 = Instant::now();
-        let (cluster, ranked) = model.predict_ranked(value);
+        let cluster = model.predict_into(value, &mut self.scratch);
         let predict = t0.elapsed();
         self.predict_total += predict;
 
-        // Line 2: get an address from the dynamic address pool.
-        let (bucket, fallback) = self.pool.pop(cluster, &ranked).ok_or(PnwError::Full)?;
+        // Line 2: get an address from the dynamic address pool. The full
+        // nearest-first ranking is an argsort of the distances already in
+        // scratch, computed only if the predicted cluster misses.
+        let (pool, scratch) = (&mut self.pool, &mut self.scratch);
+        let (bucket, fallback) = pool
+            .pop(cluster, || model.ranked_after_predict(scratch))
+            .ok_or(PnwError::Full)?;
         let addr = self.bucket_addr(bucket);
 
         // Lines 3–6: one differential write covers the whole bucket
@@ -329,11 +356,10 @@ impl ShardEngine {
         // double-count dirty lines). Value-only accounting is previewed
         // first for the Figure 6 metric.
         let value_write = self.dev.diff_stats(addr + HDR_BYTES, value)?;
-        let mut bucket_img = vec![0u8; HDR_BYTES + value.len()];
-        bucket_img[0] = FLAG_VALID;
-        bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
-        bucket_img[HDR_BYTES..].copy_from_slice(value);
-        self.dev.write(addr, &bucket_img, WriteMode::Diff)?;
+        self.bucket_img[0] = FLAG_VALID;
+        self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
+        self.bucket_img[HDR_BYTES..].copy_from_slice(value);
+        self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
 
         // Line 7: update the hash index.
         if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
@@ -363,13 +389,33 @@ impl ShardEngine {
         self.gets.fetch_add(1, Ordering::Relaxed);
         match self.index.lookup(&self.dev, key)? {
             Some(addr) => {
-                let v = self
-                    .dev
-                    .peek(addr as usize + HDR_BYTES, self.cfg.value_size)?
-                    .to_vec();
+                let mut v = vec![0u8; self.cfg.value_size];
+                self.dev.peek_into(addr as usize + HDR_BYTES, &mut v)?;
                 Ok(Some(v))
             }
             None => Ok(None),
+        }
+    }
+
+    /// GET into a caller-provided buffer — the allocation-free read path
+    /// ([`NvmDevice::peek_into`] straight into `out`). Returns whether the
+    /// key was present; `out` is untouched when it was not.
+    ///
+    /// `out.len()` must equal the configured value size.
+    pub fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, PnwError> {
+        if out.len() != self.cfg.value_size {
+            return Err(PnwError::WrongValueSize {
+                expected: self.cfg.value_size,
+                got: out.len(),
+            });
+        }
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        match self.index.lookup(&self.dev, key)? {
+            Some(addr) => {
+                self.dev.peek_into(addr as usize + HDR_BYTES, out)?;
+                Ok(true)
+            }
+            None => Ok(false),
         }
     }
 
@@ -397,10 +443,12 @@ impl ShardEngine {
         // Line 2: reset the flag bit (a one-bit NVM update).
         self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
         // Lines 3–4: predict the label of the *stored content* and return
-        // the address to the pool.
+        // the address to the pool — through the shard's reusable value
+        // buffer and prediction scratch, so DELETE allocates nothing.
         let bucket = self.bucket_of_addr(addr);
-        let content = self.peek_value(bucket)?;
-        let label = model.predict(&content);
+        let vaddr = self.bucket_addr(bucket) + HDR_BYTES;
+        self.dev.peek_into(vaddr, &mut self.value_buf)?;
+        let label = model.predict_into(&self.value_buf, &mut self.scratch);
         self.pool.push(label, bucket);
         self.live -= 1;
         Ok(())
@@ -427,15 +475,23 @@ impl ShardEngine {
             n += 1;
         }
         // Back into the pool under the (still current) model's labels.
-        let relabeled: Vec<(u32, usize)> = free
-            .iter()
-            .map(|&b| {
-                let content = self.peek_value(b).expect("bucket in range");
-                (b, model.predict(&content))
-            })
-            .collect();
+        let relabeled = self.labels_of(model, free);
         self.pool.rebuild(model.k(), relabeled);
         Ok(n)
+    }
+
+    /// Labels each bucket's stored content under `model`, through the
+    /// shard's reusable buffers.
+    fn labels_of(&mut self, model: &ModelManager, buckets: Vec<u32>) -> Vec<(u32, usize)> {
+        let mut out = Vec::with_capacity(buckets.len());
+        for b in buckets {
+            let vaddr = self.bucket_addr(b) + HDR_BYTES;
+            self.dev
+                .peek_into(vaddr, &mut self.value_buf)
+                .expect("bucket in range");
+            out.push((b, model.predict_into(&self.value_buf, &mut self.scratch)));
+        }
+        out
     }
 
     /// Collects a training snapshot: the contents of all data-zone buckets
@@ -452,13 +508,7 @@ impl ShardEngine {
     /// model.
     pub fn relabel_pool(&mut self, model: &ModelManager) {
         let free = self.pool.drain_all();
-        let relabeled: Vec<(u32, usize)> = free
-            .into_iter()
-            .map(|b| {
-                let content = self.peek_value(b).expect("bucket in range");
-                (b, model.predict(&content))
-            })
-            .collect();
+        let relabeled = self.labels_of(model, free);
         self.pool.rebuild(model.k(), relabeled);
     }
 

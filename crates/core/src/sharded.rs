@@ -132,6 +132,16 @@ impl ShardedPnwStore {
         self.shards[self.shard_of(key)].read().unwrap().get(key)
     }
 
+    /// GET into a caller-provided buffer of exactly `value_size` bytes —
+    /// the allocation-free read path (clients reuse one buffer across
+    /// operations). Returns whether the key was present.
+    pub fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, PnwError> {
+        self.shards[self.shard_of(key)]
+            .read()
+            .unwrap()
+            .get_into(key, out)
+    }
+
     /// DELETE (Algorithm 3), routed to the key's shard.
     pub fn delete(&self, key: u64) -> Result<bool, PnwError> {
         self.try_install_background();

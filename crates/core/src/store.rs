@@ -143,6 +143,12 @@ impl PnwStore {
         self.engine.get(key)
     }
 
+    /// GET into a caller-provided buffer of exactly `value_size` bytes —
+    /// the allocation-free read path. Returns whether the key was present.
+    pub fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, PnwError> {
+        self.engine.get_into(key, out)
+    }
+
     /// DELETE (Algorithm 3): reset the flag bit, recycle the address into
     /// the pool under its *content's* label.
     pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {

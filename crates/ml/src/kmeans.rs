@@ -198,6 +198,26 @@ impl KMeans {
         nearest(&self.centroids, x)
     }
 
+    /// Squared distance from `x` to every centroid, written into `out`;
+    /// returns the argmin cluster. The allocation-free kernel behind the
+    /// PCA-space prediction path (bit-feature models use the packed LUT
+    /// predictor in [`crate::packed`] instead).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.k()`.
+    pub fn distances_into(&self, x: &[f32], out: &mut [f32]) -> usize {
+        assert_eq!(out.len(), self.k(), "distance buffer length mismatch");
+        let mut best = (0usize, f32::INFINITY);
+        for (c, (slot, row)) in out.iter_mut().zip(self.centroids.iter_rows()).enumerate() {
+            let dist = sq_dist(row, x);
+            *slot = dist;
+            if dist < best.1 {
+                best = (c, dist);
+            }
+        }
+        best.0
+    }
+
     /// Clusters ranked by distance to `x`, nearest first. Used by the
     /// dynamic address pool's fallback when the nearest cluster's free list
     /// is empty.

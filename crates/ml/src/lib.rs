@@ -17,6 +17,10 @@
 //! * [`featurize`] — the bit-per-dimension encoding of §V-A.1: *"each memory
 //!   location is encoded as a vector of bits, each of which is used as a
 //!   feature/dimension"*.
+//! * [`packed`] — the bit-domain prediction kernel: per-centroid packed
+//!   lookup tables turn `‖x−c‖²` into `‖c‖² + popcount(x) − 2⟨c,x⟩`, so the
+//!   PUT hot path predicts straight from the raw bytes with zero
+//!   featurization and zero allocation.
 //! * [`matrix`] / [`linalg`] — the minimal dense-matrix layer underneath.
 //!
 //! ```
@@ -51,6 +55,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod matrix;
 pub mod minibatch;
+pub mod packed;
 pub mod pca;
 
 pub use elbow::{elbow_point, sse_curve};
@@ -58,4 +63,5 @@ pub use featurize::{bits_to_features, features_to_bits};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use matrix::Matrix;
 pub use minibatch::MiniBatchKMeans;
+pub use packed::PackedPredictor;
 pub use pca::Pca;

@@ -278,8 +278,22 @@ impl BitProjector {
 
     /// Projects a raw byte value (must match the fitted dimensionality).
     pub fn project(&self, bytes: &[u8]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.n_components];
+        self.project_into(bytes, &mut y);
+        y
+    }
+
+    /// Projects a raw byte value into a caller-provided buffer — the
+    /// allocation-free variant the store's per-shard scratch uses.
+    ///
+    /// # Panics
+    /// Panics if `bytes` does not match the fitted dimensionality or
+    /// `out.len() != self.n_components()`.
+    pub fn project_into(&self, bytes: &[u8], out: &mut [f32]) {
         assert_eq!(bytes.len(), self.input_bytes, "dimension mismatch");
-        let mut y = self.offset.clone();
+        assert_eq!(out.len(), self.n_components, "output buffer mismatch");
+        let y = out;
+        y.copy_from_slice(&self.offset);
         let nc = self.n_components;
         for (i, &b) in bytes.iter().enumerate() {
             let mut rest = b;
@@ -292,7 +306,6 @@ impl BitProjector {
                 }
             }
         }
-        y
     }
 }
 

@@ -199,6 +199,14 @@ impl NvmDevice {
         Ok(&self.data[addr..addr + len])
     }
 
+    /// Copies `out.len()` bytes starting at `addr` into a caller-provided
+    /// buffer, with [`NvmDevice::peek`] semantics (no statistics). Lets the
+    /// store's GET path reuse one buffer instead of allocating per read.
+    pub fn peek_into(&self, addr: usize, out: &mut [u8]) -> Result<(), NvmError> {
+        out.copy_from_slice(self.peek(addr, out.len())?);
+        Ok(())
+    }
+
     /// Writes `new` at `addr` with the given mode, returning this
     /// operation's statistics (also accumulated into [`NvmDevice::stats`]).
     ///
@@ -234,11 +242,25 @@ impl NvmDevice {
             let off = range.start - addr;
             let old_chunk = &self.data[range.clone()];
             let new_chunk = &new[off..off + range.len()];
-            let diff_bits = hamming(old_chunk, new_chunk);
 
             let word_dirty = match mode {
-                WriteMode::Raw => true,
-                WriteMode::Diff => diff_bits > 0,
+                WriteMode::Raw => {
+                    // Every cell is programmed and charged; wear is one
+                    // batched call over the range, not one per bit.
+                    s.bit_flips += (range.len() as u64) * 8;
+                    self.wear.record_range_flips(range.start, range.len());
+                    true
+                }
+                WriteMode::Diff => {
+                    // One XOR-diff pass per device word on u64 lanes (byte
+                    // tail separate): yields the flip count *and* records
+                    // per-bit wear from the same masks, replacing the old
+                    // byte-at-a-time × bit-at-a-time loops.
+                    let diff_bits =
+                        diff_and_record_flips(&mut self.wear, range.start, old_chunk, new_chunk);
+                    s.bit_flips += diff_bits;
+                    diff_bits > 0
+                }
             };
             if word_dirty {
                 dirty_words += 1;
@@ -247,35 +269,6 @@ impl NvmDevice {
                 if line != last_dirty_line {
                     dirty_lines += 1;
                     last_dirty_line = line;
-                }
-            }
-
-            match mode {
-                WriteMode::Raw => {
-                    s.bit_flips += (range.len() as u64) * 8;
-                    if self.wear.tracks_bits() {
-                        for (i, abs) in range.clone().enumerate() {
-                            let _ = new_chunk[i];
-                            for bit in 0..8 {
-                                self.wear.record_bit_flip(abs, bit);
-                            }
-                        }
-                    }
-                }
-                WriteMode::Diff => {
-                    s.bit_flips += diff_bits;
-                    if self.wear.tracks_bits() && diff_bits > 0 {
-                        for (i, abs) in range.clone().enumerate() {
-                            let x = old_chunk[i] ^ new_chunk[i];
-                            if x != 0 {
-                                for bit in 0..8 {
-                                    if x >> bit & 1 == 1 {
-                                        self.wear.record_bit_flip(abs, bit);
-                                    }
-                                }
-                            }
-                        }
-                    }
                 }
             }
             self.data[range.clone()].copy_from_slice(new_chunk);
@@ -410,8 +403,9 @@ impl NvmDevice {
 
 /// Hamming distance between two equal-length byte slices.
 ///
-/// Processes 8 bytes at a time; this is the hot kernel of the whole
-/// simulator.
+/// Operates on `u64` words — one XOR + popcount per 8 bytes — with the
+/// byte tail folded into a single zero-padded word; this is the hot kernel
+/// of the whole simulator.
 #[inline]
 pub fn hamming(a: &[u8], b: &[u8]) -> u64 {
     debug_assert_eq!(a.len(), b.len());
@@ -423,10 +417,50 @@ pub fn hamming(a: &[u8], b: &[u8]) -> u64 {
         let xb = u64::from_le_bytes(cb.try_into().unwrap());
         total += (xa ^ xb).count_ones() as u64;
     }
-    for (ca, cb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        total += (ca ^ cb).count_ones() as u64;
+    let (ra, rb) = (chunks_a.remainder(), chunks_b.remainder());
+    if !ra.is_empty() {
+        total += (tail_word(ra) ^ tail_word(rb)).count_ones() as u64;
     }
     total
+}
+
+/// Zero-pads a sub-8-byte tail into one little-endian `u64`.
+#[inline]
+fn tail_word(bytes: &[u8]) -> u64 {
+    let mut pad = [0u8; 8];
+    pad[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(pad)
+}
+
+/// XOR-diff scan of two equal-length chunks starting at absolute byte
+/// address `start`: returns the Hamming distance and records each flipped
+/// bit in `wear` (a no-op when bit tracking is off), one wear call per
+/// dirty `u64` word instead of one per bit.
+#[inline]
+fn diff_and_record_flips(wear: &mut WearTracker, start: usize, old: &[u8], new: &[u8]) -> u64 {
+    debug_assert_eq!(old.len(), new.len());
+    let mut flips = 0u64;
+    let mut pos = start;
+    let mut chunks_o = old.chunks_exact(8);
+    let mut chunks_n = new.chunks_exact(8);
+    for (co, cn) in (&mut chunks_o).zip(&mut chunks_n) {
+        let xor = u64::from_le_bytes(co.try_into().unwrap())
+            ^ u64::from_le_bytes(cn.try_into().unwrap());
+        if xor != 0 {
+            flips += xor.count_ones() as u64;
+            wear.record_word_flips(pos, xor);
+        }
+        pos += 8;
+    }
+    let (ro, rn) = (chunks_o.remainder(), chunks_n.remainder());
+    if !ro.is_empty() {
+        let xor = tail_word(ro) ^ tail_word(rn);
+        if xor != 0 {
+            flips += xor.count_ones() as u64;
+            wear.record_word_flips(pos, xor);
+        }
+    }
+    flips
 }
 
 #[cfg(test)]
@@ -633,6 +667,54 @@ mod tests {
         let d2 = NvmDevice::load_image(NvmConfig::default(), &path).unwrap();
         assert_eq!(d2.peek(0, 16).unwrap(), &[0xEE; 16]);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn peek_into_matches_peek() {
+        let mut d = dev(64);
+        d.write(8, b"word-kernel", WriteMode::Raw).unwrap();
+        let mut buf = [0u8; 11];
+        d.peek_into(8, &mut buf).unwrap();
+        assert_eq!(&buf, b"word-kernel");
+        assert_eq!(d.stats().read_ops, 0);
+        assert!(matches!(
+            d.peek_into(60, &mut buf),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_write_wears_every_bit_of_the_range() {
+        let mut d = NvmDevice::new(NvmConfig::default().with_size(64).with_bit_wear(true));
+        // Unaligned 11-byte Raw write: all 88 bits must wear exactly once,
+        // changed or not.
+        d.write(3, &[0xA5u8; 11], WriteMode::Raw).unwrap();
+        let bits = d.wear().bit_flips().unwrap();
+        for (i, &b) in bits.iter().enumerate() {
+            let expect = u16::from((3 * 8..14 * 8).contains(&i));
+            assert_eq!(b, expect, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn diff_write_wear_matches_flips_on_unaligned_tail() {
+        let mut d = NvmDevice::new(NvmConfig::default().with_size(64).with_bit_wear(true));
+        d.write(0, &[0x00u8; 13], WriteMode::Raw).unwrap();
+        d.reset_wear();
+        // 13-byte diff (one full word + 5-byte tail across two words).
+        let mut new = [0x00u8; 13];
+        new[0] = 0b0000_0110; // bits 1,2 of byte 0
+        new[12] = 0b1000_0000; // bit 7 of byte 12
+        let s = d.write(0, &new, WriteMode::Diff).unwrap();
+        assert_eq!(s.bit_flips, 3);
+        let bits = d.wear().bit_flips().unwrap();
+        let worn: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(worn, vec![1, 2, 12 * 8 + 7]);
     }
 
     #[test]

@@ -61,6 +61,39 @@ impl WearTracker {
         }
     }
 
+    /// Records one flip per set bit of `xor`, interpreted as the
+    /// little-endian XOR of up to 8 bytes starting at byte `addr` — the
+    /// per-bit counters are byte-major LSB-first, so bit `b` of the word
+    /// maps directly to counter index `addr*8 + b`. One call covers a whole
+    /// device word; the bit-scan only visits set bits.
+    #[inline]
+    pub fn record_word_flips(&mut self, addr: usize, mut xor: u64) {
+        if let Some(bits) = self.bit_flips.as_mut() {
+            let base = addr * 8;
+            while xor != 0 {
+                let b = xor.trailing_zeros() as usize;
+                if let Some(slot) = bits.get_mut(base + b) {
+                    *slot = slot.saturating_add(1);
+                }
+                xor &= xor - 1;
+            }
+        }
+    }
+
+    /// Records one flip on *every* bit of the `len` bytes starting at
+    /// `addr` — a Raw write programs every cell. One call per range instead
+    /// of one per bit.
+    #[inline]
+    pub fn record_range_flips(&mut self, addr: usize, len: usize) {
+        if let Some(bits) = self.bit_flips.as_mut() {
+            let a = (addr * 8).min(bits.len());
+            let b = ((addr + len) * 8).min(bits.len());
+            for slot in &mut bits[a..b] {
+                *slot = slot.saturating_add(1);
+            }
+        }
+    }
+
     /// Writes-per-word counter slice.
     pub fn word_writes(&self) -> &[u32] {
         &self.word_writes
@@ -281,6 +314,38 @@ mod tests {
         let bits = t.bit_flips().unwrap();
         assert_eq!(bits[0], 2);
         assert_eq!(bits[15], 1);
+    }
+
+    #[test]
+    fn word_flips_match_per_bit_recording() {
+        let mut a = WearTracker::new(16, 8, true);
+        let mut b = WearTracker::new(16, 8, true);
+        let xor = 0x8000_0000_0000_A501u64; // bits across several bytes
+        a.record_word_flips(3, xor);
+        for bit in 0..64u32 {
+            if xor >> bit & 1 == 1 {
+                b.record_bit_flip(3 + bit as usize / 8, bit % 8);
+            }
+        }
+        assert_eq!(a.bit_flips(), b.bit_flips());
+        // Disabled tracking: a no-op, not a panic.
+        let mut c = WearTracker::new(16, 8, false);
+        c.record_word_flips(0, u64::MAX);
+        assert!(c.bit_flips().is_none());
+    }
+
+    #[test]
+    fn range_flips_cover_every_bit_once() {
+        let mut t = WearTracker::new(16, 8, true);
+        t.record_range_flips(2, 3);
+        let bits = t.bit_flips().unwrap();
+        for (i, &b) in bits.iter().enumerate() {
+            let expect = u16::from((16..40).contains(&i));
+            assert_eq!(b, expect, "bit {i}");
+        }
+        // Out-of-range tail is clamped, not panicked.
+        t.record_range_flips(14, 10);
+        assert_eq!(t.bit_flips().unwrap()[127], 1);
     }
 
     #[test]

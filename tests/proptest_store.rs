@@ -121,7 +121,7 @@ proptest! {
         let mut held: Vec<u32> = Vec::new();
         for op in ops {
             if op % 2 == 0 {
-                if let Some((b, _)) = pool.pop((op % 4) as usize, &[0, 1, 2, 3]) {
+                if let Some((b, _)) = pool.pop((op % 4) as usize, || [0, 1, 2, 3]) {
                     prop_assert!(!held.contains(&b), "bucket {} double-allocated", b);
                     held.push(b);
                 }
