@@ -1,0 +1,63 @@
+//! Criterion bench for the training pipeline: the packed bit-domain fit
+//! (LUT assignment + integer bit-count centroid update over `u64` words)
+//! against the float featurize-then-Lloyd reference, at a size small
+//! enough for criterion's repeated sampling (the full sweep, including the
+//! 100k-sample acceptance point, lives in the `train` binary /
+//! `BENCH_train.json`).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pnw_ml::featurize::featurize_values;
+use pnw_ml::kmeans::{KMeans, KMeansConfig};
+use pnw_ml::packedmatrix::PackedMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn values(n: usize, bytes: usize, families: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(0xACE5);
+    (0..n)
+        .map(|i| {
+            let fill = (255 / families * (i % families)) as u8;
+            let mut v = vec![fill; bytes];
+            for b in &mut v[bytes - 4..] {
+                *b = rng.gen();
+            }
+            v
+        })
+        .collect()
+}
+
+fn bench_train_paths(c: &mut Criterion) {
+    let vals = values(2_000, 64, 8);
+    let cfg = KMeansConfig::new(8).with_seed(5).with_max_iters(10);
+
+    let mut g = c.benchmark_group("train_packed");
+    g.sample_size(10);
+    g.bench_function("64B-k8-2000", |b| {
+        b.iter(|| KMeans::fit_set(&PackedMatrix::from_values(black_box(&vals)), &cfg))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("train_float");
+    g.sample_size(10);
+    g.bench_function("64B-k8-2000", |b| {
+        b.iter(|| KMeans::fit(&featurize_values(black_box(&vals)), &cfg))
+    });
+    g.finish();
+}
+
+/// Short windows: deterministic kernels on shared CI (same rationale as
+/// `micro.rs`).
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_train_paths
+}
+criterion_main!(benches);

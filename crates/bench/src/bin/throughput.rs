@@ -119,6 +119,14 @@ fn main() {
             ..args.cfg.clone()
         });
         print_row(&r);
+        println!(
+            "        model: epoch {}, {} retrains, last train {:.2} ms on {} samples ({} pre-cap)",
+            r.model_epoch,
+            r.retrains,
+            r.last_train_ms,
+            r.train_samples_post_cap,
+            r.train_samples_pre_cap,
+        );
         reports.push(r);
     }
     match write_json(&args.out, &reports) {

@@ -20,10 +20,13 @@
 //! * [`predictbench`] — the prediction-kernel microbenchmark: packed
 //!   bit-domain LUT path vs the reference float featurize-then-scan path,
 //!   across value sizes and cluster counts (`BENCH_predict.json`).
+//! * [`trainbench`] — the retraining benchmark: the packed bit-domain
+//!   training pipeline vs the float featurize-then-Lloyd reference, across
+//!   value sizes, cluster counts and sample counts (`BENCH_train.json`).
 //!
 //! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-//! repro_all throughput predict`.
+//! repro_all throughput predict train`.
 
 #![warn(missing_docs)]
 
@@ -33,6 +36,7 @@ pub mod predictbench;
 pub mod replace;
 pub mod table;
 pub mod throughput;
+pub mod trainbench;
 
 /// Experiment scale, so harnesses run both as smoke tests and full repros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

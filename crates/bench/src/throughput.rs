@@ -147,6 +147,16 @@ pub struct ThroughputReport {
     pub full_errors: u64,
     /// Total NVM bit flips across all shards during the measured window.
     pub bit_flips: u64,
+    /// Completed training runs (warm-up train + background retrains).
+    pub retrains: u64,
+    /// Model epoch of the final published snapshot (== install count).
+    pub model_epoch: u64,
+    /// Wall-clock of the last completed training run, in milliseconds.
+    pub last_train_ms: f64,
+    /// Training-snapshot size before the reservoir cap, last run.
+    pub train_samples_pre_cap: usize,
+    /// Samples actually trained on (after the reservoir cap), last run.
+    pub train_samples_post_cap: usize,
 }
 
 /// Zipfian rank sampler over `0..n` via an inverted CDF table.
@@ -313,6 +323,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         }
     };
     let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
+    let snap = store.snapshot();
     ThroughputReport {
         threads: cfg.threads,
         shards: cfg.shards,
@@ -328,6 +339,11 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         deletes: deletes.load(Ordering::Relaxed),
         full_errors: full_errors.load(Ordering::Relaxed),
         bit_flips: store.device_stats().totals.bit_flips,
+        retrains: snap.retrains,
+        model_epoch: snap.train.epoch,
+        last_train_ms: snap.train.last_train_wall.as_secs_f64() * 1e3,
+        train_samples_pre_cap: snap.train.samples_pre_cap,
+        train_samples_post_cap: snap.train.samples_post_cap,
     }
 }
 
@@ -356,7 +372,9 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
              \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
              \"predict_p50_ns\": {}, \"predict_p99_ns\": {}, \
              \"puts\": {}, \"gets\": {}, \"deletes\": {}, \
-             \"full_errors\": {}, \"bit_flips\": {}}}{}\n",
+             \"full_errors\": {}, \"bit_flips\": {}, \
+             \"retrains\": {}, \"model_epoch\": {}, \"last_train_ms\": {:.2}, \
+             \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}}}{}\n",
             r.threads,
             r.shards,
             r.total_ops,
@@ -371,6 +389,11 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             r.deletes,
             r.full_errors,
             r.bit_flips,
+            r.retrains,
+            r.model_epoch,
+            r.last_train_ms,
+            r.train_samples_pre_cap,
+            r.train_samples_post_cap,
             if i + 1 < reports.len() { "," } else { "" },
         ));
     }
@@ -428,6 +451,15 @@ mod tests {
         assert!(r.ops_per_sec > 0.0);
         assert!(r.p50_modeled_ns <= r.p99_modeled_ns);
         assert!(r.bit_flips > 0, "PUTs must have flipped bits");
+        // Retrain observability: the warm-up train is always recorded.
+        assert!(r.retrains >= 1);
+        assert_eq!(r.model_epoch, r.retrains);
+        assert!(r.last_train_ms > 0.0);
+        assert!(r.train_samples_pre_cap >= r.train_samples_post_cap);
+        assert!(r.train_samples_post_cap > 0);
+        let j = to_json(&[r]);
+        assert!(j.contains("\"model_epoch\""));
+        assert!(j.contains("\"train_samples_post_cap\""));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Packed-vs-float retraining benchmark.
+//!
+//! PR 3 moved *prediction* into the packed bit domain; this harness
+//! measures the same move on the *training* side: the old pipeline
+//! (featurize every sampled value into one `f32` per bit — a 32× memory
+//! blow-up — then dense float Lloyd iterations) against the packed pipeline
+//! ([`pnw_ml::packedmatrix::PackedMatrix`]: per-iteration byte LUTs for the
+//! assignment step, integer bit-count accumulators for the centroid
+//! update, Hamming-popcount k-means++ seeding). Both paths run the same
+//! algorithm from the same seed, so the comparison is representation-only;
+//! the recorded `inertia_ratio` guards against quality drift.
+//!
+//! The numbers land in `BENCH_train.json` via the `train` binary; the
+//! acceptance point is 64 B / K = 16 / 100k samples.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use pnw_ml::featurize::featurize_values;
+use pnw_ml::kmeans::{KMeans, KMeansConfig};
+use pnw_ml::packedmatrix::PackedMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::Scale;
+
+/// Lloyd iteration cap for both paths: enough for family-structured data
+/// to converge, low enough that the float baseline finishes in CI time.
+const MAX_ITERS: usize = 10;
+
+/// One (value size, cluster count, sample count) measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainCase {
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Cluster count K.
+    pub k: usize,
+    /// Training-set size in samples.
+    pub samples: usize,
+}
+
+/// The default sweep: value sizes around the paper's small-item regime, a
+/// K sweep at 64 B, and sample counts up to the acceptance point
+/// (64 B / K = 16 / 100k). `Scale::Quick` divides sample counts by 20 for
+/// CI smoke runs.
+pub fn default_cases(scale: Scale) -> Vec<TrainCase> {
+    let div = scale.pick(20, 1);
+    [
+        (16, 16, 50_000),
+        (64, 4, 100_000),
+        (64, 16, 100_000),
+        (64, 64, 50_000),
+        (256, 16, 25_000),
+    ]
+    .into_iter()
+    .map(|(value_size, k, samples)| TrainCase {
+        value_size,
+        k,
+        samples: (samples / div).max(256),
+    })
+    .collect()
+}
+
+/// Wall-clock results for one case, in milliseconds per full retrain
+/// (tensor construction + fit, i.e. what a background retrain pays).
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Cluster count K actually fitted.
+    pub k: usize,
+    /// Samples trained on.
+    pub samples: usize,
+    /// Packed pipeline: pack + bit-domain Lloyd, milliseconds.
+    pub packed_ms: f64,
+    /// Float pipeline: featurize + dense float Lloyd, milliseconds.
+    pub float_ms: f64,
+    /// `float_ms / packed_ms`.
+    pub speedup: f64,
+    /// `packed.inertia / float.inertia` — 1.0 when the two fits converge to
+    /// the same objective (quality guard; representation must not cost SSE).
+    pub inertia_ratio: f64,
+}
+
+/// Deterministic value generator: `families` byte-fill patterns plus a
+/// random tail, the same shape the predict bench and throughput harness
+/// use — enough structure for K-means to find real clusters.
+fn gen_values(n: usize, value_size: usize, families: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let fill = (255 / families.max(1) * (i % families.max(1))) as u8;
+            let mut v = vec![fill; value_size];
+            let tail = value_size.min(4);
+            for b in &mut v[value_size - tail..] {
+                *b = rng.gen();
+            }
+            v
+        })
+        .collect()
+}
+
+/// Measures one case: one full retrain per path on identical values with
+/// identical seeds and iteration caps.
+pub fn measure_case(case: TrainCase, seed: u64) -> TrainResult {
+    let values = gen_values(case.samples, case.value_size, case.k.max(4), seed ^ 0xFEED);
+    let cfg = KMeansConfig::new(case.k)
+        .with_seed(seed)
+        .with_max_iters(MAX_ITERS);
+
+    // Packed pipeline: pack the bytes, fit in the bit domain.
+    let t0 = Instant::now();
+    let packed_set = PackedMatrix::from_values(&values);
+    let packed = KMeans::fit_set(black_box(&packed_set), &cfg);
+    let packed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Float pipeline: what every retrain paid before this PR — expand to
+    // one f32 per bit, then dense Lloyd.
+    let t0 = Instant::now();
+    let floats = featurize_values(&values);
+    let float = KMeans::fit(black_box(&floats), &cfg);
+    let float_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    TrainResult {
+        value_size: case.value_size,
+        k: packed.k(),
+        samples: case.samples,
+        packed_ms,
+        float_ms,
+        speedup: float_ms / packed_ms.max(1e-9),
+        inertia_ratio: packed.inertia as f64 / (float.inertia as f64).max(1e-9),
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run_sweep(cases: &[TrainCase], seed: u64) -> Vec<TrainResult> {
+    cases.iter().map(|&c| measure_case(c, seed)).collect()
+}
+
+/// Serializes results as JSON (hand-rolled, like the other harnesses — the
+/// workspace has no JSON dependency) for `BENCH_train.json`.
+pub fn to_json(results: &[TrainResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"train\",\n  \"unit\": \"ms/retrain\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"value_size\": {}, \"k\": {}, \"samples\": {}, \
+             \"packed_ms\": {:.1}, \"float_ms\": {:.1}, \"speedup\": {:.2}, \
+             \"inertia_ratio\": {:.4}}}{}\n",
+            r.value_size,
+            r.k,
+            r.samples,
+            r.packed_ms,
+            r.float_ms,
+            r.speedup,
+            r.inertia_ratio,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(path: &Path, results: &[TrainResult]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_case_produces_sane_numbers() {
+        let r = measure_case(
+            TrainCase {
+                value_size: 16,
+                k: 4,
+                samples: 400,
+            },
+            7,
+        );
+        assert_eq!(r.value_size, 16);
+        assert_eq!(r.k, 4);
+        assert!(r.packed_ms > 0.0);
+        assert!(r.float_ms > 0.0);
+        assert!(r.speedup > 0.0);
+        // Same seed, same algorithm: the fits converge to the same
+        // objective (decisive family margins, so no tie-cascade drift).
+        assert!(
+            (r.inertia_ratio - 1.0).abs() < 0.01,
+            "inertia_ratio {}",
+            r.inertia_ratio
+        );
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&run_sweep(
+            &[TrainCase {
+                value_size: 8,
+                k: 2,
+                samples: 300,
+            }],
+            3,
+        ));
+        assert!(j.contains("\"bench\": \"train\""));
+        assert!(j.contains("\"packed_ms\""));
+        assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"inertia_ratio\""));
+    }
+
+    #[test]
+    fn quick_cases_are_scaled_down() {
+        let quick = default_cases(Scale::Quick);
+        let full = default_cases(Scale::Full);
+        assert_eq!(quick.len(), full.len());
+        for (q, f) in quick.iter().zip(&full) {
+            assert!(q.samples < f.samples);
+            assert_eq!(q.k, f.k);
+        }
+        // The acceptance point is present at full scale.
+        assert!(full
+            .iter()
+            .any(|c| c.value_size == 64 && c.k == 16 && c.samples == 100_000));
+    }
+}

@@ -90,8 +90,16 @@ pub struct PnwConfig {
     pub pca: PcaPolicy,
     /// Worker threads for K-means training (Figure 11 sweeps 1 vs 4).
     pub train_threads: usize,
-    /// Cap on training-set size (buckets are subsampled beyond this).
+    /// Cap on how many data-zone values a training *snapshot* collects
+    /// (buckets are stride-subsampled beyond this, per shard).
     pub train_sample: usize,
+    /// Hard cap on the samples one training run consumes: snapshots larger
+    /// than this are reduced by deterministic reservoir sampling
+    /// ([`reservoir_sample`](crate::model::reservoir_sample)) before
+    /// featurization, so retrain cost stops scaling with data-zone size.
+    /// [`StoreSnapshot::train`](crate::StoreSnapshot::train) reports the
+    /// pre- and post-cap counts.
+    pub train_sample_cap: usize,
     /// Lloyd iteration cap.
     pub train_iters: usize,
     /// Track per-bit wear (needed for Figure 13; costs DRAM).
@@ -133,6 +141,7 @@ impl PnwConfig {
             pca: PcaPolicy::default(),
             train_threads: 1,
             train_sample: 4096,
+            train_sample_cap: 4096,
             train_iters: 25,
             track_bit_wear: false,
             reserve_buckets: 0,
@@ -180,6 +189,12 @@ impl PnwConfig {
     /// Sets training threads.
     pub fn with_train_threads(mut self, t: usize) -> Self {
         self.train_threads = t.max(1);
+        self
+    }
+
+    /// Sets the reservoir cap on per-run training samples (clamped to ≥ 1).
+    pub fn with_train_sample_cap(mut self, cap: usize) -> Self {
+        self.train_sample_cap = cap.max(1);
         self
     }
 
@@ -247,12 +262,15 @@ mod tests {
             .with_clusters(0)
             .with_load_factor(7.0)
             .with_train_threads(0)
+            .with_train_sample_cap(0)
             .with_shards(0);
         assert_eq!(c.clusters, 1);
         assert_eq!(c.load_factor, 1.0);
         assert_eq!(c.train_threads, 1);
+        assert_eq!(c.train_sample_cap, 1);
         assert_eq!(c.shards, 1);
         assert_eq!(PnwConfig::new(8, 8).with_shards(4).shards, 4);
+        assert_eq!(PnwConfig::new(8, 8).with_train_sample_cap(99).train_sample_cap, 99);
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub mod store;
 
 pub use config::{IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
 pub use error::PnwError;
-pub use metrics::{OpReport, StoreSnapshot};
-pub use model::{ModelManager, PredictScratch};
+pub use metrics::{OpReport, StoreSnapshot, TrainStats};
+pub use model::{ModelManager, ModelSnapshot, PredictScratch};
 pub use pool::DynamicAddressPool;
 pub use shard::{PutPath, ShardEngine};
 pub use sharded::ShardedPnwStore;

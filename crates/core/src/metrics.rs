@@ -32,6 +32,24 @@ impl OpReport {
     }
 }
 
+/// Retrain observability: what the last completed training run cost and
+/// used, plus the model epoch (install/swap counter). Lives on the trainer
+/// and is surfaced through [`StoreSnapshot::train`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Wall-clock time of the last completed training run (the Figure 11
+    /// measurement), `ZERO` before the first.
+    pub last_train_wall: Duration,
+    /// Training-snapshot size before the reservoir cap.
+    pub samples_pre_cap: usize,
+    /// Samples actually trained on (≤ `train_sample_cap`).
+    pub samples_post_cap: usize,
+    /// Model epoch: completed install/swap count (0 = untrained
+    /// placeholder). Every published [`ModelSnapshot`](crate::model::ModelSnapshot)
+    /// carries its epoch; this is the latest.
+    pub epoch: u64,
+}
+
 /// Point-in-time view of a store.
 #[derive(Debug, Clone)]
 pub struct StoreSnapshot {
@@ -45,6 +63,8 @@ pub struct StoreSnapshot {
     pub k: usize,
     /// Completed training runs.
     pub retrains: u64,
+    /// Retrain observability (wall clock, reservoir cap, model epoch).
+    pub train: TrainStats,
     /// Pool allocations that fell back to a non-predicted cluster.
     pub fallbacks: u64,
     /// Cumulative device statistics.
@@ -104,6 +124,7 @@ mod tests {
             capacity: 20,
             k: 3,
             retrains: 1,
+            train: TrainStats::default(),
             fallbacks: 0,
             device: DeviceStats::default(),
             predict_total: Duration::from_micros(50),
@@ -123,6 +144,7 @@ mod tests {
             capacity: 0,
             k: 1,
             retrains: 0,
+            train: TrainStats::default(),
             fallbacks: 0,
             device: DeviceStats::default(),
             predict_total: Duration::ZERO,

@@ -1,31 +1,49 @@
-//! The ML model manager: featurization, PCA, K-means, background retraining
-//! (§V-A.1).
+//! The ML model lifecycle: packed-domain training, PCA, background
+//! retraining, and immutable epoch-numbered prediction snapshots (§V-A.1).
 //!
 //! *"The ML model is constructed on DRAM as it does not need to be
-//! persistent and can be reconstructed after a crash."* The manager owns the
-//! current K-means model (and the PCA basis for large values), serves
-//! predictions, and coordinates background retraining: training runs on a
-//! worker thread against a snapshot of the data zone, and the trained model
-//! is installed at the next store operation — the paper's *"we can hide the
-//! re-training latency and the system works without disruptions"*.
+//! persistent and can be reconstructed after a crash."* Two types split the
+//! paper's "model" along its read/write seam:
+//!
+//! * [`ModelSnapshot`] — the immutable prediction state (centroids, packed
+//!   LUTs, PCA projector), shared as an `Arc` and swapped wholesale at each
+//!   (re)train. Prediction through a snapshot takes **no lock**: every
+//!   [`ShardEngine`](crate::ShardEngine) holds its own `Arc` clone and a
+//!   publish replaces it under the shard's existing lock, so a reader can
+//!   never observe a half-updated model.
+//! * [`ModelManager`] — the trainer: configuration, the background-training
+//!   channel, retrain counters. Touched only on train/install boundaries,
+//!   never on the op hot path.
+//!
+//! Training runs in the packed bit domain end to end for raw bit-feature
+//! models ([`pnw_ml::packedmatrix`]): the sampled values are packed into
+//! `u64` words instead of being expanded 32× into floats, and both the
+//! assignment and centroid-update steps run on words. PCA-configured
+//! models keep the float pipeline (projected space is not 0/1). Training
+//! snapshots are capped by deterministic reservoir sampling
+//! ([`reservoir_sample`], `train_sample_cap` on [`PnwConfig`]) so retrain
+//! cost stops scaling with data-zone size.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
-use std::sync::Mutex;
-use pnw_ml::featurize::{bits_into_features, bits_to_features};
+use pnw_ml::featurize::bits_into_features;
 use pnw_ml::kmeans::{KMeans, KMeansConfig};
 use pnw_ml::matrix::Matrix;
 use pnw_ml::packed::PackedPredictor;
+use pnw_ml::packedmatrix::PackedMatrix;
 use pnw_ml::pca::{BitProjector, Pca};
 
 use crate::config::PnwConfig;
+use crate::metrics::TrainStats;
 
 /// Reusable buffers for the allocation-free prediction path.
 ///
-/// The manager itself is shared read-only across shards, so the mutable
-/// scratch lives with the caller — each [`ShardEngine`](crate::ShardEngine)
-/// owns one and threads it through every prediction, making steady-state
+/// Snapshots are shared read-only across shards, so the mutable scratch
+/// lives with the caller — each [`ShardEngine`](crate::ShardEngine) owns
+/// one and threads it through every prediction, making steady-state
 /// PUT/DELETE heap-allocation-free. Buffers grow to the model's K (and the
 /// PCA component count) on first use and are reused afterwards.
 #[derive(Debug, Default)]
@@ -33,9 +51,9 @@ pub struct PredictScratch {
     /// PCA-space feature buffer (projector models only).
     features: Vec<f32>,
     /// Per-cluster squared distances from the last
-    /// [`ModelManager::predict_into`] call.
+    /// [`ModelSnapshot::predict_into`] call.
     dist: Vec<f32>,
-    /// Cluster-index buffer for [`ModelManager::ranked_after_predict`].
+    /// Cluster-index buffer for [`ModelSnapshot::ranked_after_predict`].
     ranking: Vec<usize>,
 }
 
@@ -46,7 +64,7 @@ impl PredictScratch {
     }
 
     /// Per-cluster squared distances from the last prediction (empty
-    /// before the first [`ModelManager::predict_into`] call).
+    /// before the first [`ModelSnapshot::predict_into`] call).
     pub fn distances(&self) -> &[f32] {
         &self.dist
     }
@@ -60,98 +78,86 @@ pub struct TrainedModel {
     pub pca: Option<Pca>,
     /// Wall-clock training time (the Figure 11 measurement).
     pub elapsed: Duration,
+    /// Snapshot size before the reservoir cap.
+    pub samples_pre_cap: usize,
+    /// Samples actually trained on (≤ `train_sample_cap`).
+    pub samples_post_cap: usize,
 }
 
-/// Owns the live model and the background-training machinery.
-pub struct ModelManager {
-    clusters: usize,
-    auto_k: Option<(usize, usize)>,
-    seed: u64,
-    threads: usize,
-    iters: usize,
+/// The immutable prediction state of one trained (or untrained) model:
+/// centroids, the packed bit-domain LUTs, and the PCA projector when one
+/// applies. Epoch-numbered; published as an `Arc` and never mutated, so
+/// predictions take no lock and can never see a torn model.
+pub struct ModelSnapshot {
     value_bits: usize,
-    use_pca: bool,
-    pca_components: usize,
-    pca_sample: usize,
-
-    pca: Option<Pca>,
-    /// Fast byte→PCA-space projector derived from `pca` (kept in sync).
-    projector: Option<BitProjector>,
-    /// Bit-domain LUT predictor over the current centroids (non-PCA models
-    /// only). Rebuilt once per (re)train/swap in [`ModelManager::install`],
-    /// never per operation.
-    packed: Option<PackedPredictor>,
     kmeans: KMeans,
+    /// Fast byte→PCA-space projector (PCA models only).
+    projector: Option<BitProjector>,
+    /// Bit-domain LUT predictor over the centroids (non-PCA models only).
+    /// Built once when the snapshot is created, read-only afterwards.
+    packed: Option<PackedPredictor>,
     trained: bool,
-    retrains: u64,
-    /// In-flight background training run. Behind a `Mutex` only so that the
-    /// manager stays `Sync` — a sharded store shares one manager across all
-    /// shards behind an `RwLock`, and `mpsc::Receiver` is not `Sync` on its
-    /// own. Mutating methods go through `get_mut` (no lock traffic).
-    pending: Mutex<Option<Receiver<TrainedModel>>>,
+    /// Install counter: 0 for the untrained placeholder, then one per
+    /// completed (re)train. Monotonic per store.
+    epoch: u64,
 }
 
-impl ModelManager {
-    /// Creates an untrained manager; predictions all map to cluster 0 until
-    /// the first training (matching a store whose cells are all zero).
-    pub fn new(cfg: &PnwConfig) -> Self {
-        let value_bits = cfg.value_size * 8;
-        let use_pca = cfg.uses_pca();
-        // Until the first training there is no PCA basis, so featurization
-        // yields raw bits — the placeholder centroid must match that.
-        let dims = value_bits;
-        ModelManager {
-            clusters: cfg.clusters,
-            auto_k: cfg.auto_k,
-            seed: cfg.seed,
-            threads: cfg.train_threads,
-            iters: cfg.train_iters,
+impl ModelSnapshot {
+    /// The untrained placeholder: one all-zeros centroid over raw bits, so
+    /// predictions are total from the first operation (matching a store
+    /// whose cells are all zero).
+    pub fn untrained(value_bits: usize) -> Self {
+        ModelSnapshot {
             value_bits,
-            use_pca,
-            pca_components: cfg.pca.components,
-            pca_sample: cfg.pca.sample,
-            pca: None,
+            kmeans: KMeans::from_centroids(Matrix::zeros(1, value_bits), 0),
             projector: None,
-            packed: Some(PackedPredictor::from_centroids(&Matrix::zeros(1, dims))),
-            kmeans: KMeans::from_centroids(Matrix::zeros(1, dims), 0),
+            packed: Some(PackedPredictor::from_centroids(&Matrix::zeros(
+                1, value_bits,
+            ))),
             trained: false,
-            retrains: 0,
-            pending: Mutex::new(None),
+            epoch: 0,
         }
     }
 
-    /// Whether a training run has completed (fore- or background).
+    /// Whether this snapshot came from a completed training run.
     pub fn is_trained(&self) -> bool {
         self.trained
     }
 
-    /// Completed training runs.
-    pub fn retrains(&self) -> u64 {
-        self.retrains
+    /// Install counter (0 = untrained placeholder).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Current number of clusters (1 until trained).
+    /// Number of clusters.
     pub fn k(&self) -> usize {
         self.kmeans.k()
     }
 
-    /// Maps a raw value to model feature space.
-    ///
-    /// With a PCA basis installed this goes through the sparse
-    /// [`BitProjector`] (set bits only, no intermediate bit vector) — the
-    /// per-PUT prediction cost the paper's Figure 6 reports as "latency of
-    /// prediction per item".
-    pub fn featurize(&self, value: &[u8]) -> Vec<f32> {
-        debug_assert_eq!(value.len() * 8, self.value_bits);
+    /// Dimensionality of the model's feature space: the PCA component
+    /// count for projector models, the raw bit count otherwise.
+    pub fn feature_dims(&self) -> usize {
         match &self.projector {
-            Some(p) => p.project(value),
-            None => bits_to_features(value),
+            Some(p) => p.n_components(),
+            None => self.value_bits,
         }
+    }
+
+    /// Whether predictions go through the bit-domain packed LUT kernel
+    /// (false for PCA models, which keep the sparse projector).
+    pub fn uses_packed(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// The fitted K-means model — the reference float path the equivalence
+    /// tests and the predict microbench compare the packed kernel against.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.kmeans
     }
 
     /// Predicts the cluster for a value — Algorithm 2 line 1.
     ///
-    /// Convenience wrapper over [`ModelManager::predict_into`] with a
+    /// Convenience wrapper over [`ModelSnapshot::predict_into`] with a
     /// throwaway scratch; hot paths hold a [`PredictScratch`] and call
     /// `predict_into` directly.
     pub fn predict(&self, value: &[u8]) -> usize {
@@ -167,7 +173,7 @@ impl ModelManager {
     /// [`BitProjector`] into the scratch feature buffer and scan the
     /// (small) PCA-space centroids. Either way `scratch` afterwards holds
     /// the per-cluster distances, so a fallback ranking costs one argsort,
-    /// not a second scan ([`ModelManager::ranked_after_predict`]).
+    /// not a second scan ([`ModelSnapshot::ranked_after_predict`]).
     pub fn predict_into(&self, value: &[u8], scratch: &mut PredictScratch) -> usize {
         debug_assert_eq!(value.len() * 8, self.value_bits);
         scratch.dist.resize(self.kmeans.k(), 0.0);
@@ -176,18 +182,20 @@ impl ModelManager {
         } else if let Some(p) = &self.projector {
             scratch.features.resize(p.n_components(), 0.0);
             p.project_into(value, &mut scratch.features);
-            self.kmeans.distances_into(&scratch.features, &mut scratch.dist)
+            self.kmeans
+                .distances_into(&scratch.features, &mut scratch.dist)
         } else {
             // Defensive fallback (install always builds one of the two):
-            // the reference float path through an owned feature buffer.
+            // the reference float path through the scratch feature buffer.
             scratch.features.resize(self.value_bits, 0.0);
             bits_into_features(value, &mut scratch.features);
-            self.kmeans.distances_into(&scratch.features, &mut scratch.dist)
+            self.kmeans
+                .distances_into(&scratch.features, &mut scratch.dist)
         }
     }
 
     /// Ranks all clusters nearest-first from the distances the last
-    /// [`ModelManager::predict_into`] call left in `scratch` — the lazy
+    /// [`ModelSnapshot::predict_into`] call left in `scratch` — the lazy
     /// half of the split prediction: the pool only asks for this when the
     /// predicted cluster's free list is empty, so the sort is never paid on
     /// the hit path. Ties break toward the lower cluster index, keeping
@@ -201,28 +209,117 @@ impl ModelManager {
             .sort_unstable_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
         &scratch.ranking
     }
+}
 
-    /// Predicts and returns all clusters ranked nearest-first (the eager
-    /// convenience form; the store's hot path uses
-    /// [`ModelManager::predict_into`] + [`ModelManager::ranked_after_predict`]
-    /// so the ranking is only computed on pool fallback).
-    pub fn predict_ranked(&self, value: &[u8]) -> (usize, Vec<usize>) {
-        let mut scratch = PredictScratch::default();
-        let cluster = self.predict_into(value, &mut scratch);
-        let ranked = self.ranked_after_predict(&mut scratch).to_vec();
-        (cluster, ranked)
+/// Owns the training machinery and the current published snapshot.
+pub struct ModelManager {
+    clusters: usize,
+    auto_k: Option<(usize, usize)>,
+    seed: u64,
+    threads: usize,
+    iters: usize,
+    value_bits: usize,
+    use_pca: bool,
+    pca_components: usize,
+    pca_sample: usize,
+    sample_cap: usize,
+
+    current: Arc<ModelSnapshot>,
+    retrains: u64,
+    last_train: Duration,
+    samples_pre_cap: usize,
+    samples_post_cap: usize,
+    /// In-flight background training run. Behind a `Mutex` only so that the
+    /// manager stays `Sync`; mutating methods go through `get_mut` (no lock
+    /// traffic).
+    pending: Mutex<Option<Receiver<TrainedModel>>>,
+}
+
+impl ModelManager {
+    /// Creates an untrained manager; predictions all map to cluster 0 until
+    /// the first training (matching a store whose cells are all zero).
+    pub fn new(cfg: &PnwConfig) -> Self {
+        let value_bits = cfg.value_size * 8;
+        ModelManager {
+            clusters: cfg.clusters,
+            auto_k: cfg.auto_k,
+            seed: cfg.seed,
+            threads: cfg.train_threads,
+            iters: cfg.train_iters,
+            value_bits,
+            use_pca: cfg.uses_pca(),
+            pca_components: cfg.pca.components,
+            pca_sample: cfg.pca.sample,
+            sample_cap: cfg.train_sample_cap,
+            current: Arc::new(ModelSnapshot::untrained(value_bits)),
+            retrains: 0,
+            last_train: Duration::ZERO,
+            samples_pre_cap: 0,
+            samples_post_cap: 0,
+            pending: Mutex::new(None),
+        }
     }
 
-    /// The fitted K-means model — the reference float path equivalence
-    /// tests and the predict microbench compare the packed kernel against.
+    /// The current published snapshot. Engines clone this `Arc` and predict
+    /// from it without ever touching the manager again.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.current)
+    }
+
+    /// Whether a training run has completed (fore- or background).
+    pub fn is_trained(&self) -> bool {
+        self.current.is_trained()
+    }
+
+    /// Completed training runs.
+    pub fn retrains(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Retrain observability: last-train wall clock, snapshot sizes before
+    /// and after the reservoir cap, and the model epoch.
+    pub fn train_stats(&self) -> TrainStats {
+        TrainStats {
+            last_train_wall: self.last_train,
+            samples_pre_cap: self.samples_pre_cap,
+            samples_post_cap: self.samples_post_cap,
+            epoch: self.retrains,
+        }
+    }
+
+    /// Current number of clusters (1 until trained).
+    pub fn k(&self) -> usize {
+        self.current.k()
+    }
+
+    /// [`ModelSnapshot::predict`] on the current snapshot.
+    pub fn predict(&self, value: &[u8]) -> usize {
+        self.current.predict(value)
+    }
+
+    /// [`ModelSnapshot::predict_into`] on the current snapshot.
+    pub fn predict_into(&self, value: &[u8], scratch: &mut PredictScratch) -> usize {
+        self.current.predict_into(value, scratch)
+    }
+
+    /// [`ModelSnapshot::ranked_after_predict`] on the current snapshot.
+    pub fn ranked_after_predict<'a>(&self, scratch: &'a mut PredictScratch) -> &'a [usize] {
+        self.current.ranked_after_predict(scratch)
+    }
+
+    /// [`ModelSnapshot::kmeans`] of the current snapshot.
     pub fn kmeans(&self) -> &KMeans {
-        &self.kmeans
+        self.current.kmeans()
     }
 
-    /// Whether predictions go through the bit-domain packed LUT kernel
-    /// (false for PCA-configured models, which keep the sparse projector).
+    /// [`ModelSnapshot::feature_dims`] of the current snapshot.
+    pub fn feature_dims(&self) -> usize {
+        self.current.feature_dims()
+    }
+
+    /// Whether the current snapshot predicts through the packed LUT kernel.
     pub fn uses_packed(&self) -> bool {
-        self.packed.is_some()
+        self.current.uses_packed()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -236,49 +333,65 @@ impl ModelManager {
         use_pca: bool,
         pca_components: usize,
         pca_sample: usize,
+        sample_cap: usize,
     ) -> TrainedModel {
         let start = Instant::now();
-        // Featurize into the training tensor; for wide values this step is
-        // memory-bound and worth parallelizing alongside PCA and K-means
-        // (Figure 11 measures the whole pipeline).
-        let bits = featurize_parallel(values, threads);
+        let samples_pre_cap = values.len();
+        // Deterministic reservoir cap: retrain cost stops scaling with
+        // data-zone size. Seeded by the (per-retrain) training seed.
+        let capped: Vec<&[u8]> = reservoir_sample(values.len(), sample_cap, seed)
+            .into_iter()
+            .map(|i| values[i].as_slice())
+            .collect();
+        let samples_post_cap = capped.len();
 
-        let (pca, train_matrix) = if use_pca && bits.rows() > 0 {
-            // Fit the basis on a subsample (the eigensolve is cubic), then
-            // project everything.
+        let kmeans_cfg = |k: usize| {
+            KMeansConfig::new(k)
+                .with_seed(seed)
+                .with_threads(threads)
+                .with_max_iters(iters)
+        };
+
+        let (pca, kmeans) = if use_pca && !capped.is_empty() {
+            // Float pipeline: PCA space is not 0/1, so featurize, fit the
+            // basis on a subsample (the eigensolve is cubic), project, fit.
+            let bits = featurize_parallel(&capped, threads);
             let sample_idx: Vec<usize> = stride_sample(bits.rows(), pca_sample);
             let sample = bits.select_rows(&sample_idx);
             let pca = Pca::fit_with_threads(&sample, pca_components, threads);
             let projected = pca.transform_with_threads(&bits, threads);
-            (Some(pca), projected)
+            let k = match auto_k {
+                Some((lo, hi)) if projected.rows() > 0 => {
+                    let sweep = projected.select_rows(&stride_sample(projected.rows(), 512));
+                    elbow_k(&sweep, lo, hi, seed)
+                }
+                _ => clusters,
+            };
+            (Some(pca), KMeans::fit(&projected, &kmeans_cfg(k)))
         } else {
-            (None, bits)
+            // Packed bit-domain pipeline: no float tensor, no featurize.
+            let packed = PackedMatrix::from_values(&capped);
+            let k = match auto_k {
+                // The elbow sweep runs on a ≤512-row float subsample — the
+                // one place the bit path still expands to floats, bounded
+                // and cold.
+                Some((lo, hi)) if packed.rows() > 0 => {
+                    let sweep_idx = stride_sample(packed.rows(), 512);
+                    let sweep =
+                        pnw_ml::kmeans::TrainSet::select(&packed, &sweep_idx).to_matrix();
+                    elbow_k(&sweep, lo, hi, seed)
+                }
+                _ => clusters,
+            };
+            (None, KMeans::fit_set(&packed, &kmeans_cfg(k)))
         };
 
-        // Elbow-method K selection (§V-A.1, Figure 4): sweep the SSE curve
-        // on a subsample and pick the knee.
-        let k = match auto_k {
-            Some((lo, hi)) if train_matrix.rows() > 0 => {
-                let sweep_idx = stride_sample(train_matrix.rows(), 512);
-                let sweep = train_matrix.select_rows(&sweep_idx);
-                let ks: Vec<usize> = (lo..=hi.min(sweep.rows().max(lo))).collect();
-                let curve = pnw_ml::elbow::sse_curve(&sweep, &ks, seed);
-                pnw_ml::elbow::elbow_point(&curve)
-            }
-            _ => clusters,
-        };
-
-        let kmeans = KMeans::fit(
-            &train_matrix,
-            &KMeansConfig::new(k)
-                .with_seed(seed)
-                .with_threads(threads)
-                .with_max_iters(iters),
-        );
         TrainedModel {
             kmeans,
             pca,
             elapsed: start.elapsed(),
+            samples_pre_cap,
+            samples_post_cap,
         }
     }
 
@@ -295,6 +408,7 @@ impl ModelManager {
             self.use_pca,
             self.pca_components,
             self.pca_sample,
+            self.sample_cap,
         );
         let elapsed = m.elapsed;
         self.install(m);
@@ -302,8 +416,14 @@ impl ModelManager {
     }
 
     /// Starts a background training run on the snapshot. No-op if one is
-    /// already pending.
-    pub fn train_in_background(&mut self, values: Vec<Vec<u8>>) {
+    /// already pending. When `done` is given, it is set (release-ordered)
+    /// after the trained model is queued — a store can poll that one atomic
+    /// on its op path instead of taking any lock.
+    pub fn train_in_background_with(
+        &mut self,
+        values: Vec<Vec<u8>>,
+        done: Option<Arc<AtomicBool>>,
+    ) {
         if self.pending.get_mut().unwrap().is_some() {
             return;
         }
@@ -315,17 +435,50 @@ impl ModelManager {
             self.threads,
             self.iters,
         );
-        let (use_pca, pca_components, pca_sample) =
-            (self.use_pca, self.pca_components, self.pca_sample);
+        let (use_pca, pca_components, pca_sample, sample_cap) = (
+            self.use_pca,
+            self.pca_components,
+            self.pca_sample,
+            self.sample_cap,
+        );
         std::thread::spawn(move || {
+            // Drop guard: the flag fires on *every* exit — after the send
+            // on success (so a ready observation always finds the model in
+            // the channel), and on unwind if training panics (the sender
+            // is dropped first, so the observer's try_recv sees
+            // Disconnected and clears its pending state instead of wedging
+            // background retraining forever).
+            struct SignalOnDrop(Option<Arc<AtomicBool>>);
+            impl Drop for SignalOnDrop {
+                fn drop(&mut self) {
+                    if let Some(flag) = self.0.take() {
+                        flag.store(true, Ordering::Release);
+                    }
+                }
+            }
+            let signal = SignalOnDrop(done);
             let m = Self::fit(
-                &values, clusters, auto_k, seed, threads, iters, use_pca, pca_components,
+                &values,
+                clusters,
+                auto_k,
+                seed,
+                threads,
+                iters,
+                use_pca,
+                pca_components,
                 pca_sample,
+                sample_cap,
             );
             // Receiver may have been dropped (store torn down) — ignore.
             let _ = tx.send(m);
+            drop(signal);
         });
         *self.pending.get_mut().unwrap() = Some(rx);
+    }
+
+    /// [`ModelManager::train_in_background_with`] without a completion flag.
+    pub fn train_in_background(&mut self, values: Vec<Vec<u8>>) {
+        self.train_in_background_with(values, None);
     }
 
     /// Whether a background run is in flight.
@@ -334,7 +487,9 @@ impl ModelManager {
     }
 
     /// Installs a finished background model if one is ready. Returns true
-    /// when a swap happened (the store must then relabel its pool).
+    /// when a swap happened (the store must then publish
+    /// [`ModelManager::snapshot`] to its engines, which relabel their
+    /// pools).
     pub fn try_install_background(&mut self) -> bool {
         let pending = self.pending.get_mut().unwrap();
         let Some(rx) = pending else {
@@ -369,33 +524,51 @@ impl ModelManager {
     }
 
     fn install(&mut self, m: TrainedModel) {
-        self.kmeans = m.kmeans;
-        self.projector = m.pca.as_ref().map(Pca::bit_projector);
-        self.pca = m.pca;
-        // Rebuild the packed LUTs once per swap — the per-op hot path only
-        // ever reads them. PCA models predict in projected space, where
-        // inputs are no longer 0/1, so they keep the projector path.
-        self.packed = (self.projector.is_none() && self.kmeans.dims() == self.value_bits)
-            .then(|| PackedPredictor::from_centroids(self.kmeans.centroids()));
-        self.trained = true;
         self.retrains += 1;
+        self.last_train = m.elapsed;
+        self.samples_pre_cap = m.samples_pre_cap;
+        self.samples_post_cap = m.samples_post_cap;
+        // Build the new snapshot's packed LUTs once per swap — the per-op
+        // hot path only ever reads them. PCA models predict in projected
+        // space, where inputs are no longer 0/1, so they keep the
+        // projector path.
+        let projector = m.pca.as_ref().map(Pca::bit_projector);
+        let packed = (projector.is_none() && m.kmeans.dims() == self.value_bits)
+            .then(|| PackedPredictor::from_centroids(m.kmeans.centroids()));
+        self.current = Arc::new(ModelSnapshot {
+            value_bits: self.value_bits,
+            kmeans: m.kmeans,
+            projector,
+            packed,
+            trained: true,
+            epoch: self.retrains,
+        });
     }
 }
 
+/// Elbow-method K selection (§V-A.1, Figure 4): sweep the SSE curve over
+/// `lo..=hi` on the (already subsampled, ≤512-row) `sweep` matrix and pick
+/// the knee.
+fn elbow_k(sweep: &Matrix, lo: usize, hi: usize, seed: u64) -> usize {
+    let ks: Vec<usize> = (lo..=hi.min(sweep.rows().max(lo))).collect();
+    let curve = pnw_ml::elbow::sse_curve(sweep, &ks, seed);
+    pnw_ml::elbow::elbow_point(&curve)
+}
+
 /// Builds the samples × bits training matrix, splitting rows across
-/// `threads` workers.
-fn featurize_parallel(values: &[Vec<u8>], threads: usize) -> Matrix {
-    use pnw_ml::featurize::bits_into_features;
+/// `threads` workers. Only the PCA pipeline pays this cost now; the bit
+/// path trains on [`PackedMatrix`] directly.
+fn featurize_parallel<V: AsRef<[u8]> + Sync>(values: &[V], threads: usize) -> Matrix {
     let n = values.len();
     if n == 0 {
         return Matrix::zeros(0, 0);
     }
-    let bits = values[0].len() * 8;
+    let bits = values[0].as_ref().len() * 8;
     let mut m = Matrix::zeros(n, bits);
     let threads = threads.max(1).min(n);
     if threads == 1 {
         for (i, v) in values.iter().enumerate() {
-            bits_into_features(v, m.row_mut(i));
+            bits_into_features(v.as_ref(), m.row_mut(i));
         }
         return m;
     }
@@ -414,7 +587,7 @@ fn featurize_parallel(values: &[Vec<u8>], threads: usize) -> Matrix {
         for (t, band) in bands.into_iter().enumerate() {
             scope.spawn(move || {
                 for (off, dst) in band.chunks_mut(bits).enumerate() {
-                    bits_into_features(&values[t * chunk + off], dst);
+                    bits_into_features(values[t * chunk + off].as_ref(), dst);
                 }
             });
         }
@@ -430,20 +603,45 @@ pub fn stride_sample(n: usize, cap: usize) -> Vec<usize> {
     (0..cap).map(|i| i * n / cap).collect()
 }
 
+/// Deterministic reservoir sample (Algorithm R) of `cap` indices from
+/// `0..n`, sorted ascending. Identity when `n <= cap`; the same
+/// `(n, cap, seed)` always yields the same indices, so capped retraining
+/// stays reproducible (and `shards = 1` stays bit-for-bit equivalent to the
+/// single-threaded store).
+pub fn reservoir_sample(n: usize, cap: usize, seed: u64) -> Vec<usize> {
+    if n <= cap {
+        return (0..n).collect();
+    }
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<usize> = (0..cap).collect();
+    for i in cap..n {
+        let j = rng.gen_range(0..i + 1);
+        if j < cap {
+            out[j] = i;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pnw_ml::featurize::bits_to_features;
 
     fn small_cfg() -> PnwConfig {
         PnwConfig::new(64, 4).with_clusters(2)
     }
 
-    /// The sharded store shares one manager behind an `RwLock`; that only
-    /// compiles if the manager is `Send + Sync`.
+    /// The sharded store keeps the trainer behind a `Mutex` and snapshots
+    /// behind `Arc`s; both only compile if these are `Send + Sync`.
     #[test]
-    fn manager_is_send_and_sync() {
+    fn manager_and_snapshot_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ModelManager>();
+        assert_send_sync::<ModelSnapshot>();
     }
 
     #[test]
@@ -452,6 +650,7 @@ mod tests {
         assert!(!m.is_trained());
         assert_eq!(m.predict(&[0xFF, 0, 0, 0]), 0);
         assert_eq!(m.k(), 1);
+        assert_eq!(m.snapshot().epoch(), 0);
     }
 
     #[test]
@@ -468,9 +667,10 @@ mod tests {
         let lo = m.predict(&[0, 0, 0, 1]);
         let hi = m.predict(&[0xFF, 0xFF, 0xFF, 0xF1]);
         assert_ne!(lo, hi);
-        let (c, ranked) = m.predict_ranked(&[0, 0, 0, 0]);
+        let mut scratch = PredictScratch::new();
+        let c = m.predict_into(&[0, 0, 0, 0], &mut scratch);
         assert_eq!(c, lo);
-        assert_eq!(ranked.len(), 2);
+        assert_eq!(m.ranked_after_predict(&mut scratch).len(), 2);
     }
 
     #[test]
@@ -483,6 +683,21 @@ mod tests {
         assert!(m.is_trained());
         assert_eq!(m.retrains(), 1);
         assert!(!m.training_in_progress());
+        assert_eq!(m.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn background_done_flag_set_after_model_is_ready() {
+        let mut m = ModelManager::new(&small_cfg());
+        let values: Vec<Vec<u8>> = (0..60u8).map(|i| vec![i, i / 2, 0, 0]).collect();
+        let done = Arc::new(AtomicBool::new(false));
+        m.train_in_background_with(values, Some(Arc::clone(&done)));
+        // Spin until the flag flips, then the model must install instantly.
+        while !done.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        assert!(m.try_install_background(), "flag implies a queued model");
+        assert_eq!(m.retrains(), 1);
     }
 
     #[test]
@@ -514,7 +729,7 @@ mod tests {
         m.train(&values);
         // Features are PCA-projected: at most the requested components (the
         // basis truncates to the data's actual rank), far below 2048 bits.
-        let dims = m.featurize(&values[0]).len();
+        let dims = m.feature_dims();
         assert!(dims > 0 && dims <= cfg.pca.components, "dims={dims}");
         // The two macro-patterns still separate after projection.
         assert_ne!(m.predict(&values[0]), m.predict(&values[1]));
@@ -561,10 +776,6 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(dists[w[0]] <= dists[w[1]]);
         }
-        // And the eager form agrees with the split form.
-        let (c2, ranked2) = m.predict_ranked(&probe);
-        assert_eq!(c2, cluster);
-        assert_eq!(ranked2, ranked.to_vec());
     }
 
     #[test]
@@ -587,10 +798,17 @@ mod tests {
         assert!(!m.uses_packed(), "PCA model keeps the projector path");
         let mut scratch = PredictScratch::new();
         for v in values.iter().take(8) {
-            assert_eq!(
-                m.predict_into(v, &mut scratch),
-                m.kmeans().predict(&m.featurize(v)),
-            );
+            let c = m.predict_into(v, &mut scratch);
+            // The scratch distances are the full PCA-space scan; their
+            // argmin must be the returned cluster.
+            let best = scratch
+                .distances()
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(c, best);
         }
     }
 
@@ -617,6 +835,27 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_are_immutable_across_retrains() {
+        let mut m = ModelManager::new(&small_cfg());
+        let low: Vec<Vec<u8>> = (0..20u8).map(|i| vec![0, 0, 0, i % 2]).collect();
+        m.train(&low);
+        let old = m.snapshot();
+        assert_eq!(old.epoch(), 1);
+        let high: Vec<Vec<u8>> = (0..20u8).map(|i| vec![0xFF, 0xFF, 0xFF, i % 2]).collect();
+        m.train(&high);
+        // The old Arc still predicts under the old centroids — a reader
+        // holding it mid-swap can never see a torn model.
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(m.snapshot().epoch(), 2);
+        let mut scratch = PredictScratch::new();
+        let v = [0u8, 0, 0, 0];
+        assert_eq!(
+            old.predict_into(&v, &mut scratch),
+            old.kmeans().predict(&bits_to_features(&v))
+        );
+    }
+
+    #[test]
     fn stride_sample_bounds() {
         assert_eq!(stride_sample(5, 10), vec![0, 1, 2, 3, 4]);
         let s = stride_sample(100, 10);
@@ -624,6 +863,40 @@ mod tests {
         assert_eq!(s[0], 0);
         assert!(s.windows(2).all(|w| w[0] < w[1]));
         assert!(*s.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn reservoir_sample_is_deterministic_and_capped() {
+        // Identity below the cap.
+        assert_eq!(reservoir_sample(5, 10, 1), vec![0, 1, 2, 3, 4]);
+        // Exact cap, sorted, unique, in range, deterministic.
+        let a = reservoir_sample(1000, 64, 42);
+        let b = reservoir_sample(1000, 64, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(*a.last().unwrap() < 1000);
+        // Different seeds draw different reservoirs.
+        assert_ne!(a, reservoir_sample(1000, 64, 43));
+        // The tail is represented (Algorithm R replaces uniformly).
+        assert!(*a.last().unwrap() >= 64, "reservoir never replaced anything");
+    }
+
+    #[test]
+    fn train_applies_reservoir_cap_and_reports_it() {
+        let cfg = PnwConfig::new(64, 4).with_clusters(2).with_train_sample_cap(32);
+        let mut m = ModelManager::new(&cfg);
+        let values: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i % 2 * 0xFF, i, 0, 0]).collect();
+        m.train(&values);
+        let stats = m.train_stats();
+        assert_eq!(stats.samples_pre_cap, 200);
+        assert_eq!(stats.samples_post_cap, 32);
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.last_train_wall.as_nanos() > 0);
+        // Capped training is itself deterministic.
+        let mut m2 = ModelManager::new(&cfg);
+        m2.train(&values);
+        assert_eq!(m.kmeans().centroids(), m2.kmeans().centroids());
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //!
 //! [`ShardEngine`] owns everything a store shard needs exclusive access to —
 //! the emulated device, the data-zone region, the hash index and the dynamic
-//! address pool — but **not** the ML model: the model is DRAM-resident,
-//! read-mostly, and shared across shards, so every operation that needs a
-//! prediction takes `&ModelManager` from the caller. A single-shard store
-//! ([`PnwStore`](crate::PnwStore)) passes its own private manager; the
-//! concurrent [`ShardedPnwStore`](crate::ShardedPnwStore) passes a read
-//! guard on the one manager all shards share.
+//! address pool — plus an `Arc` of the current immutable
+//! [`ModelSnapshot`]: predictions read the shard's own snapshot clone, so
+//! the op path takes **zero model locks**. When a (re)train completes, the
+//! store publishes the new snapshot to every engine via
+//! [`ShardEngine::install_model`], which swaps the `Arc` and relabels the
+//! pool together under the shard's existing lock — the pool's labels and
+//! the model that produced them can never be observed out of sync.
 //!
 //! Data-zone bucket layout (16-byte header + value, rounded to whole
 //! words):
@@ -33,8 +34,10 @@ use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, Wr
 
 use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
 use crate::error::PnwError;
-use crate::metrics::{OpReport, StoreSnapshot};
-use crate::model::{stride_sample, ModelManager, PredictScratch};
+use crate::metrics::{OpReport, StoreSnapshot, TrainStats};
+use std::sync::Arc;
+
+use crate::model::{stride_sample, ModelSnapshot, PredictScratch};
 use crate::pool::DynamicAddressPool;
 
 pub(crate) const HDR_BYTES: usize = 16;
@@ -79,6 +82,10 @@ pub struct ShardEngine {
     index_region: Option<Region>,
     index_leaves: usize,
     pool: DynamicAddressPool,
+    /// The shard's clone of the current immutable model snapshot. Swapped
+    /// wholesale by [`ShardEngine::install_model`]; predictions on the op
+    /// path read it directly — no lock, no manager.
+    model: Arc<ModelSnapshot>,
     live: usize,
     predict_total: Duration,
     puts: u64,
@@ -153,6 +160,7 @@ impl ShardEngine {
             vec![0u8; HDR_BYTES + cfg.value_size],
             vec![0u8; cfg.value_size],
         );
+        let model = Arc::new(ModelSnapshot::untrained(cfg.value_size * 8));
         ShardEngine {
             cfg,
             dev,
@@ -163,6 +171,7 @@ impl ShardEngine {
             index_region,
             index_leaves,
             pool,
+            model,
             live: 0,
             predict_total: Duration::ZERO,
             puts: 0,
@@ -245,7 +254,7 @@ impl ShardEngine {
     ///
     /// Returns how many buckets were activated (0 when the reserve is
     /// exhausted).
-    pub fn extend_zone(&mut self, model: &ModelManager, buckets: usize) -> usize {
+    pub fn extend_zone(&mut self, buckets: usize) -> usize {
         let add = buckets.min(self.reserve_remaining());
         let first = self.active_buckets as u32;
         for b in first..first + add as u32 {
@@ -253,7 +262,7 @@ impl ShardEngine {
             self.dev
                 .peek_into(vaddr, &mut self.value_buf)
                 .expect("bucket in range");
-            let label = model.predict_into(&self.value_buf, &mut self.scratch);
+            let label = self.model.predict_into(&self.value_buf, &mut self.scratch);
             self.pool.push(label, b);
         }
         self.active_buckets += add;
@@ -292,13 +301,9 @@ impl ShardEngine {
         self.index.len()
     }
 
-    /// PUT / UPDATE (Algorithm 2 + §V-B.3) under the given model.
-    pub fn put(
-        &mut self,
-        model: &ModelManager,
-        key: u64,
-        value: &[u8],
-    ) -> Result<(OpReport, PutPath), PnwError> {
+    /// PUT / UPDATE (Algorithm 2 + §V-B.3) under the shard's current model
+    /// snapshot.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
 
         // UPDATE handling.
@@ -327,7 +332,7 @@ impl ShardEngine {
                     // Endurance-first: free the old location (it returns to
                     // the pool under its content's label), then fall through
                     // to a fresh predicted write.
-                    self.delete_internal(model, key, addr)?;
+                    self.delete_internal(key, addr)?;
                 }
             }
         }
@@ -338,14 +343,14 @@ impl ShardEngine {
         // kernel reads the raw bytes — no featurization, no allocation —
         // and leaves the per-cluster distances in this shard's scratch.
         let t0 = Instant::now();
-        let cluster = model.predict_into(value, &mut self.scratch);
+        let cluster = self.model.predict_into(value, &mut self.scratch);
         let predict = t0.elapsed();
         self.predict_total += predict;
 
         // Line 2: get an address from the dynamic address pool. The full
         // nearest-first ranking is an argsort of the distances already in
         // scratch, computed only if the predicted cluster misses.
-        let (pool, scratch) = (&mut self.pool, &mut self.scratch);
+        let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
         let (bucket, fallback) = pool
             .pop(cluster, || model.ranked_after_predict(scratch))
             .ok_or(PnwError::Full)?;
@@ -421,10 +426,10 @@ impl ShardEngine {
 
     /// DELETE (Algorithm 3): reset the flag bit, recycle the address into
     /// the pool under its *content's* label (as the given model sees it).
-    pub fn delete(&mut self, model: &ModelManager, key: u64) -> Result<bool, PnwError> {
+    pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {
         match self.index.remove(&mut self.dev, key)? {
             Some(addr) => {
-                self.delete_bucket_only(model, addr)?;
+                self.delete_bucket_only(addr)?;
                 self.deletes += 1;
                 Ok(true)
             }
@@ -434,12 +439,12 @@ impl ShardEngine {
 
     /// Internal delete used by the DELETE-then-PUT update path: the index
     /// entry is removed and the bucket recycled.
-    fn delete_internal(&mut self, model: &ModelManager, key: u64, addr: u64) -> Result<(), PnwError> {
+    fn delete_internal(&mut self, key: u64, addr: u64) -> Result<(), PnwError> {
         self.index.remove(&mut self.dev, key)?;
-        self.delete_bucket_only(model, addr)
+        self.delete_bucket_only(addr)
     }
 
-    fn delete_bucket_only(&mut self, model: &ModelManager, addr: u64) -> Result<(), PnwError> {
+    fn delete_bucket_only(&mut self, addr: u64) -> Result<(), PnwError> {
         // Line 2: reset the flag bit (a one-bit NVM update).
         self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
         // Lines 3–4: predict the label of the *stored content* and return
@@ -448,7 +453,7 @@ impl ShardEngine {
         let bucket = self.bucket_of_addr(addr);
         let vaddr = self.bucket_addr(bucket) + HDR_BYTES;
         self.dev.peek_into(vaddr, &mut self.value_buf)?;
-        let label = model.predict_into(&self.value_buf, &mut self.scratch);
+        let label = self.model.predict_into(&self.value_buf, &mut self.scratch);
         self.pool.push(label, bucket);
         self.live -= 1;
         Ok(())
@@ -462,7 +467,6 @@ impl ShardEngine {
     /// distribution.
     pub fn prefill_free_buckets(
         &mut self,
-        model: &ModelManager,
         mut gen: impl FnMut() -> Vec<u8>,
     ) -> Result<usize, PnwError> {
         let free = self.pool.drain_all();
@@ -475,21 +479,23 @@ impl ShardEngine {
             n += 1;
         }
         // Back into the pool under the (still current) model's labels.
-        let relabeled = self.labels_of(model, free);
-        self.pool.rebuild(model.k(), relabeled);
+        let relabeled = self.labels_of(free);
+        let k = self.model.k();
+        self.pool.rebuild(k, relabeled);
         Ok(n)
     }
 
-    /// Labels each bucket's stored content under `model`, through the
-    /// shard's reusable buffers.
-    fn labels_of(&mut self, model: &ModelManager, buckets: Vec<u32>) -> Vec<(u32, usize)> {
+    /// Labels each bucket's stored content under the current snapshot,
+    /// through the shard's reusable buffers.
+    fn labels_of(&mut self, buckets: Vec<u32>) -> Vec<(u32, usize)> {
         let mut out = Vec::with_capacity(buckets.len());
         for b in buckets {
             let vaddr = self.bucket_addr(b) + HDR_BYTES;
             self.dev
                 .peek_into(vaddr, &mut self.value_buf)
                 .expect("bucket in range");
-            out.push((b, model.predict_into(&self.value_buf, &mut self.scratch)));
+            let label = self.model.predict_into(&self.value_buf, &mut self.scratch);
+            out.push((b, label));
         }
         out
     }
@@ -504,18 +510,28 @@ impl ShardEngine {
             .collect()
     }
 
-    /// Relabels all free buckets under the given (usually freshly-trained)
-    /// model.
-    pub fn relabel_pool(&mut self, model: &ModelManager) {
+    /// Publishes a freshly-trained model snapshot to this shard: swaps the
+    /// `Arc` and relabels all free buckets under the new centroids, both
+    /// under the shard lock the caller already holds — readers of this
+    /// shard can never see the pool and the model out of sync.
+    pub fn install_model(&mut self, snapshot: Arc<ModelSnapshot>) {
+        self.model = snapshot;
         let free = self.pool.drain_all();
-        let relabeled = self.labels_of(model, free);
-        self.pool.rebuild(model.k(), relabeled);
+        let relabeled = self.labels_of(free);
+        let k = self.model.k();
+        self.pool.rebuild(k, relabeled);
+    }
+
+    /// The shard's current model snapshot.
+    pub fn model(&self) -> &Arc<ModelSnapshot> {
+        &self.model
     }
 
     /// Simulates a power failure followed by a restart of this shard: the
     /// DRAM-side index (if [`IndexPlacement::Dram`]) and pool are discarded
-    /// and rebuilt from NVM, exactly as §V-A.3 describes. The caller owns
-    /// the model and must retrain + [`ShardEngine::relabel_pool`]
+    /// and rebuilt from NVM, exactly as §V-A.3 describes; the model
+    /// snapshot reverts to the untrained placeholder. The caller owns the
+    /// trainer and must retrain + [`ShardEngine::install_model`]
     /// afterwards (the model *"can be reconstructed after a crash"*,
     /// §V-A.1).
     pub fn recover_structures(&mut self) -> Result<(), PnwError> {
@@ -562,18 +578,23 @@ impl ShardEngine {
         for b in free_buckets {
             self.pool.push(0, b);
         }
+        // The model is DRAM-resident and lost with the crash; predictions
+        // fall back to the untrained placeholder until the caller retrains
+        // and installs (the pool above is single-cluster to match).
+        self.model = Arc::new(ModelSnapshot::untrained(self.cfg.value_size * 8));
         Ok(())
     }
 
-    /// Point-in-time metrics snapshot; the model-owned fields (`k`,
-    /// `retrains`) come from the caller.
-    pub fn snapshot(&self, k: usize, retrains: u64) -> StoreSnapshot {
+    /// Point-in-time metrics snapshot; the trainer-owned fields come from
+    /// the caller as a [`TrainStats`], `k` from the shard's own snapshot.
+    pub fn snapshot(&self, train: TrainStats) -> StoreSnapshot {
         StoreSnapshot {
             live: self.live,
             free: self.pool.free(),
             capacity: self.active_buckets,
-            k,
-            retrains,
+            k: self.model.k(),
+            retrains: train.epoch,
+            train,
             fallbacks: self.pool.fallbacks(),
             device: self.dev.stats().clone(),
             predict_total: self.predict_total,
@@ -606,15 +627,15 @@ mod tests {
     }
 
     #[test]
-    fn engine_put_get_delete_with_external_model() {
+    fn engine_put_get_delete_with_own_snapshot() {
         let cfg = PnwConfig::new(32, 8).with_clusters(2);
-        let model = ModelManager::new(&cfg);
         let mut e = ShardEngine::new(cfg);
-        let (r, path) = e.put(&model, 1, &[0xAA; 8]).unwrap();
+        assert_eq!(e.model().epoch(), 0, "fresh engine holds the placeholder");
+        let (r, path) = e.put(1, &[0xAA; 8]).unwrap();
         assert_eq!(path, PutPath::Fresh);
         assert!(r.total_write.bit_flips > 0);
         assert_eq!(e.get(1).unwrap().unwrap(), vec![0xAA; 8]);
-        assert!(e.delete(&model, 1).unwrap());
+        assert!(e.delete(1).unwrap());
         assert_eq!(e.get(1).unwrap(), None);
         assert!(e.is_empty());
     }
@@ -622,15 +643,14 @@ mod tests {
     #[test]
     fn engine_get_records_no_device_reads() {
         let cfg = PnwConfig::new(16, 8).with_clusters(1);
-        let model = ModelManager::new(&cfg);
         let mut e = ShardEngine::new(cfg);
-        e.put(&model, 7, &[1; 8]).unwrap();
+        e.put(7, &[1; 8]).unwrap();
         let reads = e.device_stats().read_ops;
         for _ in 0..10 {
             e.get(7).unwrap();
         }
         assert_eq!(e.device_stats().read_ops, reads);
-        assert_eq!(e.snapshot(1, 0).gets, 10);
+        assert_eq!(e.snapshot(TrainStats::default()).gets, 10);
     }
 
     #[test]
@@ -638,11 +658,26 @@ mod tests {
         let cfg = PnwConfig::new(16, 8)
             .with_clusters(1)
             .with_update_policy(UpdatePolicy::InPlace);
-        let model = ModelManager::new(&cfg);
         let mut e = ShardEngine::new(cfg);
-        let (_, p1) = e.put(&model, 5, &[0; 8]).unwrap();
-        let (_, p2) = e.put(&model, 5, &[1; 8]).unwrap();
+        let (_, p1) = e.put(5, &[0; 8]).unwrap();
+        let (_, p2) = e.put(5, &[1; 8]).unwrap();
         assert_eq!(p1, PutPath::Fresh);
         assert_eq!(p2, PutPath::InPlace);
+    }
+
+    #[test]
+    fn install_model_swaps_snapshot_and_relabels_together() {
+        let cfg = PnwConfig::new(32, 8).with_clusters(2);
+        let mut mgr = crate::model::ModelManager::new(&cfg);
+        let mut e = ShardEngine::new(cfg);
+        let values: Vec<Vec<u8>> = (0..32)
+            .map(|i| vec![if i % 2 == 0 { 0x00u8 } else { 0xFF }; 8])
+            .collect();
+        mgr.train(&values);
+        e.install_model(mgr.snapshot());
+        assert_eq!(e.model().epoch(), 1);
+        assert_eq!(e.model().k(), 2);
+        // Pool now has one free list per cluster of the *installed* model.
+        assert_eq!(e.pool().clusters(), 2);
     }
 }

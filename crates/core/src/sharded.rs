@@ -8,19 +8,28 @@
 //! readers never block readers).
 //!
 //! The ML model is the one deliberately *shared* component: the paper keeps
-//! it in DRAM, read-mostly, retrained in the background (§V-A.1/§V-C), and
-//! that translates directly to `RwLock<ModelManager>`:
+//! it in DRAM, read-mostly, retrained in the background (§V-C/§V-A.1). That
+//! used to mean `RwLock<ModelManager>` read on every PUT/DELETE; it now
+//! means **epoch-style snapshot publication** and zero model locks on the
+//! op path:
 //!
-//! * every PUT/DELETE takes the model lock **shared** for its prediction —
-//!   readers never block each other, and never block on a background
-//!   retrain (training runs on a worker thread against a snapshot);
-//! * when a background run finishes, the next operation that wins a
-//!   non-blocking `try_write` swaps the model in and relabels every
-//!   shard's pool under the new centroids — the paper's *"swap the old
-//!   model with the new one"* made multi-shard.
+//! * every shard holds its own `Arc` of the current immutable
+//!   [`ModelSnapshot`](crate::model::ModelSnapshot) — predictions read it
+//!   under the shard lock the op already holds, touching no other
+//!   synchronization;
+//! * the trainer ([`ModelManager`]) lives behind a `Mutex` taken only at
+//!   train/install boundaries. Background training signals completion
+//!   through one `AtomicBool`; the op path polls that flag (a single
+//!   acquire load — false in steady state) and only the op that observes
+//!   it true takes the trainer lock, builds the new snapshot, and
+//!   publishes it to every shard — swapping each shard's `Arc` and
+//!   relabeling its pool together under that shard's write lock, so a
+//!   reader can never see the pool and the model out of sync (the paper's
+//!   *"swap the old model with the new one"* made multi-shard and
+//!   lock-free for readers).
 //!
-//! Lock order is always **model → shard**; nothing acquires the model lock
-//! while holding a shard lock, which makes the pair deadlock-free.
+//! Lock order is always **trainer → shard**; nothing acquires the trainer
+//! lock while holding a shard lock, which makes the pair deadlock-free.
 //!
 //! With `shards = 1` the store is byte-for-byte the single-threaded
 //! [`PnwStore`](crate::PnwStore): same engine code, same model seeds, same
@@ -28,7 +37,7 @@
 //! [`DeviceStats`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use pnw_nvm_sim::{DeviceStats, WearCdf};
@@ -45,7 +54,13 @@ use crate::shard::{PutPath, ShardEngine};
 pub struct ShardedPnwStore {
     cfg: PnwConfig,
     shards: Vec<RwLock<ShardEngine>>,
-    model: RwLock<ModelManager>,
+    /// The trainer: touched only at train/install boundaries, never by the
+    /// op hot path (which predicts from per-shard snapshot `Arc`s).
+    trainer: Mutex<ModelManager>,
+    /// Set (release-ordered) by the background training thread once its
+    /// model is queued; the op path polls this single atomic instead of
+    /// taking any model lock.
+    model_ready: Arc<AtomicBool>,
     /// Serializes zone-extension/retrain maintenance so a burst of
     /// concurrent PUTs past the load factor triggers one run, not a
     /// stampede. In [`RetrainMode::Background`] it stays set until the
@@ -79,11 +94,12 @@ impl ShardedPnwStore {
                 RwLock::new(ShardEngine::new(shard_cfg))
             })
             .collect();
-        let model = RwLock::new(ModelManager::new(&cfg));
+        let trainer = Mutex::new(ModelManager::new(&cfg));
         ShardedPnwStore {
             cfg,
             shards,
-            model,
+            trainer,
+            model_ready: Arc::new(AtomicBool::new(false)),
             maintenance: AtomicBool::new(false),
         }
     }
@@ -108,14 +124,17 @@ impl ShardedPnwStore {
     }
 
     /// PUT / UPDATE (Algorithm 2 + §V-B.3), routed to the key's shard.
+    ///
+    /// Takes **zero model locks**: the prediction reads the shard's own
+    /// snapshot `Arc`, and the only model-related cost in steady state is
+    /// one relaxed-false atomic load of the background-completion flag.
     pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
         crate::shard::check_value(&self.cfg, value)?;
-        self.try_install_background();
+        self.install_if_ready();
         let sid = self.shard_of(key);
         let (report, due) = {
-            let model = self.model.read().unwrap();
             let mut shard = self.shards[sid].write().unwrap();
-            let (report, path) = shard.put(&model, key, value)?;
+            let (report, path) = shard.put(key, value)?;
             let due = path == PutPath::Fresh && shard.retrain_due();
             (report, due)
         };
@@ -142,13 +161,13 @@ impl ShardedPnwStore {
             .get_into(key, out)
     }
 
-    /// DELETE (Algorithm 3), routed to the key's shard.
+    /// DELETE (Algorithm 3), routed to the key's shard. Like PUT, takes no
+    /// model lock.
     pub fn delete(&self, key: u64) -> Result<bool, PnwError> {
-        self.try_install_background();
+        self.install_if_ready();
         let sid = self.shard_of(key);
-        let model = self.model.read().unwrap();
         let mut shard = self.shards[sid].write().unwrap();
-        shard.delete(&model, key)
+        shard.delete(key)
     }
 
     /// Live key count across all shards.
@@ -203,15 +222,13 @@ impl ShardedPnwStore {
     }
 
     /// Aggregated point-in-time snapshot: counters summed across shards,
-    /// `k`/`retrains` from the shared model.
+    /// train stats from the shared trainer.
     pub fn snapshot(&self) -> StoreSnapshot {
-        let model = self.model.read().unwrap();
-        let (k, retrains) = (model.k(), model.retrains());
-        drop(model);
+        let train = self.trainer.lock().unwrap().train_stats();
         let mut parts = self
             .shards
             .iter()
-            .map(|s| s.read().unwrap().snapshot(k, retrains));
+            .map(|s| s.read().unwrap().snapshot(train.clone()));
         let mut agg = parts.next().expect("at least one shard");
         for p in parts {
             agg.live += p.live;
@@ -239,17 +256,16 @@ impl ShardedPnwStore {
     }
 
     /// Trains the shared model synchronously on all shards' data zones and
-    /// relabels every shard's pool under the new centroids (Algorithm 1,
+    /// publishes the new snapshot — swapping each shard's `Arc` and
+    /// relabeling its pool under that shard's lock (Algorithm 1,
     /// cross-shard). Blocks writers for the duration; prefer
     /// [`RetrainMode::Background`] under live traffic. Returns training
     /// time.
     pub fn retrain_now(&self) -> Result<Duration, PnwError> {
         let snapshot = self.training_snapshot();
-        let mut model = self.model.write().unwrap();
-        let elapsed = model.train(&snapshot);
-        for s in &self.shards {
-            s.write().unwrap().relabel_pool(&model);
-        }
+        let mut trainer = self.trainer.lock().unwrap();
+        let elapsed = trainer.train(&snapshot);
+        self.publish(&trainer);
         Ok(elapsed)
     }
 
@@ -258,44 +274,68 @@ impl ShardedPnwStore {
     /// later operation boundary.
     pub fn retrain_in_background(&self) {
         let snapshot = self.training_snapshot();
-        let mut model = self.model.write().unwrap();
-        if !model.training_in_progress() {
-            model.train_in_background(snapshot);
+        let mut trainer = self.trainer.lock().unwrap();
+        if !trainer.training_in_progress() {
+            trainer.train_in_background_with(snapshot, Some(Arc::clone(&self.model_ready)));
         }
     }
 
     /// Blocks until an in-flight background retrain (if any) installs, then
-    /// relabels every shard's pool.
+    /// publishes the snapshot to every shard.
     pub fn wait_for_retrain(&self) {
-        let mut model = self.model.write().unwrap();
-        if model.wait_for_background() {
-            for s in &self.shards {
-                s.write().unwrap().relabel_pool(&model);
-            }
+        let mut trainer = self.trainer.lock().unwrap();
+        if trainer.wait_for_background() {
+            self.publish(&trainer);
+            self.model_ready.store(false, Ordering::Release);
             self.maintenance.store(false, Ordering::Release);
         }
     }
 
     /// Whether the shared model has completed at least one training run.
     pub fn is_trained(&self) -> bool {
-        self.model.read().unwrap().is_trained()
+        self.trainer.lock().unwrap().is_trained()
     }
 
     /// Completed training runs of the shared model.
     pub fn retrains(&self) -> u64 {
-        self.model.read().unwrap().retrains()
+        self.trainer.lock().unwrap().retrains()
     }
 
-    /// Non-blocking: if a background-trained model is ready and the model
-    /// lock is uncontended, swap it in and relabel every shard's pool.
-    fn try_install_background(&self) {
-        let Ok(mut model) = self.model.try_write() else {
+    /// Model epoch (install/swap count) of the published snapshot.
+    pub fn model_epoch(&self) -> u64 {
+        self.trainer.lock().unwrap().snapshot().epoch()
+    }
+
+    /// Publishes the trainer's current snapshot to every shard: one `Arc`
+    /// swap + pool relabel per shard, each under that shard's write lock.
+    fn publish(&self, trainer: &ModelManager) {
+        let snapshot = trainer.snapshot();
+        for s in &self.shards {
+            s.write().unwrap().install_model(Arc::clone(&snapshot));
+        }
+    }
+
+    /// Steady-state fast path: one atomic load. Only when the background
+    /// trainer has signalled completion does an op thread take the trainer
+    /// lock (non-blocking — a loser skips, the winner publishes).
+    fn install_if_ready(&self) {
+        if !self.model_ready.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut trainer) = self.trainer.try_lock() else {
             return;
         };
-        if model.try_install_background() {
-            for s in &self.shards {
-                s.write().unwrap().relabel_pool(&model);
-            }
+        if trainer.try_install_background() {
+            self.publish(&trainer);
+            self.model_ready.store(false, Ordering::Release);
+            self.maintenance.store(false, Ordering::Release);
+        } else if !trainer.training_in_progress() {
+            // Stale flag: the run was consumed by wait_for_retrain, or its
+            // thread panicked (the completion flag fires on unwind too and
+            // try_install_background just saw Disconnected). Clear both
+            // flags so the fast path stays fast and a later due PUT can
+            // start a fresh retrain instead of wedging forever.
+            self.model_ready.store(false, Ordering::Release);
             self.maintenance.store(false, Ordering::Release);
         }
     }
@@ -310,11 +350,10 @@ impl ShardedPnwStore {
         // its reserve still has buckets just because another shard's
         // background training is in flight.
         {
-            let model = self.model.read().unwrap();
             let mut shard = self.shards[sid].write().unwrap();
             if shard.retrain_due() && shard.reserve_remaining() > 0 {
                 let chunk = (shard.config().capacity / 4).max(1);
-                shard.extend_zone(&model, chunk);
+                shard.extend_zone(chunk);
             }
         }
         if self.cfg.retrain == RetrainMode::Manual {
@@ -335,15 +374,18 @@ impl ShardedPnwStore {
             }
             RetrainMode::Background => {
                 let snapshot = self.training_snapshot();
-                let mut model = self.model.write().unwrap();
-                if model.training_in_progress() {
+                let mut trainer = self.trainer.lock().unwrap();
+                if trainer.training_in_progress() {
                     // A run is already pending; let its install clear the flag.
                 } else {
-                    model.train_in_background(snapshot);
+                    trainer.train_in_background_with(
+                        snapshot,
+                        Some(Arc::clone(&self.model_ready)),
+                    );
                 }
-                // Flag stays set until try_install_background() swaps the
-                // model in — that is what stops every subsequent PUT from
-                // re-snapshotting the data zone.
+                // The maintenance flag stays set until install_if_ready()
+                // swaps the model in — that is what stops every subsequent
+                // PUT from re-snapshotting the data zone.
             }
         }
     }

@@ -120,14 +120,14 @@ impl PnwStore {
     /// Returns how many buckets were activated (0 when the reserve is
     /// exhausted).
     pub fn extend_zone(&mut self, buckets: usize) -> usize {
-        self.engine.extend_zone(&self.model, buckets)
+        self.engine.extend_zone(buckets)
     }
 
     /// PUT / UPDATE (Algorithm 2 + §V-B.3).
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
         self.engine.check_value(value)?;
         self.maybe_install_background();
-        let (report, path) = self.engine.put(&self.model, key, value)?;
+        let (report, path) = self.engine.put(key, value)?;
         if path == PutPath::Fresh {
             self.maybe_trigger_retrain();
         }
@@ -153,7 +153,7 @@ impl PnwStore {
     /// the pool under its *content's* label.
     pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {
         self.maybe_install_background();
-        self.engine.delete(&self.model, key)
+        self.engine.delete(key)
     }
 
     /// Pre-fills every *free* bucket's cells with values from `gen`,
@@ -166,15 +166,16 @@ impl PnwStore {
         &mut self,
         gen: impl FnMut() -> Vec<u8>,
     ) -> Result<usize, PnwError> {
-        self.engine.prefill_free_buckets(&self.model, gen)
+        self.engine.prefill_free_buckets(gen)
     }
 
-    /// Trains the model synchronously on the current data zone and rebuilds
-    /// the pool under the new labels (Algorithm 1). Returns training time.
+    /// Trains the model synchronously on the current data zone, publishes
+    /// the new snapshot to the engine and rebuilds the pool under the new
+    /// labels (Algorithm 1). Returns training time.
     pub fn retrain_now(&mut self) -> Result<Duration, PnwError> {
         let snapshot = self.engine.training_values(self.config().train_sample);
         let elapsed = self.model.train(&snapshot);
-        self.engine.relabel_pool(&self.model);
+        self.engine.install_model(self.model.snapshot());
         Ok(elapsed)
     }
 
@@ -188,13 +189,13 @@ impl PnwStore {
     /// Blocks until an in-flight background retrain (if any) installs.
     pub fn wait_for_retrain(&mut self) {
         if self.model.wait_for_background() {
-            self.engine.relabel_pool(&self.model);
+            self.engine.install_model(self.model.snapshot());
         }
     }
 
     fn maybe_install_background(&mut self) {
         if self.model.try_install_background() {
-            self.engine.relabel_pool(&self.model);
+            self.engine.install_model(self.model.snapshot());
         }
     }
 
@@ -207,7 +208,7 @@ impl PnwStore {
         // remains, then retrain per policy.
         if self.engine.reserve_remaining() > 0 {
             let chunk = (self.config().capacity / 4).max(1);
-            self.engine.extend_zone(&self.model, chunk);
+            self.engine.extend_zone(chunk);
         }
         match self.config().retrain {
             RetrainMode::Manual => {}
@@ -237,7 +238,7 @@ impl PnwStore {
 
     /// Point-in-time metrics snapshot.
     pub fn snapshot(&self) -> StoreSnapshot {
-        self.engine.snapshot(self.model.k(), self.model.retrains())
+        self.engine.snapshot(self.model.train_stats())
     }
 
     /// Access to the model manager (read-only).

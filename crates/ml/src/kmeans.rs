@@ -8,11 +8,117 @@
 //!
 //! Training supports multicore assignment via scoped threads —
 //! Figure 11 of the paper measures exactly this (1 core vs 4 cores).
+//!
+//! Training is generic over [`TrainSet`]: the dense float [`Matrix`] (the
+//! reference path, and the only choice after PCA projection) or the
+//! bit-packed [`PackedMatrix`](crate::packedmatrix::PackedMatrix), which
+//! runs the whole fit in the packed bit domain (LUT distances, integer
+//! bit-count centroid accumulators) without ever materializing the 32×
+//! larger float tensor.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::matrix::{sq_dist, Matrix};
+
+/// Per-iteration assignment statistics: what one pass over the training set
+/// produces for the centroid update, regardless of the data representation.
+pub struct Assignment {
+    /// Samples assigned to each cluster.
+    pub counts: Vec<usize>,
+    /// k × d centroid sums, flattened row-major.
+    pub sums: Vec<f32>,
+    /// Sum of squared distances of every sample to its centroid (Eq. 1).
+    pub sse: f32,
+}
+
+impl Assignment {
+    /// An all-zero accumulator for `k` clusters of `d` dims.
+    pub fn zeros(k: usize, d: usize) -> Self {
+        Assignment {
+            counts: vec![0; k],
+            sums: vec![0.0; k * d],
+            sse: 0.0,
+        }
+    }
+}
+
+/// A K-means training set. Implemented by the dense float [`Matrix`] and by
+/// the packed bit matrix; [`KMeans::fit_set`] and
+/// [`MiniBatchKMeans::fit_set`](crate::minibatch::MiniBatchKMeans::fit_set)
+/// are generic over it, so the float path survives for PCA-projected models
+/// while raw bit-feature models train without featurization.
+///
+/// Centroids stay fractional `f32` either way — only the *samples* are
+/// representation-specific.
+pub trait TrainSet: Sync {
+    /// Number of samples.
+    fn n_samples(&self) -> usize;
+
+    /// Feature dimensionality.
+    fn n_dims(&self) -> usize;
+
+    /// Expands sample `i` into float features (`out.len() == n_dims()`).
+    fn write_row(&self, i: usize, out: &mut [f32]);
+
+    /// Squared L2 distance between samples `i` and `j`. On 0/1 data this is
+    /// the Hamming distance — an exact integer in both representations, so
+    /// k-means++ seeding draws identical centers from either.
+    fn sample_sq_dist(&self, i: usize, j: usize) -> f32;
+
+    /// Squared L2 distance from sample `i` to a float centroid row.
+    fn dist_to_centroid(&self, i: usize, centroid: &[f32]) -> f32;
+
+    /// One full assignment pass: labels every sample and accumulates the
+    /// per-cluster counts, feature sums and the SSE.
+    fn assign(&self, centroids: &Matrix, threads: usize, labels: &mut [usize]) -> Assignment;
+
+    /// Labels the samples selected by `idx` (`labels.len() == idx.len()`) —
+    /// the mini-batch assignment phase.
+    fn label_subset(&self, centroids: &Matrix, idx: &[usize], labels: &mut [usize]);
+
+    /// Copies the selected samples into a new training set of the same
+    /// representation.
+    fn select(&self, idx: &[usize]) -> Self
+    where
+        Self: Sized;
+}
+
+impl TrainSet for Matrix {
+    fn n_samples(&self) -> usize {
+        self.rows()
+    }
+
+    fn n_dims(&self) -> usize {
+        self.cols()
+    }
+
+    fn write_row(&self, i: usize, out: &mut [f32]) {
+        out.copy_from_slice(self.row(i));
+    }
+
+    fn sample_sq_dist(&self, i: usize, j: usize) -> f32 {
+        sq_dist(self.row(i), self.row(j))
+    }
+
+    fn dist_to_centroid(&self, i: usize, centroid: &[f32]) -> f32 {
+        sq_dist(self.row(i), centroid)
+    }
+
+    fn assign(&self, centroids: &Matrix, threads: usize, labels: &mut [usize]) -> Assignment {
+        assign(self, centroids, threads, labels)
+    }
+
+    fn label_subset(&self, centroids: &Matrix, idx: &[usize], labels: &mut [usize]) {
+        for (l, &i) in labels.iter_mut().zip(idx) {
+            *l = nearest(centroids, self.row(i)).0;
+        }
+    }
+
+    fn select(&self, idx: &[usize]) -> Self {
+        self.select_rows(idx)
+    }
+}
 
 /// Centroid initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,8 +202,14 @@ impl KMeans {
     /// `k` is clamped to the number of samples. With no samples at all the
     /// model has a single all-zeros centroid so that `predict` stays total.
     pub fn fit(data: &Matrix, cfg: &KMeansConfig) -> KMeans {
-        let n = data.rows();
-        let d = data.cols();
+        Self::fit_set(data, cfg)
+    }
+
+    /// [`KMeans::fit`] over any [`TrainSet`] representation — the packed
+    /// bit matrix trains here without ever expanding to floats.
+    pub fn fit_set<D: TrainSet>(data: &D, cfg: &KMeansConfig) -> KMeans {
+        let n = data.n_samples();
+        let d = data.n_dims();
         if n == 0 {
             return KMeans {
                 centroids: Matrix::zeros(1, d),
@@ -118,7 +230,7 @@ impl KMeans {
 
         for iter in 0..cfg.max_iters.max(1) {
             iterations = iter + 1;
-            let a = assign(data, &centroids, cfg.threads, &mut labels);
+            let a = data.assign(&centroids, cfg.threads, &mut labels);
             inertia = a.sse;
 
             // Recompute centroids; repair empty clusters by stealing the
@@ -127,7 +239,7 @@ impl KMeans {
             for c in 0..k {
                 if a.counts[c] == 0 {
                     let far = farthest_sample(data, &centroids, &labels);
-                    new_centroids.row_mut(c).copy_from_slice(data.row(far));
+                    data.write_row(far, new_centroids.row_mut(c));
                 } else {
                     let inv = 1.0 / a.counts[c] as f32;
                     for (dst, &s) in new_centroids.row_mut(c).iter_mut().zip(&a.sums[c * d..(c + 1) * d]) {
@@ -146,7 +258,7 @@ impl KMeans {
         }
 
         // Final consistent inertia for the returned centroids.
-        let a = assign(data, &centroids, cfg.threads, &mut labels);
+        let a = data.assign(&centroids, cfg.threads, &mut labels);
         inertia = a.sse.min(inertia);
 
         KMeans {
@@ -218,17 +330,6 @@ impl KMeans {
         best.0
     }
 
-    /// Clusters ranked by distance to `x`, nearest first. Used by the
-    /// dynamic address pool's fallback when the nearest cluster's free list
-    /// is empty.
-    pub fn ranked_clusters(&self, x: &[f32]) -> Vec<usize> {
-        let mut order: Vec<(usize, f32)> = (0..self.k())
-            .map(|c| (c, sq_dist(self.centroids.row(c), x)))
-            .collect();
-        order.sort_by(|a, b| a.1.total_cmp(&b.1));
-        order.into_iter().map(|(c, _)| c).collect()
-    }
-
     /// Labels every row of `data` — `model.labels` of Algorithm 1.
     pub fn labels(&self, data: &Matrix) -> Vec<usize> {
         let mut labels = vec![0usize; data.rows()];
@@ -254,13 +355,6 @@ fn nearest(centroids: &Matrix, x: &[f32]) -> (usize, f32) {
     best
 }
 
-struct Assignment {
-    counts: Vec<usize>,
-    /// k × d centroid sums, flattened.
-    sums: Vec<f32>,
-    sse: f32,
-}
-
 /// Assignment step: labels every sample, accumulating per-cluster sums,
 /// counts and the SSE. Parallelized over contiguous row chunks.
 fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize]) -> Assignment {
@@ -270,11 +364,7 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
     let threads = threads.max(1).min(n.max(1));
 
     if threads == 1 || n < 256 {
-        let mut a = Assignment {
-            counts: vec![0; k],
-            sums: vec![0.0; k * d],
-            sse: 0.0,
-        };
+        let mut a = Assignment::zeros(k, d);
         for (i, label) in labels.iter_mut().enumerate().take(n) {
             let (c, dist) = nearest(centroids, data.row(i));
             *label = c;
@@ -295,11 +385,7 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
         for (t, label_chunk) in label_chunks.into_iter().enumerate() {
             let start = t * chunk;
             handles.push(scope.spawn(move || {
-                let mut a = Assignment {
-                    counts: vec![0; k],
-                    sums: vec![0.0; k * d],
-                    sse: 0.0,
-                };
+                let mut a = Assignment::zeros(k, d);
                 for (off, l) in label_chunk.iter_mut().enumerate() {
                     let row = data.row(start + off);
                     let (c, dist) = nearest(centroids, row);
@@ -318,11 +404,7 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
         }
     });
 
-    let mut merged = Assignment {
-        counts: vec![0; k],
-        sums: vec![0.0; k * d],
-        sse: 0.0,
-    };
+    let mut merged = Assignment::zeros(k, d);
     for p in partials {
         merged.sse += p.sse;
         for (m, c) in merged.counts.iter_mut().zip(&p.counts) {
@@ -335,10 +417,10 @@ fn assign(data: &Matrix, centroids: &Matrix, threads: usize, labels: &mut [usize
     merged
 }
 
-fn farthest_sample(data: &Matrix, centroids: &Matrix, labels: &[usize]) -> usize {
+fn farthest_sample<D: TrainSet>(data: &D, centroids: &Matrix, labels: &[usize]) -> usize {
     let mut best = (0usize, -1.0f32);
-    for (i, &label) in labels.iter().enumerate().take(data.rows()) {
-        let d = sq_dist(data.row(i), centroids.row(label));
+    for (i, &label) in labels.iter().enumerate().take(data.n_samples()) {
+        let d = data.dist_to_centroid(i, centroids.row(label));
         if d > best.1 {
             best = (i, d);
         }
@@ -346,25 +428,36 @@ fn farthest_sample(data: &Matrix, centroids: &Matrix, labels: &[usize]) -> usize
     best.0
 }
 
-fn random_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+/// Copies the selected samples into a float centroid matrix.
+fn gather<D: TrainSet>(data: &D, idx: &[usize]) -> Matrix {
+    let mut m = Matrix::zeros(idx.len(), data.n_dims());
+    for (r, &i) in idx.iter().enumerate() {
+        data.write_row(i, m.row_mut(r));
+    }
+    m
+}
+
+fn random_init<D: TrainSet>(data: &D, k: usize, rng: &mut StdRng) -> Matrix {
     // Sample k distinct row indices (partial Fisher-Yates).
-    let n = data.rows();
+    let n = data.n_samples();
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..k {
         let j = rng.gen_range(i..n);
         idx.swap(i, j);
     }
-    data.select_rows(&idx[..k])
+    gather(data, &idx[..k])
 }
 
 /// k-means++ seeding: first centroid uniform, then D²-weighted.
-fn kmeans_pp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
-    let n = data.rows();
+///
+/// Sample-to-sample distances go through [`TrainSet::sample_sq_dist`]; on
+/// 0/1 data those are exact integers in both representations, so the packed
+/// and float paths draw *identical* seeds from the same RNG stream.
+fn kmeans_pp_init<D: TrainSet>(data: &D, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.n_samples();
     let mut chosen = Vec::with_capacity(k);
     chosen.push(rng.gen_range(0..n));
-    let mut dist2: Vec<f32> = (0..n)
-        .map(|i| sq_dist(data.row(i), data.row(chosen[0])))
-        .collect();
+    let mut dist2: Vec<f32> = (0..n).map(|i| data.sample_sq_dist(i, chosen[0])).collect();
 
     while chosen.len() < k {
         let total: f32 = dist2.iter().sum();
@@ -385,13 +478,13 @@ fn kmeans_pp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
         };
         chosen.push(next);
         for (i, slot) in dist2.iter_mut().enumerate().take(n) {
-            let d = sq_dist(data.row(i), data.row(next));
+            let d = data.sample_sq_dist(i, next);
             if d < *slot {
                 *slot = d;
             }
         }
     }
-    data.select_rows(&chosen)
+    gather(data, &chosen)
 }
 
 #[cfg(test)]
@@ -504,13 +597,17 @@ mod tests {
     }
 
     #[test]
-    fn ranked_clusters_orders_by_distance() {
+    fn distances_into_returns_argmin_and_full_vector() {
         let data = blobs();
         let m = KMeans::fit(&data, &KMeansConfig::new(3).with_seed(2));
         let x = data.row(0); // in blob 0
-        let ranked = m.ranked_clusters(x);
-        assert_eq!(ranked.len(), 3);
-        assert_eq!(ranked[0], m.predict(x));
+        let mut dist = vec![0.0f32; 3];
+        let argmin = m.distances_into(x, &mut dist);
+        assert_eq!(argmin, m.predict(x));
+        for (c, &d) in dist.iter().enumerate() {
+            assert_eq!(d, sq_dist(m.centroid(c), x));
+            assert!(dist[argmin] <= d);
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   lookup tables turn `‖x−c‖²` into `‖c‖² + popcount(x) − 2⟨c,x⟩`, so the
 //!   PUT hot path predicts straight from the raw bytes with zero
 //!   featurization and zero allocation.
+//! * [`packedmatrix`] — the same identity on the *training* side: a
+//!   samples × bits set stored as `u64` words, fit without ever expanding
+//!   to the 32× larger float tensor (per-iteration byte LUTs for the
+//!   assignment step, integer bit-count accumulators for the centroid
+//!   update). [`kmeans::TrainSet`] is the seam: both `KMeans::fit_set` and
+//!   `MiniBatchKMeans::fit_set` accept either representation.
 //! * [`matrix`] / [`linalg`] — the minimal dense-matrix layer underneath.
 //!
 //! ```
@@ -56,12 +62,14 @@ pub mod linalg;
 pub mod matrix;
 pub mod minibatch;
 pub mod packed;
+pub mod packedmatrix;
 pub mod pca;
 
 pub use elbow::{elbow_point, sse_curve};
 pub use featurize::{bits_to_features, features_to_bits};
-pub use kmeans::{KMeans, KMeansConfig};
+pub use kmeans::{KMeans, KMeansConfig, TrainSet};
 pub use matrix::Matrix;
 pub use minibatch::MiniBatchKMeans;
 pub use packed::PackedPredictor;
+pub use packedmatrix::PackedMatrix;
 pub use pca::Pca;

@@ -7,11 +7,19 @@
 //! updates touch only a sampled batch per step and converge to nearly the
 //! same centroids. The PNW store uses this as an opt-in retraining policy;
 //! the `ablation_minibatch` bench quantifies the trade-off.
+//!
+//! Each step follows Sculley's two-phase form: the whole batch is assigned
+//! against the step-start centroids first (*"cache the center nearest to
+//! x"*), then the per-sample learning-rate updates are applied. The phase
+//! split is what lets the packed bit-domain path build its byte LUTs once
+//! per step and amortize them over the batch, exactly as the full-Lloyd
+//! kernel amortizes them over the data set; training is generic over
+//! [`TrainSet`] like [`KMeans::fit_set`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::kmeans::{KMeans, KMeansConfig};
+use crate::kmeans::{KMeans, KMeansConfig, TrainSet};
 use crate::matrix::Matrix;
 
 /// Mini-batch K-means trainer.
@@ -60,9 +68,16 @@ impl MiniBatchKMeans {
     /// centroids (the common case when refreshing PNW's model on a drifted
     /// workload).
     pub fn fit(&self, data: &Matrix, warm_start: Option<&KMeans>) -> KMeans {
-        let n = data.rows();
+        self.fit_set(data, warm_start)
+    }
+
+    /// [`MiniBatchKMeans::fit`] over any [`TrainSet`] representation — the
+    /// packed bit matrix streams its batches here without float expansion.
+    pub fn fit_set<D: TrainSet>(&self, data: &D, warm_start: Option<&KMeans>) -> KMeans {
+        let n = data.n_samples();
+        let d = data.n_dims();
         if n == 0 {
-            return KMeans::fit(data, &KMeansConfig::new(self.k));
+            return KMeans::fit_set(data, &KMeansConfig::new(self.k));
         }
         let k = self.k.clamp(1, n);
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -70,33 +85,31 @@ impl MiniBatchKMeans {
         // Initialize centroids: warm start (if compatible) or a small
         // k-means++ fit on one batch.
         let mut centroids = match warm_start {
-            Some(m) if m.k() == k && m.dims() == data.cols() => m.centroids().clone(),
+            Some(m) if m.k() == k && m.dims() == d => m.centroids().clone(),
             _ => {
                 let batch = self.sample(n, &mut rng);
-                let sub = data.select_rows(&batch);
-                KMeans::fit(&sub, &KMeansConfig::new(k).with_seed(self.seed))
+                let sub = data.select(&batch);
+                KMeans::fit_set(&sub, &KMeansConfig::new(k).with_seed(self.seed))
                     .centroids()
                     .clone()
             }
         };
 
         let mut counts = vec![1u64; k];
+        let mut labels = vec![0usize; self.batch_size.min(n)];
+        let mut row = vec![0.0f32; d];
         for _ in 0..self.steps {
             let batch = self.sample(n, &mut rng);
-            for &i in &batch {
-                let row = data.row(i);
-                // Nearest centroid.
-                let mut best = (0usize, f32::INFINITY);
-                for c in 0..k {
-                    let dct = crate::matrix::sq_dist(centroids.row(c), row);
-                    if dct < best.1 {
-                        best = (c, dct);
-                    }
-                }
-                let c = best.0;
+            // Phase 1 (Sculley's assignment cache): label the whole batch
+            // against the step-start centroids. The packed path builds its
+            // byte LUTs once here and amortizes them over the batch.
+            data.label_subset(&centroids, &batch, &mut labels[..batch.len()]);
+            // Phase 2: per-sample learning-rate updates.
+            for (&i, &c) in batch.iter().zip(&labels) {
                 counts[c] += 1;
                 let eta = 1.0 / counts[c] as f32;
-                for (ctr, &x) in centroids.row_mut(c).iter_mut().zip(row) {
+                data.write_row(i, &mut row);
+                for (ctr, &x) in centroids.row_mut(c).iter_mut().zip(&row) {
                     *ctr += eta * (x - *ctr);
                 }
             }
@@ -105,7 +118,8 @@ impl MiniBatchKMeans {
         // Wrap the streamed centroids in a model and compute the final
         // inertia over the full data for comparability with Lloyd fits.
         let mut model = KMeans::from_centroids(centroids, self.steps);
-        model.inertia = model.sse(data);
+        let mut all_labels = vec![0usize; n];
+        model.inertia = data.assign(model.centroids(), 1, &mut all_labels).sse;
         model
     }
 
@@ -172,5 +186,51 @@ mod tests {
         let a = MiniBatchKMeans::new(2).with_seed(8).fit(&data, None);
         let b = MiniBatchKMeans::new(2).with_seed(8).fit(&data, None);
         assert_eq!(a.centroids(), b.centroids());
+    }
+
+    mod packed_equivalence {
+        use super::*;
+        use crate::featurize::featurize_values;
+        use crate::packedmatrix::{family_test_values as family_values, PackedMatrix};
+
+        fn assert_close(a: &KMeans, b: &KMeans) {
+            assert_eq!(a.k(), b.k());
+            for c in 0..a.k() {
+                for (x, y) in a.centroid(c).iter().zip(b.centroid(c)) {
+                    assert!((x - y).abs() <= 1e-4, "centroid {c}: {x} vs {y}");
+                }
+            }
+        }
+
+        #[test]
+        fn cold_start_matches_float_path() {
+            let values = family_values(300, 8, 3, 4);
+            let trainer = MiniBatchKMeans::new(3)
+                .with_batch_size(64)
+                .with_steps(30)
+                .with_seed(4);
+            let packed = trainer.fit_set(&PackedMatrix::from_values(&values), None);
+            let float = trainer.fit(&featurize_values(&values), None);
+            assert_close(&packed, &float);
+        }
+
+        #[test]
+        fn warm_start_matches_float_path() {
+            let values = family_values(240, 6, 2, 17);
+            let floats = featurize_values(&values);
+            let warm = KMeans::fit(&floats, &KMeansConfig::new(2).with_seed(17));
+            let trainer = MiniBatchKMeans::new(2)
+                .with_batch_size(48)
+                .with_steps(25)
+                .with_seed(9);
+            let packed =
+                trainer.fit_set(&PackedMatrix::from_values(&values), Some(&warm));
+            let float = trainer.fit(&floats, Some(&warm));
+            assert_close(&packed, &float);
+            assert!(
+                (packed.inertia - float.inertia).abs()
+                    <= 1e-3 * (1.0 + float.inertia.abs())
+            );
+        }
     }
 }

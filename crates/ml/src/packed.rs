@@ -119,7 +119,45 @@ impl PackedPredictor {
                 *acc += w;
             }
         }
-        let pop = popcount_bytes(bytes) as f32;
+        self.finalize(popcount_bytes(bytes) as f32, out)
+    }
+
+    /// [`PackedPredictor::distances_into`] over a row of little-endian `u64`
+    /// words (the [`crate::packedmatrix::PackedMatrix`] layout) with the
+    /// row's popcount supplied by the caller — the training kernel computes
+    /// it once per sample and reuses it every iteration.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly the packed form of an
+    /// `input_bytes`-byte value or `out.len() != k`.
+    pub fn distances_from_words(&self, words: &[u64], pop: u32, out: &mut [f32]) -> usize {
+        assert_eq!(
+            words.len(),
+            self.input_bytes.div_ceil(8),
+            "packed row length mismatch"
+        );
+        assert_eq!(out.len(), self.k, "distance buffer length mismatch");
+        let k = self.k;
+        out.fill(0.0);
+        let mut pos = 0usize;
+        'words: for &w in words {
+            for b in w.to_le_bytes() {
+                if pos == self.input_bytes {
+                    break 'words;
+                }
+                let row = &self.lut[(pos * 256 + b as usize) * k..][..k];
+                for (acc, &x) in out.iter_mut().zip(row) {
+                    *acc += x;
+                }
+                pos += 1;
+            }
+        }
+        self.finalize(pop as f32, out)
+    }
+
+    /// Turns accumulated partial dot products into squared distances via
+    /// `‖c‖² + popcount(x) − 2⟨c,x⟩`, returning the argmin cluster.
+    fn finalize(&self, pop: f32, out: &mut [f32]) -> usize {
         let mut best = 0usize;
         let mut best_d = f32::INFINITY;
         for (c, d) in out.iter_mut().enumerate() {

@@ -115,12 +115,17 @@ fn pca_model_predicts_identically_through_scratch() {
     let mut scratch = PredictScratch::new();
     for v in &values {
         // In PCA space both paths scan the same float features, so the
-        // match is exact, not tolerance-based.
-        assert_eq!(
-            m.predict_into(v, &mut scratch),
-            m.kmeans().predict(&m.featurize(v))
-        );
-        let (c, ranked) = m.predict_ranked(v);
+        // prediction must be the argmin of the scratch distances exactly.
+        let c = m.predict_into(v, &mut scratch);
+        let best = scratch
+            .distances()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(c, best);
+        let ranked = m.ranked_after_predict(&mut scratch);
         assert_eq!(c, ranked[0]);
         assert_eq!(ranked.len(), m.k());
     }

@@ -214,6 +214,91 @@ fn bit_flips_are_conserved_across_shards() {
     assert!(active >= 2, "only {active} shards saw traffic");
 }
 
+/// Torn-model regression: readers and writers run while the model is
+/// retrained and swapped over and over (with `auto_k`, so the cluster
+/// count itself changes across epochs). Every shard swaps its snapshot
+/// `Arc` and relabels its pool together under the shard lock, so no
+/// operation may ever observe a half-installed model: every GET must
+/// return exactly what was last PUT, every PUT must keep succeeding, and
+/// the epoch must advance monotonically.
+#[test]
+fn readers_never_observe_a_torn_model_across_epoch_swaps() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: u64 = 4;
+    const KEYS_PER_THREAD: u64 = 48;
+
+    let store = Arc::new(ShardedPnwStore::new(
+        PnwConfig::new(1024, 8)
+            .with_shards(4)
+            .with_auto_k(1, 6)
+            .with_seed(3)
+            .with_train_sample_cap(256),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xEB0C + t);
+            let lo = t * KEYS_PER_THREAD;
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) || ops < 200 {
+                ops += 1;
+                let key = lo + rng.gen_range(0..KEYS_PER_THREAD);
+                if rng.gen_bool(0.6) {
+                    let v: Vec<u8> = (0..8).map(|_| rng.gen()).collect();
+                    store.put(key, &v).expect("capacity is ample");
+                    model.insert(key, v);
+                } else {
+                    assert_eq!(
+                        store.get(key).expect("get ok"),
+                        model.get(&key).cloned(),
+                        "key {key} diverged mid-swap"
+                    );
+                }
+            }
+            model
+        }));
+    }
+
+    // Main thread: force a stream of model swaps under live traffic, with
+    // shifting value families so the elbow can move K between epochs.
+    let mut last_epoch = 0;
+    for round in 0..8u64 {
+        for k in 0..64u64 {
+            let fill = match (k + round) % 3 {
+                0 => 0x00u8,
+                1 => 0xFF,
+                _ => 0x0F,
+            };
+            store.put(100_000 + k, &[fill; 8]).unwrap();
+        }
+        store.retrain_now().unwrap();
+        let epoch = store.model_epoch();
+        assert!(epoch > last_epoch, "epoch must advance: {last_epoch} -> {epoch}");
+        last_epoch = epoch;
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut combined: HashMap<u64, Vec<u8>> = HashMap::new();
+    for h in handles {
+        combined.extend(h.join().expect("worker survived every swap"));
+    }
+    // Post-join: the store agrees with the union of the reference models.
+    for (key, v) in &combined {
+        assert_eq!(store.get(*key).unwrap().as_ref(), Some(v), "key {key}");
+    }
+    assert!(store.retrains() >= 8);
+    let snap = store.snapshot();
+    assert_eq!(snap.train.epoch, store.model_epoch());
+    assert_eq!(snap.train.samples_post_cap, 256, "reservoir cap enforced");
+    assert!(snap.train.samples_pre_cap >= snap.train.samples_post_cap);
+}
+
 /// Concurrent readers share one shard lock in read mode and see a frozen
 /// value while writers on *other* shards proceed.
 #[test]
