@@ -64,7 +64,7 @@ fn ablation_pca(c: &mut Criterion) {
     g.sample_size(20);
     for (name, threshold) in [("pca-on", 1024usize), ("pca-off", usize::MAX / 2)] {
         let mut w = DatasetKind::Mnist.build(13);
-        let mut store = PnwStore::new(
+        let store = PnwStore::new(
             PnwConfig::new(512, 784)
                 .with_clusters(10)
                 .with_pca(PcaPolicy {
@@ -77,7 +77,7 @@ fn ablation_pca(c: &mut Criterion) {
         store.prefill_free_buckets(|| w.next_value()).expect("prefill");
         store.retrain_now().expect("train");
         let v = w.next_value();
-        g.bench_function(name, |b| b.iter(|| store.model().predict(black_box(&v))));
+        g.bench_function(name, |b| b.iter(|| store.predict(black_box(&v))));
     }
     g.finish();
 }
@@ -92,7 +92,7 @@ fn ablation_update_policy(c: &mut Criterion) {
     ] {
         let mut w = DatasetKind::Road.build(17);
         let vs = w.value_size();
-        let mut store = PnwStore::new(
+        let store = PnwStore::new(
             PnwConfig::new(512, vs)
                 .with_clusters(10)
                 .with_update_policy(policy)

@@ -41,7 +41,7 @@ fn bench_featurize(c: &mut Criterion) {
 fn trained_store(dataset: DatasetKind, k: usize) -> (PnwStore, Box<dyn Workload>) {
     let mut w = dataset.build(77);
     let vs = w.value_size();
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(1024, vs)
             .with_clusters(k)
             .with_retrain(RetrainMode::Manual),
@@ -56,12 +56,12 @@ fn bench_predict(c: &mut Criterion) {
     // Small values: raw 32-bit features.
     let (store, mut w) = trained_store(DatasetKind::Normal, 10);
     let v = w.next_value();
-    g.bench_function("u32-k10", |b| b.iter(|| store.model().predict(black_box(&v))));
+    g.bench_function("u32-k10", |b| b.iter(|| store.predict(black_box(&v))));
     // Large values: PCA-projected image features.
     let (store, mut w) = trained_store(DatasetKind::Mnist, 30);
     let v = w.next_value();
     g.bench_function("mnist-k30-pca", |b| {
-        b.iter(|| store.model().predict(black_box(&v)))
+        b.iter(|| store.predict(black_box(&v)))
     });
     g.finish();
 }
@@ -84,7 +84,7 @@ fn bench_schemes(c: &mut Criterion) {
 fn bench_store_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("store");
     g.bench_function("put-delete-u32-k10", |b| {
-        let (mut store, mut w) = trained_store(DatasetKind::Normal, 10);
+        let (store, mut w) = trained_store(DatasetKind::Normal, 10);
         let mut key = 0u64;
         b.iter(|| {
             let v = w.next_value();
@@ -94,13 +94,13 @@ fn bench_store_ops(c: &mut Criterion) {
         })
     });
     g.bench_function("get-u32", |b| {
-        let (mut store, mut w) = trained_store(DatasetKind::Normal, 10);
+        let (store, mut w) = trained_store(DatasetKind::Normal, 10);
         store.put(1, &w.next_value()).expect("room");
         b.iter(|| store.get(black_box(1)))
     });
     g.bench_function("put-inplace-update", |b| {
         let mut w = DatasetKind::Normal.build(3);
-        let mut store = PnwStore::new(
+        let store = PnwStore::new(
             PnwConfig::new(256, 4)
                 .with_clusters(10)
                 .with_update_policy(UpdatePolicy::InPlace),

@@ -27,7 +27,7 @@ fn update_policy(scale: Scale) {
         ("in-place (latency-first)", UpdatePolicy::InPlace),
     ] {
         let mut w = DatasetKind::Normal.build(41);
-        let mut store = PnwStore::new(
+        let store = PnwStore::new(
             PnwConfig::new(n, 4)
                 .with_clusters(12)
                 .with_update_policy(policy)
@@ -67,7 +67,7 @@ fn pca_quality(scale: Scale) {
     for (name, threshold) in [("on (32 comps)", 1024usize), ("off (raw 6272 bits)", usize::MAX / 2)]
     {
         let mut w = DatasetKind::Mnist.build(43);
-        let mut store = PnwStore::new(
+        let store = PnwStore::new(
             PnwConfig::new(n, 784)
                 .with_clusters(10)
                 .with_pca(PcaPolicy {

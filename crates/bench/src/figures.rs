@@ -4,7 +4,7 @@
 //! plots, so the binaries just print them. `EXPERIMENTS.md` records the
 //! paper-reported vs measured values for each.
 
-use pnw_core::{IndexPlacement, PnwConfig, PnwStore, RetrainMode};
+use pnw_core::{IndexPlacement, PnwConfig, PnwStore, RetrainMode, Store};
 use pnw_ml::elbow::{elbow_point, sse_curve};
 use pnw_ml::featurize::featurize_values;
 use pnw_ml::kmeans::{KMeans, KMeansConfig};
@@ -14,7 +14,6 @@ use pnw_nvm_sim::MemoryTech;
 use pnw_schemes::SchemeKind;
 use pnw_workloads::{DatasetKind, ImageStyle, Interleaved, TemplateImages, Workload};
 
-use crate::adapter::PnwKv;
 use crate::replace::{run_pnw, run_scheme, time_training, ReplaceParams, SeriesPoint};
 use crate::table::{f2, f3, Table};
 use crate::Scale;
@@ -181,7 +180,7 @@ pub fn fig8(scale: Scale) -> Table {
 /// Figure 9: average written cache lines per request, PNW vs FPTree vs
 /// NoveLSM vs Path hashing; insert n items then delete 0.5n (§VI-E).
 pub fn fig9(scale: Scale) -> Table {
-    use pnw_baselines::{FpTreeLike, KvStore, NoveLsmLike, PathHashStore};
+    use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore};
 
     let datasets = [DatasetKind::Normal, DatasetKind::Road, DatasetKind::Amazon];
     let n = scale.pick(384, 4096);
@@ -207,26 +206,27 @@ pub fn fig9(scale: Scale) -> Table {
         let warmup: Vec<Vec<u8>> = w.take_values(n * 2);
         let values: Vec<Vec<u8>> = w.take_values(n);
 
-        let mut stores: Vec<Box<dyn KvStore>> = vec![
+        // All four backends behind the one `Store` trait — no adapter.
+        let stores: Vec<Box<dyn Store>> = vec![
             Box::new(FpTreeLike::new(n * 2, vs)),
             Box::new(NoveLsmLike::new(n * 2, vs)),
             Box::new(PathHashStore::new(n * 2, vs)),
-            Box::new(PnwKv({
+            Box::new({
                 // Figure 2a configuration (DRAM index), as §VI-E states.
                 let cfg = PnwConfig::new(n * 2, vs)
                     .with_clusters(10)
                     .with_index(IndexPlacement::Dram)
                     .with_retrain(RetrainMode::Manual);
-                let mut s = PnwStore::new(cfg);
+                let s = PnwStore::new(cfg);
                 let mut it = warmup.iter();
                 s.prefill_free_buckets(|| it.next().expect("enough warmup").clone())
                     .expect("prefill");
                 s.retrain_now().expect("train");
                 s
-            })),
+            }),
         ];
 
-        for (row, store) in rows.iter_mut().zip(stores.iter_mut()) {
+        for (row, store) in rows.iter_mut().zip(stores.iter()) {
             store.reset_device_stats();
             for (i, v) in values.iter().enumerate() {
                 store.put(i as u64, v).expect("capacity suffices");
@@ -270,7 +270,7 @@ pub fn fig10(scale: Scale) -> (Table, Vec<Fig10Point>) {
 
     // K = 20: the stream spans two 10-class distributions, and the zone
     // holds a mixture of both around the phase boundaries.
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(capacity, 784)
             .with_clusters(20)
             .with_seed(0xF1_610)
@@ -289,7 +289,7 @@ pub fn fig10(scale: Scale) -> (Table, Vec<Fig10Point>) {
     let mut win_bits = 0u64;
     let mut next_key = 0u64;
 
-    let mut run_phase = |store: &mut PnwStore,
+    let mut run_phase = |store: &PnwStore,
                          w: &mut dyn Workload,
                          n: usize,
                          phase: usize,
@@ -324,7 +324,7 @@ pub fn fig10(scale: Scale) -> (Table, Vec<Fig10Point>) {
     const FASHION_SEED: u64 = 9;
 
     let mut p1 = TemplateImages::new(ImageStyle::Digits, MNIST_SEED).with_stream_seed(101);
-    run_phase(&mut store, &mut p1, per_phase[0], 1, &mut points);
+    run_phase(&store, &mut p1, per_phase[0], 1, &mut points);
 
     let mut p2 = Interleaved::new(
         TemplateImages::new(ImageStyle::Fashion, FASHION_SEED).with_stream_seed(102),
@@ -332,15 +332,15 @@ pub fn fig10(scale: Scale) -> (Table, Vec<Fig10Point>) {
         2,
         1,
     );
-    run_phase(&mut store, &mut p2, per_phase[1], 2, &mut points);
+    run_phase(&store, &mut p2, per_phase[1], 2, &mut points);
 
     let mut p3 = TemplateImages::new(ImageStyle::Fashion, FASHION_SEED).with_stream_seed(104);
-    run_phase(&mut store, &mut p3, per_phase[2], 3, &mut points);
+    run_phase(&store, &mut p3, per_phase[2], 3, &mut points);
 
     // Phase 4: retrain on the (now Fashion-dominated) data zone.
     store.retrain_now().expect("retrain");
     let mut p4 = TemplateImages::new(ImageStyle::Fashion, FASHION_SEED).with_stream_seed(105);
-    run_phase(&mut store, &mut p4, per_phase[3], 4, &mut points);
+    run_phase(&store, &mut p4, per_phase[3], 4, &mut points);
 
     let mut t = Table::new(vec!["written", "phase", "bit updates / 512 bits"]);
     for p in &points {
@@ -401,7 +401,7 @@ pub fn fig12_13(k: usize, scale: Scale) -> WearResult {
         1,
         1,
     );
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(capacity, 784)
             .with_clusters(k)
             .with_seed(0x1213)
@@ -421,12 +421,8 @@ pub fn fig12_13(k: usize, scale: Scale) -> WearResult {
         store.delete(i as u64).expect("just inserted");
     }
 
-    let (start, len) = store.data_zone_range();
-    let wcdf = store.device().word_wear_cdf(start, len);
-    let bcdf = store
-        .device()
-        .bit_wear_cdf(start, len)
-        .expect("bit wear enabled");
+    let wcdf = store.word_wear_cdf();
+    let bcdf = store.bit_wear_cdf().expect("bit wear enabled");
 
     let checkpoints = |max: u32| -> Vec<u32> {
         let mut xs: Vec<u32> = (0..=max.min(10)).collect();

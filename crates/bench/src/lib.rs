@@ -10,13 +10,14 @@
 //!   the paper plots. Every function takes a [`Scale`] so the same code
 //!   runs as a quick smoke test or a full reproduction.
 //! * [`table`] — plain-text table rendering for the harness binaries.
-//! * [`adapter`] — a [`KvStore`](pnw_baselines::KvStore) adapter for
-//!   [`PnwStore`](pnw_core::PnwStore) so Figure 9 drives all four stores
-//!   uniformly.
-//! * [`throughput`] — the multi-threaded throughput harness over
-//!   [`ShardedPnwStore`](pnw_core::ShardedPnwStore): configurable thread
-//!   count, PUT/GET/DELETE mix and Zipfian keys, reporting ops/sec plus
-//!   p50/p99 modeled and prediction latency.
+//! * [`throughput`] — the multi-threaded throughput harness over any
+//!   [`Store`](pnw_core::Store) backend (sharded PNW, single-lock PNW,
+//!   FPTree, NoveLSM, Path hashing): configurable thread count,
+//!   PUT/GET/DELETE mix, Zipfian keys and an optional
+//!   [`Store::apply`](pnw_core::Store::apply) batch size, reporting
+//!   ops/sec plus p50/p99 modeled and prediction latency. (Figure 9 and
+//!   this harness drive every backend through the one `Store` trait — the
+//!   old `KvStore` adapter shim is gone.)
 //! * [`predictbench`] — the prediction-kernel microbenchmark: packed
 //!   bit-domain LUT path vs the reference float featurize-then-scan path,
 //!   across value sizes and cluster counts (`BENCH_predict.json`).
@@ -30,7 +31,6 @@
 
 #![warn(missing_docs)]
 
-pub mod adapter;
 pub mod figures;
 pub mod predictbench;
 pub mod replace;

@@ -97,7 +97,7 @@ pub fn run_pnw(dataset: DatasetKind, k: usize, p: &ReplaceParams, threads: usize
         .with_seed(p.seed)
         .with_train_threads(threads)
         .with_retrain(RetrainMode::Manual);
-    let mut store = PnwStore::new(cfg);
+    let store = PnwStore::new(cfg);
     store
         .prefill_free_buckets(|| w.next_value())
         .expect("prefill");
@@ -109,7 +109,7 @@ pub fn run_pnw(dataset: DatasetKind, k: usize, p: &ReplaceParams, threads: usize
     let mut lines = 0u64;
     let mut latency_ns = 0f64;
     let mut predict_ns = 0f64;
-    let line_write_ns = store.device().latency_model().line_write.as_nanos() as f64;
+    let line_write_ns = store.latency_model().line_write.as_nanos() as f64;
     for i in 0..p.writes {
         let v = w.next_value();
         let key = i as u64;
@@ -145,7 +145,7 @@ pub fn time_training(
         .with_clusters(k)
         .with_seed(seed)
         .with_train_threads(threads);
-    let mut store = PnwStore::new(cfg);
+    let store = PnwStore::new(cfg);
     store.prefill_free_buckets(|| w.next_value()).expect("prefill");
     let t0 = Instant::now();
     store.retrain_now().expect("train");

@@ -1,40 +1,89 @@
-//! Multi-threaded throughput harness over the sharded store.
+//! Multi-threaded throughput harness over any [`Store`] backend.
 //!
 //! The paper's figures measure bit flips and modeled latency per operation;
 //! this harness measures the dimension the figures hold fixed — how many
 //! operations per second the *store* sustains when several client threads
-//! hit it at once. Each thread drives a shared
-//! [`ShardedPnwStore`] with a configurable PUT/GET/DELETE mix over
+//! hit it at once. Each thread drives a shared `Arc<dyn Store>` — the
+//! sharded PNW store by default, or any backend of the Figure 9 comparison
+//! ([`Backend`]) — with a configurable PUT/GET/DELETE mix over
 //! Zipfian-distributed keys (skewed access is the worst case for a sharded
 //! design: hot keys pile onto a few shards).
+//!
+//! Two write paths are measured:
+//!
+//! * **per-op** (`batch = 0`): every PUT/DELETE is issued individually,
+//!   exactly as a point-lookup client would;
+//! * **batched** (`batch = N`): writes are buffered into a [`Batch`] of N
+//!   ops and submitted through [`Store::apply`] — on the sharded store one
+//!   lock acquisition, one background-install poll and one model-snapshot
+//!   load per shard per batch instead of per op. GETs always execute
+//!   immediately (reads don't batch).
 //!
 //! Three numbers come out per run:
 //!
 //! * **ops/sec** — wall-clock throughput across all threads;
 //! * **p50/p99 modeled latency** — the per-operation NVM cost under the
-//!   device's latency model (PUTs report their exact
-//!   [`OpReport`](pnw_core::OpReport) cost; GETs are charged the model's
-//!   per-line read cost for the value span, DELETEs one flag-line write);
+//!   device's latency model (batched writes are charged their batch's
+//!   aggregate cost split evenly across the batch);
 //! * **p50/p99 predict latency** — the *measured* wall-clock cost of the
-//!   model prediction inside each fresh PUT (the packed bit-domain kernel),
-//!   so prediction-path regressions land in the BENCH history.
+//!   model prediction inside each fresh PUT (per-op PNW runs only: the
+//!   batch path deliberately skips per-op timing, and baselines have no
+//!   prediction).
 //!
 //! By default the harness *emulates* the modeled device latency by
 //! sleeping it (scaled by [`ThroughputConfig::latency_scale`]) after every
-//! operation. That makes each client I/O-bound — exactly like a thread
-//! waiting on a real NVM DIMM — so the measured scaling reflects the
-//! store's concurrency (shard parallelism, lock contention), not how many
-//! cores the benchmark machine happens to have. Disable it
-//! (`emulate_latency: false`) to stress raw lock throughput instead.
+//! operation (after every batch in batched mode — same total sleep). That
+//! makes each client I/O-bound — exactly like a thread waiting on a real
+//! NVM DIMM — so the measured scaling reflects the store's concurrency
+//! (shard parallelism, lock contention), not how many cores the benchmark
+//! machine happens to have. Disable it (`emulate_latency: false`) to
+//! stress the raw software path instead — that is the configuration where
+//! batched vs per-op overhead is visible.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use pnw_core::{PnwConfig, RetrainMode, ShardedPnwStore};
+use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore};
+use pnw_core::{Batch, PnwConfig, RetrainMode, ShardedPnwStore, Store, StoreError};
 use pnw_nvm_sim::LatencyModel;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Which [`Store`] backend a throughput run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The sharded PNW store (see [`ThroughputConfig::shards`]).
+    Pnw,
+    /// The FPTree-like B+-tree baseline.
+    FpTree,
+    /// The NoveLSM-like LSM baseline.
+    Lsm,
+    /// The Path-Hashing baseline.
+    PathHash,
+}
+
+impl Backend {
+    /// Every backend, in Figure 9 order.
+    pub fn all() -> [Backend; 4] {
+        [Backend::Pnw, Backend::FpTree, Backend::Lsm, Backend::PathHash]
+    }
+
+    /// The `--store` flag spelling.
+    pub fn flag(&self) -> &'static str {
+        match self {
+            Backend::Pnw => "pnw",
+            Backend::FpTree => "fptree",
+            Backend::Lsm => "lsm",
+            Backend::PathHash => "path",
+        }
+    }
+
+    /// Parses a `--store` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::all().into_iter().find(|b| b.flag() == s)
+    }
+}
 
 /// Operation mix in percent; must sum to 100.
 #[derive(Debug, Clone, Copy)]
@@ -70,17 +119,21 @@ impl OpMix {
 /// Configuration of one throughput run.
 #[derive(Debug, Clone)]
 pub struct ThroughputConfig {
+    /// Backend to drive.
+    pub backend: Backend,
     /// Client threads.
     pub threads: usize,
-    /// Store shards (see [`PnwConfig::with_shards`]).
+    /// Store shards (see [`PnwConfig::with_shards`]; PNW backend only).
     pub shards: usize,
+    /// Writes per [`Store::apply`] batch; 0 issues every op individually.
+    pub batch: usize,
     /// Operations per thread.
     pub ops_per_thread: usize,
     /// Distinct keys; capacity is sized to 2× this.
     pub key_space: u64,
     /// Value size in bytes.
     pub value_size: usize,
-    /// Cluster count K for the model.
+    /// Cluster count K for the model (PNW backend only).
     pub clusters: usize,
     /// Operation mix.
     pub mix: OpMix,
@@ -99,8 +152,10 @@ pub struct ThroughputConfig {
 impl Default for ThroughputConfig {
     fn default() -> Self {
         ThroughputConfig {
+            backend: Backend::Pnw,
             threads: 1,
             shards: 8,
+            batch: 0,
             ops_per_thread: 2_000,
             key_space: 4_096,
             value_size: 64,
@@ -117,10 +172,14 @@ impl Default for ThroughputConfig {
 /// Results of one throughput run.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
+    /// Backend driven (its [`Store::name`]).
+    pub backend: String,
     /// Client threads used.
     pub threads: usize,
-    /// Store shards used.
+    /// Store shards used (PNW backend; 1 otherwise).
     pub shards: usize,
+    /// Batch size used (0 = per-op).
+    pub batch: usize,
     /// Operations completed (all threads).
     pub total_ops: u64,
     /// Wall-clock time of the measured window.
@@ -132,8 +191,7 @@ pub struct ThroughputReport {
     /// 99th-percentile modeled per-op NVM latency, in nanoseconds.
     pub p99_modeled_ns: u64,
     /// Median *measured* model-prediction latency per fresh PUT, in
-    /// nanoseconds (the packed-kernel half of the paper's Figure 6 "latency
-    /// of prediction per item").
+    /// nanoseconds (per-op PNW runs; 0 in batched mode and on baselines).
     pub predict_p50_ns: u64,
     /// 99th-percentile measured prediction latency per fresh PUT.
     pub predict_p99_ns: u64,
@@ -143,9 +201,9 @@ pub struct ThroughputReport {
     pub gets: u64,
     /// DELETEs served.
     pub deletes: u64,
-    /// PUTs rejected with `Full` (shard out of space).
+    /// PUTs rejected with `Full` (store/shard out of space).
     pub full_errors: u64,
-    /// Total NVM bit flips across all shards during the measured window.
+    /// Total NVM bit flips across the store during the measured window.
     pub bit_flips: u64,
     /// Completed training runs (warm-up train + background retrains).
     pub retrains: u64,
@@ -207,6 +265,42 @@ fn value_for(key: u64, value_size: usize, rng: &mut StdRng) -> Vec<u8> {
     v
 }
 
+/// Builds the configured backend, warms half the key space (training the
+/// model on it for PNW), resets the measurement window and returns it as a
+/// trait object.
+fn build_store(cfg: &ThroughputConfig) -> Arc<dyn Store> {
+    let capacity = (cfg.key_space * 2) as usize;
+    let mut warm_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let store: Arc<dyn Store> = match cfg.backend {
+        Backend::Pnw => {
+            let store_cfg = PnwConfig::new(capacity, cfg.value_size)
+                .with_clusters(cfg.clusters)
+                .with_seed(cfg.seed)
+                .with_shards(cfg.shards)
+                .with_load_factor(0.95)
+                .with_retrain(RetrainMode::Background);
+            let store = ShardedPnwStore::new(store_cfg);
+            for key in 0..cfg.key_space / 2 {
+                let v = value_for(key, cfg.value_size, &mut warm_rng);
+                store.put(key, &v).expect("warm-up fits");
+            }
+            store.retrain_now().expect("training");
+            Arc::new(store)
+        }
+        Backend::FpTree => Arc::new(FpTreeLike::new(capacity, cfg.value_size)),
+        Backend::Lsm => Arc::new(NoveLsmLike::new(capacity, cfg.value_size)),
+        Backend::PathHash => Arc::new(PathHashStore::new(capacity, cfg.value_size)),
+    };
+    if cfg.backend != Backend::Pnw {
+        for key in 0..cfg.key_space / 2 {
+            let v = value_for(key, cfg.value_size, &mut warm_rng);
+            store.put(key, &v).expect("warm-up fits");
+        }
+    }
+    store.reset_device_stats();
+    store
+}
+
 /// Runs one throughput measurement and returns its report.
 pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     assert_eq!(
@@ -214,22 +308,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         100,
         "op mix must sum to 100"
     );
-    let store_cfg = PnwConfig::new((cfg.key_space * 2) as usize, cfg.value_size)
-        .with_clusters(cfg.clusters)
-        .with_seed(cfg.seed)
-        .with_shards(cfg.shards)
-        .with_load_factor(0.95)
-        .with_retrain(RetrainMode::Background);
-    let store = Arc::new(ShardedPnwStore::new(store_cfg));
-
-    // Warm-up: half the key space live, model trained on it.
-    let mut warm_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
-    for key in 0..cfg.key_space / 2 {
-        let v = value_for(key, cfg.value_size, &mut warm_rng);
-        store.put(key, &v).expect("warm-up fits");
-    }
-    store.retrain_now().expect("training");
-    store.reset_device_stats();
+    let store = build_store(cfg);
 
     let zipf = Arc::new(Zipfian::new(cfg.key_space as usize, cfg.zipf_theta));
     let barrier = Arc::new(Barrier::new(cfg.threads + 1));
@@ -258,45 +337,97 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
             let mut lat_ns: Vec<u64> = Vec::with_capacity(cfg.ops_per_thread);
-            let mut predict_ns: Vec<u64> = Vec::with_capacity(cfg.ops_per_thread);
+            let mut predict_ns: Vec<u64> = Vec::new();
             // GETs read into one reusable buffer per client thread — the
-            // store's allocation-free read path.
+            // store's allocation-free read path. Batched mode also reuses
+            // one Batch allocation across groups.
             let mut get_buf = vec![0u8; cfg.value_size];
+            let mut batch = Batch::with_capacity(cfg.batch);
+
+            // Submits the pending batch: one Store::apply call, charging
+            // the aggregate modeled cost split evenly across its ops.
+            let flush = |batch: &mut Batch,
+                         lat_ns: &mut Vec<u64>,
+                         puts: &AtomicU64,
+                         deletes: &AtomicU64,
+                         full_errors: &AtomicU64| {
+                if batch.is_empty() {
+                    return;
+                }
+                let r = store.apply(batch);
+                puts.fetch_add(r.puts, Ordering::Relaxed);
+                deletes.fetch_add(r.deletes, Ordering::Relaxed);
+                full_errors.fetch_add(r.failures.len() as u64, Ordering::Relaxed);
+                let per_op = r.modeled_latency / batch.len().max(1) as u32;
+                for _ in 0..batch.len() {
+                    lat_ns.push(per_op.as_nanos() as u64);
+                }
+                if cfg.emulate_latency {
+                    std::thread::sleep(r.modeled_latency * cfg.latency_scale);
+                }
+                batch.clear();
+            };
+
             barrier.wait();
             for _ in 0..cfg.ops_per_thread {
                 let key = zipf.sample(&mut rng);
                 let dice: u8 = rng.gen_range(0..100u8);
-                let cost = if dice < cfg.mix.put_pct {
+                if dice < cfg.mix.put_pct {
                     let v = value_for(key, cfg.value_size, &mut rng);
-                    match store.put(key, &v) {
+                    if cfg.batch > 0 {
+                        // Move the value into the batch — no second copy.
+                        batch.push(pnw_core::Op::Put { key, value: v });
+                        if batch.len() >= cfg.batch {
+                            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
+                        }
+                        continue;
+                    }
+                    let cost = match store.put(key, &v) {
                         Ok(r) => {
                             puts.fetch_add(1, Ordering::Relaxed);
                             predict_ns.push(r.predict.as_nanos() as u64);
                             r.modeled_latency
                         }
-                        Err(pnw_core::PnwError::Full) => {
-                            // Shard out of space: reclaim by deleting the
+                        Err(StoreError::Full) => {
+                            // Store out of space: reclaim by deleting the
                             // key we were about to overwrite (or skip).
                             full_errors.fetch_add(1, Ordering::Relaxed);
                             let _ = store.delete(key);
                             del_cost
                         }
                         Err(e) => panic!("put failed: {e}"),
+                    };
+                    lat_ns.push(cost.as_nanos() as u64);
+                    if cfg.emulate_latency {
+                        std::thread::sleep(cost * cfg.latency_scale);
                     }
                 } else if dice < cfg.mix.put_pct + cfg.mix.get_pct {
+                    // Reads never batch: they execute immediately even in
+                    // batched mode (read-your-writes only up to the last
+                    // flush, like any write-buffered client).
                     let _ = store.get_into(key, &mut get_buf).expect("get ok");
                     gets.fetch_add(1, Ordering::Relaxed);
-                    get_cost
+                    lat_ns.push(get_cost.as_nanos() as u64);
+                    if cfg.emulate_latency {
+                        std::thread::sleep(get_cost * cfg.latency_scale);
+                    }
                 } else {
+                    if cfg.batch > 0 {
+                        batch.delete(key);
+                        if batch.len() >= cfg.batch {
+                            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
+                        }
+                        continue;
+                    }
                     let _ = store.delete(key).expect("delete ok");
                     deletes.fetch_add(1, Ordering::Relaxed);
-                    del_cost
-                };
-                lat_ns.push(cost.as_nanos() as u64);
-                if cfg.emulate_latency {
-                    std::thread::sleep(cost * cfg.latency_scale);
+                    lat_ns.push(del_cost.as_nanos() as u64);
+                    if cfg.emulate_latency {
+                        std::thread::sleep(del_cost * cfg.latency_scale);
+                    }
                 }
             }
+            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
             (lat_ns, predict_ns)
         }));
     }
@@ -325,8 +456,14 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
     let snap = store.snapshot();
     ThroughputReport {
+        backend: store.name().to_string(),
         threads: cfg.threads,
-        shards: cfg.shards,
+        shards: if cfg.backend == Backend::Pnw {
+            cfg.shards
+        } else {
+            1
+        },
+        batch: cfg.batch,
         total_ops,
         elapsed,
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -367,7 +504,8 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"results\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"shards\": {}, \"total_ops\": {}, \
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
+             \"batch\": {}, \"total_ops\": {}, \
              \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
              \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
              \"predict_p50_ns\": {}, \"predict_p99_ns\": {}, \
@@ -375,8 +513,10 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
              \"full_errors\": {}, \"bit_flips\": {}, \
              \"retrains\": {}, \"model_epoch\": {}, \"last_train_ms\": {:.2}, \
              \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}}}{}\n",
+            r.backend,
             r.threads,
             r.shards,
+            r.batch,
             r.total_ops,
             r.elapsed.as_secs_f64() * 1e3,
             r.ops_per_sec,
@@ -434,6 +574,14 @@ mod tests {
     }
 
     #[test]
+    fn backend_flags_round_trip() {
+        for b in Backend::all() {
+            assert_eq!(Backend::parse(b.flag()), Some(b));
+        }
+        assert_eq!(Backend::parse("bogus"), None);
+    }
+
+    #[test]
     fn small_run_reports_consistent_counts() {
         let cfg = ThroughputConfig {
             threads: 2,
@@ -446,6 +594,8 @@ mod tests {
             ..Default::default()
         };
         let r = run(&cfg);
+        assert_eq!(r.backend, "PNW-sharded");
+        assert_eq!(r.batch, 0);
         assert_eq!(r.total_ops, 400);
         assert_eq!(r.puts + r.gets + r.deletes + r.full_errors, 400);
         assert!(r.ops_per_sec > 0.0);
@@ -458,8 +608,59 @@ mod tests {
         assert!(r.train_samples_pre_cap >= r.train_samples_post_cap);
         assert!(r.train_samples_post_cap > 0);
         let j = to_json(&[r]);
+        assert!(j.contains("\"backend\": \"PNW-sharded\""));
+        assert!(j.contains("\"batch\": 0"));
         assert!(j.contains("\"model_epoch\""));
         assert!(j.contains("\"train_samples_post_cap\""));
+    }
+
+    #[test]
+    fn batched_run_completes_every_op() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            shards: 2,
+            batch: 16,
+            ops_per_thread: 200,
+            key_space: 256,
+            value_size: 16,
+            clusters: 2,
+            emulate_latency: false,
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.batch, 16);
+        assert_eq!(r.total_ops, 400);
+        assert_eq!(r.puts + r.gets + r.deletes + r.full_errors, 400);
+        assert!(r.puts > 0);
+        assert!(r.gets > 0, "reads run immediately in batched mode");
+        assert!(r.bit_flips > 0);
+        // Batched writes still carry a modeled cost.
+        assert!(r.p99_modeled_ns > 0);
+        let j = to_json(&[r]);
+        assert!(j.contains("\"batch\": 16"));
+    }
+
+    #[test]
+    fn every_baseline_backend_runs() {
+        for backend in [Backend::FpTree, Backend::Lsm, Backend::PathHash] {
+            let cfg = ThroughputConfig {
+                backend,
+                threads: 2,
+                ops_per_thread: 100,
+                key_space: 128,
+                value_size: 16,
+                emulate_latency: false,
+                ..Default::default()
+            };
+            let r = run(&cfg);
+            assert_eq!(r.total_ops, 200, "{backend:?}");
+            assert_eq!(r.shards, 1);
+            assert!(r.puts > 0, "{backend:?}");
+            assert!(r.bit_flips > 0, "{backend:?}");
+            // Baselines have no model.
+            assert_eq!(r.retrains, 0);
+            assert_eq!(r.predict_p99_ns, 0);
+        }
     }
 
     #[test]

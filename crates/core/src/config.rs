@@ -64,6 +64,50 @@ impl Default for PcaPolicy {
     }
 }
 
+/// Why a [`PnwConfig`] was rejected by [`PnwConfig::build`].
+///
+/// The builder methods clamp their inputs, but the fields are public and a
+/// hand-assembled config used to fail only deep inside store construction
+/// (an allocator assert, a division by zero in the pool). `build` rejects
+/// those configs at the boundary with a named reason instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `capacity == 0`: a store needs at least one data-zone bucket.
+    ZeroCapacity,
+    /// `value_size == 0`: buckets must hold at least one byte.
+    ZeroValueSize,
+    /// `clusters > capacity`: K-means cannot place more cluster free lists
+    /// than there are buckets to label.
+    ClustersExceedCapacity {
+        /// Configured cluster count K.
+        clusters: usize,
+        /// Configured bucket count.
+        capacity: usize,
+    },
+    /// `shards == 0`: the sharded store needs at least one shard.
+    ZeroShards,
+    /// `load_factor` outside `(0, 1]`; carries the offending value.
+    BadLoadFactor(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCapacity => write!(f, "capacity must be at least 1 bucket"),
+            ConfigError::ZeroValueSize => write!(f, "value_size must be at least 1 byte"),
+            ConfigError::ClustersExceedCapacity { clusters, capacity } => {
+                write!(f, "clusters ({clusters}) must not exceed capacity ({capacity})")
+            }
+            ConfigError::ZeroShards => write!(f, "shards must be at least 1"),
+            ConfigError::BadLoadFactor(lf) => {
+                write!(f, "load_factor {lf} must lie in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of a [`PnwStore`](crate::PnwStore).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PnwConfig {
@@ -132,7 +176,9 @@ impl PnwConfig {
         PnwConfig {
             capacity,
             value_size,
-            clusters: 10,
+            // The paper's default K, never exceeding the bucket count (a
+            // tiny store cannot meaningfully hold 10 cluster free lists).
+            clusters: 10.min(capacity.max(1)),
             seed: 0x0050_4E57, // "PNW"
             load_factor: 0.9,
             index: IndexPlacement::Dram,
@@ -233,6 +279,55 @@ impl PnwConfig {
     pub fn uses_pca(&self) -> bool {
         self.value_size * 8 > self.pca.threshold_bits
     }
+
+    /// Checks the invariants every store frontend relies on. The builder
+    /// methods clamp their inputs, but all fields are public — this is the
+    /// boundary check for hand-assembled configs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.capacity == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if self.value_size == 0 {
+            return Err(ConfigError::ZeroValueSize);
+        }
+        if self.clusters > self.capacity {
+            return Err(ConfigError::ClustersExceedCapacity {
+                clusters: self.clusters,
+                capacity: self.capacity,
+            });
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if !(self.load_factor > 0.0 && self.load_factor <= 1.0) {
+            return Err(ConfigError::BadLoadFactor(self.load_factor));
+        }
+        Ok(())
+    }
+
+    /// Validates and returns the finished configuration — the fallible end
+    /// of the builder chain. Store constructors run the same
+    /// [`PnwConfig::validate`] check, so an invalid config is rejected at
+    /// the API boundary with a named [`ConfigError`] instead of panicking
+    /// deep inside store construction.
+    ///
+    /// ```
+    /// use pnw_core::{ConfigError, PnwConfig};
+    ///
+    /// let cfg = PnwConfig::new(256, 8).with_clusters(4).build().unwrap();
+    /// assert_eq!(cfg.capacity, 256);
+    ///
+    /// let mut bad = PnwConfig::new(8, 8);
+    /// bad.clusters = 99; // direct field access skips the clamping builder
+    /// assert_eq!(
+    ///     bad.build().unwrap_err(),
+    ///     ConfigError::ClustersExceedCapacity { clusters: 99, capacity: 8 }
+    /// );
+    /// ```
+    pub fn build(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +366,55 @@ mod tests {
         assert_eq!(c.shards, 1);
         assert_eq!(PnwConfig::new(8, 8).with_shards(4).shards, 4);
         assert_eq!(PnwConfig::new(8, 8).with_train_sample_cap(99).train_sample_cap, 99);
+    }
+
+    #[test]
+    fn build_accepts_sane_configs() {
+        assert!(PnwConfig::new(64, 8).with_clusters(4).build().is_ok());
+        assert!(PnwConfig::new(1, 1).build().is_ok());
+    }
+
+    #[test]
+    fn build_rejects_each_invalid_field() {
+        assert_eq!(
+            PnwConfig::new(0, 8).build().unwrap_err(),
+            ConfigError::ZeroCapacity
+        );
+        assert_eq!(
+            PnwConfig::new(8, 0).build().unwrap_err(),
+            ConfigError::ZeroValueSize
+        );
+        let mut c = PnwConfig::new(4, 8);
+        c.clusters = 5;
+        assert_eq!(
+            c.build().unwrap_err(),
+            ConfigError::ClustersExceedCapacity {
+                clusters: 5,
+                capacity: 4
+            }
+        );
+        let mut c = PnwConfig::new(8, 8);
+        c.shards = 0;
+        assert_eq!(c.build().unwrap_err(), ConfigError::ZeroShards);
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let mut c = PnwConfig::new(8, 8);
+            c.load_factor = bad;
+            assert!(
+                matches!(c.build(), Err(ConfigError::BadLoadFactor(_))),
+                "load_factor {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn config_error_displays_the_reason() {
+        let e = ConfigError::ClustersExceedCapacity {
+            clusters: 9,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        assert!(ConfigError::BadLoadFactor(2.0).to_string().contains("(0, 1]"));
     }
 
     #[test]

@@ -1,15 +1,24 @@
-//! Store errors.
+//! The unified store error.
+//!
+//! One error enum serves every [`Store`](crate::api::Store) backend: the
+//! PNW stores in this crate and the baseline stores in `pnw-baselines`.
+//! Before the API unification each surface had its own enum (`PnwError`
+//! here, a `StoreError` in `pnw-baselines`) and the bench crate bridged
+//! them with a lossy adapter that collapsed `ModelUnavailable` into
+//! `Full`; the variants below absorb both enums with nothing collapsed.
 
+use crate::config::ConfigError;
 use pnw_index::IndexError;
 use pnw_nvm_sim::NvmError;
 
-/// Errors returned by [`PnwStore`](crate::PnwStore) operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PnwError {
-    /// The data zone has no free bucket (the caller should extend the zone
-    /// and retrain, §V-C).
+/// Errors returned by [`Store`](crate::api::Store) operations on any
+/// backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// No space left (data zone, leaf pool, level area or index exhausted).
+    /// PNW callers should extend the zone and retrain (§V-C).
     Full,
-    /// A value of the wrong size was supplied.
+    /// A value of the wrong size was supplied to a fixed-bucket store.
     WrongValueSize {
         /// Configured value size.
         expected: usize,
@@ -18,41 +27,56 @@ pub enum PnwError {
     },
     /// The model has not been trained and the store was asked to do
     /// something that needs it (should not happen: an untrained store uses
-    /// a single-cluster fallback model).
+    /// a single-cluster fallback model). Kept as its own variant — it is a
+    /// store bug, not an out-of-space condition, and must never be
+    /// reported as [`StoreError::Full`].
     ModelUnavailable,
+    /// The configuration the store was built from is invalid.
+    Config(ConfigError),
     /// Underlying device failure.
     Nvm(NvmError),
 }
 
-impl From<NvmError> for PnwError {
+/// Legacy name of [`StoreError`], kept so pre-unification call sites keep
+/// compiling. New code should spell it `StoreError`.
+pub type PnwError = StoreError;
+
+impl From<NvmError> for StoreError {
     fn from(e: NvmError) -> Self {
-        PnwError::Nvm(e)
+        StoreError::Nvm(e)
     }
 }
 
-impl From<IndexError> for PnwError {
+impl From<ConfigError> for StoreError {
+    fn from(e: ConfigError) -> Self {
+        StoreError::Config(e)
+    }
+}
+
+impl From<IndexError> for StoreError {
     fn from(e: IndexError) -> Self {
         match e {
-            IndexError::Full => PnwError::Full,
-            IndexError::Nvm(e) => PnwError::Nvm(e),
+            IndexError::Full => StoreError::Full,
+            IndexError::Nvm(e) => StoreError::Nvm(e),
         }
     }
 }
 
-impl std::fmt::Display for PnwError {
+impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PnwError::Full => write!(f, "data zone is full — extend and retrain"),
-            PnwError::WrongValueSize { expected, got } => {
+            StoreError::Full => write!(f, "store is full — extend and retrain"),
+            StoreError::WrongValueSize { expected, got } => {
                 write!(f, "value size {got} != configured size {expected}")
             }
-            PnwError::ModelUnavailable => write!(f, "model unavailable"),
-            PnwError::Nvm(e) => write!(f, "device error: {e}"),
+            StoreError::ModelUnavailable => write!(f, "model unavailable"),
+            StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
+            StoreError::Nvm(e) => write!(f, "device error: {e}"),
         }
     }
 }
 
-impl std::error::Error for PnwError {}
+impl std::error::Error for StoreError {}
 
 #[cfg(test)]
 mod tests {
@@ -60,20 +84,39 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PnwError::Full.to_string().contains("full"));
-        let e = PnwError::WrongValueSize {
+        assert!(StoreError::Full.to_string().contains("full"));
+        let e = StoreError::WrongValueSize {
             expected: 8,
             got: 4,
         };
         assert!(e.to_string().contains('8'));
         assert!(e.to_string().contains('4'));
+        assert!(StoreError::ModelUnavailable.to_string().contains("model"));
     }
 
     #[test]
     fn conversions() {
-        let e: PnwError = IndexError::Full.into();
-        assert_eq!(e, PnwError::Full);
-        let e: PnwError = NvmError::Crashed.into();
-        assert_eq!(e, PnwError::Nvm(NvmError::Crashed));
+        let e: StoreError = IndexError::Full.into();
+        assert_eq!(e, StoreError::Full);
+        let e: StoreError = NvmError::Crashed.into();
+        assert_eq!(e, StoreError::Nvm(NvmError::Crashed));
+        let e: StoreError = ConfigError::ZeroCapacity.into();
+        assert_eq!(e, StoreError::Config(ConfigError::ZeroCapacity));
+    }
+
+    /// Regression for the pre-unification adapter bug: `ModelUnavailable`
+    /// was mapped to `Full` on its way into the Figure 9 harness. The
+    /// unified enum keeps them distinct.
+    #[test]
+    fn model_unavailable_is_not_full() {
+        assert_ne!(StoreError::ModelUnavailable, StoreError::Full);
+        assert!(!StoreError::ModelUnavailable.to_string().contains("full"));
+    }
+
+    /// The legacy alias refers to the same type.
+    #[test]
+    fn legacy_alias_is_the_same_type() {
+        let e: PnwError = StoreError::Full;
+        assert_eq!(e, StoreError::Full);
     }
 }

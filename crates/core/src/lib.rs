@@ -26,13 +26,22 @@
 //!   `&self` and scale across threads. `shards = 1` reproduces
 //!   [`PnwStore`] bit-for-bit.
 //!
+//! ## The public API
+//!
+//! Every store frontend — and the baseline stores in `pnw-baselines` —
+//! implements the [`api::Store`] trait: `&self`-based `put` / `get` /
+//! `get_into` / `delete` / `snapshot` with the unified
+//! [`StoreError`], plus the batched-write entry point
+//! [`api::Store::apply`] over [`Batch`]/[`Op`]. See [`api`] for the
+//! contract and batch semantics.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use pnw_core::{PnwConfig, PnwStore};
 //!
 //! // A small store: 256 buckets of 8-byte values, K = 4 clusters.
-//! let mut store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
+//! let store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
 //!
 //! // Warm up with "old data" and train the model on it (Algorithm 1).
 //! for k in 0..128u64 {
@@ -48,9 +57,26 @@
 //! let s = store.device_stats();
 //! assert!(s.totals.bit_flips > 0);
 //! ```
+//!
+//! Batched writes amortize per-op overhead (one lock acquisition and one
+//! model-snapshot load per shard per batch on the sharded store):
+//!
+//! ```
+//! use pnw_core::{Batch, PnwConfig, ShardedPnwStore, Store};
+//!
+//! let store = ShardedPnwStore::new(PnwConfig::new(256, 8).with_shards(4));
+//! let mut batch = Batch::new();
+//! for k in 0..64u64 {
+//!     batch.put(k, &k.to_le_bytes());
+//! }
+//! let report = store.apply(&batch);
+//! assert!(report.all_ok());
+//! assert_eq!(store.len(), 64);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod error;
 pub mod metrics;
@@ -60,8 +86,9 @@ pub mod shard;
 pub mod sharded;
 pub mod store;
 
-pub use config::{IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
-pub use error::PnwError;
+pub use api::{Batch, BatchReport, Op, Store};
+pub use config::{ConfigError, IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
+pub use error::{PnwError, StoreError};
 pub use metrics::{OpReport, StoreSnapshot, TrainStats};
 pub use model::{ModelManager, ModelSnapshot, PredictScratch};
 pub use pool::DynamicAddressPool;

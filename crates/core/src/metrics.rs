@@ -75,7 +75,9 @@ pub struct StoreSnapshot {
     pub puts: u64,
     /// GET operations served.
     pub gets: u64,
-    /// DELETE operations served.
+    /// DELETE operations that removed an existing key (misses are not
+    /// counted — the convention every [`Store`](crate::Store) backend
+    /// follows, so snapshots stay comparable across backends).
     pub deletes: u64,
 }
 

@@ -243,6 +243,17 @@ impl ShardEngine {
         self.pool.availability() < 1.0 - self.cfg.load_factor
     }
 
+    /// The shard-local half of §V-C maintenance: while the load factor is
+    /// tripped and reserve remains, activate another `capacity / 4` chunk.
+    /// Shared by the per-op trigger paths and the batch group executor so
+    /// extension always happens at the same op boundaries.
+    pub(crate) fn extend_from_reserve_if_due(&mut self) {
+        if self.retrain_due() && self.reserve_remaining() > 0 {
+            let chunk = (self.cfg.capacity / 4).max(1);
+            self.extend_zone(chunk);
+        }
+    }
+
     /// Extends the data zone by up to `buckets` reserved buckets (§V-C).
     ///
     /// The freshly-activated addresses join the dynamic address pool under
@@ -306,10 +317,12 @@ impl ShardEngine {
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
 
-        // UPDATE handling.
-        if let Some(addr) = self.index.get(&mut self.dev, key)? {
-            match self.cfg.update_policy {
-                UpdatePolicy::InPlace => {
+        // UPDATE handling. The DeletePut path removes the index entry
+        // directly — `remove` already returns the old address, so the
+        // update costs one index probe, not a lookup followed by a removal.
+        match self.cfg.update_policy {
+            UpdatePolicy::InPlace => {
+                if let Some(addr) = self.index.get(&mut self.dev, key)? {
                     // Latency-first: straight through the hash index.
                     let before = self.dev.stats().clone();
                     let vstats =
@@ -328,11 +341,13 @@ impl ShardEngine {
                         PutPath::InPlace,
                     ));
                 }
-                UpdatePolicy::DeletePut => {
-                    // Endurance-first: free the old location (it returns to
-                    // the pool under its content's label), then fall through
-                    // to a fresh predicted write.
-                    self.delete_internal(key, addr)?;
+            }
+            UpdatePolicy::DeletePut => {
+                // Endurance-first: free the old location (it returns to
+                // the pool under its content's label), then fall through
+                // to a fresh predicted write.
+                if let Some(addr) = self.index.remove(&mut self.dev, key)? {
+                    self.delete_bucket_only(addr)?;
                 }
             }
         }
@@ -386,6 +401,93 @@ impl ShardEngine {
         Ok((report, PutPath::Fresh))
     }
 
+    /// PUT for the batch path: performs *exactly* the same device, index
+    /// and pool mutations as [`ShardEngine::put`] — so batched and per-op
+    /// writes are bit-for-bit identical on the device — but skips the
+    /// per-op reporting that [`OpReport`] needs: no stats snapshot/delta,
+    /// no value-only [`NvmDevice::diff_stats`] preview pass, no wall-clock
+    /// prediction timing. [`Store::apply`](crate::Store::apply) charges the
+    /// whole batch from one device-stats delta instead; the only counter
+    /// the batch path does not feed is the snapshot's `predict_total`.
+    pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
+        self.check_value(value)?;
+
+        match self.cfg.update_policy {
+            UpdatePolicy::InPlace => {
+                if let Some(addr) = self.index.get(&mut self.dev, key)? {
+                    self.dev
+                        .write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
+                    self.puts += 1;
+                    return Ok(PutPath::InPlace);
+                }
+            }
+            UpdatePolicy::DeletePut => {
+                if let Some(addr) = self.index.remove(&mut self.dev, key)? {
+                    self.delete_bucket_only(addr)?;
+                }
+            }
+        }
+
+        let cluster = self.model.predict_into(value, &mut self.scratch);
+        let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
+        let (bucket, _) = pool
+            .pop(cluster, || model.ranked_after_predict(scratch))
+            .ok_or(PnwError::Full)?;
+        let addr = self.bucket_addr(bucket);
+
+        self.bucket_img[0] = FLAG_VALID;
+        self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
+        self.bucket_img[HDR_BYTES..].copy_from_slice(value);
+        self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
+
+        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
+            self.pool.push(cluster, bucket);
+            return Err(e.into());
+        }
+        self.live += 1;
+        self.puts += 1;
+        Ok(PutPath::Fresh)
+    }
+
+    /// Executes one batch group against this engine — the one loop behind
+    /// both PNW frontends' [`Store::apply`](crate::Store::apply)
+    /// overrides. PUTs run [`ShardEngine::put_unreported`]; after every
+    /// fresh PUT the §V-C reserve extension runs at exactly the per-op
+    /// path's op boundary (so a batch never reports `Full` where the same
+    /// ops issued individually would have extended the zone mid-stream).
+    /// Returns whether the retrain trigger became due during the group.
+    pub(crate) fn apply_group(
+        &mut self,
+        ops: &[crate::api::Op],
+        idxs: impl Iterator<Item = usize>,
+        report: &mut crate::api::BatchReport,
+    ) -> bool {
+        use crate::api::Op;
+        let mut due = false;
+        for i in idxs {
+            match &ops[i] {
+                Op::Put { key, value } => match self.put_unreported(*key, value) {
+                    Ok(path) => {
+                        report.puts += 1;
+                        if path == PutPath::Fresh && self.retrain_due() {
+                            self.extend_from_reserve_if_due();
+                            due = true;
+                        }
+                    }
+                    Err(e) => report.failures.push((i, e)),
+                },
+                Op::Delete { key } => match self.delete(*key) {
+                    Ok(existed) => {
+                        report.deletes += 1;
+                        report.deleted_existing += u64::from(existed);
+                    }
+                    Err(e) => report.failures.push((i, e)),
+                },
+            }
+        }
+        due
+    }
+
     /// GET (§V-B.4): through the hash index, no data-structure changes and
     /// no exclusive access — index lookup and value read both go through
     /// shared references ([`NvmDevice::peek`]), so any number of readers
@@ -435,13 +537,6 @@ impl ShardEngine {
             }
             None => Ok(false),
         }
-    }
-
-    /// Internal delete used by the DELETE-then-PUT update path: the index
-    /// entry is removed and the bucket recycled.
-    fn delete_internal(&mut self, key: u64, addr: u64) -> Result<(), PnwError> {
-        self.index.remove(&mut self.dev, key)?;
-        self.delete_bucket_only(addr)
     }
 
     fn delete_bucket_only(&mut self, addr: u64) -> Result<(), PnwError> {
@@ -663,6 +758,55 @@ mod tests {
         let (_, p2) = e.put(5, &[1; 8]).unwrap();
         assert_eq!(p1, PutPath::Fresh);
         assert_eq!(p2, PutPath::InPlace);
+    }
+
+    /// The batch-path PUT must leave the device in a bit-for-bit identical
+    /// state to the reporting PUT — same writes, same index traffic, same
+    /// pool decisions — under both update policies.
+    #[test]
+    fn put_unreported_matches_put_exactly() {
+        for policy in [UpdatePolicy::DeletePut, UpdatePolicy::InPlace] {
+            let cfg = PnwConfig::new(64, 8)
+                .with_clusters(2)
+                .with_seed(5)
+                .with_update_policy(policy);
+            let mut a = ShardEngine::new(cfg.clone());
+            let mut b = ShardEngine::new(cfg);
+            for round in 0..3u8 {
+                for k in 0..24u64 {
+                    let v = [k as u8 ^ (round * 0x3B); 8];
+                    let (_, path_a) = a.put(k, &v).unwrap();
+                    let path_b = b.put_unreported(k, &v).unwrap();
+                    assert_eq!(path_a, path_b, "key {k} round {round}");
+                }
+                for k in (0..24u64).step_by(5) {
+                    assert_eq!(a.delete(k).unwrap(), b.delete(k).unwrap());
+                }
+            }
+            assert_eq!(a.device_stats(), b.device_stats(), "{policy:?}");
+            assert_eq!(a.len(), b.len());
+            let (sa, sb) = (
+                a.snapshot(TrainStats::default()),
+                b.snapshot(TrainStats::default()),
+            );
+            assert_eq!(sa.puts, sb.puts);
+            assert_eq!(sa.free, sb.free);
+        }
+    }
+
+    #[test]
+    fn put_unreported_reports_full() {
+        let mut e = ShardEngine::new(PnwConfig::new(2, 8).with_clusters(1));
+        e.put_unreported(1, &[1; 8]).unwrap();
+        e.put_unreported(2, &[2; 8]).unwrap();
+        assert!(matches!(
+            e.put_unreported(3, &[3; 8]),
+            Err(PnwError::Full)
+        ));
+        assert!(matches!(
+            e.put_unreported(4, &[0; 4]),
+            Err(PnwError::WrongValueSize { expected: 8, got: 4 })
+        ));
     }
 
     #[test]

@@ -42,8 +42,9 @@ use std::time::Duration;
 
 use pnw_nvm_sim::{DeviceStats, WearCdf};
 
+use crate::api::{Batch, BatchReport, Store};
 use crate::config::{PnwConfig, RetrainMode};
-use crate::error::PnwError;
+use crate::error::{PnwError, StoreError};
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
 use crate::shard::{PutPath, ShardEngine};
@@ -83,7 +84,16 @@ impl ShardedPnwStore {
     /// `cfg.reserve_buckets` describe the *whole* logical store and are
     /// split as evenly as possible across shards; the shard count is
     /// clamped so every shard gets at least one bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`](crate::ConfigError) message when
+    /// `cfg` fails [`PnwConfig::validate`] — use [`PnwConfig::build`]
+    /// first to handle invalid configurations as values.
     pub fn new(cfg: PnwConfig) -> Self {
+        let cfg = cfg
+            .build()
+            .unwrap_or_else(|e| panic!("invalid PnwConfig: {e}"));
         let n = cfg.shards.max(1).min(cfg.capacity.max(1));
         let shards = (0..n)
             .map(|i| {
@@ -349,13 +359,17 @@ impl ShardedPnwStore {
         // gated on a pending retrain: a shard must not report `Full` while
         // its reserve still has buckets just because another shard's
         // background training is in flight.
-        {
-            let mut shard = self.shards[sid].write().unwrap();
-            if shard.retrain_due() && shard.reserve_remaining() > 0 {
-                let chunk = (shard.config().capacity / 4).max(1);
-                shard.extend_zone(chunk);
-            }
-        }
+        self.shards[sid]
+            .write()
+            .unwrap()
+            .extend_from_reserve_if_due();
+        self.trigger_retrain_policy();
+    }
+
+    /// The cross-shard half of maintenance: start (or run) a retrain per
+    /// policy, serialized by the `maintenance` flag. Takes no shard lock
+    /// up front (lock order stays trainer → shard).
+    fn trigger_retrain_policy(&self) {
         if self.cfg.retrain == RetrainMode::Manual {
             return;
         }
@@ -388,6 +402,109 @@ impl ShardedPnwStore {
                 // PUT from re-snapshotting the data zone.
             }
         }
+    }
+}
+
+impl Store for ShardedPnwStore {
+    fn name(&self) -> &'static str {
+        "PNW-sharded"
+    }
+
+    fn value_size(&self) -> usize {
+        self.cfg.value_size
+    }
+
+    fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
+        ShardedPnwStore::put(self, key, value)
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        ShardedPnwStore::get(self, key)
+    }
+
+    fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        ShardedPnwStore::get_into(self, key, out)
+    }
+
+    fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        ShardedPnwStore::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ShardedPnwStore::len(self)
+    }
+
+    fn snapshot(&self) -> StoreSnapshot {
+        ShardedPnwStore::snapshot(self)
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        ShardedPnwStore::device_stats(self)
+    }
+
+    fn reset_device_stats(&self) {
+        ShardedPnwStore::reset_device_stats(self)
+    }
+
+    /// Batched writes, the sharded store's centerpiece: the batch is
+    /// grouped by shard and each shard's write lock is taken **at most
+    /// once per batch** — the whole group runs under one acquisition,
+    /// predicting through the shard's already-resident model snapshot
+    /// `Arc` and reusing the shard's prediction scratch and bucket-image
+    /// buffers across every op in the group (via
+    /// [`ShardEngine::put_unreported`], whose device mutations are
+    /// bit-for-bit identical to the per-op path). The background-install
+    /// poll runs once per batch, zone extension runs inside the held lock,
+    /// and the retrain policy is evaluated once per due shard after its
+    /// group completes.
+    fn apply(&self, batch: &Batch) -> BatchReport {
+        self.install_if_ready();
+        let mut report = BatchReport::default();
+        // Group op indices by shard with one counting sort (two flat
+        // arrays, no per-shard Vec allocations), preserving batch order
+        // within each shard — ops on one key always route to one shard,
+        // so per-key order is exactly submission order.
+        let ops = batch.ops();
+        let n_shards = self.shards.len();
+        let mut shard_of_op: Vec<u32> = Vec::with_capacity(ops.len());
+        let mut counts = vec![0usize; n_shards + 1];
+        for op in ops {
+            let sid = self.shard_of(op.key());
+            shard_of_op.push(sid as u32);
+            counts[sid + 1] += 1;
+        }
+        for sid in 0..n_shards {
+            counts[sid + 1] += counts[sid];
+        }
+        let mut ordered = vec![0u32; ops.len()];
+        let mut cursor = counts.clone();
+        for (i, &sid) in shard_of_op.iter().enumerate() {
+            ordered[cursor[sid as usize]] = i as u32;
+            cursor[sid as usize] += 1;
+        }
+        let mut retrain_due = false;
+        for sid in 0..n_shards {
+            let idxs = &ordered[counts[sid]..counts[sid + 1]];
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[sid].write().unwrap();
+            let before = shard.device_stats().clone();
+            // Reserve extension runs inside the group at the per-op path's
+            // op boundaries, still under this one lock acquisition.
+            retrain_due |=
+                shard.apply_group(ops, idxs.iter().map(|&i| i as usize), &mut report);
+            let delta = shard.device_stats().since(&before).totals;
+            report.write_stats += delta;
+            report.modeled_latency += shard.device().modeled_write_cost(&delta);
+        }
+        if retrain_due {
+            self.trigger_retrain_policy();
+        }
+        // Shard grouping visits ops out of submission order; report
+        // failures by batch index regardless.
+        report.failures.sort_by_key(|&(i, _)| i);
+        report
     }
 }
 
@@ -547,6 +664,104 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.len(), 200);
+    }
+
+    /// Batched apply on the sharded store must be semantically identical
+    /// to issuing the same ops one by one — same final contents, same
+    /// counters — while taking each shard lock once per batch.
+    #[test]
+    fn apply_equals_per_op_across_shards() {
+        let cfg = PnwConfig::new(128, 8).with_clusters(2).with_shards(4);
+        let batched = ShardedPnwStore::new(cfg.clone());
+        let per_op = ShardedPnwStore::new(cfg);
+
+        let mut batch = crate::Batch::new();
+        for k in 0..48u64 {
+            batch.put(k, &[(k % 7) as u8; 8]);
+        }
+        for k in (0..48u64).step_by(4) {
+            batch.delete(k);
+        }
+        for k in 0..8u64 {
+            batch.put(k, &[0xCC; 8]);
+        }
+        let r = batched.apply(&batch);
+        assert!(r.all_ok());
+        assert_eq!(r.puts, 56);
+        assert_eq!(r.deleted_existing, 12);
+        assert!(r.write_stats.bit_flips > 0);
+
+        for op in batch.ops() {
+            match op {
+                crate::Op::Put { key, value } => {
+                    per_op.put(*key, value).unwrap();
+                }
+                crate::Op::Delete { key } => {
+                    per_op.delete(*key).unwrap();
+                }
+            }
+        }
+        assert_eq!(batched.len(), per_op.len());
+        assert_eq!(batched.device_stats(), per_op.device_stats());
+        for k in 0..48u64 {
+            assert_eq!(batched.get(k).unwrap(), per_op.get(k).unwrap(), "key {k}");
+        }
+        let (sa, sb) = (batched.snapshot(), per_op.snapshot());
+        assert_eq!(sa.puts, sb.puts);
+        assert_eq!(sa.deletes, sb.deletes);
+        assert_eq!(sa.free, sb.free);
+    }
+
+    #[test]
+    fn apply_reports_failures_with_batch_indices() {
+        let s = ShardedPnwStore::new(PnwConfig::new(4, 8).with_clusters(1).with_shards(2));
+        let mut batch = crate::Batch::new();
+        for k in 0..8u64 {
+            batch.put(k, &[k as u8; 8]); // only 4 fit
+        }
+        batch.put(99, &[0; 3]); // wrong size, index 8
+        let r = s.apply(&batch);
+        assert_eq!(r.puts, 4);
+        assert_eq!(r.failures.len(), 5);
+        // Failure indices are sorted by batch position despite shard
+        // grouping, and the wrong-size op is reported as such.
+        assert!(r.failures.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(matches!(
+            r.failures.last().unwrap(),
+            (8, PnwError::WrongValueSize { .. })
+        ));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_batches_and_reads_smoke() {
+        let s = Arc::new(ShardedPnwStore::new(
+            PnwConfig::new(512, 8).with_clusters(2).with_shards(4),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut batch = crate::Batch::with_capacity(16);
+                for round in 0..4u64 {
+                    batch.clear();
+                    for i in 0..16u64 {
+                        let key = t * 1000 + round * 16 + i;
+                        batch.put(key, &key.to_le_bytes());
+                    }
+                    let r = s.apply(&batch);
+                    assert!(r.all_ok(), "{:?}", r.failures);
+                    for i in 0..16u64 {
+                        let key = t * 1000 + round * 16 + i;
+                        assert_eq!(s.get(key).unwrap().unwrap(), key.to_le_bytes());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 3 * 64);
     }
 
     #[test]

@@ -16,59 +16,50 @@
 //! ```text
 //! [ bitmap: u16 | pad ×6 | fingerprints ×16 | slots ×16 (key u64 + value) ]
 //! ```
+//!
+//! Like every [`Store`] backend, the tree lives behind one store-wide
+//! `RwLock`: GETs probe leaves through [`NvmDevice::peek`] under a shared
+//! lock (concurrent readers never serialize), writers take it exclusively.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
+use pnw_core::{OpReport, Store, StoreError, StoreSnapshot};
 use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
 
-use crate::traits::{check_size, KvStore, StoreError};
+use crate::{baseline_snapshot, check_size, report_since};
 
 /// Slots per persistent leaf.
 pub const LEAF_SLOTS: usize = 16;
 const HDR_BYTES: usize = 8; // bitmap u16 + padding
 const FP_BYTES: usize = LEAF_SLOTS;
 
-/// FPTree-like store.
-pub struct FpTreeLike {
+/// The mutable tree state behind the store lock.
+struct Inner {
     dev: NvmDevice,
     data: Region,
     value_size: usize,
     leaf_bytes: usize,
     /// DRAM inner "node": lower key bound → leaf id. Rebuilt on recovery in
     /// real FPTree; a sorted map models the inner B+-tree's routing exactly.
-    inner: BTreeMap<u64, usize>,
+    routing: BTreeMap<u64, usize>,
     /// Free leaf ids.
     free_leaves: Vec<usize>,
     live: usize,
+    puts: u64,
+    deletes: u64,
 }
 
-impl FpTreeLike {
-    /// Creates a tree able to hold `capacity` values of `value_size` bytes.
-    pub fn new(capacity: usize, value_size: usize) -> Self {
-        let slot_bytes = 8 + value_size;
-        let leaf_bytes = (HDR_BYTES + FP_BYTES + LEAF_SLOTS * slot_bytes).next_multiple_of(64);
-        // Splits leave leaves half-full; 2.5× slack plus a floor keeps the
-        // leaf pool from starving under adversarial orders.
-        let n_leaves = (capacity * 5 / 2 / LEAF_SLOTS).max(4);
-        let total = (n_leaves * leaf_bytes + 4096).next_multiple_of(64);
-        let mut alloc = RegionAllocator::new(total);
-        let data = alloc.alloc_buckets(n_leaves, leaf_bytes).expect("leaf region");
-        let dev = NvmDevice::new(NvmConfig::default().with_size(total));
-        let mut free_leaves: Vec<usize> = (0..n_leaves).rev().collect();
-        let first = free_leaves.pop().expect("at least one leaf");
-        let mut inner = BTreeMap::new();
-        inner.insert(0u64, first);
-        FpTreeLike {
-            dev,
-            data,
-            value_size,
-            leaf_bytes,
-            inner,
-            free_leaves,
-            live: 0,
-        }
-    }
+/// FPTree-like store.
+pub struct FpTreeLike {
+    value_size: usize,
+    capacity: usize,
+    gets: AtomicU64,
+    inner: RwLock<Inner>,
+}
 
+impl Inner {
     fn slot_bytes(&self) -> usize {
         8 + self.value_size
     }
@@ -89,16 +80,19 @@ impl FpTreeLike {
     /// Leaf responsible for `key`.
     fn route(&self, key: u64) -> usize {
         *self
-            .inner
+            .routing
             .range(..=key)
             .next_back()
             .map(|(_, l)| l)
             .expect("tree always has a leaf at bound 0")
     }
 
-    fn read_bitmap(&mut self, leaf: usize) -> Result<u16, StoreError> {
+    /// Probe reads go through [`NvmDevice::peek`]: lookups take only a
+    /// shared reference and record no device statistics, matching the PNW
+    /// store's read-path convention.
+    fn read_bitmap(&self, leaf: usize) -> Result<u16, StoreError> {
         let addr = self.leaf_addr(leaf);
-        let b = self.dev.read(addr, 2)?;
+        let b = self.dev.peek(addr, 2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
@@ -109,15 +103,15 @@ impl FpTreeLike {
     }
 
     /// Finds `key` in `leaf` using fingerprints first (the FPTree probe).
-    fn find_slot(&mut self, leaf: usize, key: u64) -> Result<Option<usize>, StoreError> {
+    fn find_slot(&self, leaf: usize, key: u64) -> Result<Option<usize>, StoreError> {
         let bitmap = self.read_bitmap(leaf)?;
         let fp = Self::fingerprint(key);
         let fp_addr = self.leaf_addr(leaf) + HDR_BYTES;
-        let fps = self.dev.read(fp_addr, FP_BYTES)?.to_vec();
+        let fps = self.dev.peek(fp_addr, FP_BYTES)?;
         for (slot, &f) in fps.iter().enumerate() {
             if bitmap >> slot & 1 == 1 && f == fp {
                 let addr = self.slot_addr(leaf, slot);
-                let kb = self.dev.read(addr, 8)?;
+                let kb = self.dev.peek(addr, 8)?;
                 if u64::from_le_bytes(kb.try_into().unwrap()) == key {
                     return Ok(Some(slot));
                 }
@@ -136,10 +130,12 @@ impl FpTreeLike {
         let mut buf = Vec::with_capacity(self.slot_bytes());
         buf.extend_from_slice(&key.to_le_bytes());
         buf.extend_from_slice(value);
-        self.dev.write(self.slot_addr(leaf, slot), &buf, WriteMode::Diff)?;
+        self.dev
+            .write(self.slot_addr(leaf, slot), &buf, WriteMode::Diff)?;
         // Fingerprint byte.
         let fp_addr = self.leaf_addr(leaf) + HDR_BYTES + slot;
-        self.dev.write(fp_addr, &[Self::fingerprint(key)], WriteMode::Diff)?;
+        self.dev
+            .write(fp_addr, &[Self::fingerprint(key)], WriteMode::Diff)?;
         Ok(())
     }
 
@@ -154,7 +150,7 @@ impl FpTreeLike {
         for slot in 0..LEAF_SLOTS {
             if bitmap >> slot & 1 == 1 {
                 let addr = self.slot_addr(leaf, slot);
-                let kb = self.dev.read(addr, 8)?;
+                let kb = self.dev.peek(addr, 8)?;
                 entries.push((u64::from_le_bytes(kb.try_into().unwrap()), slot));
             }
         }
@@ -167,7 +163,7 @@ impl FpTreeLike {
         let mut new_bitmap = 0u16;
         for (new_slot, &(k, old_slot)) in entries[mid..].iter().enumerate() {
             let vaddr = self.slot_addr(leaf, old_slot) + 8;
-            let value = self.dev.read(vaddr, self.value_size)?.to_vec();
+            let value = self.dev.peek(vaddr, self.value_size)?.to_vec();
             self.write_slot(new_leaf, new_slot, k, &value)?;
             new_bitmap |= 1 << new_slot;
         }
@@ -180,18 +176,8 @@ impl FpTreeLike {
         }
         self.write_bitmap(leaf, old_bitmap)?;
 
-        self.inner.insert(split_key, new_leaf);
+        self.routing.insert(split_key, new_leaf);
         Ok(if key >= split_key { new_leaf } else { leaf })
-    }
-}
-
-impl KvStore for FpTreeLike {
-    fn name(&self) -> &'static str {
-        "FPTree"
-    }
-
-    fn value_size(&self) -> usize {
-        self.value_size
     }
 
     fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
@@ -202,6 +188,7 @@ impl KvStore for FpTreeLike {
         if let Some(slot) = self.find_slot(leaf, key)? {
             let vaddr = self.slot_addr(leaf, slot) + 8;
             self.dev.write(vaddr, value, WriteMode::Diff)?;
+            self.puts += 1;
             return Ok(());
         }
 
@@ -218,18 +205,13 @@ impl KvStore for FpTreeLike {
         self.write_slot(leaf, slot, key, value)?;
         self.write_bitmap(leaf, bitmap | 1 << slot)?;
         self.live += 1;
+        self.puts += 1;
         Ok(())
     }
 
-    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+    fn get_slot(&self, key: u64) -> Result<Option<(usize, usize)>, StoreError> {
         let leaf = self.route(key);
-        match self.find_slot(leaf, key)? {
-            Some(slot) => {
-                let vaddr = self.slot_addr(leaf, slot) + 8;
-                Ok(Some(self.dev.read(vaddr, self.value_size)?.to_vec()))
-            }
-            None => Ok(None),
-        }
+        Ok(self.find_slot(leaf, key)?.map(|slot| (leaf, slot)))
     }
 
     fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
@@ -239,26 +221,122 @@ impl KvStore for FpTreeLike {
                 let bitmap = self.read_bitmap(leaf)?;
                 self.write_bitmap(leaf, bitmap & !(1 << slot))?;
                 self.live -= 1;
+                self.deletes += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+impl FpTreeLike {
+    /// Creates a tree able to hold `capacity` values of `value_size` bytes.
+    pub fn new(capacity: usize, value_size: usize) -> Self {
+        let slot_bytes = 8 + value_size;
+        let leaf_bytes = (HDR_BYTES + FP_BYTES + LEAF_SLOTS * slot_bytes).next_multiple_of(64);
+        // Splits leave leaves half-full; 2.5× slack plus a floor keeps the
+        // leaf pool from starving under adversarial orders.
+        let n_leaves = (capacity * 5 / 2 / LEAF_SLOTS).max(4);
+        let total = (n_leaves * leaf_bytes + 4096).next_multiple_of(64);
+        let mut alloc = RegionAllocator::new(total);
+        let data = alloc.alloc_buckets(n_leaves, leaf_bytes).expect("leaf region");
+        let dev = NvmDevice::new(NvmConfig::default().with_size(total));
+        let mut free_leaves: Vec<usize> = (0..n_leaves).rev().collect();
+        let first = free_leaves.pop().expect("at least one leaf");
+        let mut routing = BTreeMap::new();
+        routing.insert(0u64, first);
+        FpTreeLike {
+            value_size,
+            capacity,
+            gets: AtomicU64::new(0),
+            inner: RwLock::new(Inner {
+                dev,
+                data,
+                value_size,
+                leaf_bytes,
+                routing,
+                free_leaves,
+                live: 0,
+                puts: 0,
+                deletes: 0,
+            }),
+        }
+    }
+
+    /// Distinct leaves currently routed to (diagnostics).
+    pub fn leaf_count(&self) -> usize {
+        self.inner.read().unwrap().routing.len()
+    }
+}
+
+impl Store for FpTreeLike {
+    fn name(&self) -> &'static str {
+        "FPTree"
+    }
+
+    fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
+        let mut inner = self.inner.write().unwrap();
+        let before = inner.dev.stats().clone();
+        inner.put(key, value)?;
+        Ok(report_since(&inner.dev, &before))
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read().unwrap();
+        match inner.get_slot(key)? {
+            Some((leaf, slot)) => {
+                let vaddr = inner.slot_addr(leaf, slot) + 8;
+                Ok(Some(inner.dev.peek(vaddr, inner.value_size)?.to_vec()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        check_size(self.value_size, out)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read().unwrap();
+        match inner.get_slot(key)? {
+            Some((leaf, slot)) => {
+                let vaddr = inner.slot_addr(leaf, slot) + 8;
+                inner.dev.peek_into(vaddr, out)?;
                 Ok(true)
             }
             None => Ok(false),
         }
     }
 
+    fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        self.inner.write().unwrap().delete(key)
+    }
+
     fn len(&self) -> usize {
-        self.live
+        self.inner.read().unwrap().live
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        self.dev.stats()
+    fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.read().unwrap();
+        baseline_snapshot(
+            inner.live,
+            self.capacity,
+            inner.dev.stats().clone(),
+            inner.puts,
+            self.gets.load(Ordering::Relaxed),
+            inner.deletes,
+        )
     }
 
-    fn device(&self) -> &NvmDevice {
-        &self.dev
+    fn device_stats(&self) -> DeviceStats {
+        self.inner.read().unwrap().dev.stats().clone()
     }
 
-    fn reset_device_stats(&mut self) {
-        self.dev.reset_stats();
+    fn reset_device_stats(&self) {
+        self.inner.write().unwrap().dev.reset_stats();
     }
 }
 
@@ -268,7 +346,7 @@ mod tests {
 
     #[test]
     fn crud_roundtrip() {
-        let mut t = FpTreeLike::new(200, 16);
+        let t = FpTreeLike::new(200, 16);
         for k in 0..100u64 {
             t.put(k, &[k as u8; 16]).unwrap();
         }
@@ -283,7 +361,7 @@ mod tests {
 
     #[test]
     fn update_in_place() {
-        let mut t = FpTreeLike::new(50, 8);
+        let t = FpTreeLike::new(50, 8);
         t.put(7, &[1; 8]).unwrap();
         t.put(7, &[2; 8]).unwrap();
         assert_eq!(t.len(), 1);
@@ -292,7 +370,7 @@ mod tests {
 
     #[test]
     fn splits_preserve_routing() {
-        let mut t = FpTreeLike::new(500, 8);
+        let t = FpTreeLike::new(500, 8);
         // Descending inserts force splits at the low end.
         for k in (0..200u64).rev() {
             t.put(k, &k.to_le_bytes()).unwrap();
@@ -304,12 +382,12 @@ mod tests {
                 "key {k}"
             );
         }
-        assert!(t.inner.len() > 1, "splits must have happened");
+        assert!(t.leaf_count() > 1, "splits must have happened");
     }
 
     #[test]
     fn splits_cost_more_lines_than_plain_inserts() {
-        let mut t = FpTreeLike::new(100, 32);
+        let t = FpTreeLike::new(100, 32);
         // Fill one leaf.
         for k in 0..LEAF_SLOTS as u64 {
             t.put(k, &[1; 32]).unwrap();
@@ -324,7 +402,7 @@ mod tests {
 
     #[test]
     fn delete_is_bitmap_only() {
-        let mut t = FpTreeLike::new(50, 64);
+        let t = FpTreeLike::new(50, 64);
         t.put(3, &[0xFF; 64]).unwrap();
         let before = t.device_stats().totals.bit_flips;
         t.delete(3).unwrap();
@@ -334,7 +412,7 @@ mod tests {
 
     #[test]
     fn random_order_inserts() {
-        let mut t = FpTreeLike::new(400, 8);
+        let t = FpTreeLike::new(400, 8);
         let mut keys: Vec<u64> = (0..300).collect();
         // Deterministic shuffle.
         let mut s = 0x1234u64;
@@ -348,5 +426,28 @@ mod tests {
         for &k in &keys {
             assert!(t.get(k).unwrap().is_some(), "key {k}");
         }
+    }
+
+    #[test]
+    fn concurrent_readers_while_writer_runs() {
+        let t = std::sync::Arc::new(FpTreeLike::new(400, 8));
+        t.put(1, &[7; 8]).unwrap();
+        let mut handles = Vec::new();
+        for worker in 0..3u64 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    if worker == 0 {
+                        t.put(100 + i, &i.to_le_bytes()).unwrap();
+                    } else {
+                        assert_eq!(t.get(1).unwrap().unwrap(), vec![7; 8]);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 101);
     }
 }

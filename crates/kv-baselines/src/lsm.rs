@@ -12,12 +12,19 @@
 //!
 //! Entry layout in a run: `[flags: u8 | pad ×7 | key: u64 | value]`,
 //! flag bit 0 = tombstone.
+//!
+//! Like every [`Store`] backend, the store lives behind one store-wide
+//! `RwLock`: GETs search memtable and runs through [`NvmDevice::peek`]
+//! under a shared lock, writers take it exclusively.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
+use pnw_core::{OpReport, Store, StoreError, StoreSnapshot};
 use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
 
-use crate::traits::{check_size, KvStore, StoreError};
+use crate::{baseline_snapshot, check_size, report_since};
 
 const TOMBSTONE: u8 = 1;
 
@@ -35,8 +42,8 @@ struct Run {
     count: usize,
 }
 
-/// NoveLSM-like store.
-pub struct NoveLsmLike {
+/// The mutable LSM state behind the store lock.
+struct Inner {
     dev: NvmDevice,
     value_size: usize,
     entry_bytes: usize,
@@ -50,46 +57,19 @@ pub struct NoveLsmLike {
     l1: Option<Run>,
     l1_active: usize,
     live: usize,
+    puts: u64,
+    deletes: u64,
 }
 
-impl NoveLsmLike {
-    /// Creates a store for `capacity` values of `value_size` bytes.
-    pub fn new(capacity: usize, value_size: usize) -> Self {
-        let entry_bytes = (8 + 8 + value_size).next_multiple_of(8);
-        // The memtable scales with capacity so full compactions stay
-        // amortized (LevelDB sizes its levels the same way); a fixed tiny
-        // memtable would compact O(n/64) times and quadratic-rewrite the
-        // store.
-        let memtable_cap = (capacity / 16).clamp(8.min(capacity.max(1)), 1024);
-        let n_l0 = 4;
-        let l0_bytes = memtable_cap * entry_bytes;
-        // L1 must hold capacity live entries plus L0 spill-over at merge.
-        let l1_bytes = (capacity + n_l0 * memtable_cap) * entry_bytes;
-        let total = (n_l0 * l0_bytes + 2 * l1_bytes + 4096).next_multiple_of(64);
+/// NoveLSM-like store.
+pub struct NoveLsmLike {
+    value_size: usize,
+    capacity: usize,
+    gets: AtomicU64,
+    inner: RwLock<Inner>,
+}
 
-        let mut alloc = RegionAllocator::new(total);
-        let l0_regions: Vec<Region> = (0..n_l0)
-            .map(|_| alloc.alloc(l0_bytes, 64).expect("l0 region"))
-            .collect();
-        let l1_areas = [
-            alloc.alloc(l1_bytes, 64).expect("l1 region a"),
-            alloc.alloc(l1_bytes, 64).expect("l1 region b"),
-        ];
-        NoveLsmLike {
-            dev: NvmDevice::new(NvmConfig::default().with_size(total)),
-            value_size,
-            entry_bytes,
-            memtable: BTreeMap::new(),
-            memtable_cap,
-            l0_regions,
-            l0: Vec::new(),
-            l1_areas,
-            l1: None,
-            l1_active: 0,
-            live: 0,
-        }
-    }
-
+impl Inner {
     fn write_entry(
         &mut self,
         region: Region,
@@ -108,13 +88,16 @@ impl NoveLsmLike {
         Ok(())
     }
 
+    /// Run entries are read through [`NvmDevice::peek`]: lookups and
+    /// compaction scans take shared device access and record no read
+    /// statistics, matching the PNW store's convention.
     fn read_entry(
-        &mut self,
+        &self,
         region: Region,
         slot: usize,
     ) -> Result<(u64, Option<Vec<u8>>), StoreError> {
         let addr = region.at(slot * self.entry_bytes);
-        let bytes = self.dev.read(addr, self.entry_bytes)?;
+        let bytes = self.dev.peek(addr, self.entry_bytes)?;
         let key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
         if bytes[0] & TOMBSTONE != 0 {
             Ok((key, None))
@@ -124,12 +107,12 @@ impl NoveLsmLike {
     }
 
     /// Binary search within a sorted run.
-    fn run_get(&mut self, run: Run, key: u64) -> Result<Option<Option<Vec<u8>>>, StoreError> {
+    fn run_get(&self, run: Run, key: u64) -> Result<Option<Option<Vec<u8>>>, StoreError> {
         let (mut lo, mut hi) = (0usize, run.count);
         while lo < hi {
             let mid = (lo + hi) / 2;
             let addr = run.region.at(mid * self.entry_bytes + 8);
-            let kb = self.dev.read(addr, 8)?;
+            let kb = self.dev.peek(addr, 8)?;
             let k = u64::from_le_bytes(kb.try_into().unwrap());
             match k.cmp(&key) {
                 std::cmp::Ordering::Less => lo = mid + 1,
@@ -138,6 +121,28 @@ impl NoveLsmLike {
                     let (_, v) = self.read_entry(run.region, mid)?;
                     return Ok(Some(v));
                 }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Newest-wins lookup across memtable, L0 runs and L1.
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        if let Some(e) = self.memtable.get(&key) {
+            return Ok(match e {
+                MemEntry::Put(v) => Some(v.clone()),
+                MemEntry::Del => None,
+            });
+        }
+        for i in (0..self.l0.len()).rev() {
+            let run = self.l0[i];
+            if let Some(v) = self.run_get(run, key)? {
+                return Ok(v);
+            }
+        }
+        if let Some(run) = self.l1 {
+            if let Some(v) = self.run_get(run, key)? {
+                return Ok(v);
             }
         }
         Ok(None)
@@ -153,7 +158,8 @@ impl NoveLsmLike {
             self.compact()?;
         }
         let region = self.l0_regions[self.l0.len()];
-        let entries: Vec<(u64, MemEntry)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        let entries: Vec<(u64, MemEntry)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
         for (slot, (key, e)) in entries.iter().enumerate() {
             match e {
                 MemEntry::Put(v) => self.write_entry(region, slot, *key, Some(v))?,
@@ -199,13 +205,88 @@ impl NoveLsmLike {
         Ok(())
     }
 
-    /// Total persisted runs currently live (L0 + L1).
-    pub fn run_count(&self) -> usize {
-        self.l0.len() + usize::from(self.l1.is_some())
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        check_size(self.value_size, value)?;
+        if self.get(key)?.is_none() {
+            self.live += 1;
+        }
+        self.memtable.insert(key, MemEntry::Put(value.to_vec()));
+        self.puts += 1;
+        if self.memtable.len() >= self.memtable_cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        let existed = self.get(key)?.is_some();
+        if existed {
+            self.live -= 1;
+            // Deletes of existing keys only — the cross-backend snapshot
+            // convention (misses are not counted anywhere).
+            self.deletes += 1;
+            self.memtable.insert(key, MemEntry::Del);
+            if self.memtable.len() >= self.memtable_cap {
+                self.flush()?;
+            }
+        }
+        Ok(existed)
     }
 }
 
-impl KvStore for NoveLsmLike {
+impl NoveLsmLike {
+    /// Creates a store for `capacity` values of `value_size` bytes.
+    pub fn new(capacity: usize, value_size: usize) -> Self {
+        let entry_bytes = (8 + 8 + value_size).next_multiple_of(8);
+        // The memtable scales with capacity so full compactions stay
+        // amortized (LevelDB sizes its levels the same way); a fixed tiny
+        // memtable would compact O(n/64) times and quadratic-rewrite the
+        // store.
+        let memtable_cap = (capacity / 16).clamp(8.min(capacity.max(1)), 1024);
+        let n_l0 = 4;
+        let l0_bytes = memtable_cap * entry_bytes;
+        // L1 must hold capacity live entries plus L0 spill-over at merge.
+        let l1_bytes = (capacity + n_l0 * memtable_cap) * entry_bytes;
+        let total = (n_l0 * l0_bytes + 2 * l1_bytes + 4096).next_multiple_of(64);
+
+        let mut alloc = RegionAllocator::new(total);
+        let l0_regions: Vec<Region> = (0..n_l0)
+            .map(|_| alloc.alloc(l0_bytes, 64).expect("l0 region"))
+            .collect();
+        let l1_areas = [
+            alloc.alloc(l1_bytes, 64).expect("l1 region a"),
+            alloc.alloc(l1_bytes, 64).expect("l1 region b"),
+        ];
+        NoveLsmLike {
+            value_size,
+            capacity,
+            gets: AtomicU64::new(0),
+            inner: RwLock::new(Inner {
+                dev: NvmDevice::new(NvmConfig::default().with_size(total)),
+                value_size,
+                entry_bytes,
+                memtable: BTreeMap::new(),
+                memtable_cap,
+                l0_regions,
+                l0: Vec::new(),
+                l1_areas,
+                l1: None,
+                l1_active: 0,
+                live: 0,
+                puts: 0,
+                deletes: 0,
+            }),
+        }
+    }
+
+    /// Total persisted runs currently live (L0 + L1).
+    pub fn run_count(&self) -> usize {
+        let inner = self.inner.read().unwrap();
+        inner.l0.len() + usize::from(inner.l1.is_some())
+    }
+}
+
+impl Store for NoveLsmLike {
     fn name(&self) -> &'static str {
         "NoveLSM"
     }
@@ -214,65 +295,56 @@ impl KvStore for NoveLsmLike {
         self.value_size
     }
 
-    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
-        check_size(self.value_size, value)?;
-        if self.get(key)?.is_none() {
-            self.live += 1;
-        }
-        self.memtable.insert(key, MemEntry::Put(value.to_vec()));
-        if self.memtable.len() >= self.memtable_cap {
-            self.flush()?;
-        }
-        Ok(())
+    fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
+        let mut inner = self.inner.write().unwrap();
+        let before = inner.dev.stats().clone();
+        inner.put(key, value)?;
+        Ok(report_since(&inner.dev, &before))
     }
 
-    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
-        if let Some(e) = self.memtable.get(&key) {
-            return Ok(match e {
-                MemEntry::Put(v) => Some(v.clone()),
-                MemEntry::Del => None,
-            });
-        }
-        for i in (0..self.l0.len()).rev() {
-            let run = self.l0[i];
-            if let Some(v) = self.run_get(run, key)? {
-                return Ok(v);
-            }
-        }
-        if let Some(run) = self.l1 {
-            if let Some(v) = self.run_get(run, key)? {
-                return Ok(v);
-            }
-        }
-        Ok(None)
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.read().unwrap().get(key)
     }
 
-    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
-        let existed = self.get(key)?.is_some();
-        if existed {
-            self.live -= 1;
-            self.memtable.insert(key, MemEntry::Del);
-            if self.memtable.len() >= self.memtable_cap {
-                self.flush()?;
+    fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        check_size(self.value_size, out)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        match self.inner.read().unwrap().get(key)? {
+            Some(v) => {
+                out.copy_from_slice(&v);
+                Ok(true)
             }
+            None => Ok(false),
         }
-        Ok(existed)
+    }
+
+    fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        self.inner.write().unwrap().delete(key)
     }
 
     fn len(&self) -> usize {
-        self.live
+        self.inner.read().unwrap().live
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        self.dev.stats()
+    fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.read().unwrap();
+        baseline_snapshot(
+            inner.live,
+            self.capacity,
+            inner.dev.stats().clone(),
+            inner.puts,
+            self.gets.load(Ordering::Relaxed),
+            inner.deletes,
+        )
     }
 
-    fn device(&self) -> &NvmDevice {
-        &self.dev
+    fn device_stats(&self) -> DeviceStats {
+        self.inner.read().unwrap().dev.stats().clone()
     }
 
-    fn reset_device_stats(&mut self) {
-        self.dev.reset_stats();
+    fn reset_device_stats(&self) {
+        self.inner.write().unwrap().dev.reset_stats();
     }
 }
 
@@ -282,7 +354,7 @@ mod tests {
 
     #[test]
     fn crud_through_flush_and_compaction() {
-        let mut s = NoveLsmLike::new(2000, 8);
+        let s = NoveLsmLike::new(2000, 8);
         for k in 0..1500u64 {
             s.put(k, &k.to_le_bytes()).unwrap();
         }
@@ -295,7 +367,7 @@ mod tests {
 
     #[test]
     fn overwrites_resolve_to_newest() {
-        let mut s = NoveLsmLike::new(500, 8);
+        let s = NoveLsmLike::new(500, 8);
         for round in 0..3u8 {
             for k in 0..200u64 {
                 s.put(k, &[round; 8]).unwrap();
@@ -307,7 +379,7 @@ mod tests {
 
     #[test]
     fn deletes_survive_flush() {
-        let mut s = NoveLsmLike::new(500, 8);
+        let s = NoveLsmLike::new(500, 8);
         for k in 0..200u64 {
             s.put(k, &k.to_le_bytes()).unwrap();
         }
@@ -326,8 +398,8 @@ mod tests {
         // The Figure 9 ordering: LSM rewrites entries on flush+compaction,
         // so its line writes per put beat (exceed) a direct-placement store.
         let n = 600usize;
-        let mut lsm = NoveLsmLike::new(n * 2, 32);
-        let mut ph = crate::path_store::PathHashStore::new(n * 2, 32);
+        let lsm = NoveLsmLike::new(n * 2, 32);
+        let ph = crate::path_store::PathHashStore::new(n * 2, 32);
         for k in 0..n as u64 {
             let v = [(k % 251) as u8; 32];
             lsm.put(k, &v).unwrap();
@@ -343,7 +415,7 @@ mod tests {
 
     #[test]
     fn get_missing_key() {
-        let mut s = NoveLsmLike::new(100, 8);
+        let s = NoveLsmLike::new(100, 8);
         assert_eq!(s.get(42).unwrap(), None);
         s.put(1, &[1; 8]).unwrap();
         assert_eq!(s.get(42).unwrap(), None);

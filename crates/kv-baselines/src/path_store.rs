@@ -6,14 +6,22 @@
 //! old content it overwrites is arbitrary. Figure 9 attributes its remaining
 //! gap to PNW to exactly this (*"like other methods, it is not
 //! 'memory-aware'"*), plus occasional path-hash insertion retries.
+//!
+//! Like every [`Store`] backend, the store lives behind one store-wide
+//! `RwLock`: GETs go through [`KeyIndex::lookup`] and
+//! [`NvmDevice::peek`] under a shared lock, writers take it exclusively.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use pnw_core::{OpReport, Store, StoreError, StoreSnapshot};
 use pnw_index::{KeyIndex, PathHashIndex};
 use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
 
-use crate::traits::{check_size, KvStore, StoreError};
+use crate::{baseline_snapshot, check_size, report_since};
 
-/// Path-hashing K/V store with a fixed-bucket NVM data zone.
-pub struct PathHashStore {
+/// The mutable store state behind the store lock.
+struct Inner {
     dev: NvmDevice,
     index: PathHashIndex,
     data: Region,
@@ -21,6 +29,63 @@ pub struct PathHashStore {
     bucket_size: usize,
     free: Vec<u32>,
     live: usize,
+    puts: u64,
+    deletes: u64,
+}
+
+/// Path-hashing K/V store with a fixed-bucket NVM data zone.
+pub struct PathHashStore {
+    value_size: usize,
+    capacity: usize,
+    gets: AtomicU64,
+    inner: RwLock<Inner>,
+}
+
+impl Inner {
+    fn bucket_addr(&self, b: u32) -> usize {
+        self.data.bucket_addr(b as usize, self.bucket_size)
+    }
+
+    fn bucket_of_addr(&self, addr: u64) -> u32 {
+        ((addr as usize - self.data.start) / self.bucket_size) as u32
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        check_size(self.value_size, value)?;
+        // Update in place when the key exists (no address steering — this
+        // is the memory-unaware behaviour Figure 9 contrasts with PNW).
+        if let Some(addr) = self.index.get(&mut self.dev, key)? {
+            self.dev.write(addr as usize, value, WriteMode::Diff)?;
+            self.puts += 1;
+            return Ok(());
+        }
+        let bucket = self.free.pop().ok_or(StoreError::Full)?;
+        let addr = self.bucket_addr(bucket);
+        self.dev.write(addr, value, WriteMode::Diff)?;
+        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
+            // Roll the bucket back so the data zone doesn't leak.
+            self.free.push(bucket);
+            return Err(e.into());
+        }
+        self.live += 1;
+        self.puts += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        match self.index.remove(&mut self.dev, key)? {
+            Some(addr) => {
+                let bucket = self.bucket_of_addr(addr);
+                self.free.push(bucket);
+                self.live -= 1;
+                // Deletes of existing keys only — the cross-backend
+                // snapshot convention (misses are not counted anywhere).
+                self.deletes += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
 }
 
 impl PathHashStore {
@@ -43,26 +108,25 @@ impl PathHashStore {
         let dev = NvmDevice::new(NvmConfig::default().with_size(total));
         let index = PathHashIndex::create(index_region, leaves);
         PathHashStore {
-            dev,
-            index,
-            data,
             value_size,
-            bucket_size,
-            free: (0..capacity as u32).rev().collect(),
-            live: 0,
+            capacity,
+            gets: AtomicU64::new(0),
+            inner: RwLock::new(Inner {
+                dev,
+                index,
+                data,
+                value_size,
+                bucket_size,
+                free: (0..capacity as u32).rev().collect(),
+                live: 0,
+                puts: 0,
+                deletes: 0,
+            }),
         }
-    }
-
-    fn bucket_addr(&self, b: u32) -> usize {
-        self.data.bucket_addr(b as usize, self.bucket_size)
-    }
-
-    fn bucket_of_addr(&self, addr: u64) -> u32 {
-        ((addr as usize - self.data.start) / self.bucket_size) as u32
     }
 }
 
-impl KvStore for PathHashStore {
+impl Store for PathHashStore {
     fn name(&self) -> &'static str {
         "Path hashing"
     }
@@ -71,61 +135,61 @@ impl KvStore for PathHashStore {
         self.value_size
     }
 
-    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
-        check_size(self.value_size, value)?;
-        // Update in place when the key exists (no address steering — this
-        // is the memory-unaware behaviour Figure 9 contrasts with PNW).
-        if let Some(addr) = self.index.get(&mut self.dev, key)? {
-            self.dev.write(addr as usize, value, WriteMode::Diff)?;
-            return Ok(());
-        }
-        let bucket = self.free.pop().ok_or(StoreError::Full)?;
-        let addr = self.bucket_addr(bucket);
-        self.dev.write(addr, value, WriteMode::Diff)?;
-        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
-            // Roll the bucket back so the data zone doesn't leak.
-            self.free.push(bucket);
-            return Err(e.into());
-        }
-        self.live += 1;
-        Ok(())
+    fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
+        let mut inner = self.inner.write().unwrap();
+        let before = inner.dev.stats().clone();
+        inner.put(key, value)?;
+        Ok(report_since(&inner.dev, &before))
     }
 
-    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
-        match self.index.get(&mut self.dev, key)? {
-            Some(addr) => {
-                let v = self.dev.read(addr as usize, self.value_size)?.to_vec();
-                Ok(Some(v))
-            }
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read().unwrap();
+        match inner.index.lookup(&inner.dev, key)? {
+            Some(addr) => Ok(Some(inner.dev.peek(addr as usize, inner.value_size)?.to_vec())),
             None => Ok(None),
         }
     }
 
-    fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
-        match self.index.remove(&mut self.dev, key)? {
+    fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        check_size(self.value_size, out)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read().unwrap();
+        match inner.index.lookup(&inner.dev, key)? {
             Some(addr) => {
-                self.free.push(self.bucket_of_addr(addr));
-                self.live -= 1;
+                inner.dev.peek_into(addr as usize, out)?;
                 Ok(true)
             }
             None => Ok(false),
         }
     }
 
+    fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        self.inner.write().unwrap().delete(key)
+    }
+
     fn len(&self) -> usize {
-        self.live
+        self.inner.read().unwrap().live
     }
 
-    fn device_stats(&self) -> &DeviceStats {
-        self.dev.stats()
+    fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.read().unwrap();
+        baseline_snapshot(
+            inner.live,
+            self.capacity,
+            inner.dev.stats().clone(),
+            inner.puts,
+            self.gets.load(Ordering::Relaxed),
+            inner.deletes,
+        )
     }
 
-    fn device(&self) -> &NvmDevice {
-        &self.dev
+    fn device_stats(&self) -> DeviceStats {
+        self.inner.read().unwrap().dev.stats().clone()
     }
 
-    fn reset_device_stats(&mut self) {
-        self.dev.reset_stats();
+    fn reset_device_stats(&self) {
+        self.inner.write().unwrap().dev.reset_stats();
     }
 }
 
@@ -135,7 +199,7 @@ mod tests {
 
     #[test]
     fn crud_roundtrip() {
-        let mut s = PathHashStore::new(100, 32);
+        let s = PathHashStore::new(100, 32);
         assert!(s.is_empty());
         s.put(1, &[0xAB; 32]).unwrap();
         s.put(2, &[0xCD; 32]).unwrap();
@@ -154,7 +218,7 @@ mod tests {
 
     #[test]
     fn wrong_value_size_rejected() {
-        let mut s = PathHashStore::new(10, 32);
+        let s = PathHashStore::new(10, 32);
         assert!(matches!(
             s.put(1, &[0u8; 16]),
             Err(StoreError::WrongValueSize { expected: 32, got: 16 })
@@ -163,7 +227,7 @@ mod tests {
 
     #[test]
     fn buckets_recycle_after_delete() {
-        let mut s = PathHashStore::new(4, 8);
+        let s = PathHashStore::new(4, 8);
         for k in 0..4 {
             s.put(k, &[k as u8; 8]).unwrap();
         }
@@ -175,7 +239,7 @@ mod tests {
 
     #[test]
     fn differential_rewrite_is_cheap() {
-        let mut s = PathHashStore::new(10, 64);
+        let s = PathHashStore::new(10, 64);
         s.put(5, &[0x77; 64]).unwrap();
         let before = s.device_stats().totals.bit_flips;
         s.put(5, &[0x77; 64]).unwrap(); // identical update
@@ -185,10 +249,19 @@ mod tests {
 
     #[test]
     fn stats_window_reset() {
-        let mut s = PathHashStore::new(10, 8);
+        let s = PathHashStore::new(10, 8);
         s.put(1, &[1; 8]).unwrap();
         s.reset_device_stats();
         assert_eq!(s.device_stats().write_ops, 0);
-        assert_eq!(s.device().stats().totals.bit_flips, 0);
+        assert_eq!(s.device_stats().totals.bit_flips, 0);
+    }
+
+    #[test]
+    fn put_reports_modeled_cost() {
+        let s = PathHashStore::new(10, 8);
+        let r = s.put(1, &[0xFF; 8]).unwrap();
+        assert!(r.total_write.bit_flips > 0);
+        assert!(r.modeled_latency > std::time::Duration::ZERO);
+        assert_eq!(r.predict, std::time::Duration::ZERO);
     }
 }

@@ -26,7 +26,7 @@ fn main() {
 
     // --- PNW recorder -----------------------------------------------------
     let mut camera = VideoFrames::new(cfg.clone(), 7);
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(RING_FRAMES, frame_bytes)
             .with_clusters(8)
             .with_retrain(RetrainMode::Manual),
@@ -48,7 +48,7 @@ fn main() {
     }
     let pnw = store.snapshot();
     let pnw_flips = pnw.device.mean_flips_per_512();
-    let pnw_max_wear = store.device().max_word_writes();
+    let pnw_max_wear = store.max_word_writes();
 
     // --- DCW free-list recorder (no steering) -----------------------------
     let mut camera = VideoFrames::new(cfg, 7);

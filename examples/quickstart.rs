@@ -7,7 +7,7 @@ use pnw_core::{PnwConfig, PnwStore};
 
 fn main() {
     // A store with 4096 buckets of 64-byte values, K = 8 clusters.
-    let mut store = PnwStore::new(PnwConfig::new(4096, 64).with_clusters(8));
+    let store = PnwStore::new(PnwConfig::new(4096, 64).with_clusters(8));
 
     // Insert some records. Values come in two bit-pattern families to give
     // the model something to learn: sensor frames that are mostly zeros and
@@ -23,7 +23,7 @@ fn main() {
     let train_time = store.retrain_now().expect("training succeeds");
     println!(
         "trained K-means with K={} in {:?}",
-        store.model().k(),
+        store.model_k(),
         train_time
     );
 

@@ -1,10 +1,12 @@
 //! Head-to-head: PNW vs FPTree vs NoveLSM vs Path hashing on one workload —
-//! a minimized Figure 9.
+//! a minimized Figure 9, with every backend driven through the one
+//! [`Store`] trait (PNW included — no adapter), and the writes submitted
+//! as [`Batch`]es through [`Store::apply`].
 //!
 //! Run with: `cargo run --release --example store_comparison`
 
-use pnw_baselines::{FpTreeLike, KvStore, NoveLsmLike, PathHashStore};
-use pnw_core::{PnwConfig, PnwStore, RetrainMode};
+use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore};
+use pnw_core::{Batch, PnwConfig, PnwStore, RetrainMode, Store};
 use pnw_workloads::{DatasetKind, Workload};
 
 fn main() {
@@ -14,53 +16,51 @@ fn main() {
     let vs = w.value_size();
     let values = w.take_values(n);
     println!(
-        "workload: {} — insert {n} records of {vs} bytes, then delete half\n",
+        "workload: {} — insert {n} records of {vs} bytes (batched, 64 ops/apply), then delete half\n",
         dataset.name()
     );
 
-    // Build the four stores.
-    let mut pnw = {
-        let mut s = PnwStore::new(
-            PnwConfig::new(n * 2, vs)
-                .with_clusters(10)
-                .with_retrain(RetrainMode::Manual),
-        );
-        let mut warm = dataset.build(7);
-        s.prefill_free_buckets(|| warm.next_value()).expect("warm");
-        s.retrain_now().expect("train");
-        s
-    };
-
-    let mut results: Vec<(String, f64, f64)> = Vec::new();
-
-    // PNW runs through its own API so the prediction path is exercised.
-    pnw.reset_device_stats();
-    for (i, v) in values.iter().enumerate() {
-        pnw.put(i as u64, v).expect("room");
-    }
-    for i in 0..n / 2 {
-        pnw.delete(i as u64).expect("present");
-    }
-    let ops = (n + n / 2) as f64;
-    let s = pnw.device_stats();
-    results.push((
-        "PNW".into(),
-        s.totals.lines_written as f64 / ops,
-        s.mean_flips_per_512(),
-    ));
-
-    let mut baselines: Vec<Box<dyn KvStore>> = vec![
+    // Build the four stores behind the uniform trait. PNW is warmed and
+    // trained first so the prediction path is exercised.
+    let stores: Vec<Box<dyn Store>> = vec![
+        Box::new({
+            let s = PnwStore::new(
+                PnwConfig::new(n * 2, vs)
+                    .with_clusters(10)
+                    .with_retrain(RetrainMode::Manual),
+            );
+            let mut warm = dataset.build(7);
+            s.prefill_free_buckets(|| warm.next_value()).expect("warm");
+            s.retrain_now().expect("train");
+            s
+        }),
         Box::new(FpTreeLike::new(n * 2, vs)),
         Box::new(NoveLsmLike::new(n * 2, vs)),
         Box::new(PathHashStore::new(n * 2, vs)),
     ];
-    for store in &mut baselines {
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for store in &stores {
+        store.reset_device_stats();
+        // Writes go through the batch API: one Store::apply per 64 ops.
+        let mut batch = Batch::with_capacity(64);
         for (i, v) in values.iter().enumerate() {
-            store.put(i as u64, v).expect("room");
+            batch.put(i as u64, v);
+            if batch.len() == 64 {
+                assert!(store.apply(&batch).all_ok(), "{}", store.name());
+                batch.clear();
+            }
         }
         for i in 0..n / 2 {
-            store.delete(i as u64).expect("present");
+            batch.delete(i as u64);
+            if batch.len() == 64 {
+                assert!(store.apply(&batch).all_ok(), "{}", store.name());
+                batch.clear();
+            }
         }
+        assert!(store.apply(&batch).all_ok(), "{}", store.name());
+
+        let ops = (n + n / 2) as f64;
         let s = store.device_stats();
         results.push((
             store.name().into(),

@@ -18,7 +18,7 @@ const LIVE_TARGET: usize = CAPACITY * 7 / 10;
 const PER_PHASE: usize = 1500;
 
 fn main() {
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(CAPACITY, 784)
             .with_clusters(12)
             // Occupancy beyond 60% counts as load-factor pressure, so the
@@ -41,7 +41,7 @@ fn main() {
     // Same templates as the warm-up (seed 1) but a fresh sample stream —
     // replaying the warm-up stream verbatim would score exact matches.
     stream(
-        &mut store,
+        &store,
         &mut TemplateImages::new(ImageStyle::Digits, 1).with_stream_seed(11),
         &mut live,
         &mut next_key,
@@ -49,12 +49,12 @@ fn main() {
 
     println!("\nphase 2: fashion images (stale model; background retrain kicks in)");
     let mut fashion = TemplateImages::new(ImageStyle::Fashion, 2);
-    stream(&mut store, &mut fashion, &mut live, &mut next_key);
+    stream(&store, &mut fashion, &mut live, &mut next_key);
 
     // Let any in-flight retrain install, then measure the adapted model.
     store.wait_for_retrain();
     println!("\nphase 3: fashion images (model retrained in background)");
-    stream(&mut store, &mut fashion, &mut live, &mut next_key);
+    stream(&store, &mut fashion, &mut live, &mut next_key);
 
     let snap = store.snapshot();
     println!(
@@ -66,7 +66,7 @@ fn main() {
 }
 
 fn stream(
-    store: &mut PnwStore,
+    store: &PnwStore,
     w: &mut dyn Workload,
     live: &mut VecDeque<u64>,
     next_key: &mut u64,

@@ -119,7 +119,7 @@ fn show_value(v: &[u8]) -> String {
     String::from_utf8_lossy(&v[..end]).into_owned()
 }
 
-fn run_command(store: &mut PnwStore, line: &str) -> Result<String, String> {
+fn run_command(store: &PnwStore, line: &str) -> Result<String, String> {
     let mut parts = line.split_whitespace();
     let cmd = match parts.next() {
         Some(c) => c,
@@ -163,7 +163,7 @@ fn run_command(store: &mut PnwStore, line: &str) -> Result<String, String> {
         }
         "train" => {
             let t = store.retrain_now().map_err(|e| e.to_string())?;
-            Ok(format!("trained K={} in {t:?}", store.model().k()))
+            Ok(format!("trained K={} in {t:?}", store.model_k()))
         }
         "extend" => {
             let n: usize = parts
@@ -233,7 +233,7 @@ fn main() {
     let cfg = PnwConfig::new(args.capacity, args.value_size)
         .with_clusters(args.clusters)
         .with_reserve(args.reserve);
-    let mut store = match &args.image {
+    let store = match &args.image {
         Some(path) if path.exists() => match PnwStore::load_image(cfg, path) {
             Ok(s) => {
                 println!("reopened image {} ({} live keys)", path.display(), s.len());
@@ -262,7 +262,7 @@ fn main() {
         if line == "quit" || line == "exit" {
             break;
         }
-        match run_command(&mut store, line) {
+        match run_command(&store, line) {
             Ok(msg) if msg.is_empty() => {}
             Ok(msg) => println!("{msg}"),
             Err(e) => println!("error: {e}"),
@@ -324,14 +324,14 @@ mod tests {
 
     #[test]
     fn command_loop_against_store() {
-        let mut store = PnwStore::new(PnwConfig::new(16, 8).with_clusters(2));
-        assert!(run_command(&mut store, "put 1 hello").unwrap().starts_with("ok"));
-        assert_eq!(run_command(&mut store, "get 1").unwrap(), "\"hello\"");
-        assert!(run_command(&mut store, "train").unwrap().contains("trained"));
-        assert_eq!(run_command(&mut store, "del 1").unwrap(), "deleted");
-        assert_eq!(run_command(&mut store, "get 1").unwrap(), "(not found)");
-        assert!(run_command(&mut store, "stats").unwrap().contains("live 0"));
-        assert!(run_command(&mut store, "nope").is_err());
-        assert_eq!(run_command(&mut store, "").unwrap(), "");
+        let store = PnwStore::new(PnwConfig::new(16, 8).with_clusters(2));
+        assert!(run_command(&store, "put 1 hello").unwrap().starts_with("ok"));
+        assert_eq!(run_command(&store, "get 1").unwrap(), "\"hello\"");
+        assert!(run_command(&store, "train").unwrap().contains("trained"));
+        assert_eq!(run_command(&store, "del 1").unwrap(), "deleted");
+        assert_eq!(run_command(&store, "get 1").unwrap(), "(not found)");
+        assert!(run_command(&store, "stats").unwrap().contains("live 0"));
+        assert!(run_command(&store, "nope").is_err());
+        assert_eq!(run_command(&store, "").unwrap(), "");
     }
 }

@@ -29,9 +29,30 @@
 //! ```
 //! use pnw::{PnwConfig, PnwStore};
 //!
-//! let mut store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
+//! let store = PnwStore::new(PnwConfig::new(256, 8).with_clusters(4));
 //! store.put(7, b"pnw-demo").unwrap();
 //! assert_eq!(store.get(7).unwrap().as_deref(), Some(&b"pnw-demo"[..]));
+//! ```
+//!
+//! ## One `Store` trait, batched writes
+//!
+//! Every backend — [`PnwStore`], [`ShardedPnwStore`], and the three
+//! baseline stores in `pnw-baselines` — implements the `&self`-based
+//! [`Store`] trait, so one harness drives them all, per-op or in
+//! [`Batch`]es:
+//!
+//! ```
+//! use pnw::{Batch, PnwConfig, ShardedPnwStore, Store};
+//!
+//! let store = ShardedPnwStore::new(PnwConfig::new(256, 8).with_shards(4));
+//! let mut batch = Batch::new();
+//! for k in 0..64u64 {
+//!     batch.put(k, &k.to_le_bytes());
+//! }
+//! // One shard-lock acquisition per shard for the whole batch.
+//! let report = store.apply(&batch);
+//! assert!(report.all_ok());
+//! assert_eq!(store.len(), 64);
 //! ```
 //!
 //! ## Concurrent store
@@ -72,4 +93,6 @@
 pub use pnw_core as core_api;
 
 pub use pnw_bench::throughput;
-pub use pnw_core::{PnwConfig, PnwStore, ShardedPnwStore};
+pub use pnw_core::{
+    Batch, BatchReport, ConfigError, Op, PnwConfig, PnwStore, ShardedPnwStore, Store, StoreError,
+};

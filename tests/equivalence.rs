@@ -36,7 +36,7 @@ fn pnw_k1_matches_dcw_within_noise() {
 
     // PNW, K = 1.
     let mut w = DatasetKind::Normal.build(8);
-    let mut store = PnwStore::new(PnwConfig::new(buckets, 4).with_clusters(1).with_seed(1));
+    let store = PnwStore::new(PnwConfig::new(buckets, 4).with_clusters(1).with_seed(1));
     store.prefill_free_buckets(|| w.next_value()).expect("prefill");
     store.retrain_now().expect("train");
     store.reset_device_stats();
@@ -88,7 +88,7 @@ fn flips_trend_downward_in_k() {
 
     let run = |k: usize| -> f64 {
         let mut w = DatasetKind::Normal.build(6);
-        let mut store = PnwStore::new(PnwConfig::new(512, 4).with_clusters(k).with_seed(2));
+        let store = PnwStore::new(PnwConfig::new(512, 4).with_clusters(k).with_seed(2));
         store.prefill_free_buckets(|| w.next_value()).expect("prefill");
         store.retrain_now().expect("train");
         store.reset_device_stats();

@@ -7,7 +7,7 @@ use pnw::{PnwConfig, PnwStore};
 
 #[test]
 fn core_api_reexport_round_trips_put_get() {
-    let mut store = CorePnwStore::new(CorePnwConfig::new(64, 8).with_clusters(2));
+    let store = CorePnwStore::new(CorePnwConfig::new(64, 8).with_clusters(2));
     store.put(1, &42u64.to_le_bytes()).expect("put");
     assert_eq!(
         store.get(1).expect("device ok").as_deref(),
@@ -21,7 +21,7 @@ fn core_api_reexport_round_trips_put_get() {
 fn root_reexports_match_core_api() {
     // `pnw::PnwStore` and `pnw::core_api::PnwStore` are the same type; a
     // store built via one is usable via the other's config builder.
-    let mut store = PnwStore::new(PnwConfig::new(32, 4).with_clusters(2));
+    let store = PnwStore::new(PnwConfig::new(32, 4).with_clusters(2));
     for k in 0..8u64 {
         store.put(k, &(k as u32).to_le_bytes()).expect("put");
     }

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use pnw_baselines::{FpTreeLike, KvStore, NoveLsmLike, PathHashStore};
+use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore, Store};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -30,7 +30,7 @@ fn value_of(b: u8) -> Vec<u8> {
     vec![b; 16]
 }
 
-fn check(store: &mut dyn KvStore, ops: Vec<Op>) -> Result<(), TestCaseError> {
+fn check(store: &dyn Store, ops: Vec<Op>) -> Result<(), TestCaseError> {
     let mut model: HashMap<u64, u8> = HashMap::new();
     for op in ops {
         match op {
@@ -62,17 +62,17 @@ proptest! {
 
     #[test]
     fn fptree_matches_hashmap(ops in ops()) {
-        check(&mut FpTreeLike::new(64, 16), ops)?;
+        check(&FpTreeLike::new(64, 16), ops)?;
     }
 
     #[test]
     fn novelsm_matches_hashmap(ops in ops()) {
-        check(&mut NoveLsmLike::new(64, 16), ops)?;
+        check(&NoveLsmLike::new(64, 16), ops)?;
     }
 
     #[test]
     fn path_store_matches_hashmap(ops in ops()) {
-        check(&mut PathHashStore::new(64, 16), ops)?;
+        check(&PathHashStore::new(64, 16), ops)?;
     }
 }
 
@@ -89,11 +89,11 @@ fn figure9_ordering_is_stable_across_seeds() {
         let values = w.take_values(n);
 
         let mut lines = Vec::new();
-        let mut stores: Vec<Box<dyn KvStore>> = vec![
+        let stores: Vec<Box<dyn Store>> = vec![
             Box::new(FpTreeLike::new(n * 2, vs)),
             Box::new(PathHashStore::new(n * 2, vs)),
         ];
-        for s in &mut stores {
+        for s in &stores {
             for (i, v) in values.iter().enumerate() {
                 s.put(i as u64, v).expect("room");
             }

@@ -32,7 +32,7 @@ fn check_against_model(
     placement: IndexPlacement,
     policy: UpdatePolicy,
 ) -> Result<(), TestCaseError> {
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(32, 8)
             .with_clusters(3)
             .with_seed(17)

@@ -6,7 +6,7 @@ use pnw_workloads::{DatasetKind, Workload};
 fn populated_store(placement: IndexPlacement) -> (PnwStore, Vec<(u64, Vec<u8>)>) {
     let mut w = DatasetKind::Amazon.build(21);
     let vs = w.value_size();
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(128, vs)
             .with_clusters(4)
             .with_index(placement),
@@ -36,7 +36,7 @@ fn populated_store(placement: IndexPlacement) -> (PnwStore, Vec<(u64, Vec<u8>)>)
 
 #[test]
 fn dram_index_recovery_rebuilds_from_headers() {
-    let (mut store, expected) = populated_store(IndexPlacement::Dram);
+    let (store, expected) = populated_store(IndexPlacement::Dram);
     store.crash_and_recover().expect("recovery");
     assert_eq!(store.len(), expected.len());
     for (key, v) in &expected {
@@ -48,7 +48,7 @@ fn dram_index_recovery_rebuilds_from_headers() {
 
 #[test]
 fn nvm_index_recovery_reads_persistent_index() {
-    let (mut store, expected) = populated_store(IndexPlacement::Nvm);
+    let (store, expected) = populated_store(IndexPlacement::Nvm);
     store.crash_and_recover().expect("recovery");
     assert_eq!(store.len(), expected.len());
     for (key, v) in &expected {
@@ -58,7 +58,7 @@ fn nvm_index_recovery_reads_persistent_index() {
 
 #[test]
 fn store_remains_fully_functional_after_recovery() {
-    let (mut store, expected) = populated_store(IndexPlacement::Dram);
+    let (store, expected) = populated_store(IndexPlacement::Dram);
     store.crash_and_recover().expect("recovery");
     let mut w = DatasetKind::Amazon.build(99);
     // Keep writing and deleting after recovery.
@@ -70,12 +70,12 @@ fn store_remains_fully_functional_after_recovery() {
     }
     assert_eq!(store.len(), expected.len() + 32);
     // The model retrained during recovery (reconstruction, §V-A.1).
-    assert!(store.model().is_trained());
+    assert!(store.is_trained());
 }
 
 #[test]
 fn repeated_crashes_are_idempotent() {
-    let (mut store, expected) = populated_store(IndexPlacement::Dram);
+    let (store, expected) = populated_store(IndexPlacement::Dram);
     for _ in 0..3 {
         store.crash_and_recover().expect("recovery");
     }
@@ -93,9 +93,9 @@ fn repeated_crashes_are_idempotent() {
 /// the data, Algorithm 2 line 7).
 #[test]
 fn torn_value_write_never_corrupts_committed_keys() {
-    use pnw_baselines::{KvStore, PathHashStore};
+    use pnw_baselines::{PathHashStore, Store};
 
-    let mut s = PathHashStore::new(16, 32);
+    let s = PathHashStore::new(16, 32);
     s.put(1, &[0x11; 32]).expect("room");
     s.put(2, &[0x22; 32]).expect("room");
     // The committed keys survive a crash+recovery cycle of the device.

@@ -52,7 +52,7 @@ fn single_shard_matches_pnw_store_exactly() {
         .with_load_factor(0.6)
         .with_retrain(RetrainMode::OnLoadFactor);
 
-    let mut single = PnwStore::new(cfg.clone());
+    let single = PnwStore::new(cfg.clone());
     drive(|op| match op {
         Op::Put(k, v) => {
             let _ = single.put(k, &v);
@@ -86,7 +86,7 @@ fn single_shard_matches_pnw_store_exactly() {
 
     // Identical bit flips, words written, lines written, ops — the whole
     // DeviceStats struct.
-    assert_eq!(single.device_stats(), &sharded.device_stats());
+    assert_eq!(single.device_stats(), sharded.device_stats());
     assert_eq!(single.len(), sharded.len());
     for k in 0..128u64 {
         assert_eq!(single.get(k).unwrap(), sharded.get(k).unwrap(), "key {k}");

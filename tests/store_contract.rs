@@ -1,0 +1,341 @@
+//! The [`Store`] trait conformance suite: one contract, five backends.
+//!
+//! Every behavioral guarantee the trait documents is exercised against
+//! `PnwStore`, `ShardedPnwStore` and the three baseline stores through
+//! `Box<dyn Store>` — the exact surface the Figure 9 harness and the
+//! throughput harness drive. If a backend drifts from the contract, it
+//! fails here, not in a harness.
+
+use pnw::core_api::{Batch, Op, PnwConfig, PnwStore, RetrainMode, ShardedPnwStore, Store, StoreError};
+use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore};
+
+/// Fresh instances of all five backends at the given geometry.
+fn backends(capacity: usize, value_size: usize) -> Vec<Box<dyn Store>> {
+    let cfg = PnwConfig::new(capacity, value_size)
+        .with_clusters(2.min(capacity))
+        .with_seed(11)
+        .with_retrain(RetrainMode::Manual);
+    vec![
+        Box::new(PnwStore::new(cfg.clone())),
+        Box::new(ShardedPnwStore::new(cfg.with_shards(4))),
+        Box::new(FpTreeLike::new(capacity, value_size)),
+        Box::new(NoveLsmLike::new(capacity, value_size)),
+        Box::new(PathHashStore::new(capacity, value_size)),
+    ]
+}
+
+#[test]
+fn put_get_delete_round_trips_on_every_backend() {
+    for s in backends(128, 16) {
+        let name = s.name();
+        assert_eq!(s.value_size(), 16, "{name}");
+        assert!(s.is_empty(), "{name}");
+        for k in 0..48u64 {
+            s.put(k, &[k as u8; 16]).unwrap_or_else(|e| panic!("{name}: put {k}: {e}"));
+        }
+        assert_eq!(s.len(), 48, "{name}");
+        for k in 0..48u64 {
+            assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 16], "{name} key {k}");
+            let mut buf = [0u8; 16];
+            assert!(s.get_into(k, &mut buf).unwrap(), "{name} key {k}");
+            assert_eq!(buf, [k as u8; 16], "{name} key {k}");
+        }
+        // Overwrite half, delete a quarter.
+        for k in 0..24u64 {
+            s.put(k, &[0xD0 | (k % 4) as u8; 16]).unwrap();
+        }
+        for k in 0..12u64 {
+            assert!(s.delete(k).unwrap(), "{name} key {k}");
+            assert!(!s.delete(k).unwrap(), "{name} double delete {k}");
+        }
+        assert_eq!(s.len(), 36, "{name}");
+        assert_eq!(s.get(0).unwrap(), None, "{name}");
+        assert_eq!(s.get(100).unwrap(), None, "{name} missing key");
+        assert!(!s.get_into(100, &mut [0u8; 16]).unwrap(), "{name}");
+        let snap = s.snapshot();
+        assert_eq!(snap.live, 36, "{name}");
+        // Counter convention: 72 puts; 12 deletes hit, 12 missed — only
+        // the hits count, uniformly across backends.
+        assert_eq!(snap.puts, 72, "{name}");
+        assert_eq!(snap.deletes, 12, "{name}");
+        assert!(snap.device.totals.bit_flips > 0, "{name}");
+    }
+}
+
+#[test]
+fn wrong_value_size_is_rejected_uniformly() {
+    for s in backends(32, 16) {
+        let name = s.name();
+        assert!(
+            matches!(
+                s.put(1, &[0u8; 8]),
+                Err(StoreError::WrongValueSize { expected: 16, got: 8 })
+            ),
+            "{name}: put of a half-size value must be rejected"
+        );
+        s.put(1, &[1u8; 16]).unwrap();
+        assert!(
+            matches!(
+                s.get_into(1, &mut [0u8; 4]),
+                Err(StoreError::WrongValueSize { expected: 16, got: 4 })
+            ),
+            "{name}: get_into with a wrong-size buffer must be rejected"
+        );
+    }
+}
+
+#[test]
+fn overfilling_reports_full_not_a_panic() {
+    for s in backends(16, 8) {
+        let name = s.name();
+        let mut full_seen = false;
+        // Distinct keys well past capacity: every backend must eventually
+        // say Full (at its own structural limit — pool, leaves, level
+        // area) instead of panicking or corrupting.
+        for k in 0..2_000u64 {
+            match s.put(k, &[k as u8; 8]) {
+                Ok(_) => {}
+                Err(StoreError::Full) => {
+                    full_seen = true;
+                    break;
+                }
+                Err(e) => panic!("{name}: unexpected error {e}"),
+            }
+        }
+        assert!(full_seen, "{name}: store never reported Full");
+        // The store keeps serving reads after rejecting writes.
+        assert_eq!(s.get(0).unwrap().unwrap(), vec![0u8; 8], "{name}");
+    }
+}
+
+/// The op sequence used for the batch ≡ per-op check: inserts, updates,
+/// deletes and re-inserts, interleaved.
+fn contract_ops(value_size: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for k in 0..40u64 {
+        ops.push(Op::Put {
+            key: k,
+            value: vec![(k % 5) as u8 * 0x11; value_size],
+        });
+    }
+    for k in (0..40u64).step_by(3) {
+        ops.push(Op::Delete { key: k });
+    }
+    for k in 0..10u64 {
+        ops.push(Op::Put {
+            key: k,
+            value: vec![0xEE; value_size],
+        });
+    }
+    ops.push(Op::Delete { key: 999 }); // miss
+    ops
+}
+
+#[test]
+fn batch_apply_is_equivalent_to_per_op_on_every_backend() {
+    for (batched, per_op) in backends(128, 8).into_iter().zip(backends(128, 8)) {
+        let name = batched.name();
+        let ops = contract_ops(8);
+
+        // Batched store: the same sequence in groups of 7.
+        for chunk in ops.chunks(7) {
+            let mut batch = Batch::with_capacity(chunk.len());
+            for op in chunk {
+                batch.push(op.clone());
+            }
+            let r = batched.apply(&batch);
+            assert!(r.all_ok(), "{name}: {:?}", r.failures);
+            assert_eq!(r.completed(), chunk.len() as u64, "{name}");
+        }
+        // Reference store: one op at a time.
+        for op in &ops {
+            match op {
+                Op::Put { key, value } => {
+                    per_op.put(*key, value).unwrap();
+                }
+                Op::Delete { key } => {
+                    per_op.delete(*key).unwrap();
+                }
+            }
+        }
+
+        assert_eq!(batched.len(), per_op.len(), "{name}");
+        for k in 0..40u64 {
+            assert_eq!(batched.get(k).unwrap(), per_op.get(k).unwrap(), "{name} key {k}");
+        }
+        let (sa, sb) = (batched.snapshot(), per_op.snapshot());
+        assert_eq!(sa.puts, sb.puts, "{name}");
+        assert_eq!(sa.deletes, sb.deletes, "{name}");
+        assert_eq!(sa.live, sb.live, "{name}");
+    }
+}
+
+/// The acceptance criterion for the batch path: a single-shard
+/// `ShardedPnwStore` driven through `apply` produces *bit-for-bit* the
+/// same device state and accounting as the reference `PnwStore` driven
+/// per-op — the batch fast path changes cost, never writes.
+#[test]
+fn single_shard_batch_path_matches_pnw_store_bit_for_bit() {
+    let cfg = PnwConfig::new(256, 16)
+        .with_clusters(3)
+        .with_seed(99)
+        .with_retrain(RetrainMode::Manual);
+    let single = PnwStore::new(cfg.clone());
+    let sharded = ShardedPnwStore::new(cfg.with_shards(1));
+
+    // Phase 1: warm both with two bit-pattern families, then train.
+    for k in 0..96u64 {
+        let fill = if k % 2 == 0 { 0x00 } else { 0xFF };
+        single.put(k, &[fill; 16]).unwrap();
+    }
+    let mut warm = Batch::new();
+    for k in 0..96u64 {
+        let fill = if k % 2 == 0 { 0x00 } else { 0xFF };
+        warm.put(k, &[fill; 16]);
+    }
+    assert!(sharded.apply(&warm).all_ok());
+    single.retrain_now().unwrap();
+    sharded.retrain_now().unwrap();
+
+    // Phase 2: seeded churn — per-op on the reference, batches of 16 on
+    // the sharded store, identical op order.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    let mut ops: Vec<Op> = Vec::new();
+    for _ in 0..400 {
+        let k = rng.gen_range(0..128u64);
+        if rng.gen_range(0..10u8) < 7 {
+            let mut v = [if k % 2 == 0 { 0x00u8 } else { 0xFFu8 }; 16];
+            v[15] = rng.gen();
+            ops.push(Op::Put {
+                key: k,
+                value: v.to_vec(),
+            });
+        } else {
+            ops.push(Op::Delete { key: k });
+        }
+    }
+    for op in &ops {
+        match op {
+            Op::Put { key, value } => {
+                let _ = single.put(*key, value);
+            }
+            Op::Delete { key } => {
+                let _ = single.delete(*key);
+            }
+        }
+    }
+    for chunk in ops.chunks(16) {
+        let mut batch = Batch::with_capacity(chunk.len());
+        for op in chunk {
+            batch.push(op.clone());
+        }
+        let _ = sharded.apply(&batch);
+    }
+
+    // Identical bit flips, words written, lines written, ops — the whole
+    // DeviceStats struct — plus contents and counters.
+    assert_eq!(single.device_stats(), sharded.device_stats());
+    assert_eq!(single.len(), sharded.len());
+    for k in 0..128u64 {
+        assert_eq!(single.get(k).unwrap(), sharded.get(k).unwrap(), "key {k}");
+    }
+    let (s1, s2) = (single.snapshot(), sharded.snapshot());
+    assert_eq!(s1.puts, s2.puts);
+    assert_eq!(s1.deletes, s2.deletes);
+    assert_eq!(s1.free, s2.free);
+    assert_eq!(s1.fallbacks, s2.fallbacks);
+}
+
+/// Regression for the batch/per-op maintenance divergence: a batch must
+/// never report `Full` where the same ops issued individually would have
+/// extended the zone from the reserve mid-stream — extension runs at the
+/// per-op path's op boundaries, so with Manual retrain the device state
+/// stays bit-for-bit identical even across an auto-extension.
+#[test]
+fn batch_extends_from_reserve_exactly_like_per_op() {
+    let cfg = PnwConfig::new(8, 8)
+        .with_clusters(2)
+        .with_seed(3)
+        .with_reserve(16)
+        .with_load_factor(0.5)
+        .with_retrain(RetrainMode::Manual);
+
+    let per_op = PnwStore::new(cfg.clone());
+    for k in 0..12u64 {
+        per_op.put(k, &[k as u8; 8]).unwrap();
+    }
+    assert_eq!(per_op.len(), 12);
+
+    let mut batch = Batch::new();
+    for k in 0..12u64 {
+        batch.put(k, &[k as u8; 8]);
+    }
+    let batched = PnwStore::new(cfg.clone());
+    let r = batched.apply(&batch);
+    assert!(r.all_ok(), "batch must extend instead of failing: {:?}", r.failures);
+    assert_eq!(batched.len(), 12);
+    assert_eq!(batched.active_capacity(), per_op.active_capacity());
+    assert_eq!(batched.device_stats(), per_op.device_stats());
+
+    let sharded = ShardedPnwStore::new(cfg.with_shards(1));
+    let r = sharded.apply(&batch);
+    assert!(r.all_ok(), "{:?}", r.failures);
+    assert_eq!(sharded.len(), 12);
+    assert_eq!(sharded.device_stats(), per_op.device_stats());
+}
+
+/// Regression for the deleted adapter's lossy error mapping: no backend
+/// may ever report `ModelUnavailable` as `Full`, and batch failures carry
+/// the real error.
+#[test]
+fn error_taxonomy_is_lossless() {
+    assert_ne!(StoreError::ModelUnavailable, StoreError::Full);
+    let s = PnwStore::new(PnwConfig::new(4, 8).with_clusters(1));
+    let mut batch = Batch::new();
+    for k in 0..5u64 {
+        batch.put(k, &[k as u8; 8]);
+    }
+    batch.put(9, &[0u8; 2]);
+    let r = s.apply(&batch);
+    assert_eq!(r.failures.len(), 2);
+    assert!(matches!(r.failures[0], (4, StoreError::Full)));
+    assert!(
+        matches!(r.failures[1], (5, StoreError::WrongValueSize { expected: 8, got: 2 })),
+        "wrong-size must survive batching untouched"
+    );
+}
+
+/// Every backend is driveable concurrently through `Arc<dyn Store>` — the
+/// contract that lets one throughput harness serve all five.
+#[test]
+fn every_backend_serves_concurrent_clients() {
+    for s in backends(512, 8) {
+        let name = s.name();
+        let s: std::sync::Arc<dyn Store> = std::sync::Arc::from(s);
+        s.put(7, &[0x77; 8]).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut buf = [0u8; 8];
+                for i in 0..60u64 {
+                    if t == 0 {
+                        let mut batch = Batch::new();
+                        batch.put(1_000 + i, &[i as u8; 8]);
+                        assert!(batch.len() == 1);
+                        let r = s.apply(&batch);
+                        assert!(r.all_ok());
+                    } else {
+                        assert!(s.get_into(7, &mut buf).unwrap());
+                        assert_eq!(buf, [0x77; 8]);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 61, "{name}");
+    }
+}

@@ -119,7 +119,7 @@ fn store_reservoir_cap_is_enforced_and_deterministic() {
         .with_seed(9)
         .with_train_sample_cap(16);
     let run = || {
-        let mut s = PnwStore::new(cfg.clone());
+        let s = PnwStore::new(cfg.clone());
         for k in 0..96u64 {
             let fill = if k % 2 == 0 { 0x00u8 } else { 0xFF };
             s.put(k, &[fill; 8]).unwrap();
@@ -130,7 +130,7 @@ fn store_reservoir_cap_is_enforced_and_deterministic() {
         assert_eq!(snap.train.samples_post_cap, 16, "reservoir cap");
         assert_eq!(snap.train.epoch, 1);
         assert!(snap.train.last_train_wall.as_nanos() > 0);
-        s.model().kmeans().centroids().clone()
+        s.model_snapshot().kmeans().centroids().clone()
     };
     assert_eq!(run(), run(), "capped training must be reproducible");
 }
@@ -138,7 +138,7 @@ fn store_reservoir_cap_is_enforced_and_deterministic() {
 /// Uncapped stores report pre == post (the cap is the identity there).
 #[test]
 fn uncapped_store_reports_identity_counts() {
-    let mut s = PnwStore::new(PnwConfig::new(32, 8).with_clusters(2));
+    let s = PnwStore::new(PnwConfig::new(32, 8).with_clusters(2));
     for k in 0..24u64 {
         s.put(k, &k.to_le_bytes()).unwrap();
     }

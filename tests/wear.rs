@@ -5,7 +5,7 @@ use pnw_workloads::{DatasetKind, Workload};
 
 fn replacement_stream(k: usize, buckets: usize, writes: usize) -> PnwStore {
     let mut w = DatasetKind::Normal.build(31);
-    let mut store = PnwStore::new(
+    let store = PnwStore::new(
         PnwConfig::new(buckets, 4)
             .with_clusters(k)
             .with_seed(7)
@@ -30,7 +30,7 @@ fn writes_spread_across_the_data_zone() {
     let buckets = 256;
     let writes = 4 * buckets;
     let store = replacement_stream(8, buckets, writes);
-    let max = store.device().max_word_writes();
+    let max = store.max_word_writes();
     // Each logical write touches the value word + header words of one
     // bucket; mean per-bucket writes = 4. A hot-spot design (LIFO) would
     // concentrate hundreds of writes on a few buckets.
@@ -42,8 +42,7 @@ fn writes_spread_across_the_data_zone() {
 fn word_cdf_matches_figure12_shape() {
     let buckets = 256;
     let store = replacement_stream(8, buckets, 4 * buckets);
-    let (start, len) = store.data_zone_range();
-    let cdf = store.device().word_wear_cdf(start, len);
+    let cdf = store.word_wear_cdf();
     // Figure 12: P(X <= 2*mean) is already most of the population.
     let p = cdf.probability_le(10);
     assert!(p > 0.8, "P(writes <= 10) = {p:.3}");
@@ -62,8 +61,7 @@ fn higher_k_flips_bits_more_evenly() {
     let hi = replacement_stream(24, buckets, writes);
 
     let mass = |s: &PnwStore| -> (f64, u64) {
-        let (start, len) = s.data_zone_range();
-        let cdf = s.device().bit_wear_cdf(start, len).expect("bit wear on");
+        let cdf = s.bit_wear_cdf().expect("bit wear on");
         // Total flips concentrated in the hottest tail vs overall.
         (cdf.probability_le(4), u64::from(cdf.max()))
     };
