@@ -14,6 +14,20 @@ pub enum IndexPlacement {
     Nvm,
 }
 
+/// Where a store's state lives between processes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackingMode {
+    /// DRAM-emulated only (the paper's evaluation setting): nothing
+    /// survives the process. Stores are built with `new`.
+    #[default]
+    Volatile,
+    /// Durable: the directory holds write-through device images plus the
+    /// superblock / WAL / checkpoint metadata files. Stores are built with
+    /// `open`, which replays the WAL over the last checkpoint and rebuilds
+    /// the DRAM-side structures.
+    File(std::path::PathBuf),
+}
+
 /// How UPDATE operations are executed (§V-B.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UpdatePolicy {
@@ -168,6 +182,12 @@ pub struct PnwConfig {
     /// [`PnwStore`](crate::PnwStore) behavior bit-for-bit. Ignored by
     /// `PnwStore` itself.
     pub shards: usize,
+    /// Where the store's state lives between processes:
+    /// [`BackingMode::Volatile`] (default) for the in-process emulated
+    /// device, [`BackingMode::File`] for a durable directory opened with
+    /// [`PnwStore::open`](crate::PnwStore::open) /
+    /// [`ShardedPnwStore::open`](crate::ShardedPnwStore::open).
+    pub backing: BackingMode,
 }
 
 impl PnwConfig {
@@ -193,6 +213,7 @@ impl PnwConfig {
             reserve_buckets: 0,
             auto_k: None,
             shards: 1,
+            backing: BackingMode::Volatile,
         }
     }
 
@@ -272,6 +293,13 @@ impl PnwConfig {
     /// [`ShardedPnwStore`](crate::ShardedPnwStore) (clamped to ≥ 1).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n.max(1);
+        self
+    }
+
+    /// Makes the store durable at `path` (a directory; created on first
+    /// open). Build the store with `open` instead of `new` afterwards.
+    pub fn with_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.backing = BackingMode::File(path.into());
         self
     }
 

@@ -35,6 +35,11 @@ pub enum StoreError {
     Config(ConfigError),
     /// Underlying device failure.
     Nvm(NvmError),
+    /// A file-backed store's durable state failed validation at open
+    /// (superblock election found no valid replica, checkpoint CRC
+    /// mismatch, geometry mismatch...). The message names the check that
+    /// failed.
+    Corrupt(String),
 }
 
 /// Legacy name of [`StoreError`], kept so pre-unification call sites keep
@@ -72,6 +77,7 @@ impl std::fmt::Display for StoreError {
             StoreError::ModelUnavailable => write!(f, "model unavailable"),
             StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
             StoreError::Nvm(e) => write!(f, "device error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "durable state corrupt: {why}"),
         }
     }
 }
@@ -92,6 +98,9 @@ mod tests {
         assert!(e.to_string().contains('8'));
         assert!(e.to_string().contains('4'));
         assert!(StoreError::ModelUnavailable.to_string().contains("model"));
+        let e = StoreError::Corrupt("checkpoint CRC mismatch".into());
+        assert!(e.to_string().contains("corrupt"));
+        assert!(e.to_string().contains("CRC"));
     }
 
     #[test]

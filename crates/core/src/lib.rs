@@ -78,6 +78,7 @@
 
 pub mod api;
 pub mod config;
+mod durable;
 pub mod error;
 pub mod metrics;
 pub mod model;
@@ -87,8 +88,13 @@ pub mod sharded;
 pub mod store;
 
 pub use api::{Batch, BatchReport, Op, Store};
-pub use config::{ConfigError, IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy};
+pub use config::{
+    BackingMode, ConfigError, IndexPlacement, PcaPolicy, PnwConfig, RetrainMode, UpdatePolicy,
+};
 pub use error::{PnwError, StoreError};
+// Re-exported so recovery tests can arm deterministic metadata tears
+// without depending on pnw-nvm-sim directly.
+pub use pnw_nvm_sim::{MetaTarget, MetaTear};
 pub use metrics::{OpReport, StoreSnapshot, TrainStats};
 pub use model::{ModelManager, ModelSnapshot, PredictScratch};
 pub use pool::DynamicAddressPool;

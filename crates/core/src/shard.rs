@@ -26,13 +26,17 @@
 //! on a write lock (§VI-E: lookups *"do not go through the model or the
 //! dynamic address pool"*).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pnw_index::{DramHashIndex, KeyIndex, PathHashIndex};
-use pnw_nvm_sim::{DeviceStats, NvmConfig, NvmDevice, Region, RegionAllocator, WriteMode};
+use pnw_nvm_sim::{
+    DeviceBacking, DeviceStats, NvmConfig, NvmDevice, NvmError, Region, RegionAllocator, WriteMode,
+};
 
 use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
+use crate::durable::DurableShard;
 use crate::error::PnwError;
 use crate::metrics::{OpReport, StoreSnapshot, TrainStats};
 use std::sync::Arc;
@@ -102,6 +106,9 @@ pub struct ShardEngine {
     /// Reusable value buffer for DELETE's content relabeling and
     /// maintenance scans.
     value_buf: Vec<u8>,
+    /// WAL appender when this shard is file-backed; `None` keeps the
+    /// volatile op path bit-for-bit unchanged.
+    durable: Option<DurableShard>,
 }
 
 impl ShardEngine {
@@ -111,6 +118,21 @@ impl ShardEngine {
     }
 
     pub(crate) fn with_device(cfg: PnwConfig, image: Option<Vec<u8>>) -> Self {
+        Self::build(cfg, image, None).expect("volatile device construction cannot fail")
+    }
+
+    /// Creates an engine over a write-through file-backed device at
+    /// `path` (fallible: the backing file may be unreadable or of the
+    /// wrong size for this geometry).
+    pub(crate) fn open_file(cfg: PnwConfig, path: std::path::PathBuf) -> Result<Self, PnwError> {
+        Self::build(cfg, None, Some(path))
+    }
+
+    fn build(
+        cfg: PnwConfig,
+        image: Option<Vec<u8>>,
+        file: Option<std::path::PathBuf>,
+    ) -> Result<Self, PnwError> {
         let bucket_size = (HDR_BYTES + cfg.value_size).next_multiple_of(8);
         let total_buckets = cfg.capacity + cfg.reserve_buckets;
         let data_bytes = total_buckets * bucket_size;
@@ -135,8 +157,8 @@ impl ShardEngine {
         let nvm_cfg = NvmConfig::default()
             .with_size(total)
             .with_bit_wear(cfg.track_bit_wear);
-        let dev = match image {
-            Some(image) => {
+        let dev = match (image, file) {
+            (Some(image), None) => {
                 assert_eq!(
                     image.len(),
                     total,
@@ -144,7 +166,10 @@ impl ShardEngine {
                 );
                 NvmDevice::from_image(nvm_cfg, image)
             }
-            None => NvmDevice::new(nvm_cfg),
+            (None, Some(path)) => {
+                NvmDevice::open(nvm_cfg.with_backing(DeviceBacking::File(path)))?
+            }
+            _ => NvmDevice::new(nvm_cfg),
         };
         let index: Box<dyn KeyIndex> = match index_region {
             Some(r) => Box::new(PathHashIndex::create(r, index_leaves)),
@@ -161,7 +186,7 @@ impl ShardEngine {
             vec![0u8; cfg.value_size],
         );
         let model = Arc::new(ModelSnapshot::untrained(cfg.value_size * 8));
-        ShardEngine {
+        Ok(ShardEngine {
             cfg,
             dev,
             data,
@@ -180,7 +205,8 @@ impl ShardEngine {
             scratch: PredictScratch::new(),
             bucket_img,
             value_buf,
-        }
+            durable: None,
+        })
     }
 
     /// The shard's configuration (capacity fields describe this shard's
@@ -278,6 +304,15 @@ impl ShardEngine {
         }
         self.active_buckets += add;
         self.pool.set_capacity(self.active_buckets);
+        if add > 0 {
+            if let Some(d) = &mut self.durable {
+                // A failed append means the WAL is already dead; every
+                // subsequent append fails too, so no committed record can
+                // ever depend on the unlogged extension — swallowing the
+                // error here is safe.
+                let _ = d.log_extend(self.active_buckets as u64);
+            }
+        }
         add
     }
 
@@ -316,6 +351,7 @@ impl ShardEngine {
     /// snapshot.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
+        let mut deferred: Option<(usize, u32)> = None;
 
         // UPDATE handling. The DeletePut path removes the index entry
         // directly — `remove` already returns the old address, so the
@@ -327,6 +363,7 @@ impl ShardEngine {
                     let before = self.dev.stats().clone();
                     let vstats =
                         self.dev.write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
+                    self.check_durable_write()?;
                     let total = self.dev.stats().since(&before).totals;
                     self.puts += 1;
                     return Ok((
@@ -345,9 +382,17 @@ impl ShardEngine {
             UpdatePolicy::DeletePut => {
                 // Endurance-first: free the old location (it returns to
                 // the pool under its content's label), then fall through
-                // to a fresh predicted write.
+                // to a fresh predicted write. On a durable shard the freed
+                // bucket is *deferred* — it joins the pool only after the
+                // replacement is WAL-committed, so a torn replacement
+                // write can never land on (and corrupt) the committed old
+                // value.
                 if let Some(addr) = self.index.remove(&mut self.dev, key)? {
-                    self.delete_bucket_only(addr)?;
+                    if self.durable.is_some() {
+                        deferred = Some(self.clear_bucket(addr)?);
+                    } else {
+                        self.delete_bucket_only(addr)?;
+                    }
                 }
             }
         }
@@ -365,10 +410,14 @@ impl ShardEngine {
         // Line 2: get an address from the dynamic address pool. The full
         // nearest-first ranking is an argsort of the distances already in
         // scratch, computed only if the predicted cluster misses.
-        let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
-        let (bucket, fallback) = pool
-            .pop(cluster, || model.ranked_after_predict(scratch))
-            .ok_or(PnwError::Full)?;
+        let popped = {
+            let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
+            pool.pop(cluster, || model.ranked_after_predict(scratch))
+        };
+        let (bucket, fallback) = match popped {
+            Some(hit) => hit,
+            None => self.forced_reuse(key, cluster, &mut deferred)?,
+        };
         let addr = self.bucket_addr(bucket);
 
         // Lines 3–6: one differential write covers the whole bucket
@@ -380,11 +429,28 @@ impl ShardEngine {
         self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
         self.bucket_img[HDR_BYTES..].copy_from_slice(value);
         self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
+        self.check_durable_write()?;
 
         // Line 7: update the hash index.
         if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
-            self.pool.push(cluster, bucket);
+            self.unwind_failed_insert(addr, cluster, bucket);
             return Err(e.into());
+        }
+        // The durable commit point: the op is acknowledged only once its
+        // WAL record is fsynced. Volatile shards skip this entirely.
+        if let Some(d) = &mut self.durable {
+            if let Err(e) = d.log_put(key, addr as u64) {
+                // Unacknowledged: roll the in-process structures back so
+                // the dying store stays internally consistent. The durable
+                // state is already safe — no WAL record exists, and
+                // recovery clears the uncommitted header.
+                let _ = self.index.remove(&mut self.dev, key);
+                self.unwind_failed_insert(addr, cluster, bucket);
+                return Err(e);
+            }
+        }
+        if let Some((label, freed)) = deferred {
+            self.pool.push(label, freed);
         }
         self.live += 1;
         self.puts += 1;
@@ -411,42 +477,108 @@ impl ShardEngine {
     /// the batch path does not feed is the snapshot's `predict_total`.
     pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
         self.check_value(value)?;
+        let mut deferred: Option<(usize, u32)> = None;
 
         match self.cfg.update_policy {
             UpdatePolicy::InPlace => {
                 if let Some(addr) = self.index.get(&mut self.dev, key)? {
                     self.dev
                         .write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
+                    self.check_durable_write()?;
                     self.puts += 1;
                     return Ok(PutPath::InPlace);
                 }
             }
             UpdatePolicy::DeletePut => {
                 if let Some(addr) = self.index.remove(&mut self.dev, key)? {
-                    self.delete_bucket_only(addr)?;
+                    if self.durable.is_some() {
+                        deferred = Some(self.clear_bucket(addr)?);
+                    } else {
+                        self.delete_bucket_only(addr)?;
+                    }
                 }
             }
         }
 
         let cluster = self.model.predict_into(value, &mut self.scratch);
-        let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
-        let (bucket, _) = pool
-            .pop(cluster, || model.ranked_after_predict(scratch))
-            .ok_or(PnwError::Full)?;
+        let popped = {
+            let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
+            pool.pop(cluster, || model.ranked_after_predict(scratch))
+        };
+        let (bucket, _) = match popped {
+            Some(hit) => hit,
+            None => self.forced_reuse(key, cluster, &mut deferred)?,
+        };
         let addr = self.bucket_addr(bucket);
 
         self.bucket_img[0] = FLAG_VALID;
         self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
         self.bucket_img[HDR_BYTES..].copy_from_slice(value);
         self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
+        self.check_durable_write()?;
 
         if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
-            self.pool.push(cluster, bucket);
+            self.unwind_failed_insert(addr, cluster, bucket);
             return Err(e.into());
+        }
+        if let Some(d) = &mut self.durable {
+            if let Err(e) = d.log_put(key, addr as u64) {
+                let _ = self.index.remove(&mut self.dev, key);
+                self.unwind_failed_insert(addr, cluster, bucket);
+                return Err(e);
+            }
+        }
+        if let Some((label, freed)) = deferred {
+            self.pool.push(label, freed);
         }
         self.live += 1;
         self.puts += 1;
         Ok(PutPath::Fresh)
+    }
+
+    /// After a data-zone write on a durable shard: a torn write leaves the
+    /// device crashed while the write call itself reports the persisted
+    /// prefix — the op must surface as failed *before* it reaches the WAL
+    /// (a DRAM index insert would otherwise acknowledge a torn value).
+    fn check_durable_write(&self) -> Result<(), PnwError> {
+        if self.durable.is_some() && self.dev.is_crashed() {
+            return Err(NvmError::Crashed.into());
+        }
+        Ok(())
+    }
+
+    /// The pool missed while a durable DeletePut update holds the freed
+    /// bucket back: at full capacity the freed bucket is the only
+    /// candidate. Commit the delete first — a tear mid-rewrite must then
+    /// surface as "key absent" at recovery, never as a corrupted committed
+    /// value (the inherent DeletePut crash window) — and re-pop.
+    fn forced_reuse(
+        &mut self,
+        key: u64,
+        cluster: usize,
+        deferred: &mut Option<(usize, u32)>,
+    ) -> Result<(u32, bool), PnwError> {
+        let Some((label, bucket)) = deferred.take() else {
+            return Err(PnwError::Full);
+        };
+        self.durable
+            .as_mut()
+            .expect("a deferred bucket implies a durable shard")
+            .log_delete(key)?;
+        self.pool.push(label, bucket);
+        let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
+        pool.pop(cluster, || model.ranked_after_predict(scratch))
+            .ok_or(PnwError::Full)
+    }
+
+    /// Rolls back a bucket claim whose index insert failed. On a durable
+    /// shard the just-written header is cleared again so a quiescent
+    /// checkpoint's header scan never sees the unacknowledged key.
+    fn unwind_failed_insert(&mut self, addr: usize, cluster: usize, bucket: u32) {
+        if self.durable.is_some() {
+            let _ = self.dev.write(addr, &[0u8], WriteMode::Diff);
+        }
+        self.pool.push(cluster, bucket);
     }
 
     /// Executes one batch group against this engine — the one loop behind
@@ -531,7 +663,21 @@ impl ShardEngine {
     pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {
         match self.index.remove(&mut self.dev, key)? {
             Some(addr) => {
-                self.delete_bucket_only(addr)?;
+                if self.durable.is_some() {
+                    // Durable commit order: flag clear, then the WAL
+                    // record, then the bucket joins the pool — a crash
+                    // anywhere leaves the key either committed or cleanly
+                    // deleted, never half-recycled.
+                    let (label, bucket) = self.clear_bucket(addr)?;
+                    self.check_durable_write()?;
+                    self.durable
+                        .as_mut()
+                        .expect("checked durable")
+                        .log_delete(key)?;
+                    self.pool.push(label, bucket);
+                } else {
+                    self.delete_bucket_only(addr)?;
+                }
                 self.deletes += 1;
                 Ok(true)
             }
@@ -540,18 +686,25 @@ impl ShardEngine {
     }
 
     fn delete_bucket_only(&mut self, addr: u64) -> Result<(), PnwError> {
-        // Line 2: reset the flag bit (a one-bit NVM update).
+        let (label, bucket) = self.clear_bucket(addr)?;
+        self.pool.push(label, bucket);
+        Ok(())
+    }
+
+    /// Algorithm 3 minus the pool push: resets the flag bit (line 2, a
+    /// one-bit NVM update) and labels the stored content (lines 3–4) —
+    /// through the shard's reusable value buffer and prediction scratch,
+    /// so DELETE allocates nothing. The caller decides *when* the bucket
+    /// rejoins the pool (immediately for volatile shards, after the WAL
+    /// commit point for durable ones).
+    fn clear_bucket(&mut self, addr: u64) -> Result<(usize, u32), PnwError> {
         self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
-        // Lines 3–4: predict the label of the *stored content* and return
-        // the address to the pool — through the shard's reusable value
-        // buffer and prediction scratch, so DELETE allocates nothing.
         let bucket = self.bucket_of_addr(addr);
         let vaddr = self.bucket_addr(bucket) + HDR_BYTES;
         self.dev.peek_into(vaddr, &mut self.value_buf)?;
         let label = self.model.predict_into(&self.value_buf, &mut self.scratch);
-        self.pool.push(label, bucket);
         self.live -= 1;
-        Ok(())
+        Ok((label, bucket))
     }
 
     /// Pre-fills every *free* bucket's cells with values from `gen`,
@@ -678,6 +831,125 @@ impl ShardEngine {
         // and installs (the pool above is single-cluster to match).
         self.model = Arc::new(ModelSnapshot::untrained(self.cfg.value_size * 8));
         Ok(())
+    }
+
+    /// Sets the active-zone size directly (recovery: the WAL-replayed
+    /// extension state), clamped to the provisioned bucket range.
+    pub(crate) fn set_active_buckets(&mut self, n: usize) {
+        self.active_buckets = n.min(self.cfg.capacity + self.cfg.reserve_buckets);
+        self.pool.set_capacity(self.active_buckets);
+    }
+
+    /// Reconciles the data zone with the WAL-derived committed map after a
+    /// crash — the step that turns "whatever the torn device holds" into
+    /// exactly the committed state, before [`ShardEngine::recover_structures`]
+    /// rebuilds the DRAM-side structures from the repaired zone:
+    ///
+    /// 1. any valid-flagged bucket whose `(key, addr)` is *not* committed
+    ///    (a torn or unacknowledged put, or a committed delete whose flag
+    ///    clear preceded the WAL record) has its flag cleared;
+    /// 2. any committed `(key, addr)` whose flag is clear (an
+    ///    unacknowledged delete or update that tore after the flag clear)
+    ///    has its full header re-stamped — the value bytes are intact,
+    ///    because deletion only ever touches the flag byte;
+    /// 3. with an NVM-resident index, the index region (whose internal
+    ///    writes are not individually WAL-framed) is zeroed and rebuilt
+    ///    from the committed map alone.
+    pub(crate) fn repair_after_replay(
+        &mut self,
+        committed: &HashMap<u64, u64>,
+    ) -> Result<(), PnwError> {
+        for b in 0..self.active_buckets as u32 {
+            let addr = self.bucket_addr(b);
+            let hdr: [u8; HDR_BYTES] = self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
+            let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+            let valid = hdr[0] & FLAG_VALID != 0;
+            let committed_here = committed.get(&key) == Some(&(addr as u64));
+            if valid && !committed_here {
+                self.dev.write(addr, &[0u8], WriteMode::Diff)?;
+            } else if !valid && committed_here {
+                let mut fixed = [0u8; HDR_BYTES];
+                fixed[0] = FLAG_VALID;
+                fixed[8..16].copy_from_slice(&key.to_le_bytes());
+                self.dev.write(addr, &fixed, WriteMode::Diff)?;
+            }
+        }
+        if let Some(region) = self.index_region {
+            // A torn crash can leave the path-hash region mid-update;
+            // its buckets carry no CRCs, so rebuild it wholesale from the
+            // committed map.
+            self.dev
+                .write(region.start, &vec![0u8; region.len], WriteMode::Diff)?;
+            let mut idx = PathHashIndex::create(region, self.index_leaves);
+            for (&key, &addr) in committed {
+                idx.insert(&mut self.dev, key, addr)?;
+            }
+            self.index = Box::new(idx);
+        }
+        Ok(())
+    }
+
+    /// The committed `(key, address)` pairs as the data zone's headers
+    /// state them. Only meaningful at a quiescent cut on a durable shard
+    /// (no op in flight, device not crashed): then every valid-flagged
+    /// header corresponds to a WAL-acknowledged put and vice versa.
+    pub(crate) fn committed_entries(&self) -> Result<Vec<(u64, u64)>, PnwError> {
+        let mut out = Vec::with_capacity(self.live);
+        for b in 0..self.active_buckets as u32 {
+            let addr = self.bucket_addr(b);
+            let hdr = self.dev.peek(addr, HDR_BYTES)?;
+            if hdr[0] & FLAG_VALID != 0 {
+                out.push((
+                    u64::from_le_bytes(hdr[8..16].try_into().unwrap()),
+                    addr as u64,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Collects this shard's checkpoint contribution at a quiescent cut.
+    pub(crate) fn checkpoint_state(&self) -> Result<crate::durable::ShardCheckpoint, PnwError> {
+        Ok(crate::durable::ShardCheckpoint {
+            active: self.active_buckets as u64,
+            entries: self.committed_entries()?,
+            stats: self.dev.stats().clone(),
+            word_writes: self.dev.wear().word_writes().to_vec(),
+            bit_flips: self.dev.wear().bit_flips().map(<[u16]>::to_vec),
+        })
+    }
+
+    /// Restores checkpointed device counters after recovery repair (last,
+    /// so the repair's own writes do not perturb the restored values).
+    pub(crate) fn restore_device_counters(
+        &mut self,
+        stats: DeviceStats,
+        word_writes: &[u32],
+        bit_flips: Option<&[u16]>,
+    ) {
+        self.dev.restore_stats(stats);
+        if !word_writes.is_empty() {
+            self.dev.restore_wear(word_writes, bit_flips);
+        }
+    }
+
+    /// Attaches the WAL appender that makes this shard durable.
+    pub(crate) fn attach_durable(&mut self, d: DurableShard) {
+        self.durable = Some(d);
+    }
+
+    /// Flushes the device's backing file; refuses on a crashed device (a
+    /// checkpoint must never be cut from post-crash state).
+    pub(crate) fn sync_device(&self) -> Result<(), PnwError> {
+        if self.dev.is_crashed() {
+            return Err(NvmError::Crashed.into());
+        }
+        Ok(self.dev.sync()?)
+    }
+
+    /// Arms a torn write on this shard's device (test hook).
+    pub(crate) fn arm_torn_write(&mut self, words: usize) {
+        self.dev.arm_torn_write(words);
     }
 
     /// Point-in-time metrics snapshot; the trainer-owned fields come from

@@ -43,7 +43,8 @@ use std::time::Duration;
 use pnw_nvm_sim::{DeviceStats, WearCdf};
 
 use crate::api::{Batch, BatchReport, Store};
-use crate::config::{PnwConfig, RetrainMode};
+use crate::config::{BackingMode, PnwConfig, RetrainMode};
+use crate::durable::{geometry_hash, DurableStore, ShardCheckpoint};
 use crate::error::{PnwError, StoreError};
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
@@ -67,6 +68,12 @@ pub struct ShardedPnwStore {
     /// stampede. In [`RetrainMode::Background`] it stays set until the
     /// trained model installs.
     maintenance: AtomicBool,
+    /// The durable metadata controller when the store is file-backed
+    /// (superblock, per-shard WALs, checkpoints). `None` on volatile
+    /// stores. Locked only at checkpoint boundaries; the per-op WAL
+    /// appends go through each shard's own [`DurableShard`]
+    /// (crate::durable) handle under that shard's write lock.
+    durable: Option<Mutex<DurableStore>>,
 }
 
 /// splitmix64 finalizer — the shard router. Independent of both index hash
@@ -94,15 +101,13 @@ impl ShardedPnwStore {
         let cfg = cfg
             .build()
             .unwrap_or_else(|e| panic!("invalid PnwConfig: {e}"));
+        assert!(
+            matches!(cfg.backing, BackingMode::Volatile),
+            "file-backed stores must be created with ShardedPnwStore::open"
+        );
         let n = cfg.shards.max(1).min(cfg.capacity.max(1));
         let shards = (0..n)
-            .map(|i| {
-                let mut shard_cfg = cfg.clone();
-                shard_cfg.capacity = split(cfg.capacity, n, i);
-                shard_cfg.reserve_buckets = split(cfg.reserve_buckets, n, i);
-                shard_cfg.shards = 1;
-                RwLock::new(ShardEngine::new(shard_cfg))
-            })
+            .map(|i| RwLock::new(ShardEngine::new(shard_config(&cfg, n, i))))
             .collect();
         let trainer = Mutex::new(ModelManager::new(&cfg));
         ShardedPnwStore {
@@ -111,6 +116,111 @@ impl ShardedPnwStore {
             trainer,
             model_ready: Arc::new(AtomicBool::new(false)),
             maintenance: AtomicBool::new(false),
+            durable: None,
+        }
+    }
+
+    /// Opens a store according to `cfg.backing`.
+    ///
+    /// * [`BackingMode::Volatile`] — equivalent to [`ShardedPnwStore::new`]
+    ///   but non-panicking on invalid configs.
+    /// * [`BackingMode::File`] — opens (or initializes) the durable
+    ///   directory. Each shard gets its own backing file and WAL; one
+    ///   superblock/checkpoint pair covers them all, so a checkpoint is
+    ///   atomic across shards. Recovery replays every shard's WAL over the
+    ///   last checkpoint and repairs each shard's data zone to exactly its
+    ///   committed key set.
+    pub fn open(cfg: PnwConfig) -> Result<Self, StoreError> {
+        let cfg = cfg.build()?;
+        let BackingMode::File(dir) = cfg.backing.clone() else {
+            return Ok(ShardedPnwStore::new(cfg));
+        };
+        let n = cfg.shards.max(1).min(cfg.capacity.max(1));
+        let initial = (0..n)
+            .map(|i| ShardCheckpoint::fresh(split(cfg.capacity, n, i) as u64))
+            .collect();
+        let (durable, recovered, fresh) =
+            DurableStore::open(&dir, geometry_hash(&cfg, n), initial)?;
+        let mut shards = Vec::with_capacity(n);
+        for (i, rec) in recovered.into_iter().enumerate() {
+            let mut engine =
+                ShardEngine::open_file(shard_config(&cfg, n, i), durable.data_path(i))?;
+            engine.set_active_buckets(rec.active as usize);
+            engine.repair_after_replay(&rec.committed)?;
+            engine.recover_structures()?;
+            // Counters restore last so the repair's own writes don't
+            // perturb the checkpointed values.
+            engine.restore_device_counters(rec.stats, &rec.word_writes, rec.bit_flips.as_deref());
+            engine.attach_durable(durable.wal_appender(i)?);
+            shards.push(RwLock::new(engine));
+        }
+        let trainer = Mutex::new(ModelManager::new(&cfg));
+        let store = ShardedPnwStore {
+            cfg,
+            shards,
+            trainer,
+            model_ready: Arc::new(AtomicBool::new(false)),
+            maintenance: AtomicBool::new(false),
+            durable: Some(Mutex::new(durable)),
+        };
+        if !fresh && !store.is_empty() {
+            // The model is DRAM-resident and died with the process;
+            // reconstruct it from the recovered data zones (§V-A.1).
+            store.retrain_now()?;
+        }
+        Ok(store)
+    }
+
+    /// Cuts a durable checkpoint: quiesces writers by holding every
+    /// shard's read lock, flushes each device backing, snapshots the
+    /// committed state of all shards and runs the write-new → fsync →
+    /// rename → superblock-bump protocol once for the whole store. Every
+    /// shard WAL is truncated afterwards. No-op on a volatile store.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let mut durable = durable.lock().unwrap();
+        // Shard read locks taken in index order (writers hold the write
+        // lock, so this is a cross-shard quiescent point).
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read().unwrap()).collect();
+        let mut states = Vec::with_capacity(guards.len());
+        for g in &guards {
+            g.sync_device()?;
+            states.push(g.checkpoint_state()?);
+        }
+        durable.checkpoint(&states)
+    }
+
+    /// Closes the store cleanly: cuts a final checkpoint (on a durable
+    /// store) and drops it.
+    pub fn close(self) -> Result<(), StoreError> {
+        self.checkpoint()
+    }
+
+    /// Whether this store persists to a file backing.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The shard a key routes to — lets crash tests aim
+    /// [`ShardedPnwStore::arm_torn_write`] at the right shard.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        self.shard_of(key)
+    }
+
+    /// Arms a torn write on one shard's device: that shard's next
+    /// data-zone write persists only `words` whole words and the device
+    /// crashes (test hook for crash-consistency scenarios).
+    pub fn arm_torn_write(&self, shard: usize, words: usize) {
+        self.shards[shard].write().unwrap().arm_torn_write(words);
+    }
+
+    /// Arms a deterministic metadata tear (superblock / WAL / checkpoint)
+    /// on a durable store; no-op on a volatile one (test hook).
+    pub fn arm_meta_tear(&self, tear: pnw_nvm_sim::MetaTear) {
+        if let Some(d) = &self.durable {
+            d.lock().unwrap().arm_meta_tear(tear);
         }
     }
 
@@ -512,6 +622,19 @@ fn split(total: usize, parts: usize, i: usize) -> usize {
     total / parts + usize::from(i < total % parts)
 }
 
+/// The per-shard view of the whole-store configuration: capacity and
+/// reserve split as evenly as possible, one logical shard, always
+/// volatile (file-backed shards get their device files through
+/// [`ShardEngine::open_file`], not through the config).
+fn shard_config(cfg: &PnwConfig, n: usize, i: usize) -> PnwConfig {
+    let mut shard_cfg = cfg.clone();
+    shard_cfg.capacity = split(cfg.capacity, n, i);
+    shard_cfg.reserve_buckets = split(cfg.reserve_buckets, n, i);
+    shard_cfg.shards = 1;
+    shard_cfg.backing = BackingMode::Volatile;
+    shard_cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +885,34 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.len(), 3 * 64);
+    }
+
+    #[test]
+    fn durable_sharded_store_round_trips_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pnw_sharded_{}_rt", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = PnwConfig::new(64, 8)
+            .with_clusters(2)
+            .with_shards(4)
+            .with_seed(7);
+        {
+            let s = ShardedPnwStore::open(cfg.clone().with_path(&dir)).unwrap();
+            assert!(s.is_durable());
+            assert_eq!(s.shard_count(), 4);
+            for k in 0..32u64 {
+                s.put(k, &(k * 5).to_le_bytes()).unwrap();
+            }
+            assert!(s.delete(7).unwrap());
+            s.close().unwrap();
+        }
+        let s = ShardedPnwStore::open(cfg.with_path(&dir)).unwrap();
+        assert_eq!(s.len(), 31);
+        assert_eq!(s.get(7).unwrap(), None);
+        for k in (0..32u64).filter(|&k| k != 7) {
+            assert_eq!(s.get(k).unwrap().unwrap(), (k * 5).to_le_bytes());
+        }
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::time::Duration;
 use pnw_nvm_sim::{DeviceStats, LatencyModel, WearCdf};
 
 use crate::api::{Batch, BatchReport, Store};
-use crate::config::{PnwConfig, RetrainMode};
+use crate::config::{BackingMode, PnwConfig, RetrainMode};
+use crate::durable::{geometry_hash, DurableStore, ShardCheckpoint};
 use crate::error::StoreError;
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
@@ -35,6 +36,9 @@ use crate::shard::{PutPath, ShardEngine};
 struct Inner {
     engine: ShardEngine,
     model: ModelManager,
+    /// The durable metadata controller when the store is file-backed;
+    /// `None` for volatile stores.
+    durable: Option<DurableStore>,
 }
 
 impl Inner {
@@ -127,18 +131,111 @@ impl PnwStore {
     ///
     /// Panics with the [`ConfigError`](crate::ConfigError) message when
     /// `cfg` fails [`PnwConfig::validate`] — use [`PnwConfig::build`]
-    /// first to handle invalid configurations as values.
+    /// first to handle invalid configurations as values — and when `cfg`
+    /// asks for a file backing (durable stores go through
+    /// [`PnwStore::open`], which can report I/O and corruption errors).
     pub fn new(cfg: PnwConfig) -> Self {
         let cfg = cfg
             .build()
             .unwrap_or_else(|e| panic!("invalid PnwConfig: {e}"));
+        assert!(
+            matches!(cfg.backing, BackingMode::Volatile),
+            "file-backed stores must be created with PnwStore::open"
+        );
         let model = ModelManager::new(&cfg);
         PnwStore {
             cfg: cfg.clone(),
             inner: RwLock::new(Inner {
                 engine: ShardEngine::new(cfg),
                 model,
+                durable: None,
             }),
+        }
+    }
+
+    /// Opens a store according to `cfg.backing`.
+    ///
+    /// * [`BackingMode::Volatile`] — equivalent to [`PnwStore::new`] but
+    ///   non-panicking on invalid configs.
+    /// * [`BackingMode::File`] — opens (or initializes) the durable
+    ///   directory: the device's cell array is loaded from its
+    ///   write-through backing file, the last checkpoint plus the WAL
+    ///   suffix determine the committed key set, the data zone is repaired
+    ///   to exactly that set, and the DRAM-side structures (index if
+    ///   DRAM-resident, pool, model) are rebuilt from it. Every committed
+    ///   operation is served bit-for-bit; no unacknowledged key survives.
+    pub fn open(cfg: PnwConfig) -> Result<Self, StoreError> {
+        let cfg = cfg.build()?;
+        let BackingMode::File(dir) = cfg.backing.clone() else {
+            return Ok(PnwStore::new(cfg));
+        };
+        let initial = vec![ShardCheckpoint::fresh(cfg.capacity as u64)];
+        let (durable, mut recovered, fresh) =
+            DurableStore::open(&dir, geometry_hash(&cfg, 1), initial)?;
+        let rec = recovered.remove(0);
+        let mut engine = ShardEngine::open_file(cfg.clone(), durable.data_path(0))?;
+        engine.set_active_buckets(rec.active as usize);
+        engine.repair_after_replay(&rec.committed)?;
+        engine.recover_structures()?;
+        // Counters restore last so the repair's own writes don't perturb
+        // the checkpointed values.
+        engine.restore_device_counters(rec.stats, &rec.word_writes, rec.bit_flips.as_deref());
+        engine.attach_durable(durable.wal_appender(0)?);
+        let model = ModelManager::new(&cfg);
+        let store = PnwStore {
+            cfg,
+            inner: RwLock::new(Inner {
+                engine,
+                model,
+                durable: Some(durable),
+            }),
+        };
+        if !fresh && !store.is_empty() {
+            // The model is DRAM-resident and died with the process;
+            // reconstruct it from the recovered data zone (§V-A.1).
+            store.retrain_now()?;
+        }
+        Ok(store)
+    }
+
+    /// Cuts a durable checkpoint: flushes the device backing, snapshots
+    /// the committed state and runs the write-new → fsync → rename →
+    /// superblock-bump protocol. The WAL is truncated afterwards, so
+    /// recovery cost resets to zero. No-op on a volatile store.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let inner = &mut *self.inner.write().unwrap();
+        let Some(durable) = inner.durable.as_mut() else {
+            return Ok(());
+        };
+        inner.engine.sync_device()?;
+        let state = inner.engine.checkpoint_state()?;
+        durable.checkpoint(&[state])
+    }
+
+    /// Closes the store cleanly: cuts a final checkpoint (on a durable
+    /// store) and drops it. Equivalent to `checkpoint()` + drop, named so
+    /// call sites read as a lifecycle.
+    pub fn close(self) -> Result<(), StoreError> {
+        self.checkpoint()
+    }
+
+    /// Whether this store persists to a file backing.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().unwrap().durable.is_some()
+    }
+
+    /// Arms a torn write on the underlying device: the next data-zone
+    /// write persists only `words` whole words and the device crashes
+    /// (test hook for crash-consistency scenarios).
+    pub fn arm_torn_write(&self, words: usize) {
+        self.inner.write().unwrap().engine.arm_torn_write(words);
+    }
+
+    /// Arms a deterministic metadata tear (superblock / WAL / checkpoint)
+    /// on a durable store; no-op on a volatile one (test hook).
+    pub fn arm_meta_tear(&self, tear: pnw_nvm_sim::MetaTear) {
+        if let Some(d) = &self.inner.read().unwrap().durable {
+            d.arm_meta_tear(tear);
         }
     }
 
@@ -163,6 +260,7 @@ impl PnwStore {
             inner: RwLock::new(Inner {
                 engine: ShardEngine::with_device(cfg, Some(image)),
                 model,
+                durable: None,
             }),
         };
         store.crash_and_recover()?;
@@ -455,6 +553,41 @@ mod tests {
                 .with_clusters(k)
                 .with_seed(7),
         )
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pnw_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let cfg = PnwConfig::new(64, 8).with_clusters(2).with_seed(7);
+        {
+            let s = PnwStore::open(cfg.clone().with_path(&dir)).unwrap();
+            assert!(s.is_durable());
+            for k in 0..20u64 {
+                s.put(k, &(k * 3).to_le_bytes()).unwrap();
+            }
+            assert!(s.delete(4).unwrap());
+            s.close().unwrap();
+        }
+        let s = PnwStore::open(cfg.with_path(&dir)).unwrap();
+        assert_eq!(s.len(), 19);
+        assert_eq!(s.get(4).unwrap(), None);
+        for k in (0..20u64).filter(|&k| k != 4) {
+            assert_eq!(s.get(k).unwrap().unwrap(), (k * 3).to_le_bytes());
+        }
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "PnwStore::open")]
+    fn new_rejects_file_backing() {
+        let _ = PnwStore::new(PnwConfig::new(16, 8).with_path(temp_dir("reject")));
     }
 
     #[test]

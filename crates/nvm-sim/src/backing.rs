@@ -1,0 +1,140 @@
+//! The device-backing seam: where the emulated NVM array's bytes live.
+//!
+//! [`DeviceBacking::Volatile`] is the historical device — a DRAM `Vec`
+//! that vanishes with the process, which is exactly right for figure
+//! harnesses and unit tests. [`DeviceBacking::File`] gives the same
+//! device a durable life: the in-DRAM image stays the read path (peeks
+//! and diffs never touch the filesystem), and every mutated word range is
+//! written through to a backing file, so what the file holds after a kill
+//! is precisely what the emulated cell array held — including the
+//! truncated prefix of a torn write, because fault injection cuts the
+//! payload *before* both the image update and the flush.
+//!
+//! `WriteMode::Diff` maps dirty-*word* tracking onto flushed word ranges:
+//! the write loop already knows which words changed, and only those
+//! coalesced runs hit the file. A `Raw` write programs (and flushes) the
+//! whole range, exactly as it charges the whole range.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::device::NvmError;
+
+/// Where a device's cell array is backed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DeviceBacking {
+    /// DRAM only — today's behavior, nothing survives the process.
+    #[default]
+    Volatile,
+    /// Write-through to a file at this path: the file always mirrors the
+    /// persisted cell array, byte for byte.
+    File(PathBuf),
+}
+
+/// An open write-through backing file. Cloning shares the handle (the
+/// device itself is `Clone`; clones write through to the same file).
+#[derive(Debug, Clone)]
+pub struct FileBacking {
+    file: Arc<File>,
+}
+
+/// Maps an I/O failure into the device error space, keeping the kind.
+pub(crate) fn io_err(e: io::Error) -> NvmError {
+    NvmError::Io(e.kind())
+}
+
+impl FileBacking {
+    /// Opens (or creates) the backing file for a device of `size` bytes
+    /// and returns the handle plus the initial cell image:
+    ///
+    /// * a missing or empty file is sized to `size` and reads as zeroed
+    ///   cells (freshly manufactured PCM);
+    /// * a file of exactly `size` bytes is loaded as the persisted image;
+    /// * any other length is a geometry mismatch and is rejected.
+    pub fn open(path: &Path, size: usize) -> Result<(Self, Vec<u8>), NvmError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let image = if len == 0 {
+            file.set_len(size as u64).map_err(io_err)?;
+            vec![0u8; size]
+        } else if len == size as u64 {
+            let mut image = vec![0u8; size];
+            file.read_exact_at(&mut image, 0).map_err(io_err)?;
+            image
+        } else {
+            return Err(NvmError::Io(io::ErrorKind::InvalidData));
+        };
+        Ok((
+            FileBacking {
+                file: Arc::new(file),
+            },
+            image,
+        ))
+    }
+
+    /// Writes `bytes` through at absolute device offset `addr`.
+    pub fn write_range(&self, addr: usize, bytes: &[u8]) -> Result<(), NvmError> {
+        self.file.write_all_at(bytes, addr as u64).map_err(io_err)
+    }
+
+    /// Flushes file contents and metadata to stable storage.
+    pub fn sync(&self) -> Result<(), NvmError> {
+        self.file.sync_all().map_err(io_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pnw_backing_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_file_is_zeroed_and_sized() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (b, image) = FileBacking::open(&path, 128).unwrap();
+        assert_eq!(image, vec![0u8; 128]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 128);
+        b.sync().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_returns_persisted_bytes() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (b, _) = FileBacking::open(&path, 64).unwrap();
+            b.write_range(8, b"durable!").unwrap();
+            b.sync().unwrap();
+        }
+        let (_, image) = FileBacking::open(&path, 64).unwrap();
+        assert_eq!(&image[8..16], b"durable!");
+        assert_eq!(&image[..8], &[0u8; 8]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let path = tmp("mismatch");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, [0u8; 10]).unwrap();
+        assert!(matches!(
+            FileBacking::open(&path, 64),
+            Err(NvmError::Io(io::ErrorKind::InvalidData))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,6 +15,7 @@
 //!   (PNW Algorithm 2, lines 5–6: *"for each bit in {D} and {D'}: if they
 //!   differ, update memory bit"*).
 
+use crate::backing::{DeviceBacking, FileBacking};
 use crate::fault::{FaultConfig, FaultState};
 use crate::geometry::Geometry;
 use crate::latency::LatencyModel;
@@ -35,6 +36,9 @@ pub enum NvmError {
     },
     /// The device is in a crashed state and rejects new operations.
     Crashed,
+    /// A file-backed operation failed in the filesystem (the `ErrorKind`
+    /// is carried so the error stays `Clone + PartialEq`).
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for NvmError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for NvmError {
                 addr + len
             ),
             NvmError::Crashed => write!(f, "device is in crashed state"),
+            NvmError::Io(kind) => write!(f, "backing-file I/O error: {kind}"),
         }
     }
 }
@@ -75,6 +80,10 @@ pub struct NvmConfig {
     pub latency: LatencyModel,
     /// Fault-injection settings.
     pub fault: FaultConfig,
+    /// Where the cell array lives (DRAM only, or written through to a
+    /// file). File-backed devices must be created with
+    /// [`NvmDevice::open`].
+    pub backing: DeviceBacking,
 }
 
 impl Default for NvmConfig {
@@ -85,6 +94,7 @@ impl Default for NvmConfig {
             track_bit_wear: false,
             latency: LatencyModel::xpoint(),
             fault: FaultConfig::default(),
+            backing: DeviceBacking::Volatile,
         }
     }
 }
@@ -113,9 +123,17 @@ impl NvmConfig {
         self.latency = m;
         self
     }
+
+    /// Sets the backing (pair with [`NvmDevice::open`] for
+    /// [`DeviceBacking::File`]).
+    pub fn with_backing(mut self, b: DeviceBacking) -> Self {
+        self.backing = b;
+        self
+    }
 }
 
-/// A DRAM-backed emulated NVM device.
+/// An emulated NVM device: a DRAM image as the read path, optionally
+/// written through to a backing file (see [`DeviceBacking`]).
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
     data: Vec<u8>,
@@ -124,11 +142,21 @@ pub struct NvmDevice {
     stats: DeviceStats,
     wear: WearTracker,
     fault: FaultState,
+    backing: Option<FileBacking>,
 }
 
 impl NvmDevice {
-    /// Creates a device, zero-initialized (freshly manufactured PCM cells).
+    /// Creates a volatile device, zero-initialized (freshly manufactured
+    /// PCM cells).
+    ///
+    /// # Panics
+    /// Panics if `cfg.backing` is [`DeviceBacking::File`] — file-backed
+    /// devices are created with the fallible [`NvmDevice::open`].
     pub fn new(cfg: NvmConfig) -> Self {
+        assert!(
+            cfg.backing == DeviceBacking::Volatile,
+            "file-backed devices must be created with NvmDevice::open"
+        );
         NvmDevice {
             data: vec![0; cfg.size],
             geometry: cfg.geometry,
@@ -136,7 +164,61 @@ impl NvmDevice {
             stats: DeviceStats::default(),
             wear: WearTracker::new(cfg.size, cfg.geometry.word_bytes, cfg.track_bit_wear),
             fault: FaultState::new(cfg.fault),
+            backing: None,
         }
+    }
+
+    /// Creates a device honoring `cfg.backing`: [`DeviceBacking::Volatile`]
+    /// behaves exactly like [`NvmDevice::new`]; [`DeviceBacking::File`]
+    /// opens (or creates) the backing file — an existing file of the
+    /// configured size is loaded as the persisted cell image, so reopening
+    /// after a kill resumes from precisely what the last flushed write
+    /// left behind. Session counters (stats, wear, fault state) always
+    /// start fresh; a durable caller restores them from its checkpoint via
+    /// [`NvmDevice::restore_stats`] / [`NvmDevice::restore_wear`].
+    pub fn open(cfg: NvmConfig) -> Result<Self, NvmError> {
+        let (backing, data) = match &cfg.backing {
+            DeviceBacking::Volatile => (None, vec![0; cfg.size]),
+            DeviceBacking::File(path) => {
+                let (b, image) = FileBacking::open(path, cfg.size)?;
+                (Some(b), image)
+            }
+        };
+        Ok(NvmDevice {
+            data,
+            geometry: cfg.geometry,
+            latency: cfg.latency,
+            stats: DeviceStats::default(),
+            wear: WearTracker::new(cfg.size, cfg.geometry.word_bytes, cfg.track_bit_wear),
+            fault: FaultState::new(cfg.fault),
+            backing,
+        })
+    }
+
+    /// Whether this device writes through to a backing file.
+    pub fn is_file_backed(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// Flushes the backing file (if any) to stable storage.
+    pub fn sync(&self) -> Result<(), NvmError> {
+        match &self.backing {
+            Some(b) => b.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Overwrites the cumulative statistics — used by recovery to restore
+    /// counters from a checkpoint so wear/traffic CDFs survive a restart.
+    pub fn restore_stats(&mut self, stats: DeviceStats) {
+        self.stats = stats;
+    }
+
+    /// Overwrites the wear counters from checkpointed values (see
+    /// [`WearTracker::restore`]). Bit counters are restored only when this
+    /// device tracks bits *and* the checkpoint carried them.
+    pub fn restore_wear(&mut self, word_writes: &[u32], bit_flips: Option<&[u16]>) {
+        self.wear.restore(word_writes, bit_flips);
     }
 
     /// Device capacity in bytes.
@@ -237,6 +319,9 @@ impl NvmDevice {
         let mut dirty_words = 0u64;
         let mut last_dirty_line = usize::MAX;
         let mut dirty_lines = 0u64;
+        // The coalesced dirty run currently being flushed through to the
+        // backing file (Diff mode flushes exactly the words that changed).
+        let mut flush_run: Option<(usize, usize)> = None;
 
         for (widx, range) in self.geometry.words_in(addr, new.len()) {
             let off = range.start - addr;
@@ -270,14 +355,43 @@ impl NvmDevice {
                     dirty_lines += 1;
                     last_dirty_line = line;
                 }
+                if self.backing.is_some() {
+                    flush_run = match flush_run {
+                        Some((start, end)) if end == range.start => Some((start, range.end)),
+                        Some(run) => {
+                            Self::flush_range(self.backing.as_ref(), &self.data, run)?;
+                            Some((range.start, range.end))
+                        }
+                        None => Some((range.start, range.end)),
+                    };
+                }
             }
             self.data[range.clone()].copy_from_slice(new_chunk);
+        }
+        if let Some(run) = flush_run {
+            Self::flush_range(self.backing.as_ref(), &self.data, run)?;
         }
 
         s.words_written = dirty_words;
         s.lines_written = dirty_lines;
         self.stats.record_write(&s);
         Ok(s)
+    }
+
+    /// Writes the image bytes of `[start, end)` through to the backing
+    /// file. Called after the run's image bytes are updated (runs are
+    /// flushed once the *next* dirty word is non-adjacent, by which point
+    /// every byte of the run has been copied into the image — except the
+    /// final run, flushed after the loop).
+    fn flush_range(
+        backing: Option<&FileBacking>,
+        data: &[u8],
+        (start, end): (usize, usize),
+    ) -> Result<(), NvmError> {
+        match backing {
+            Some(b) => b.write_range(start, &data[start..end]),
+            None => Ok(()),
+        }
     }
 
     /// Computes what a [`WriteMode::Diff`] write of `new` at `addr` *would*
@@ -724,5 +838,94 @@ mod tests {
         assert_eq!(d.stats().read_ops, 0);
         d.read(0, 8).unwrap();
         assert_eq!(d.stats().read_ops, 1);
+    }
+
+    fn file_cfg(name: &str, size: usize) -> (NvmConfig, std::path::PathBuf) {
+        let path = std::env::temp_dir().join(format!("pnw_dev_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = NvmConfig::default()
+            .with_size(size)
+            .with_backing(DeviceBacking::File(path.clone()));
+        (cfg, path)
+    }
+
+    #[test]
+    fn file_backed_write_through_roundtrip() {
+        let (cfg, path) = file_cfg("roundtrip", 256);
+        {
+            let mut d = NvmDevice::open(cfg.clone()).unwrap();
+            assert!(d.is_file_backed());
+            d.write(16, b"survives the kill", WriteMode::Diff).unwrap();
+            d.write(64, &[0xC3u8; 8], WriteMode::Raw).unwrap();
+            d.sync().unwrap();
+            // No close/drop hook: write-through means the file is already
+            // up to date when the process dies here.
+        }
+        let d2 = NvmDevice::open(cfg).unwrap();
+        assert_eq!(d2.peek(16, 17).unwrap(), b"survives the kill");
+        assert_eq!(d2.peek(64, 8).unwrap(), &[0xC3u8; 8]);
+        assert_eq!(d2.peek(0, 16).unwrap(), &[0u8; 16]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_backed_diff_flushes_only_dirty_words() {
+        let (cfg, path) = file_cfg("diffdirty", 256);
+        {
+            let mut d = NvmDevice::open(cfg.clone()).unwrap();
+            d.write(0, &[0x11u8; 64], WriteMode::Raw).unwrap();
+            // Dirty two non-adjacent words: the flush must coalesce runs
+            // correctly and still land both in the file.
+            let mut new = [0x11u8; 64];
+            new[0] = 0xFF;
+            new[40] = 0x00;
+            let s = d.write(0, &new, WriteMode::Diff).unwrap();
+            assert_eq!(s.words_written, 2);
+        }
+        let d2 = NvmDevice::open(cfg).unwrap();
+        assert_eq!(d2.peek(0, 1).unwrap(), &[0xFF]);
+        assert_eq!(d2.peek(40, 1).unwrap(), &[0x00]);
+        assert_eq!(d2.peek(1, 39).unwrap(), &[0x11u8; 39]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_backed_torn_write_persists_prefix_only() {
+        let (cfg, path) = file_cfg("torn", 256);
+        {
+            let mut d = NvmDevice::open(cfg.clone()).unwrap();
+            d.arm_torn_write(1); // only the first 8-byte word persists
+            d.write(32, &[0xABu8; 24], WriteMode::Raw).unwrap();
+            assert!(d.is_crashed());
+            // Process dies here without recovery — the file must hold
+            // exactly the torn prefix.
+        }
+        let d2 = NvmDevice::open(cfg).unwrap();
+        assert_eq!(d2.peek(32, 8).unwrap(), &[0xABu8; 8]);
+        assert_eq!(d2.peek(40, 16).unwrap(), &[0u8; 16]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn restore_counters_round_trip() {
+        let mut d = NvmDevice::new(NvmConfig::default().with_size(64).with_bit_wear(true));
+        d.write(0, &[0xFFu8; 16], WriteMode::Raw).unwrap();
+        let stats = d.stats().clone();
+        let words = d.wear().word_writes().to_vec();
+        let bits = d.wear().bit_flips().unwrap().to_vec();
+
+        let mut d2 = NvmDevice::new(NvmConfig::default().with_size(64).with_bit_wear(true));
+        d2.restore_stats(stats.clone());
+        d2.restore_wear(&words, Some(&bits));
+        assert_eq!(d2.stats(), &stats);
+        assert_eq!(d2.wear().word_writes(), words.as_slice());
+        assert_eq!(d2.wear().bit_flips().unwrap(), bits.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "file-backed devices must be created with NvmDevice::open")]
+    fn new_rejects_file_backing() {
+        let (cfg, _path) = file_cfg("newpanic", 64);
+        let _ = NvmDevice::new(cfg);
     }
 }

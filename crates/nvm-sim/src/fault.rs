@@ -1,14 +1,20 @@
 //! Crash and torn-write fault injection.
 //!
 //! NVM stores must be failure-atomic (§I discusses logging/shadowing
-//! overheads). The stores in this reproduction are tested against two fault
-//! models:
+//! overheads). The stores in this reproduction are tested against three
+//! fault models:
 //!
 //! * **power failure** between operations ([`FaultState::crash`]) — the
 //!   device retains everything persisted so far and rejects further I/O;
 //! * **torn write** ([`FaultState::arm_torn`]) — a crash *during* a write:
 //!   only a prefix of the payload's words reaches the array (PCM programs at
-//!   word granularity, so word-aligned tearing is the realistic model).
+//!   word granularity, so word-aligned tearing is the realistic model);
+//! * **torn metadata write** ([`FaultState::arm_meta_tear`]) — the same
+//!   mid-write crash landing in one of the durability layer's *files*
+//!   instead of the cell array: a superblock replica, a WAL record frame,
+//!   or a checkpoint body. File writes tear at byte granularity (there is
+//!   no word-programming hardware under a filesystem), which is the
+//!   harsher model — recovery must survive a frame cut at any byte.
 
 /// Static fault-injection configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,12 +25,57 @@ pub struct FaultConfig {
     pub tear_write_at: Option<(u64, usize)>,
 }
 
-/// Mutable fault state carried by a device.
+/// Which durable *file* a metadata write targets — the three write sites
+/// of the durability layer, each with its own recovery obligation:
+///
+/// * a torn [`MetaTarget::Superblock`] replica must lose the election to
+///   the other (CRC-valid) replica;
+/// * a torn [`MetaTarget::Wal`] record must end replay exactly at the
+///   previous record (the op it framed was never acknowledged);
+/// * a torn [`MetaTarget::Checkpoint`] body must fail its CRC and leave
+///   the superblock pointing at the previous checkpoint epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaTarget {
+    /// One of the two replicated superblock slots.
+    Superblock,
+    /// An append-only write-ahead-log record frame.
+    Wal,
+    /// A checkpoint body (written to a temporary file before rename).
+    Checkpoint,
+}
+
+impl MetaTarget {
+    fn index(self) -> usize {
+        match self {
+            MetaTarget::Superblock => 0,
+            MetaTarget::Wal => 1,
+            MetaTarget::Checkpoint => 2,
+        }
+    }
+}
+
+/// An armed metadata tear: the `(skip + 1)`-th write to `target` persists
+/// only `keep_bytes` of its payload, then the state crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaTear {
+    /// Which file kind the tear lands in.
+    pub target: MetaTarget,
+    /// How many writes to that target pass through untouched first.
+    pub skip: u64,
+    /// Bytes of the torn write's payload that reach the file.
+    pub keep_bytes: usize,
+}
+
+/// Mutable fault state carried by a device (and, via a shared handle, by
+/// the durability layer's metadata writers).
 #[derive(Debug, Clone)]
 pub struct FaultState {
     crashed: bool,
     armed_torn_words: Option<usize>,
+    armed_meta: Option<MetaTear>,
     writes_seen: u64,
+    /// Per-target metadata write counters, indexed by [`MetaTarget::index`].
+    meta_writes_seen: [u64; 3],
     cfg: FaultConfig,
 }
 
@@ -34,7 +85,9 @@ impl FaultState {
         FaultState {
             crashed: false,
             armed_torn_words: None,
+            armed_meta: None,
             writes_seen: 0,
+            meta_writes_seen: [0; 3],
             cfg,
         }
     }
@@ -60,6 +113,12 @@ impl FaultState {
         self.armed_torn_words = Some(words);
     }
 
+    /// Arms a metadata tear (see [`MetaTear`]). Replaces any previously
+    /// armed metadata tear.
+    pub fn arm_meta_tear(&mut self, tear: MetaTear) {
+        self.armed_meta = Some(tear);
+    }
+
     /// Called by the device at the start of each write with the payload
     /// length. Returns `Some(truncated_len)` if this write tears (the device
     /// then also crashes), or `None` for a normal write.
@@ -72,6 +131,46 @@ impl FaultState {
         let words = self.armed_torn_words.take().or(scheduled)?;
         self.crashed = true;
         Some((words * word_bytes).min(len))
+    }
+
+    /// Called by a durability-layer writer before persisting `len` bytes to
+    /// a `target` file. Returns:
+    ///
+    /// * `Err(NvmError::Crashed)` — the state is already crashed; nothing
+    ///   may be written;
+    /// * `Ok(None)` — a normal write: persist all `len` bytes;
+    /// * `Ok(Some(k))` — this write tears: persist only the first `k`
+    ///   bytes, then the state crashes (subsequent calls return `Err`).
+    pub fn filter_meta_write(
+        &mut self,
+        target: MetaTarget,
+        len: usize,
+    ) -> Result<Option<usize>, crate::NvmError> {
+        if self.crashed {
+            return Err(crate::NvmError::Crashed);
+        }
+        self.meta_writes_seen[target.index()] += 1;
+        match self.armed_meta {
+            Some(tear) if tear.target == target => {
+                if tear.skip > 0 {
+                    self.armed_meta = Some(MetaTear {
+                        skip: tear.skip - 1,
+                        ..tear
+                    });
+                    Ok(None)
+                } else {
+                    self.armed_meta = None;
+                    self.crashed = true;
+                    Ok(Some(tear.keep_bytes.min(len)))
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Metadata writes observed for `target` so far (diagnostics/tests).
+    pub fn meta_writes_seen(&self, target: MetaTarget) -> u64 {
+        self.meta_writes_seen[target.index()]
     }
 }
 
@@ -114,5 +213,77 @@ mod tests {
         assert_eq!(f.arm_write(64, 8), None);
         assert_eq!(f.arm_write(64, 8), Some(8));
         assert!(f.is_crashed());
+    }
+
+    /// The config-scheduled tear observed end-to-end at the *device* level:
+    /// a device built with `tear_write_at: Some((n, w))` serves `n` whole
+    /// writes, tears the `n`-th at `w` words, and lands in the crashed
+    /// state — the long-unused config knob proven against
+    /// [`crate::NvmDevice`] itself, not just the state machine.
+    #[test]
+    fn scheduled_tear_fires_on_nth_device_write() {
+        use crate::{NvmConfig, NvmDevice, NvmError, WriteMode};
+
+        let mut cfg = NvmConfig::default().with_size(256);
+        cfg.fault = FaultConfig {
+            tear_write_at: Some((2, 1)),
+        };
+        let mut d = NvmDevice::open(cfg).unwrap();
+
+        // Writes 0 and 1 persist fully.
+        d.write(0, &[0x11u8; 16], WriteMode::Raw).unwrap();
+        d.write(16, &[0x22u8; 16], WriteMode::Raw).unwrap();
+        assert!(!d.is_crashed());
+
+        // Write 2 tears after one 8-byte word and crashes the device.
+        let s = d.write(32, &[0x33u8; 24], WriteMode::Raw).unwrap();
+        assert_eq!(s.words_written, 1);
+        assert_eq!(s.bits_addressed, 64, "stats cover only the torn prefix");
+        assert!(d.is_crashed());
+        assert!(matches!(
+            d.write(64, &[0u8; 8], WriteMode::Raw),
+            Err(NvmError::Crashed)
+        ));
+
+        // After restart the prefix is persisted, the tail never landed and
+        // the scheduled tear does not re-fire.
+        d.recover();
+        assert_eq!(d.peek(32, 8).unwrap(), &[0x33u8; 8]);
+        assert_eq!(d.peek(40, 16).unwrap(), &[0u8; 16]);
+        d.write(64, &[0x44u8; 8], WriteMode::Raw).unwrap();
+        assert!(!d.is_crashed());
+    }
+
+    #[test]
+    fn meta_tear_skips_then_fires_then_blocks() {
+        let mut f = FaultState::new(FaultConfig::default());
+        f.arm_meta_tear(MetaTear {
+            target: MetaTarget::Wal,
+            skip: 2,
+            keep_bytes: 5,
+        });
+        // Writes to other targets never consume the tear.
+        assert_eq!(f.filter_meta_write(MetaTarget::Superblock, 48), Ok(None));
+        assert_eq!(f.filter_meta_write(MetaTarget::Checkpoint, 100), Ok(None));
+        // Two skipped WAL writes, then the tear fires at 5 bytes.
+        assert_eq!(f.filter_meta_write(MetaTarget::Wal, 20), Ok(None));
+        assert_eq!(f.filter_meta_write(MetaTarget::Wal, 20), Ok(None));
+        assert_eq!(f.filter_meta_write(MetaTarget::Wal, 20), Ok(Some(5)));
+        assert!(f.is_crashed());
+        // Everything after the crash is refused.
+        assert_eq!(f.filter_meta_write(MetaTarget::Wal, 20), Err(crate::NvmError::Crashed));
+        assert_eq!(f.filter_meta_write(MetaTarget::Superblock, 48), Err(crate::NvmError::Crashed));
+        assert_eq!(f.meta_writes_seen(MetaTarget::Wal), 3);
+    }
+
+    #[test]
+    fn meta_tear_keep_clamps_to_payload() {
+        let mut f = FaultState::new(FaultConfig::default());
+        f.arm_meta_tear(MetaTear {
+            target: MetaTarget::Checkpoint,
+            skip: 0,
+            keep_bytes: 1_000_000,
+        });
+        assert_eq!(f.filter_meta_write(MetaTarget::Checkpoint, 64), Ok(Some(64)));
     }
 }

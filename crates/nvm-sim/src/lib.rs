@@ -23,7 +23,11 @@
 //!   latencies.
 //! * [`region`] — a bucket-array region allocator used by the stores built on
 //!   top (data zones, index zones, LSM levels).
-//! * [`fault`] — crash / torn-write injection used by the recovery tests.
+//! * [`fault`] — crash / torn-write injection used by the recovery tests,
+//!   covering the cell array *and* the durable metadata files.
+//! * [`backing`] — the [`DeviceBacking`] seam: volatile (DRAM-only) or
+//!   write-through file-backed cell arrays.
+//! * [`crc`] — the shared CRC-32 used by every durable file format.
 //!
 //! ## Example
 //!
@@ -42,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backing;
+pub mod crc;
 pub mod device;
 pub mod fault;
 pub mod geometry;
@@ -50,7 +56,10 @@ pub mod region;
 pub mod stats;
 pub mod wear;
 
+pub use backing::{DeviceBacking, FileBacking};
+pub use crc::{crc32, crc32_update};
 pub use device::{NvmConfig, NvmDevice, NvmError, WriteMode};
+pub use fault::{FaultConfig, FaultState, MetaTarget, MetaTear};
 pub use geometry::Geometry;
 pub use latency::{projected_lifetime_ops, LatencyModel, MemoryTech};
 pub use region::{Region, RegionAllocator};

@@ -87,6 +87,32 @@
 //!
 //! The [`throughput`] module (re-exported from `pnw-bench`) measures how
 //! this scales: `cargo run --release -p pnw-bench --bin throughput`.
+//!
+//! ## Durable persistence
+//!
+//! Give the config a path and the store survives process restarts — and
+//! crashes. Data-zone writes go write-through to a backing file, every
+//! metadata mutation is logged to a CRC-framed WAL before it is
+//! acknowledged, and `checkpoint()` / `close()` cut atomic checkpoints
+//! (see *Durability & recovery* in `docs/ARCHITECTURE.md`):
+//!
+//! ```
+//! use pnw::{PnwConfig, PnwStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("pnw-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let cfg = PnwConfig::new(64, 8).with_clusters(2).with_path(&dir);
+//!
+//! let store = PnwStore::open(cfg.clone()).unwrap();
+//! store.put(7, &7u64.to_le_bytes()).unwrap();
+//! store.close().unwrap();
+//!
+//! // A new process (or a crash-recovered one) sees every committed key.
+//! let store = PnwStore::open(cfg).unwrap();
+//! assert_eq!(store.get(7).unwrap().unwrap(), 7u64.to_le_bytes());
+//! # drop(store);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -94,5 +120,6 @@ pub use pnw_core as core_api;
 
 pub use pnw_bench::throughput;
 pub use pnw_core::{
-    Batch, BatchReport, ConfigError, Op, PnwConfig, PnwStore, ShardedPnwStore, Store, StoreError,
+    BackingMode, Batch, BatchReport, ConfigError, MetaTarget, MetaTear, Op, PnwConfig, PnwStore,
+    ShardedPnwStore, Store, StoreError,
 };

@@ -306,6 +306,177 @@ fn error_taxonomy_is_lossless() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// File-backed conformance: the contract holds across drop-and-reopen.
+// ---------------------------------------------------------------------------
+
+fn contract_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pnw_contract_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_cfg(capacity: usize, value_size: usize, dir: &std::path::Path) -> PnwConfig {
+    PnwConfig::new(capacity, value_size)
+        .with_clusters(2.min(capacity))
+        .with_seed(11)
+        .with_retrain(RetrainMode::Manual)
+        .with_path(dir)
+}
+
+/// The round-trip contract holds for a file-backed store *across* a
+/// drop-and-reopen cycle in the middle of the op mix — on both PNW
+/// frontends.
+#[test]
+fn file_backed_round_trips_survive_reopen_cycles() {
+    // Single-threaded frontend.
+    let dir = contract_dir("roundtrip_single");
+    let cfg = durable_cfg(128, 16, &dir);
+    let s = PnwStore::open(cfg.clone()).unwrap();
+    for k in 0..48u64 {
+        s.put(k, &[k as u8; 16]).unwrap();
+    }
+    s.close().unwrap();
+
+    let s = PnwStore::open(cfg.clone()).unwrap();
+    for k in 0..24u64 {
+        s.put(k, &[0xD0 | (k % 4) as u8; 16]).unwrap();
+    }
+    for k in 0..12u64 {
+        assert!(s.delete(k).unwrap());
+        assert!(!s.delete(k).unwrap());
+    }
+    s.close().unwrap();
+
+    let s = PnwStore::open(cfg).unwrap();
+    assert_eq!(s.len(), 36);
+    assert_eq!(s.get(0).unwrap(), None);
+    for k in 12..24u64 {
+        assert_eq!(s.get(k).unwrap().unwrap(), vec![0xD0 | (k % 4) as u8; 16]);
+    }
+    for k in 24..48u64 {
+        assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 16]);
+        let mut buf = [0u8; 16];
+        assert!(s.get_into(k, &mut buf).unwrap());
+        assert_eq!(buf, [k as u8; 16]);
+    }
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Sharded frontend, same mix.
+    let dir = contract_dir("roundtrip_sharded");
+    let cfg = durable_cfg(128, 16, &dir).with_shards(4);
+    let s = ShardedPnwStore::open(cfg.clone()).unwrap();
+    for k in 0..48u64 {
+        s.put(k, &[k as u8; 16]).unwrap();
+    }
+    s.close().unwrap();
+    let s = ShardedPnwStore::open(cfg.clone()).unwrap();
+    for k in 0..12u64 {
+        assert!(s.delete(k).unwrap());
+    }
+    s.close().unwrap();
+    let s = ShardedPnwStore::open(cfg).unwrap();
+    assert_eq!(s.len(), 36);
+    for k in 12..48u64 {
+        assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 16]);
+    }
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A file-backed store that filled up still reports `Full` — not a panic,
+/// not corruption — after a reopen, and keeps serving committed reads.
+#[test]
+fn file_backed_overfill_reports_full_across_reopen() {
+    let dir = contract_dir("overfill");
+    let cfg = durable_cfg(16, 8, &dir);
+    let s = PnwStore::open(cfg.clone()).unwrap();
+    let mut stored = 0u64;
+    let mut full_seen = false;
+    for k in 0..2_000u64 {
+        match s.put(k, &[k as u8; 8]) {
+            Ok(_) => stored += 1,
+            Err(StoreError::Full) => {
+                full_seen = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(full_seen, "store never reported Full");
+    s.close().unwrap();
+
+    let s = PnwStore::open(cfg).unwrap();
+    assert_eq!(s.len(), stored as usize);
+    assert!(
+        matches!(s.put(9_999, &[0xAA; 8]), Err(StoreError::Full)),
+        "reopened full store must still say Full"
+    );
+    for k in 0..stored {
+        assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 8], "key {k}");
+    }
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Batched `apply` ≡ per-op on a file-backed store even when both sides
+/// go through a drop-and-reopen mid-sequence: same contents, same
+/// counters, same device accounting.
+#[test]
+fn file_backed_batch_apply_equals_per_op_across_reopen() {
+    let dir_b = contract_dir("batch_side");
+    let dir_p = contract_dir("perop_side");
+    let cfg_b = durable_cfg(128, 8, &dir_b);
+    let cfg_p = durable_cfg(128, 8, &dir_p);
+    let ops = contract_ops(8);
+    let half = ops.len() / 2;
+
+    let run_batched = |ops: &[Op]| {
+        let s = PnwStore::open(cfg_b.clone()).unwrap();
+        for chunk in ops.chunks(7) {
+            let mut batch = Batch::with_capacity(chunk.len());
+            for op in chunk {
+                batch.push(op.clone());
+            }
+            let r = s.apply(&batch);
+            assert!(r.all_ok(), "{:?}", r.failures);
+        }
+        s.close().unwrap();
+    };
+    let run_per_op = |ops: &[Op]| {
+        let s = PnwStore::open(cfg_p.clone()).unwrap();
+        for op in ops {
+            match op {
+                Op::Put { key, value } => {
+                    s.put(*key, value).unwrap();
+                }
+                Op::Delete { key } => {
+                    s.delete(*key).unwrap();
+                }
+            }
+        }
+        s.close().unwrap();
+    };
+    // First half, reopen, second half — on both sides.
+    run_batched(&ops[..half]);
+    run_batched(&ops[half..]);
+    run_per_op(&ops[..half]);
+    run_per_op(&ops[half..]);
+
+    let batched = PnwStore::open(cfg_b).unwrap();
+    let per_op = PnwStore::open(cfg_p).unwrap();
+    assert_eq!(batched.len(), per_op.len());
+    for k in 0..40u64 {
+        assert_eq!(batched.get(k).unwrap(), per_op.get(k).unwrap(), "key {k}");
+    }
+    assert_eq!(batched.device_stats(), per_op.device_stats());
+    drop(batched);
+    drop(per_op);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_p);
+}
+
 /// Every backend is driveable concurrently through `Arc<dyn Store>` — the
 /// contract that lets one throughput harness serve all five.
 #[test]
