@@ -1,0 +1,65 @@
+//! Criterion bench for the SIMD bit kernels in [`pnw_ml::simd`]: the
+//! runtime-dispatched LUT-gather distance accumulator against its scalar
+//! fallback on identical tables, plus the popcount helpers. CI compiles
+//! this target (`cargo bench --no-run`) so kernel signature drift is
+//! caught without paying for a measurement run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pnw_bench::predictbench::{default_cases, trained_manager};
+use pnw_ml::packed::{popcount_bytes, PackedPredictor};
+use pnw_ml::simd::simd_active;
+
+fn bench_lut_kernels(c: &mut Criterion) {
+    for case in default_cases() {
+        let m = trained_manager(case, 0xACE5);
+        let packed = PackedPredictor::from_centroids(m.kmeans().centroids());
+        let v = vec![0x5Au8; case.value_size];
+        let mut dist = vec![0.0f32; packed.k()];
+        let label = format!("{}B-k{}", case.value_size, case.k);
+
+        let mut g = c.benchmark_group(if simd_active() {
+            "lut_simd"
+        } else {
+            "lut_simd(scalar-host)"
+        });
+        g.bench_function(&label, |b| {
+            b.iter(|| packed.distances_into(black_box(&v), &mut dist))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("lut_scalar");
+        g.bench_function(&label, |b| {
+            b.iter(|| packed.distances_into_scalar(black_box(&v), &mut dist))
+        });
+        g.finish();
+    }
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("popcount_bytes");
+    for size in [64usize, 256, 4096] {
+        let buf = vec![0xA7u8; size];
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| popcount_bytes(black_box(&buf)))
+        });
+    }
+    g.finish();
+}
+
+/// Short windows: deterministic kernels on shared CI (same rationale as
+/// `micro.rs`).
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lut_kernels, bench_popcount
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Cost-breakdown probe for the batched PUT hot path: times each layer of
+//! one batched overwrite in isolation — device bucket write, lock-free
+//! index insert/remove, Zipf sampling, value generation — and the
+//! end-to-end `Store::apply` per-op cost, so a perf regression can be
+//! pinned to a layer without a system profiler.
+//!
+//! ```text
+//! cargo run --release -p pnw-bench --bin opcost
+//! ```
+
+use std::time::Instant;
+
+use pnw_bench::throughput::Zipfian;
+use pnw_core::{Batch, PnwConfig, RetrainMode, ShardedPnwStore, Store};
+use pnw_index::{AtomicHashIndex, KeyIndex};
+use pnw_nvm_sim::{NvmConfig, NvmDevice, WriteMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const VALUE: usize = 64;
+const HDR: usize = 16;
+
+fn time<R>(label: &str, iters: u64, mut f: impl FnMut() -> R) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<44} {ns:>9.1} ns/op");
+}
+
+fn main() {
+    let iters = 200_000u64;
+    println!("Batched-PUT layer costs ({iters} iters each):\n");
+
+    // Device: one 80-byte bucket write (header + 64-B value), overwrite
+    // mode — the flag-diff + wear accounting cost of every placement.
+    let mut dev = NvmDevice::new(NvmConfig::default().with_size(4096 * (HDR + VALUE)));
+    let mut img = vec![0u8; HDR + VALUE];
+    let mut rng = StdRng::seed_from_u64(1);
+    time("device: 80B bucket write (diff+wear)", iters, || {
+        let addr = (rng.gen_range(0..4096usize)) * (HDR + VALUE);
+        img[HDR..].fill(rng.gen());
+        dev.write(addr, &img, WriteMode::Diff).unwrap()
+    });
+    time("device: 8B flag-word write", iters, || {
+        let addr = (rng.gen_range(0..4096usize)) * (HDR + VALUE);
+        dev.write(addr, &[rng.gen::<u8>(), 0, 0, 0, 0, 0, 0, 0], WriteMode::Diff)
+            .unwrap()
+    });
+
+    // Index: lock-free table insert + remove churn at ~50% load.
+    let mut idx = AtomicHashIndex::with_capacity(8192);
+    for k in 0..4096u64 {
+        idx.insert(&mut dev, k, k % 97).unwrap();
+    }
+    time("index: atomic insert+remove pair", iters, || {
+        let k = 10_000 + rng.gen_range(0..4096u64);
+        idx.insert(&mut dev, k, 7).unwrap();
+        idx.remove(&mut dev, k).unwrap()
+    });
+    time("index: atomic lookup (hit)", iters, || {
+        idx.lookup(&dev, rng.gen_range(0..4096u64)).unwrap()
+    });
+
+    // Harness: key sampling and value generation.
+    let zipf = Zipfian::new(4096, 0.99);
+    time("harness: zipf sample", iters, || zipf.sample(&mut rng));
+    time("harness: value fill (reused buf)", iters, || {
+        img[HDR..].iter_mut().for_each(|b| *b = 0xA5);
+        let tail = img.len() - 8;
+        for b in &mut img[tail..] {
+            *b = rng.gen();
+        }
+    });
+
+    // End to end: batched overwrites against the warmed sharded store —
+    // the number the write-only throughput row reports.
+    let store = ShardedPnwStore::new(
+        PnwConfig::new(8192, VALUE)
+            .with_clusters(4)
+            .with_shards(8)
+            .with_seed(3)
+            .with_load_factor(0.95)
+            .with_retrain(RetrainMode::Background),
+    );
+    let mut warm = StdRng::seed_from_u64(2);
+    for key in 0..2048u64 {
+        let mut v = vec![0xA5u8; VALUE];
+        for b in &mut v[VALUE - 8..] {
+            *b = warm.gen();
+        }
+        store.put(key, &v).unwrap();
+    }
+    store.retrain_now().unwrap();
+    let mut batch = Batch::with_capacity(64);
+    let mut val = vec![0xA5u8; VALUE];
+    let batches = iters / 64;
+    let t0 = Instant::now();
+    for _ in 0..batches {
+        batch.clear();
+        for _ in 0..64 {
+            let key = zipf.sample(&mut rng);
+            for b in &mut val[VALUE - 8..] {
+                *b = rng.gen();
+            }
+            batch.put(key, &val);
+        }
+        let r = store.apply(&batch);
+        assert!(r.all_ok(), "{:?}", r.failures);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / (batches * 64) as f64;
+    println!("{:<44} {ns:>9.1} ns/op", "store: batched overwrite end-to-end");
+}

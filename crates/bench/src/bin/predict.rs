@@ -46,16 +46,16 @@ fn main() {
         }
     }
 
-    println!("Prediction kernel — packed LUT vs float featurize+scan ({iters} iters/case)");
+    println!("Prediction kernel — packed LUT (SIMD and scalar) vs float featurize+scan ({iters} iters/case)");
     println!(
-        "{:>10} {:>6} {:>12} {:>12} {:>9}",
-        "value", "K", "packed(ns)", "float(ns)", "speedup"
+        "{:>10} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "value", "K", "packed(ns)", "scalar(ns)", "float(ns)", "vs float", "vs scalar"
     );
     let results = run_sweep(&default_cases(), iters, 0xACE5);
     for r in &results {
         println!(
-            "{:>9}B {:>6} {:>12.1} {:>12.1} {:>8.1}x",
-            r.value_size, r.k, r.packed_ns, r.float_ns, r.speedup
+            "{:>9}B {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}x",
+            r.value_size, r.k, r.packed_ns, r.packed_scalar_ns, r.float_ns, r.speedup, r.simd_speedup
         );
     }
     match write_json(&out, &results) {

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use pnw_core::{ModelManager, PcaPolicy, PnwConfig, PredictScratch};
 use pnw_ml::featurize::bits_to_features;
+use pnw_ml::packed::PackedPredictor;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// One (value size, cluster count) measurement point.
@@ -48,12 +49,20 @@ pub struct PredictResult {
     pub k: usize,
     /// Timed iterations per path.
     pub iters: u64,
-    /// Packed LUT kernel, nanoseconds per prediction.
+    /// Packed LUT kernel (runtime-dispatched SIMD), nanoseconds per
+    /// prediction.
     pub packed_ns: f64,
+    /// The same packed LUT tables forced onto the scalar fallback kernel,
+    /// nanoseconds per prediction — isolates the SIMD gather's gain from
+    /// the bit-domain reformulation itself.
+    pub packed_scalar_ns: f64,
     /// Float featurize + dense scan, nanoseconds per prediction.
     pub float_ns: f64,
     /// `float_ns / packed_ns`.
     pub speedup: f64,
+    /// `packed_scalar_ns / packed_ns` — 1.0 on hosts where no SIMD kernel
+    /// is compiled in or detected.
+    pub simd_speedup: f64,
 }
 
 /// Deterministic value generator: `families` byte-fill patterns plus a
@@ -108,6 +117,19 @@ pub fn measure_case(case: PredictCase, iters: u64, seed: u64) -> PredictResult {
     }
     let packed_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
 
+    // Same LUT tables, scalar accumulator forced: what the packed path
+    // costs on a host without usable vector units.
+    let packed = PackedPredictor::from_centroids(m.kmeans().centroids());
+    let mut dist = vec![0.0f32; m.k()];
+    for v in probes.iter().cycle().take((iters / 8).max(1) as usize) {
+        sink ^= packed.distances_into_scalar(v, &mut dist);
+    }
+    let t0 = Instant::now();
+    for v in probes.iter().cycle().take(iters as usize) {
+        sink ^= packed.distances_into_scalar(black_box(v), &mut dist);
+    }
+    let packed_scalar_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
     // Reference float path: featurize into a fresh feature vector, dense
     // K×d scan — exactly what every PUT paid before the packed kernel.
     for v in probes.iter().cycle().take((iters / 8).max(1) as usize) {
@@ -125,8 +147,10 @@ pub fn measure_case(case: PredictCase, iters: u64, seed: u64) -> PredictResult {
         k: m.k(),
         iters,
         packed_ns,
+        packed_scalar_ns,
         float_ns,
         speedup: float_ns / packed_ns.max(1e-9),
+        simd_speedup: packed_scalar_ns / packed_ns.max(1e-9),
     }
 }
 
@@ -142,13 +166,16 @@ pub fn to_json(results: &[PredictResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"value_size\": {}, \"k\": {}, \"iters\": {}, \
-             \"packed_ns\": {:.1}, \"float_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+             \"packed_ns\": {:.1}, \"packed_scalar_ns\": {:.1}, \"float_ns\": {:.1}, \
+             \"speedup\": {:.2}, \"simd_speedup\": {:.2}}}{}\n",
             r.value_size,
             r.k,
             r.iters,
             r.packed_ns,
+            r.packed_scalar_ns,
             r.float_ns,
             r.speedup,
+            r.simd_speedup,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -171,8 +198,10 @@ mod tests {
         assert_eq!(r.value_size, 16);
         assert_eq!(r.k, 4);
         assert!(r.packed_ns > 0.0);
+        assert!(r.packed_scalar_ns > 0.0);
         assert!(r.float_ns > 0.0);
         assert!(r.speedup > 0.0);
+        assert!(r.simd_speedup > 0.0);
     }
 
     #[test]
@@ -180,7 +209,9 @@ mod tests {
         let j = to_json(&run_sweep(&[PredictCase { value_size: 8, k: 2 }], 100, 3));
         assert!(j.contains("\"bench\": \"predict\""));
         assert!(j.contains("\"packed_ns\""));
+        assert!(j.contains("\"packed_scalar_ns\""));
         assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"simd_speedup\""));
     }
 
     #[test]

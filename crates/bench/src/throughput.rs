@@ -114,6 +114,16 @@ impl OpMix {
             del_pct: 0,
         }
     }
+
+    /// A GET-heavy workload: 90% GET / 10% PUT (YCSB-B shape) — the mix
+    /// where lock-free reads versus locked reads is most visible.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            put_pct: 10,
+            get_pct: 90,
+            del_pct: 0,
+        }
+    }
 }
 
 /// Configuration of one throughput run.
@@ -147,6 +157,10 @@ pub struct ThroughputConfig {
     pub latency_scale: u32,
     /// Sleep the (scaled) modeled latency after every operation.
     pub emulate_latency: bool,
+    /// Route GETs through the shard engine lock instead of the lock-free
+    /// seqlock path (PNW backend only) — the before/after comparison knob
+    /// for read scaling.
+    pub locked_reads: bool,
 }
 
 impl Default for ThroughputConfig {
@@ -165,6 +179,7 @@ impl Default for ThroughputConfig {
             seed: 0xBEE5,
             latency_scale: 10,
             emulate_latency: true,
+            locked_reads: false,
         }
     }
 }
@@ -180,6 +195,9 @@ pub struct ThroughputReport {
     pub shards: usize,
     /// Batch size used (0 = per-op).
     pub batch: usize,
+    /// Whether GETs went through the engine lock instead of the lock-free
+    /// seqlock path.
+    pub locked_reads: bool,
     /// Operations completed (all threads).
     pub total_ops: u64,
     /// Wall-clock time of the measured window.
@@ -191,7 +209,9 @@ pub struct ThroughputReport {
     /// 99th-percentile modeled per-op NVM latency, in nanoseconds.
     pub p99_modeled_ns: u64,
     /// Median *measured* model-prediction latency per fresh PUT, in
-    /// nanoseconds (per-op PNW runs; 0 in batched mode and on baselines).
+    /// nanoseconds. Per-op PNW runs time every fresh PUT; batched runs
+    /// time a stride of each group's fresh PUTs
+    /// ([`pnw_core::BatchReport::predict_samples`]). 0 on baselines.
     pub predict_p50_ns: u64,
     /// 99th-percentile measured prediction latency per fresh PUT.
     pub predict_p99_ns: u64,
@@ -247,21 +267,30 @@ impl Zipfian {
     }
 }
 
-/// Deterministic value for a key: one of four bit-pattern families plus a
-/// per-write random tail, so the K-means model has real structure to steer
-/// by while updates still flip some bits.
-fn value_for(key: u64, value_size: usize, rng: &mut StdRng) -> Vec<u8> {
+/// Deterministic value for a key, written into a reusable buffer: one of
+/// four bit-pattern families plus a per-write random tail, so the K-means
+/// model has real structure to steer by while updates still flip some
+/// bits. The client loop reuses one buffer per thread — a 64-byte heap
+/// allocation per op otherwise shows up as ~20% of the batched PUT path.
+fn fill_value(key: u64, buf: &mut [u8], rng: &mut StdRng) {
     let fill = match key % 4 {
         0 => 0x00,
         1 => 0xFF,
         2 => 0x0F,
         _ => 0xAA,
     };
-    let mut v = vec![fill; value_size];
-    let tail = value_size.min(8);
-    for b in &mut v[value_size - tail..] {
+    buf.fill(fill);
+    let tail = buf.len().min(8);
+    let start = buf.len() - tail;
+    for b in &mut buf[start..] {
         *b = rng.gen();
     }
+}
+
+/// Allocating wrapper around [`fill_value`] for warm-up loops.
+fn value_for(key: u64, value_size: usize, rng: &mut StdRng) -> Vec<u8> {
+    let mut v = vec![0u8; value_size];
+    fill_value(key, &mut v, rng);
     v
 }
 
@@ -278,7 +307,8 @@ fn build_store(cfg: &ThroughputConfig) -> Arc<dyn Store> {
                 .with_seed(cfg.seed)
                 .with_shards(cfg.shards)
                 .with_load_factor(0.95)
-                .with_retrain(RetrainMode::Background);
+                .with_retrain(RetrainMode::Background)
+                .with_locked_reads(cfg.locked_reads);
             let store = ShardedPnwStore::new(store_cfg);
             for key in 0..cfg.key_space / 2 {
                 let v = value_for(key, cfg.value_size, &mut warm_rng);
@@ -322,6 +352,11 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let get_cost = latency.read_cost(value_lines);
     let del_cost = Duration::from_nanos(600); // one flag-line write
 
+    // Workers stamp their own start/end against this shared epoch: the
+    // coordinator thread may be descheduled for the entire run on a
+    // saturated host, so a coordinator-side `Instant::now()` after the
+    // barrier can land arbitrarily late and inflate ops/sec.
+    let epoch = Instant::now();
     let mut handles = Vec::new();
     for t in 0..cfg.threads {
         let store = Arc::clone(&store);
@@ -342,12 +377,14 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             // store's allocation-free read path. Batched mode also reuses
             // one Batch allocation across groups.
             let mut get_buf = vec![0u8; cfg.value_size];
+            let mut val_buf = vec![0u8; cfg.value_size];
             let mut batch = Batch::with_capacity(cfg.batch);
 
             // Submits the pending batch: one Store::apply call, charging
             // the aggregate modeled cost split evenly across its ops.
             let flush = |batch: &mut Batch,
                          lat_ns: &mut Vec<u64>,
+                         predict_ns: &mut Vec<u64>,
                          puts: &AtomicU64,
                          deletes: &AtomicU64,
                          full_errors: &AtomicU64| {
@@ -358,6 +395,10 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                 puts.fetch_add(r.puts, Ordering::Relaxed);
                 deletes.fetch_add(r.deletes, Ordering::Relaxed);
                 full_errors.fetch_add(r.failures.len() as u64, Ordering::Relaxed);
+                // The batch path samples prediction latency on a stride of
+                // its fresh PUTs; fold the samples into the same pool the
+                // per-op path fills.
+                predict_ns.extend_from_slice(&r.predict_samples);
                 let per_op = r.modeled_latency / batch.len().max(1) as u32;
                 for _ in 0..batch.len() {
                     lat_ns.push(per_op.as_nanos() as u64);
@@ -369,20 +410,29 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             };
 
             barrier.wait();
+            let t_start = epoch.elapsed();
             for _ in 0..cfg.ops_per_thread {
                 let key = zipf.sample(&mut rng);
                 let dice: u8 = rng.gen_range(0..100u8);
                 if dice < cfg.mix.put_pct {
-                    let v = value_for(key, cfg.value_size, &mut rng);
+                    fill_value(key, &mut val_buf, &mut rng);
                     if cfg.batch > 0 {
-                        // Move the value into the batch — no second copy.
-                        batch.push(pnw_core::Op::Put { key, value: v });
+                        // Copies into one of the batch's recycled value
+                        // buffers — no allocation after the first group.
+                        batch.put(key, &val_buf);
                         if batch.len() >= cfg.batch {
-                            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
+                            flush(
+                                &mut batch,
+                                &mut lat_ns,
+                                &mut predict_ns,
+                                &puts,
+                                &deletes,
+                                &full_errors,
+                            );
                         }
                         continue;
                     }
-                    let cost = match store.put(key, &v) {
+                    let cost = match store.put(key, &val_buf) {
                         Ok(r) => {
                             puts.fetch_add(1, Ordering::Relaxed);
                             predict_ns.push(r.predict.as_nanos() as u64);
@@ -415,7 +465,14 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                     if cfg.batch > 0 {
                         batch.delete(key);
                         if batch.len() >= cfg.batch {
-                            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
+                            flush(
+                                &mut batch,
+                                &mut lat_ns,
+                                &mut predict_ns,
+                                &puts,
+                                &deletes,
+                                &full_errors,
+                            );
                         }
                         continue;
                     }
@@ -427,21 +484,31 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
                     }
                 }
             }
-            flush(&mut batch, &mut lat_ns, &puts, &deletes, &full_errors);
-            (lat_ns, predict_ns)
+            flush(
+                &mut batch,
+                &mut lat_ns,
+                &mut predict_ns,
+                &puts,
+                &deletes,
+                &full_errors,
+            );
+            (t_start, epoch.elapsed(), lat_ns, predict_ns)
         }));
     }
 
     barrier.wait();
-    let t0 = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.threads * cfg.ops_per_thread);
     let mut predicts: Vec<u64> = Vec::new();
+    let mut span_start = Duration::MAX;
+    let mut span_end = Duration::ZERO;
     for h in handles {
-        let (lat, pred) = h.join().expect("worker thread");
+        let (t_start, t_end, lat, pred) = h.join().expect("worker thread");
+        span_start = span_start.min(t_start);
+        span_end = span_end.max(t_end);
         latencies.extend(lat);
         predicts.extend(pred);
     }
-    let elapsed = t0.elapsed();
+    let elapsed = span_end.saturating_sub(span_start);
 
     latencies.sort_unstable();
     predicts.sort_unstable();
@@ -464,6 +531,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             1
         },
         batch: cfg.batch,
+        locked_reads: cfg.locked_reads,
         total_ops,
         elapsed,
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -505,7 +573,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
-             \"batch\": {}, \"total_ops\": {}, \
+             \"batch\": {}, \"locked_reads\": {}, \"total_ops\": {}, \
              \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
              \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
              \"predict_p50_ns\": {}, \"predict_p99_ns\": {}, \
@@ -517,6 +585,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             r.threads,
             r.shards,
             r.batch,
+            r.locked_reads,
             r.total_ops,
             r.elapsed.as_secs_f64() * 1e3,
             r.ops_per_sec,
@@ -636,8 +705,39 @@ mod tests {
         assert!(r.bit_flips > 0);
         // Batched writes still carry a modeled cost.
         assert!(r.p99_modeled_ns > 0);
+        // Regression: batched rows used to report 0 prediction latency;
+        // the batch path now samples a stride of its fresh PUTs.
+        assert!(
+            r.predict_p99_ns > 0,
+            "batched rows must carry sampled prediction latency"
+        );
         let j = to_json(&[r]);
         assert!(j.contains("\"batch\": 16"));
+    }
+
+    #[test]
+    fn read_heavy_mix_runs_on_both_read_paths() {
+        for locked_reads in [false, true] {
+            let cfg = ThroughputConfig {
+                threads: 2,
+                shards: 2,
+                ops_per_thread: 200,
+                key_space: 256,
+                value_size: 16,
+                clusters: 2,
+                mix: OpMix::read_heavy(),
+                emulate_latency: false,
+                locked_reads,
+                ..Default::default()
+            };
+            let r = run(&cfg);
+            assert_eq!(r.locked_reads, locked_reads);
+            assert_eq!(r.total_ops, 400);
+            assert!(r.gets > r.puts, "90/10 mix must be read-dominated");
+            assert_eq!(r.deletes, 0);
+            let j = to_json(&[r]);
+            assert!(j.contains(&format!("\"locked_reads\": {locked_reads}")));
+        }
     }
 
     #[test]

@@ -173,9 +173,21 @@ impl Op {
 /// assert!(report.failures.is_empty());
 /// assert_eq!(store.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Batch {
     ops: Vec<Op>,
+    /// Value buffers recovered by [`Batch::clear`], reused by the next
+    /// [`Batch::put`] — a harness that refills one batch in a loop
+    /// allocates value storage only on its first pass.
+    spare: Vec<Vec<u8>>,
+}
+
+/// Batches compare by their op sequence; the recycled-buffer pool is an
+/// allocation detail.
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
 }
 
 impl Batch {
@@ -188,15 +200,16 @@ impl Batch {
     pub fn with_capacity(n: usize) -> Self {
         Batch {
             ops: Vec::with_capacity(n),
+            spare: Vec::new(),
         }
     }
 
     /// Appends a PUT; returns `&mut self` for chaining.
     pub fn put(&mut self, key: u64, value: &[u8]) -> &mut Self {
-        self.ops.push(Op::Put {
-            key,
-            value: value.to_vec(),
-        });
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(value);
+        self.ops.push(Op::Put { key, value: buf });
         self
     }
 
@@ -228,9 +241,14 @@ impl Batch {
     }
 
     /// Removes all ops, keeping the allocation — harness loops refill one
-    /// batch instead of reallocating per group.
+    /// batch instead of reallocating per group. PUT value buffers are
+    /// recycled into a spare pool the next [`Batch::put`] draws from.
     pub fn clear(&mut self) {
-        self.ops.clear();
+        for op in self.ops.drain(..) {
+            if let Op::Put { value, .. } = op {
+                self.spare.push(value);
+            }
+        }
     }
 }
 
@@ -251,6 +269,11 @@ pub struct BatchReport {
     /// Aggregate modeled NVM latency of the batch's writes under the
     /// device latency model.
     pub modeled_latency: Duration,
+    /// Sampled prediction latencies (nanoseconds) from the batch path:
+    /// PNW backends time the model-prediction kernel on a stride of the
+    /// batch's fresh PUTs (full per-op instrumentation would defeat the
+    /// batch path's purpose). Empty for backends without a model.
+    pub predict_samples: Vec<u64>,
 }
 
 impl BatchReport {
@@ -282,6 +305,24 @@ mod tests {
         assert_eq!(b.ops()[2].key(), 3);
         b.clear();
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_recycles_put_value_buffers() {
+        let mut b = Batch::new();
+        b.put(1, &[7u8; 32]).delete(2);
+        let ptr = match &b.ops()[0] {
+            Op::Put { value, .. } => value.as_ptr(),
+            _ => unreachable!(),
+        };
+        b.clear();
+        b.put(9, &[1u8; 16]);
+        let reused = match &b.ops()[0] {
+            Op::Put { value, .. } => value.as_ptr(),
+            _ => unreachable!(),
+        };
+        assert_eq!(ptr, reused, "the cleared PUT's buffer must be reused");
+        assert_eq!(b.ops()[0], Op::Put { key: 9, value: vec![1u8; 16] });
     }
 
     #[test]

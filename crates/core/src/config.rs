@@ -188,6 +188,18 @@ pub struct PnwConfig {
     /// [`PnwStore::open`](crate::PnwStore::open) /
     /// [`ShardedPnwStore::open`](crate::ShardedPnwStore::open).
     pub backing: BackingMode,
+    /// Capacity of each shard's bounded write queue in the sharded
+    /// store's single-writer path. A writer that finds the shard's engine
+    /// busy enqueues its operation; when the queue is full the operation
+    /// fails with [`StoreError::Backpressure`](crate::StoreError) instead
+    /// of convoying on a lock. Does not affect geometry or placement.
+    pub shard_queue_depth: usize,
+    /// Forces [`ShardedPnwStore`](crate::ShardedPnwStore) GETs through
+    /// the shard engine lock instead of the lock-free seqlock-validated
+    /// read view — the before/after comparison knob for the read-path
+    /// benchmarks. Defaults to `false` (lock-free reads). Does not affect
+    /// stored bytes or placement.
+    pub locked_reads: bool,
 }
 
 impl PnwConfig {
@@ -214,6 +226,8 @@ impl PnwConfig {
             auto_k: None,
             shards: 1,
             backing: BackingMode::Volatile,
+            shard_queue_depth: 1024,
+            locked_reads: false,
         }
     }
 
@@ -293,6 +307,19 @@ impl PnwConfig {
     /// [`ShardedPnwStore`](crate::ShardedPnwStore) (clamped to ≥ 1).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n.max(1);
+        self
+    }
+
+    /// Sets the per-shard write-queue depth (clamped to ≥ 1).
+    pub fn with_shard_queue_depth(mut self, depth: usize) -> Self {
+        self.shard_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Routes sharded-store GETs through the shard lock instead of the
+    /// lock-free read view (benchmark comparison knob).
+    pub fn with_locked_reads(mut self, locked: bool) -> Self {
+        self.locked_reads = locked;
         self
     }
 
@@ -393,6 +420,10 @@ mod tests {
         assert_eq!(c.train_sample_cap, 1);
         assert_eq!(c.shards, 1);
         assert_eq!(PnwConfig::new(8, 8).with_shards(4).shards, 4);
+        assert_eq!(PnwConfig::new(8, 8).with_shard_queue_depth(0).shard_queue_depth, 1);
+        assert_eq!(PnwConfig::new(8, 8).with_shard_queue_depth(64).shard_queue_depth, 64);
+        assert!(PnwConfig::new(8, 8).with_locked_reads(true).locked_reads);
+        assert!(!PnwConfig::new(8, 8).locked_reads);
         assert_eq!(PnwConfig::new(8, 8).with_train_sample_cap(99).train_sample_cap, 99);
     }
 

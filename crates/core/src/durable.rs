@@ -169,9 +169,33 @@ impl RecoveredShard {
 pub(crate) struct DurableShard {
     wal: File,
     faults: Arc<Mutex<FaultState>>,
+    /// Group-commit mode: appends write their frame but defer the fsync
+    /// to [`DurableShard::end_group`], coalescing a whole batch group
+    /// into one `sync_data` per shard.
+    defer_sync: bool,
+    /// Whether frames were appended since the last fsync.
+    dirty: bool,
 }
 
 impl DurableShard {
+    /// Enters group-commit mode: subsequent appends write their frames
+    /// immediately but defer the fsync to [`DurableShard::end_group`].
+    /// Nothing appended inside the group is acknowledged until the group
+    /// ends — callers must not return success to their client in between.
+    pub fn begin_group(&mut self) {
+        self.defer_sync = true;
+    }
+
+    /// Leaves group-commit mode and fsyncs everything appended since the
+    /// last sync — the commit point of the whole group (one `sync_data`
+    /// per shard group instead of one per record).
+    pub fn end_group(&mut self) -> Result<(), StoreError> {
+        self.defer_sync = false;
+        if std::mem::take(&mut self.dirty) {
+            self.wal.sync_data().map_err(io_err)?;
+        }
+        Ok(())
+    }
     /// Commits a PUT/UPDATE of `key` at device address `addr`.
     pub fn log_put(&mut self, key: u64, addr: u64) -> Result<(), StoreError> {
         let mut p = [0u8; 17];
@@ -216,7 +240,11 @@ impl DurableShard {
         match filtered {
             None => {
                 self.wal.write_all(&frame[..len]).map_err(io_err)?;
-                self.wal.sync_data().map_err(io_err)?;
+                if self.defer_sync {
+                    self.dirty = true;
+                } else {
+                    self.wal.sync_data().map_err(io_err)?;
+                }
                 Ok(())
             }
             Some(keep) => {
@@ -667,6 +695,8 @@ impl DurableStore {
         Ok(DurableShard {
             wal,
             faults: Arc::clone(&self.faults),
+            defer_sync: false,
+            dirty: false,
         })
     }
 
@@ -774,6 +804,53 @@ mod tests {
         assert_eq!(rec[0].stats, sample_stats());
         assert_eq!(rec[0].word_writes, vec![3, 0, 1]);
         assert_eq!(rec[0].bit_flips, Some(vec![1, 2]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_replays_like_per_record_commit() {
+        let dir = tmp("group");
+        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.begin_group();
+        wal.log_put(1, 100).unwrap();
+        wal.log_put(2, 200).unwrap();
+        wal.log_delete(1).unwrap();
+        wal.end_group().unwrap();
+        // A second group on the same appender works too.
+        wal.begin_group();
+        wal.log_put(3, 300).unwrap();
+        wal.end_group().unwrap();
+        drop((wal, store));
+
+        let (_, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].committed.len(), 2);
+        assert_eq!(rec[0].committed[&2], 200);
+        assert_eq!(rec[0].committed[&3], 300);
+        assert!(!rec[0].committed.contains_key(&1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_inside_group_still_fails_immediately() {
+        let dir = tmp("group_tear");
+        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.begin_group();
+        wal.log_put(1, 100).unwrap();
+        store.arm_meta_tear(MetaTear {
+            target: MetaTarget::Wal,
+            skip: 0,
+            keep_bytes: 5,
+        });
+        // The fault filter still runs at append time, not at the group
+        // fsync — a torn record surfaces on the op that wrote it.
+        assert!(wal.log_put(2, 200).is_err());
+        drop((wal, store));
+
+        let (_, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].committed.len(), 1, "prefix before the tear replays");
+        assert_eq!(rec[0].committed[&1], 100);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,12 @@ pub enum StoreError {
     /// store bug, not an out-of-space condition, and must never be
     /// reported as [`StoreError::Full`].
     ModelUnavailable,
+    /// A shard's bounded write queue is full: the single-writer owner is
+    /// not draining fast enough for the offered load. The operation was
+    /// **not** applied — callers should back off and retry instead of
+    /// piling onto a lock (the explicit alternative to lock convoying in
+    /// the single-writer design).
+    Backpressure,
     /// The configuration the store was built from is invalid.
     Config(ConfigError),
     /// Underlying device failure.
@@ -75,6 +81,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "value size {got} != configured size {expected}")
             }
             StoreError::ModelUnavailable => write!(f, "model unavailable"),
+            StoreError::Backpressure => {
+                write!(f, "shard write queue is full — back off and retry")
+            }
             StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
             StoreError::Nvm(e) => write!(f, "device error: {e}"),
             StoreError::Corrupt(why) => write!(f, "durable state corrupt: {why}"),
@@ -98,6 +107,7 @@ mod tests {
         assert!(e.to_string().contains('8'));
         assert!(e.to_string().contains('4'));
         assert!(StoreError::ModelUnavailable.to_string().contains("model"));
+        assert!(StoreError::Backpressure.to_string().contains("queue"));
         let e = StoreError::Corrupt("checkpoint CRC mismatch".into());
         assert!(e.to_string().contains("corrupt"));
         assert!(e.to_string().contains("CRC"));

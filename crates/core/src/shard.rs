@@ -27,12 +27,13 @@
 //! dynamic address pool"*).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use pnw_index::{DramHashIndex, KeyIndex, PathHashIndex};
+use pnw_index::{AtomicHashIndex, IndexReader, KeyIndex, PathHashIndex};
 use pnw_nvm_sim::{
-    DeviceBacking, DeviceStats, NvmConfig, NvmDevice, NvmError, Region, RegionAllocator, WriteMode,
+    CellView, DeviceBacking, DeviceStats, NvmConfig, NvmDevice, NvmError, Region, RegionAllocator,
+    WriteMode,
 };
 
 use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
@@ -46,6 +47,123 @@ use crate::pool::DynamicAddressPool;
 
 pub(crate) const HDR_BYTES: usize = 16;
 const FLAG_VALID: u8 = 1;
+
+/// Cached-label sentinel: the bucket's content label is unknown under the
+/// current model and must be re-predicted on demand.
+const LABEL_STALE: u16 = u16::MAX;
+
+/// Every 16th fresh PUT of a batch group runs the fully-instrumented path
+/// so batched throughput rows carry real prediction latencies.
+const PREDICT_SAMPLE_STRIDE: u64 = 16;
+
+#[inline]
+fn label_u16(cluster: usize) -> u16 {
+    if cluster >= LABEL_STALE as usize {
+        LABEL_STALE
+    } else {
+        cluster as u16
+    }
+}
+
+/// The shard state the lock-free read path shares with its engine: the
+/// seqlock word every mutation brackets, and the GET counter (readers
+/// hold no lock, so the counter cannot live in the engine).
+///
+/// Write brackets nest (a batch group wraps the per-op methods it calls);
+/// only the outermost bracket touches the sequence, tracked by `depth` —
+/// which only the single engine owner ever mutates, so its accesses are
+/// relaxed.
+#[derive(Debug)]
+pub(crate) struct ShardSync {
+    /// Seqlock sequence: even = quiescent, odd = a mutation is in flight.
+    seq: AtomicU64,
+    /// Write-bracket nesting depth (engine-owner thread only).
+    depth: AtomicU32,
+    /// GETs served, by both the lock-free and the locked read path.
+    gets: AtomicU64,
+}
+
+impl ShardSync {
+    fn new() -> Self {
+        ShardSync {
+            seq: AtomicU64::new(0),
+            depth: AtomicU32::new(0),
+            gets: AtomicU64::new(0),
+        }
+    }
+
+    /// Begins a read-side critical section: spins past in-flight write
+    /// brackets and returns the even sequence to validate against.
+    #[inline]
+    pub fn read_begin(&self) -> u64 {
+        loop {
+            let s = self.seq.load(Ordering::Acquire);
+            if s & 1 == 0 {
+                return s;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Validates the read-side critical section begun at `s1`: `true`
+    /// means no write bracket opened while the caller was reading, so
+    /// everything it read is a consistent snapshot.
+    #[inline]
+    pub fn read_validate(&self, s1: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == s1
+    }
+
+    /// Counts one GET (reads take no lock, so the counter lives here).
+    #[inline]
+    pub fn count_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// GETs served so far.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    fn write_begin(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+    }
+
+    fn write_end(&self) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+    }
+}
+
+/// RAII write bracket: increments the seqlock on entry and exit of the
+/// outermost mutation scope. Nested brackets (a batch group calling the
+/// per-op methods) are counted, not re-published.
+struct WriteBracket {
+    sync: Arc<ShardSync>,
+}
+
+impl WriteBracket {
+    #[inline]
+    fn enter(sync: &Arc<ShardSync>) -> Self {
+        if sync.depth.fetch_add(1, Ordering::Relaxed) == 0 {
+            sync.write_begin();
+        }
+        WriteBracket {
+            sync: Arc::clone(sync),
+        }
+    }
+}
+
+impl Drop for WriteBracket {
+    #[inline]
+    fn drop(&mut self) {
+        if self.sync.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.sync.write_end();
+        }
+    }
+}
 
 /// Validates a value against a configuration's value size — the one
 /// implementation behind both store frontends' early rejection.
@@ -93,9 +211,14 @@ pub struct ShardEngine {
     live: usize,
     predict_total: Duration,
     puts: u64,
-    /// GET counter; atomic because the read path takes `&self`.
-    gets: AtomicU64,
     deletes: u64,
+    /// Seqlock + GET counter shared with the lock-free read path.
+    sync: Arc<ShardSync>,
+    /// Per-bucket cached content label under the *current* model
+    /// ([`LABEL_STALE`] = unknown, re-predict on demand). Lets DELETE and
+    /// the DeletePut update skip Algorithm 3's peek + predict when the
+    /// bucket was written under the model that is still installed.
+    labels: Vec<u16>,
     /// Per-shard prediction scratch (distances, ranking, PCA features) —
     /// the model is shared and read-only, the mutable buffers live here so
     /// steady-state PUT/DELETE allocates nothing.
@@ -173,7 +296,10 @@ impl ShardEngine {
         };
         let index: Box<dyn KeyIndex> = match index_region {
             Some(r) => Box::new(PathHashIndex::create(r, index_leaves)),
-            None => Box::new(DramHashIndex::with_capacity(cfg.capacity)),
+            // Sized for the fully-extended zone: the atomic table never
+            // rehashes, so lock-free readers keep a valid handle for the
+            // engine's whole lifetime.
+            None => Box::new(AtomicHashIndex::with_capacity(total_buckets)),
         };
         // Untrained model: one cluster, all buckets free.
         let mut pool = DynamicAddressPool::new(1, cfg.capacity);
@@ -200,8 +326,9 @@ impl ShardEngine {
             live: 0,
             predict_total: Duration::ZERO,
             puts: 0,
-            gets: AtomicU64::new(0),
             deletes: 0,
+            sync: Arc::new(ShardSync::new()),
+            labels: vec![LABEL_STALE; total_buckets],
             scratch: PredictScratch::new(),
             bucket_img,
             value_buf,
@@ -233,6 +360,24 @@ impl ShardEngine {
     /// The underlying device (wear CDFs, latency model).
     pub fn device(&self) -> &NvmDevice {
         &self.dev
+    }
+
+    /// The shard's seqlock + GET-counter handle, shared with the
+    /// lock-free read path. Stable for the engine's lifetime.
+    pub(crate) fn sync_handle(&self) -> Arc<ShardSync> {
+        Arc::clone(&self.sync)
+    }
+
+    /// A lock-free view of the device's cells, valid for the engine's
+    /// whole lifetime (the cell buffer never moves).
+    pub(crate) fn cell_view(&self) -> CellView {
+        self.dev.cell_view()
+    }
+
+    /// A lock-free index reader, when this shard's index supports one
+    /// (both built-in placements do).
+    pub(crate) fn index_reader(&self) -> Option<IndexReader> {
+        self.index.reader()
     }
 
     /// Clears device statistics so a measurement window excludes warm-up
@@ -351,6 +496,7 @@ impl ShardEngine {
     /// snapshot.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
+        let _w = WriteBracket::enter(&self.sync);
         let mut deferred: Option<(usize, u32)> = None;
 
         // UPDATE handling. The DeletePut path removes the index entry
@@ -364,6 +510,8 @@ impl ShardEngine {
                     let vstats =
                         self.dev.write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
                     self.check_durable_write()?;
+                    let b = self.bucket_of_addr(addr);
+                    self.labels[b as usize] = LABEL_STALE;
                     let total = self.dev.stats().since(&before).totals;
                     self.puts += 1;
                     return Ok((
@@ -452,6 +600,7 @@ impl ShardEngine {
         if let Some((label, freed)) = deferred {
             self.pool.push(label, freed);
         }
+        self.labels[bucket as usize] = label_u16(cluster);
         self.live += 1;
         self.puts += 1;
 
@@ -477,6 +626,7 @@ impl ShardEngine {
     /// the batch path does not feed is the snapshot's `predict_total`.
     pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
         self.check_value(value)?;
+        let _w = WriteBracket::enter(&self.sync);
         let mut deferred: Option<(usize, u32)> = None;
 
         match self.cfg.update_policy {
@@ -485,6 +635,8 @@ impl ShardEngine {
                     self.dev
                         .write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
                     self.check_durable_write()?;
+                    let b = self.bucket_of_addr(addr);
+                    self.labels[b as usize] = LABEL_STALE;
                     self.puts += 1;
                     return Ok(PutPath::InPlace);
                 }
@@ -531,6 +683,7 @@ impl ShardEngine {
         if let Some((label, freed)) = deferred {
             self.pool.push(label, freed);
         }
+        self.labels[bucket as usize] = label_u16(cluster);
         self.live += 1;
         self.puts += 1;
         Ok(PutPath::Fresh)
@@ -588,6 +741,16 @@ impl ShardEngine {
     /// path's op boundary (so a batch never reports `Full` where the same
     /// ops issued individually would have extended the zone mid-stream).
     /// Returns whether the retrain trigger became due during the group.
+    ///
+    /// On a durable shard the whole group is **group-committed**: WAL
+    /// records accumulate in the OS page cache and one `fdatasync` at the
+    /// end of the group commits them all. No op is acknowledged before
+    /// `apply` returns, so the commit point the callers observe is
+    /// unchanged — a crash mid-group loses only unacknowledged ops.
+    ///
+    /// Every [`PREDICT_SAMPLE_STRIDE`]th fresh PUT runs the fully-timed
+    /// [`ShardEngine::put`] path (device-identical to the unreported one)
+    /// and its prediction latency lands in `report.predict_samples`.
     pub(crate) fn apply_group(
         &mut self,
         ops: &[crate::api::Op],
@@ -595,19 +758,41 @@ impl ShardEngine {
         report: &mut crate::api::BatchReport,
     ) -> bool {
         use crate::api::Op;
+        let _w = WriteBracket::enter(&self.sync);
+        if let Some(d) = &mut self.durable {
+            d.begin_group();
+        }
         let mut due = false;
+        let mut fresh_puts = 0u64;
+        let mut last_idx = 0usize;
         for i in idxs {
+            last_idx = i;
             match &ops[i] {
-                Op::Put { key, value } => match self.put_unreported(*key, value) {
-                    Ok(path) => {
-                        report.puts += 1;
-                        if path == PutPath::Fresh && self.retrain_due() {
-                            self.extend_from_reserve_if_due();
-                            due = true;
+                Op::Put { key, value } => {
+                    let res = if fresh_puts.is_multiple_of(PREDICT_SAMPLE_STRIDE) {
+                        self.put(*key, value).map(|(r, path)| {
+                            if path == PutPath::Fresh {
+                                report.predict_samples.push(r.predict.as_nanos() as u64);
+                            }
+                            path
+                        })
+                    } else {
+                        self.put_unreported(*key, value)
+                    };
+                    match res {
+                        Ok(path) => {
+                            report.puts += 1;
+                            if path == PutPath::Fresh {
+                                fresh_puts += 1;
+                                if self.retrain_due() {
+                                    self.extend_from_reserve_if_due();
+                                    due = true;
+                                }
+                            }
                         }
+                        Err(e) => report.failures.push((i, e)),
                     }
-                    Err(e) => report.failures.push((i, e)),
-                },
+                }
                 Op::Delete { key } => match self.delete(*key) {
                     Ok(existed) => {
                         report.deletes += 1;
@@ -615,6 +800,14 @@ impl ShardEngine {
                     }
                     Err(e) => report.failures.push((i, e)),
                 },
+            }
+        }
+        if let Some(d) = &mut self.durable {
+            // The group's one commit point. A failed sync means none of
+            // the group's unsynced records are durable — surface it on the
+            // last op so the caller sees the group as failed.
+            if let Err(e) = d.end_group() {
+                report.failures.push((last_idx, e));
             }
         }
         due
@@ -625,7 +818,7 @@ impl ShardEngine {
     /// shared references ([`NvmDevice::peek`]), so any number of readers
     /// can run concurrently.
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
-        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.sync.count_get();
         match self.index.lookup(&self.dev, key)? {
             Some(addr) => {
                 let mut v = vec![0u8; self.cfg.value_size];
@@ -648,7 +841,7 @@ impl ShardEngine {
                 got: out.len(),
             });
         }
-        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.sync.count_get();
         match self.index.lookup(&self.dev, key)? {
             Some(addr) => {
                 self.dev.peek_into(addr as usize + HDR_BYTES, out)?;
@@ -661,6 +854,7 @@ impl ShardEngine {
     /// DELETE (Algorithm 3): reset the flag bit, recycle the address into
     /// the pool under its *content's* label (as the given model sees it).
     pub fn delete(&mut self, key: u64) -> Result<bool, PnwError> {
+        let _w = WriteBracket::enter(&self.sync);
         match self.index.remove(&mut self.dev, key)? {
             Some(addr) => {
                 if self.durable.is_some() {
@@ -700,9 +894,18 @@ impl ShardEngine {
     fn clear_bucket(&mut self, addr: u64) -> Result<(usize, u32), PnwError> {
         self.dev.write(addr as usize, &[0u8], WriteMode::Diff)?;
         let bucket = self.bucket_of_addr(addr);
-        let vaddr = self.bucket_addr(bucket) + HDR_BYTES;
-        self.dev.peek_into(vaddr, &mut self.value_buf)?;
-        let label = self.model.predict_into(&self.value_buf, &mut self.scratch);
+        // Fast path: the label cached when this content was written is
+        // still valid (same model epoch, content untouched since), and
+        // prediction is deterministic — the cached label *is* what lines
+        // 3–4 would compute, without the value peek or the distance scan.
+        let cached = self.labels[bucket as usize];
+        let label = if cached != LABEL_STALE && (cached as usize) < self.model.k() {
+            cached as usize
+        } else {
+            let vaddr = self.bucket_addr(bucket) + HDR_BYTES;
+            self.dev.peek_into(vaddr, &mut self.value_buf)?;
+            self.model.predict_into(&self.value_buf, &mut self.scratch)
+        };
         self.live -= 1;
         Ok((label, bucket))
     }
@@ -768,6 +971,10 @@ impl ShardEngine {
         let relabeled = self.labels_of(free);
         let k = self.model.k();
         self.pool.rebuild(k, relabeled);
+        // Cached content labels were computed under the previous model;
+        // Algorithm 3 labels under the *current* one, so they all go
+        // stale and refresh lazily on the next delete/overwrite.
+        self.labels.fill(LABEL_STALE);
     }
 
     /// The shard's current model snapshot.
@@ -783,25 +990,28 @@ impl ShardEngine {
     /// afterwards (the model *"can be reconstructed after a crash"*,
     /// §V-A.1).
     pub fn recover_structures(&mut self) -> Result<(), PnwError> {
+        let _w = WriteBracket::enter(&self.sync);
         self.dev.crash();
         self.dev.recover();
 
-        // Rebuild the index.
+        // Rebuild the index *in place* (wipe + rescan rather than a new
+        // allocation): lock-free readers hold a handle to the index's
+        // storage, which must stay the same object across recovery.
         match self.cfg.index {
             IndexPlacement::Dram => {
                 // Scan the data zone headers.
-                let mut idx = DramHashIndex::with_capacity(self.active_buckets);
+                self.index.clear(&mut self.dev)?;
                 let mut live = 0;
                 for b in 0..self.active_buckets as u32 {
                     let addr = self.bucket_addr(b);
-                    let hdr = self.dev.peek(addr, HDR_BYTES)?;
+                    let hdr: [u8; HDR_BYTES] =
+                        self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
                     if hdr[0] & FLAG_VALID != 0 {
                         let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
-                        idx.insert(&mut self.dev, key, addr as u64)?;
+                        self.index.insert(&mut self.dev, key, addr as u64)?;
                         live += 1;
                     }
                 }
-                self.index = Box::new(idx);
                 self.live = live;
             }
             IndexPlacement::Nvm => {
@@ -830,6 +1040,7 @@ impl ShardEngine {
         // fall back to the untrained placeholder until the caller retrains
         // and installs (the pool above is single-cluster to match).
         self.model = Arc::new(ModelSnapshot::untrained(self.cfg.value_size * 8));
+        self.labels.fill(LABEL_STALE);
         Ok(())
     }
 
@@ -859,6 +1070,8 @@ impl ShardEngine {
         &mut self,
         committed: &HashMap<u64, u64>,
     ) -> Result<(), PnwError> {
+        let _w = WriteBracket::enter(&self.sync);
+        self.labels.fill(LABEL_STALE);
         for b in 0..self.active_buckets as u32 {
             let addr = self.bucket_addr(b);
             let hdr: [u8; HDR_BYTES] = self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
@@ -966,7 +1179,7 @@ impl ShardEngine {
             device: self.dev.stats().clone(),
             predict_total: self.predict_total,
             puts: self.puts,
-            gets: self.gets.load(Ordering::Relaxed),
+            gets: self.sync.gets(),
             deletes: self.deletes,
         }
     }

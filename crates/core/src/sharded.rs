@@ -3,59 +3,150 @@
 //! [`ShardedPnwStore`] splits the data zone into N independent
 //! [`ShardEngine`]s — each with its own device slice, hash index and
 //! dynamic address pool — and routes every key to one shard by hash.
-//! Operations on different shards run fully in parallel; operations on one
-//! shard serialize on that shard's `RwLock` (GETs take it shared, so
-//! readers never block readers).
+//! Operations on different shards run fully in parallel. Within one shard
+//! the concurrency model is **single-writer / lock-free readers**:
 //!
-//! The ML model is the one deliberately *shared* component: the paper keeps
-//! it in DRAM, read-mostly, retrained in the background (§V-C/§V-A.1). That
-//! used to mean `RwLock<ModelManager>` read on every PUT/DELETE; it now
-//! means **epoch-style snapshot publication** and zero model locks on the
-//! op path:
+//! * **Writes (flat combining).** Each shard's engine sits behind a
+//!   `Mutex`, but contended writers never convoy on it. A writer first
+//!   `try_lock`s the engine; on success it executes its own op and then
+//!   *drains the shard's command queue* — executing queued ops on behalf
+//!   of the threads that submitted them (it is the shard's *combiner* for
+//!   that moment). On failure it pushes an owned command onto the shard's
+//!   bounded queue and waits on the command's slot; the current combiner
+//!   executes it and fills the slot. A full queue returns
+//!   [`StoreError::Backpressure`] instead of blocking — explicit feedback
+//!   in place of lock convoying. A single-threaded client always wins the
+//!   `try_lock`, so with `shards = 1` the store behaves byte-for-byte
+//!   like the single-threaded [`PnwStore`](crate::PnwStore).
 //!
-//! * every shard holds its own `Arc` of the current immutable
-//!   [`ModelSnapshot`](crate::model::ModelSnapshot) — predictions read it
-//!   under the shard lock the op already holds, touching no other
-//!   synchronization;
-//! * the trainer ([`ModelManager`]) lives behind a `Mutex` taken only at
-//!   train/install boundaries. Background training signals completion
-//!   through one `AtomicBool`; the op path polls that flag (a single
-//!   acquire load — false in steady state) and only the op that observes
-//!   it true takes the trainer lock, builds the new snapshot, and
-//!   publishes it to every shard — swapping each shard's `Arc` and
-//!   relabeling its pool together under that shard's write lock, so a
-//!   reader can never see the pool and the model out of sync (the paper's
-//!   *"swap the old model with the new one"* made multi-shard and
-//!   lock-free for readers).
+//! * **Reads (seqlock validation).** GETs take **zero locks** in steady
+//!   state. Each shard publishes a read view at construction — a
+//!   [`CellView`] of the device cells, a lock-free [`IndexReader`], and
+//!   the shard's `ShardSync` seqlock handle. A GET reads the sequence
+//!   (spinning past an odd value — a write in flight), probes the index
+//!   and copies the value bytes through volatile reads, then validates
+//!   the sequence: unchanged means the copy is a consistent snapshot;
+//!   changed means a writer raced and the GET retries. Every engine
+//!   mutation brackets itself with the sequence, so a reader can never
+//!   return torn bytes. [`PnwConfig::locked_reads`] routes GETs through
+//!   the engine mutex instead — the before/after comparison knob for the
+//!   read-scaling benchmarks.
 //!
-//! Lock order is always **trainer → shard**; nothing acquires the trainer
-//! lock while holding a shard lock, which makes the pair deadlock-free.
+//! The ML model is the one deliberately *shared* component: the paper
+//! keeps it in DRAM, read-mostly, retrained in the background
+//! (§V-C/§V-A.1). Every shard holds its own `Arc` of the current
+//! immutable [`ModelSnapshot`](crate::model::ModelSnapshot); the trainer
+//! ([`ModelManager`]) lives behind a `Mutex` taken only at train/install
+//! boundaries, with completion signalled through one `AtomicBool` the op
+//! path polls (a single acquire load — false in steady state).
 //!
-//! With `shards = 1` the store is byte-for-byte the single-threaded
-//! [`PnwStore`](crate::PnwStore): same engine code, same model seeds, same
-//! trigger points — so the same seeded workload produces identical
-//! [`DeviceStats`].
+//! Lock order is always **trainer → shard engine → shard queue**; nothing
+//! acquires a lock to the left while holding one to the right, which
+//! makes the set deadlock-free. Combiners run retrain maintenance only
+//! *after* releasing the engine lock.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use pnw_nvm_sim::{DeviceStats, WearCdf};
+use pnw_index::IndexReader;
+use pnw_nvm_sim::{CellView, DeviceStats, WearCdf, WriteStats};
 
-use crate::api::{Batch, BatchReport, Store};
+use crate::api::{Batch, BatchReport, Op, Store};
 use crate::config::{BackingMode, PnwConfig, RetrainMode};
 use crate::durable::{geometry_hash, DurableStore, ShardCheckpoint};
 use crate::error::{PnwError, StoreError};
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
-use crate::shard::{PutPath, ShardEngine};
+use crate::shard::{PutPath, ShardEngine, ShardSync, HDR_BYTES};
+
+/// One completed command's result, handed back through its [`OpSlot`].
+enum CmdReply {
+    Put(Result<OpReport, StoreError>),
+    Delete(Result<bool, StoreError>),
+    Group {
+        /// Report fragment with failure indices local to the group.
+        frag: BatchReport,
+        /// Device-stats delta the group produced.
+        delta: WriteStats,
+        /// Modeled NVM latency of that delta.
+        modeled: Duration,
+    },
+}
+
+/// The rendezvous between a queued writer and the combiner that executes
+/// its command: the combiner fills `done` and signals `cv`.
+#[derive(Default)]
+struct OpSlot {
+    done: Mutex<Option<CmdReply>>,
+    cv: Condvar,
+}
+
+impl OpSlot {
+    fn fill(&self, reply: CmdReply) {
+        *self.done.lock().unwrap() = Some(reply);
+        self.cv.notify_one();
+    }
+}
+
+/// A write command queued for a shard's current combiner. Owns its
+/// operands (the submitting thread's borrows can't cross the handoff).
+enum OwnedOp {
+    Put {
+        key: u64,
+        value: Vec<u8>,
+        slot: Arc<OpSlot>,
+    },
+    Delete {
+        key: u64,
+        slot: Arc<OpSlot>,
+    },
+    /// One shard's slice of a [`Batch`], executed as a single group.
+    Group {
+        ops: Vec<Op>,
+        slot: Arc<OpSlot>,
+    },
+}
+
+/// One shard: the engine behind its writer mutex, the bounded command
+/// queue contended writers combine through, and the lock-free read view.
+struct Shard {
+    engine: Mutex<ShardEngine>,
+    /// Commands awaiting the current combiner; bounded by `queue_cap`.
+    queue: Mutex<VecDeque<OwnedOp>>,
+    queue_cap: usize,
+    /// Lock-free view of the shard's device cells (stable for the
+    /// engine's lifetime — the cell buffer never moves).
+    view: CellView,
+    /// Lock-free index probe handle; `None` falls back to locked reads.
+    reader: Option<IndexReader>,
+    /// The shard's seqlock + GET counter, shared with the engine.
+    sync: Arc<ShardSync>,
+}
+
+impl Shard {
+    fn wrap(engine: ShardEngine, queue_cap: usize) -> Self {
+        let view = engine.cell_view();
+        let reader = engine.index_reader();
+        let sync = engine.sync_handle();
+        Shard {
+            engine: Mutex::new(engine),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cap,
+            view,
+            reader,
+            sync,
+        }
+    }
+}
 
 /// A concurrent Predict-and-Write store: N shards behind one logical
 /// key/value interface. All operations take `&self`; wrap the store in an
 /// [`std::sync::Arc`] and clone it across threads.
 pub struct ShardedPnwStore {
     cfg: PnwConfig,
-    shards: Vec<RwLock<ShardEngine>>,
+    shards: Vec<Shard>,
     /// The trainer: touched only at train/install boundaries, never by the
     /// op hot path (which predicts from per-shard snapshot `Arc`s).
     trainer: Mutex<ModelManager>,
@@ -72,7 +163,7 @@ pub struct ShardedPnwStore {
     /// (superblock, per-shard WALs, checkpoints). `None` on volatile
     /// stores. Locked only at checkpoint boundaries; the per-op WAL
     /// appends go through each shard's own [`DurableShard`]
-    /// (crate::durable) handle under that shard's write lock.
+    /// (crate::durable) handle under that shard's engine lock.
     durable: Option<Mutex<DurableStore>>,
 }
 
@@ -84,6 +175,10 @@ fn route(key: u64) -> u64 {
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
 }
+
+/// How long a queued writer sleeps between combiner checks. Short enough
+/// to bound the lost-wakeup window, long enough not to spin the core.
+const SLOT_WAIT: Duration = Duration::from_micros(200);
 
 impl ShardedPnwStore {
     /// Creates a store with `cfg.shards` shards (see
@@ -106,8 +201,9 @@ impl ShardedPnwStore {
             "file-backed stores must be created with ShardedPnwStore::open"
         );
         let n = cfg.shards.max(1).min(cfg.capacity.max(1));
+        let cap = cfg.shard_queue_depth.max(1);
         let shards = (0..n)
-            .map(|i| RwLock::new(ShardEngine::new(shard_config(&cfg, n, i))))
+            .map(|i| Shard::wrap(ShardEngine::new(shard_config(&cfg, n, i)), cap))
             .collect();
         let trainer = Mutex::new(ModelManager::new(&cfg));
         ShardedPnwStore {
@@ -141,6 +237,7 @@ impl ShardedPnwStore {
             .collect();
         let (durable, recovered, fresh) =
             DurableStore::open(&dir, geometry_hash(&cfg, n), initial)?;
+        let cap = cfg.shard_queue_depth.max(1);
         let mut shards = Vec::with_capacity(n);
         for (i, rec) in recovered.into_iter().enumerate() {
             let mut engine =
@@ -152,7 +249,7 @@ impl ShardedPnwStore {
             // perturb the checkpointed values.
             engine.restore_device_counters(rec.stats, &rec.word_writes, rec.bit_flips.as_deref());
             engine.attach_durable(durable.wal_appender(i)?);
-            shards.push(RwLock::new(engine));
+            shards.push(Shard::wrap(engine, cap));
         }
         let trainer = Mutex::new(ModelManager::new(&cfg));
         let store = ShardedPnwStore {
@@ -172,7 +269,7 @@ impl ShardedPnwStore {
     }
 
     /// Cuts a durable checkpoint: quiesces writers by holding every
-    /// shard's read lock, flushes each device backing, snapshots the
+    /// shard's engine lock, flushes each device backing, snapshots the
     /// committed state of all shards and runs the write-new → fsync →
     /// rename → superblock-bump protocol once for the whole store. Every
     /// shard WAL is truncated afterwards. No-op on a volatile store.
@@ -181,9 +278,9 @@ impl ShardedPnwStore {
             return Ok(());
         };
         let mut durable = durable.lock().unwrap();
-        // Shard read locks taken in index order (writers hold the write
-        // lock, so this is a cross-shard quiescent point).
-        let guards: Vec<_> = self.shards.iter().map(|s| s.read().unwrap()).collect();
+        // Engine locks taken in shard order (a cross-shard quiescent
+        // point; in-flight seqlock readers don't touch durable state).
+        let guards: Vec<_> = self.shards.iter().map(|s| s.engine.lock().unwrap()).collect();
         let mut states = Vec::with_capacity(guards.len());
         for g in &guards {
             g.sync_device()?;
@@ -213,7 +310,7 @@ impl ShardedPnwStore {
     /// data-zone write persists only `words` whole words and the device
     /// crashes (test hook for crash-consistency scenarios).
     pub fn arm_torn_write(&self, shard: usize, words: usize) {
-        self.shards[shard].write().unwrap().arm_torn_write(words);
+        self.shards[shard].engine.lock().unwrap().arm_torn_write(words);
     }
 
     /// Arms a deterministic metadata tear (superblock / WAL / checkpoint)
@@ -222,6 +319,15 @@ impl ShardedPnwStore {
         if let Some(d) = &self.durable {
             d.lock().unwrap().arm_meta_tear(tear);
         }
+    }
+
+    /// Runs `f` while holding one shard's engine lock (test hook: the
+    /// torn-read stress suite uses it to prove GETs complete while a
+    /// writer owns the shard, and to force writers onto the queue path).
+    #[doc(hidden)]
+    pub fn with_shard_write_held<R>(&self, shard: usize, f: impl FnOnce() -> R) -> R {
+        let _g = self.shards[shard].engine.lock().unwrap();
+        f()
     }
 
     /// The store's configuration (capacity fields describe the whole
@@ -248,51 +354,223 @@ impl ShardedPnwStore {
     /// Takes **zero model locks**: the prediction reads the shard's own
     /// snapshot `Arc`, and the only model-related cost in steady state is
     /// one relaxed-false atomic load of the background-completion flag.
+    /// On an uncontended shard the engine `try_lock` succeeds and the op
+    /// runs inline; on a contended one the op is queued for the shard's
+    /// current combiner (see the [module docs](self)).
     pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
         crate::shard::check_value(&self.cfg, value)?;
         self.install_if_ready();
-        let sid = self.shard_of(key);
-        let (report, due) = {
-            let mut shard = self.shards[sid].write().unwrap();
-            let (report, path) = shard.put(key, value)?;
-            let due = path == PutPath::Fresh && shard.retrain_due();
-            (report, due)
-        };
-        if due {
-            self.run_maintenance(sid);
+        let sh = &self.shards[self.shard_of(key)];
+        if let Ok(mut eng) = sh.engine.try_lock() {
+            let mut due = false;
+            let res = Self::exec_put(&mut eng, key, value, &mut due);
+            due |= self.drain_queue(sh, &mut eng);
+            drop(eng);
+            self.finish_write(sh, due);
+            return res;
+        }
+        let slot = Arc::new(OpSlot::default());
+        self.enqueue(
+            sh,
+            OwnedOp::Put {
+                key,
+                value: value.to_vec(),
+                slot: Arc::clone(&slot),
+            },
+        )?;
+        match self.await_slot(sh, &slot) {
+            CmdReply::Put(res) => res,
+            _ => unreachable!("a put slot carries a put reply"),
+        }
+    }
+
+    /// One PUT against a held engine, with the §V-C reserve extension at
+    /// the same op boundary as the batch path.
+    fn exec_put(
+        eng: &mut ShardEngine,
+        key: u64,
+        value: &[u8],
+        due: &mut bool,
+    ) -> Result<OpReport, PnwError> {
+        let (report, path) = eng.put(key, value)?;
+        if path == PutPath::Fresh && eng.retrain_due() {
+            eng.extend_from_reserve_if_due();
+            *due = true;
         }
         Ok(report)
     }
 
-    /// GET (§V-B.4): a shared shard lock plus [`pnw_nvm_sim::NvmDevice::peek`]
-    /// — concurrent readers of the same shard run in parallel and never
-    /// wait on the model lock.
+    /// GET (§V-B.4): **zero locks** in steady state. The shard's index
+    /// reader and cell view are probed under seqlock validation — an
+    /// uncontended read costs two sequence loads on top of the probe, and
+    /// a read racing a writer retries until it observes a quiet interval.
+    /// With [`PnwConfig::locked_reads`] the GET takes the engine lock
+    /// instead (the pre-seqlock behavior, kept as a benchmark baseline).
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, PnwError> {
-        self.shards[self.shard_of(key)].read().unwrap().get(key)
+        let mut v = vec![0u8; self.cfg.value_size];
+        Ok(self.get_into(key, &mut v)?.then_some(v))
     }
 
     /// GET into a caller-provided buffer of exactly `value_size` bytes —
     /// the allocation-free read path (clients reuse one buffer across
     /// operations). Returns whether the key was present.
     pub fn get_into(&self, key: u64, out: &mut [u8]) -> Result<bool, PnwError> {
-        self.shards[self.shard_of(key)]
-            .read()
-            .unwrap()
-            .get_into(key, out)
+        if out.len() != self.cfg.value_size {
+            return Err(PnwError::WrongValueSize {
+                expected: self.cfg.value_size,
+                got: out.len(),
+            });
+        }
+        let sh = &self.shards[self.shard_of(key)];
+        if self.cfg.locked_reads {
+            return sh.engine.lock().unwrap().get_into(key, out);
+        }
+        let Some(reader) = &sh.reader else {
+            return sh.engine.lock().unwrap().get_into(key, out);
+        };
+        loop {
+            let s1 = sh.sync.read_begin();
+            let found = match reader.lookup(&sh.view, key) {
+                Some(addr) => {
+                    if sh.view.read_into(addr as usize + HDR_BYTES, out) {
+                        true
+                    } else if sh.sync.read_validate(s1) {
+                        // The address validated yet points outside the
+                        // device: not a torn read — let the locked path
+                        // surface the real device error.
+                        return sh.engine.lock().unwrap().get_into(key, out);
+                    } else {
+                        // Torn probe produced a garbage address; retry.
+                        continue;
+                    }
+                }
+                None => false,
+            };
+            if sh.sync.read_validate(s1) {
+                sh.sync.count_get();
+                return Ok(found);
+            }
+        }
     }
 
     /// DELETE (Algorithm 3), routed to the key's shard. Like PUT, takes no
-    /// model lock.
+    /// model lock, and combines through the shard queue under contention.
     pub fn delete(&self, key: u64) -> Result<bool, PnwError> {
         self.install_if_ready();
-        let sid = self.shard_of(key);
-        let mut shard = self.shards[sid].write().unwrap();
-        shard.delete(key)
+        let sh = &self.shards[self.shard_of(key)];
+        if let Ok(mut eng) = sh.engine.try_lock() {
+            let res = eng.delete(key);
+            let due = self.drain_queue(sh, &mut eng);
+            drop(eng);
+            self.finish_write(sh, due);
+            return res;
+        }
+        let slot = Arc::new(OpSlot::default());
+        self.enqueue(
+            sh,
+            OwnedOp::Delete {
+                key,
+                slot: Arc::clone(&slot),
+            },
+        )?;
+        match self.await_slot(sh, &slot) {
+            CmdReply::Delete(res) => res,
+            _ => unreachable!("a delete slot carries a delete reply"),
+        }
+    }
+
+    /// Pushes a command onto the shard's bounded queue, or rejects it with
+    /// [`StoreError::Backpressure`] when the combiner is saturated.
+    fn enqueue(&self, sh: &Shard, op: OwnedOp) -> Result<(), StoreError> {
+        let mut q = sh.queue.lock().unwrap();
+        if q.len() >= sh.queue_cap {
+            return Err(StoreError::Backpressure);
+        }
+        q.push_back(op);
+        Ok(())
+    }
+
+    /// Waits for a queued command's reply, opportunistically becoming the
+    /// combiner if the engine frees up first (which also executes our own
+    /// queued command). The timed wait bounds the window where a combiner
+    /// released the engine between our queue push and its final drain.
+    fn await_slot(&self, sh: &Shard, slot: &Arc<OpSlot>) -> CmdReply {
+        loop {
+            if let Some(reply) = slot.done.lock().unwrap().take() {
+                return reply;
+            }
+            if let Ok(mut eng) = sh.engine.try_lock() {
+                let due = self.drain_queue(sh, &mut eng);
+                drop(eng);
+                self.finish_write(sh, due);
+                continue;
+            }
+            let done = slot.done.lock().unwrap();
+            if done.is_some() {
+                continue;
+            }
+            let _ = slot.cv.wait_timeout(done, SLOT_WAIT).unwrap();
+        }
+    }
+
+    /// Executes every queued command against the held engine (the flat
+    /// combining drain). Returns whether any op made retraining due.
+    fn drain_queue(&self, sh: &Shard, eng: &mut ShardEngine) -> bool {
+        let mut due = false;
+        loop {
+            let op = sh.queue.lock().unwrap().pop_front();
+            let Some(op) = op else { break };
+            match op {
+                OwnedOp::Put { key, value, slot } => {
+                    let res = Self::exec_put(eng, key, &value, &mut due);
+                    slot.fill(CmdReply::Put(res));
+                }
+                OwnedOp::Delete { key, slot } => {
+                    slot.fill(CmdReply::Delete(eng.delete(key)));
+                }
+                OwnedOp::Group { ops, slot } => {
+                    let mut frag = BatchReport::default();
+                    let before = eng.device_stats().clone();
+                    due |= eng.apply_group(&ops, 0..ops.len(), &mut frag);
+                    let delta = eng.device_stats().since(&before).totals;
+                    let modeled = eng.device().modeled_write_cost(&delta);
+                    slot.fill(CmdReply::Group {
+                        frag,
+                        delta,
+                        modeled,
+                    });
+                }
+            }
+        }
+        due
+    }
+
+    /// Post-release duties of a combiner: run the retrain policy (never
+    /// while holding the engine — lock order), then close the race window
+    /// where a writer queued between our last drain and the lock release.
+    /// Waiters also self-recover via their timed wait, so one recheck is
+    /// enough.
+    fn finish_write(&self, sh: &Shard, due: bool) {
+        if due {
+            self.trigger_retrain_policy();
+        }
+        if !sh.queue.lock().unwrap().is_empty() {
+            if let Ok(mut eng) = sh.engine.try_lock() {
+                let due = self.drain_queue(sh, &mut eng);
+                drop(eng);
+                if due {
+                    self.trigger_retrain_policy();
+                }
+            }
+        }
     }
 
     /// Live key count across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.engine.lock().unwrap().len())
+            .sum()
     }
 
     /// Whether no keys are stored.
@@ -312,7 +590,7 @@ impl ShardedPnwStore {
     pub fn per_shard_device_stats(&self) -> Vec<DeviceStats> {
         self.shards
             .iter()
-            .map(|s| s.read().unwrap().device_stats().clone())
+            .map(|s| s.engine.lock().unwrap().device_stats().clone())
             .collect()
     }
 
@@ -320,7 +598,7 @@ impl ShardedPnwStore {
     /// warm-up traffic).
     pub fn reset_device_stats(&self) {
         for s in &self.shards {
-            s.write().unwrap().reset_device_stats();
+            s.engine.lock().unwrap().reset_device_stats();
         }
     }
 
@@ -330,7 +608,7 @@ impl ShardedPnwStore {
     pub fn word_wear_cdf(&self) -> WearCdf {
         let mut merged: Option<WearCdf> = None;
         for s in &self.shards {
-            let shard = s.read().unwrap();
+            let shard = s.engine.lock().unwrap();
             let (start, len) = shard.data_zone_range();
             let cdf = shard.device().word_wear_cdf(start, len);
             merged = Some(match merged {
@@ -348,7 +626,7 @@ impl ShardedPnwStore {
         let mut parts = self
             .shards
             .iter()
-            .map(|s| s.read().unwrap().snapshot(train.clone()));
+            .map(|s| s.engine.lock().unwrap().snapshot(train.clone()));
         let mut agg = parts.next().expect("at least one shard");
         for p in parts {
             agg.live += p.live;
@@ -370,7 +648,7 @@ impl ShardedPnwStore {
         let per_shard = self.cfg.train_sample.div_ceil(self.shards.len());
         let mut values = Vec::new();
         for s in &self.shards {
-            values.extend(s.read().unwrap().training_values(per_shard));
+            values.extend(s.engine.lock().unwrap().training_values(per_shard));
         }
         values
     }
@@ -427,11 +705,14 @@ impl ShardedPnwStore {
     }
 
     /// Publishes the trainer's current snapshot to every shard: one `Arc`
-    /// swap + pool relabel per shard, each under that shard's write lock.
+    /// swap + pool relabel per shard, each under that shard's engine lock.
     fn publish(&self, trainer: &ModelManager) {
         let snapshot = trainer.snapshot();
         for s in &self.shards {
-            s.write().unwrap().install_model(Arc::clone(&snapshot));
+            s.engine
+                .lock()
+                .unwrap()
+                .install_model(Arc::clone(&snapshot));
         }
     }
 
@@ -458,22 +739,6 @@ impl ShardedPnwStore {
             self.model_ready.store(false, Ordering::Release);
             self.maintenance.store(false, Ordering::Release);
         }
-    }
-
-    /// The §V-C trigger: extend the due shard's zone from its reserve, then
-    /// retrain per policy (the retrain half serialized by the `maintenance`
-    /// flag).
-    fn run_maintenance(&self, sid: usize) {
-        // Zone extension is shard-local and cheap, so it runs on *every*
-        // due PUT — exactly like the single-threaded store — and is never
-        // gated on a pending retrain: a shard must not report `Full` while
-        // its reserve still has buckets just because another shard's
-        // background training is in flight.
-        self.shards[sid]
-            .write()
-            .unwrap()
-            .extend_from_reserve_if_due();
-        self.trigger_retrain_policy();
     }
 
     /// The cross-shard half of maintenance: start (or run) a retrain per
@@ -557,16 +822,15 @@ impl Store for ShardedPnwStore {
     }
 
     /// Batched writes, the sharded store's centerpiece: the batch is
-    /// grouped by shard and each shard's write lock is taken **at most
-    /// once per batch** — the whole group runs under one acquisition,
-    /// predicting through the shard's already-resident model snapshot
-    /// `Arc` and reusing the shard's prediction scratch and bucket-image
-    /// buffers across every op in the group (via
-    /// [`ShardEngine::put_unreported`], whose device mutations are
-    /// bit-for-bit identical to the per-op path). The background-install
-    /// poll runs once per batch, zone extension runs inside the held lock,
-    /// and the retrain policy is evaluated once per due shard after its
-    /// group completes.
+    /// grouped by shard and each shard's group runs under one engine
+    /// acquisition — predicting through the shard's already-resident
+    /// model snapshot `Arc`, reusing the shard's prediction scratch and
+    /// bucket-image buffers across every op in the group, and (on a
+    /// durable store) group-committing the whole group with one WAL
+    /// fsync. A shard whose engine is held by another thread receives its
+    /// group through the combining queue instead of blocking on the lock;
+    /// a saturated queue fails that shard's ops with
+    /// [`StoreError::Backpressure`] while other shards' groups proceed.
     fn apply(&self, batch: &Batch) -> BatchReport {
         self.install_if_ready();
         let mut report = BatchReport::default();
@@ -593,20 +857,61 @@ impl Store for ShardedPnwStore {
             cursor[sid as usize] += 1;
         }
         let mut retrain_due = false;
+        // Shard groups whose engine was contended, awaiting a combiner.
+        let mut pending: Vec<(usize, Arc<OpSlot>, &[u32])> = Vec::new();
         for sid in 0..n_shards {
             let idxs = &ordered[counts[sid]..counts[sid + 1]];
             if idxs.is_empty() {
                 continue;
             }
-            let mut shard = self.shards[sid].write().unwrap();
-            let before = shard.device_stats().clone();
-            // Reserve extension runs inside the group at the per-op path's
-            // op boundaries, still under this one lock acquisition.
-            retrain_due |=
-                shard.apply_group(ops, idxs.iter().map(|&i| i as usize), &mut report);
-            let delta = shard.device_stats().since(&before).totals;
+            let sh = &self.shards[sid];
+            if let Ok(mut eng) = sh.engine.try_lock() {
+                let before = eng.device_stats().clone();
+                // Reserve extension runs inside the group at the per-op
+                // path's op boundaries, still under this one acquisition.
+                retrain_due |=
+                    eng.apply_group(ops, idxs.iter().map(|&i| i as usize), &mut report);
+                let delta = eng.device_stats().since(&before).totals;
+                report.write_stats += delta;
+                report.modeled_latency += eng.device().modeled_write_cost(&delta);
+                retrain_due |= self.drain_queue(sh, &mut eng);
+                drop(eng);
+                // Retrain policy runs once after all groups; only the
+                // queue recheck half of finish_write happens here.
+                self.finish_write(sh, false);
+            } else {
+                let sub: Vec<Op> = idxs.iter().map(|&i| ops[i as usize].clone()).collect();
+                let slot = Arc::new(OpSlot::default());
+                match self.enqueue(sh, OwnedOp::Group { ops: sub, slot: Arc::clone(&slot) }) {
+                    Ok(()) => pending.push((sid, slot, idxs)),
+                    Err(e) => {
+                        for &i in idxs {
+                            report.failures.push((i as usize, e.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (sid, slot, idxs) in pending {
+            let CmdReply::Group {
+                frag,
+                delta,
+                modeled,
+            } = self.await_slot(&self.shards[sid], &slot)
+            else {
+                unreachable!("a group slot carries a group reply");
+            };
+            report.puts += frag.puts;
+            report.deletes += frag.deletes;
+            report.deleted_existing += frag.deleted_existing;
             report.write_stats += delta;
-            report.modeled_latency += shard.device().modeled_write_cost(&delta);
+            report.modeled_latency += modeled;
+            report.predict_samples.extend(frag.predict_samples);
+            // The queued group saw local indices 0..len; map back to
+            // batch positions.
+            for (local, e) in frag.failures {
+                report.failures.push((idxs[local] as usize, e));
+            }
         }
         if retrain_due {
             self.trigger_retrain_policy();
@@ -684,6 +989,86 @@ mod tests {
             s.put(1, &[0u8; 3]),
             Err(PnwError::WrongValueSize { expected: 8, got: 3 })
         ));
+    }
+
+    /// A GET must complete while another thread holds the shard's engine
+    /// lock for writing — the proof that the steady-state read path takes
+    /// zero locks. (A locked read here would deadlock: the engine mutex is
+    /// held by the *same* thread for the duration of the closure.)
+    #[test]
+    fn get_takes_no_lock_while_writer_holds_the_shard() {
+        for placement in [
+            crate::IndexPlacement::Dram,
+            crate::IndexPlacement::Nvm,
+        ] {
+            let s = ShardedPnwStore::new(
+                PnwConfig::new(32, 8)
+                    .with_clusters(1)
+                    .with_shards(1)
+                    .with_index(placement),
+            );
+            s.put(7, &[0xAB; 8]).unwrap();
+            let got = s.with_shard_write_held(0, || s.get(7).unwrap());
+            assert_eq!(got.unwrap(), vec![0xAB; 8], "{placement:?}");
+            let miss = s.with_shard_write_held(0, || s.get(8).unwrap());
+            assert_eq!(miss, None);
+        }
+    }
+
+    /// With `locked_reads` the GET path goes through the engine mutex —
+    /// same results, used as the before/after benchmark baseline.
+    #[test]
+    fn locked_reads_fallback_matches() {
+        let s = ShardedPnwStore::new(
+            PnwConfig::new(32, 8)
+                .with_clusters(1)
+                .with_shards(2)
+                .with_locked_reads(true),
+        );
+        for k in 0..16u64 {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in 0..16u64 {
+            assert_eq!(s.get(k).unwrap().unwrap(), k.to_le_bytes());
+        }
+        assert_eq!(s.get(99).unwrap(), None);
+    }
+
+    /// A saturated shard queue rejects with `Backpressure` instead of
+    /// convoying on the engine lock; the queued op completes once the
+    /// writer releases.
+    #[test]
+    fn queue_backpressure_rejects_when_full() {
+        let s = Arc::new(ShardedPnwStore::new(
+            PnwConfig::new(64, 8)
+                .with_clusters(1)
+                .with_shards(1)
+                .with_shard_queue_depth(1),
+        ));
+        let handles = s.with_shard_write_held(0, || {
+            let hs: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || s.put(100 + t, &[t as u8; 8]))
+                })
+                .collect();
+            // Let both writers hit the contended path: one queues (depth
+            // 1), the other must observe the full queue.
+            std::thread::sleep(Duration::from_millis(100));
+            hs
+        });
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let rejected = results
+            .iter()
+            .filter(|r| matches!(r, Err(StoreError::Backpressure)))
+            .count();
+        let applied = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(
+            (applied, rejected),
+            (1, 1),
+            "one op queues and lands, one backs off: {results:?}"
+        );
+        assert_eq!(s.len(), 1);
     }
 
     #[test]
@@ -813,6 +1198,10 @@ mod tests {
         assert_eq!(r.puts, 56);
         assert_eq!(r.deleted_existing, 12);
         assert!(r.write_stats.bit_flips > 0);
+        assert!(
+            !r.predict_samples.is_empty(),
+            "batched rows must carry sampled prediction latencies"
+        );
 
         for op in batch.ops() {
             match op {

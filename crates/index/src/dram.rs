@@ -59,6 +59,11 @@ impl KeyIndex for DramHashIndex {
         Ok(self.map.remove(&key))
     }
 
+    fn clear(&mut self, _dev: &mut NvmDevice) -> Result<(), IndexError> {
+        self.map.clear();
+        Ok(())
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }

@@ -19,10 +19,14 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod dram;
 pub mod path_hash;
+pub mod reader;
 pub mod traits;
 
+pub use atomic::{AtomicHashIndex, AtomicTable};
 pub use dram::DramHashIndex;
-pub use path_hash::PathHashIndex;
+pub use path_hash::{PathHashIndex, PathHashReader};
+pub use reader::IndexReader;
 pub use traits::{IndexError, KeyIndex};

@@ -15,7 +15,7 @@
 //! [ flags: u8 | pad ×7 | key: u64 LE | addr: u64 LE ]
 //! ```
 
-use pnw_nvm_sim::{NvmDevice, Region, WriteMode};
+use pnw_nvm_sim::{CellView, NvmDevice, Region, WriteMode};
 
 use crate::traits::{IndexError, KeyIndex};
 
@@ -23,9 +23,32 @@ use crate::traits::{IndexError, KeyIndex};
 pub const BUCKET_BYTES: usize = 24;
 const FLAG_VALID: u8 = 1;
 
-/// A persistent path-hashing index over a region of an NVM device.
+#[inline]
+fn h1(key: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn h2(key: u64) -> u64 {
+    // Murmur3-style finalizer with different constants.
+    let mut x = key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) ^ 0xDEAD_BEEF_CAFE_F00D;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// The pure geometry of a path-hashing table: region placement, leaf
+/// count and per-level offsets. Doubles as the **lock-free read handle**
+/// for the NVM index placement — it holds no mutable state, so it stays
+/// valid forever and can probe the persistent buckets straight out of a
+/// [`CellView`] while the writer mutates them (torn reads are resolved by
+/// the store's seqlock validation).
 #[derive(Debug, Clone)]
-pub struct PathHashIndex {
+pub struct PathHashReader {
     region: Region,
     /// Leaf count (power of two).
     leaves: usize,
@@ -33,6 +56,76 @@ pub struct PathHashIndex {
     levels: usize,
     /// Per-level bucket offsets into the region.
     level_offsets: Vec<usize>,
+}
+
+impl PathHashReader {
+    /// Byte address of the bucket at `level` on the path from `leaf`.
+    #[inline]
+    fn bucket_addr(&self, leaf: usize, level: usize) -> usize {
+        let pos = leaf >> level;
+        self.region
+            .at((self.level_offsets[level] + pos) * BUCKET_BYTES)
+    }
+
+    /// Iterates candidate bucket addresses for a key: both paths, level by
+    /// level (leaves first — the cache-optimized probe order of the paper).
+    fn candidates(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let l1 = (h1(key) as usize) & (self.leaves - 1);
+        let l2 = (h2(key) as usize) & (self.leaves - 1);
+        (0..self.levels).flat_map(move |lvl| {
+            let a = self.bucket_addr(l1, lvl);
+            let b = self.bucket_addr(l2, lvl);
+            // On shared upper levels the two paths can coincide.
+            if a == b {
+                vec![a]
+            } else {
+                vec![a, b]
+            }
+        })
+    }
+
+    #[inline]
+    fn probe_bucket(&self, view: &CellView, addr: usize, key: u64) -> Option<Option<u64>> {
+        let mut buf = [0u8; BUCKET_BYTES];
+        if !view.read_into(addr, &mut buf) {
+            return Some(None); // out of bounds: treat as absent
+        }
+        let flags = buf[0];
+        let k = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        if flags & FLAG_VALID != 0 && k == key {
+            let val = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+            return Some(Some(val));
+        }
+        None // keep probing
+    }
+
+    /// Lock-free probe for `key` through the device's cell view.
+    ///
+    /// Allocation-free; a probe racing the writer may return a stale or
+    /// torn result — the caller's seqlock validation decides.
+    pub fn lookup(&self, view: &CellView, key: u64) -> Option<u64> {
+        let l1 = (h1(key) as usize) & (self.leaves - 1);
+        let l2 = (h2(key) as usize) & (self.leaves - 1);
+        for lvl in 0..self.levels {
+            let a = self.bucket_addr(l1, lvl);
+            if let Some(hit) = self.probe_bucket(view, a, key) {
+                return hit;
+            }
+            let b = self.bucket_addr(l2, lvl);
+            if b != a {
+                if let Some(hit) = self.probe_bucket(view, b, key) {
+                    return hit;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A persistent path-hashing index over a region of an NVM device.
+#[derive(Debug, Clone)]
+pub struct PathHashIndex {
+    geom: PathHashReader,
     live: usize,
 }
 
@@ -68,10 +161,12 @@ impl PathHashIndex {
             off += leaves >> l;
         }
         PathHashIndex {
-            region,
-            leaves,
-            levels,
-            level_offsets,
+            geom: PathHashReader {
+                region,
+                leaves,
+                levels,
+                level_offsets,
+            },
             live: 0,
         }
     }
@@ -83,7 +178,7 @@ impl PathHashIndex {
         let mut idx = Self::create(region, leaves);
         let mut live = 0;
         for b in 0..Self::buckets_for(leaves) {
-            let addr = idx.region.at(b * BUCKET_BYTES);
+            let addr = idx.geom.region.at(b * BUCKET_BYTES);
             if let Ok(bytes) = dev.peek(addr, 1) {
                 if bytes[0] & FLAG_VALID != 0 {
                     live += 1;
@@ -96,47 +191,16 @@ impl PathHashIndex {
 
     /// Leaf capacity.
     pub fn leaves(&self) -> usize {
-        self.leaves
+        self.geom.leaves
     }
 
-    fn h1(key: u64) -> u64 {
-        // splitmix64 finalizer.
-        let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^ (x >> 31)
+    /// A detached lock-free read handle (geometry only).
+    pub fn reader_handle(&self) -> PathHashReader {
+        self.geom.clone()
     }
 
-    fn h2(key: u64) -> u64 {
-        // Murmur3-style finalizer with different constants.
-        let mut x = key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) ^ 0xDEAD_BEEF_CAFE_F00D;
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
-        x ^ (x >> 33)
-    }
-
-    /// Byte address of the bucket at `level` on the path from `leaf`.
-    fn bucket_addr(&self, leaf: usize, level: usize) -> usize {
-        let pos = leaf >> level;
-        self.region
-            .at((self.level_offsets[level] + pos) * BUCKET_BYTES)
-    }
-
-    /// Iterates candidate bucket addresses for a key: both paths, level by
-    /// level (leaves first — the cache-optimized probe order of the paper).
     fn candidates(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
-        let l1 = (Self::h1(key) as usize) & (self.leaves - 1);
-        let l2 = (Self::h2(key) as usize) & (self.leaves - 1);
-        (0..self.levels).flat_map(move |lvl| {
-            let a = self.bucket_addr(l1, lvl);
-            let b = self.bucket_addr(l2, lvl);
-            // On shared upper levels the two paths can coincide.
-            if a == b {
-                vec![a]
-            } else {
-                vec![a, b]
-            }
-        })
+        self.geom.candidates(key)
     }
 
     fn read_bucket(dev: &mut NvmDevice, addr: usize) -> Result<(u8, u64, u64), IndexError> {
@@ -241,8 +305,24 @@ impl KeyIndex for PathHashIndex {
         }
     }
 
+    fn clear(&mut self, dev: &mut NvmDevice) -> Result<(), IndexError> {
+        for b in 0..Self::buckets_for(self.geom.leaves) {
+            let addr = self.geom.region.at(b * BUCKET_BYTES);
+            let flags = dev.peek(addr, 1)?[0];
+            if flags & FLAG_VALID != 0 {
+                dev.write(addr, &[0u8], WriteMode::Diff)?;
+            }
+        }
+        self.live = 0;
+        Ok(())
+    }
+
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn reader(&self) -> Option<crate::reader::IndexReader> {
+        Some(crate::reader::IndexReader::PathHash(self.reader_handle()))
     }
 }
 
@@ -317,7 +397,7 @@ mod tests {
             idx.insert(&mut dev, k, k + 1000).unwrap();
         }
         idx.remove(&mut dev, 5).unwrap();
-        let region = idx.region;
+        let region = idx.geom.region;
         dev.crash();
         dev.recover();
         let mut idx2 = PathHashIndex::recover(region, 64, &dev);

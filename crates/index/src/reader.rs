@@ -1,0 +1,44 @@
+//! Lock-free index read handles.
+//!
+//! A [`KeyIndex`](crate::KeyIndex) that supports lock-free probing hands
+//! out an [`IndexReader`] via [`KeyIndex::reader`](crate::KeyIndex::reader).
+//! The reader is detached from the writer-side index object: it stays
+//! valid for the life of the store, across crash recovery and model swaps,
+//! because it holds either a shared atomic table ([`AtomicTable`]) or pure
+//! geometry that probes the device cells through a [`CellView`].
+//!
+//! Reads racing the single writer may observe **torn or stale** state;
+//! the store's per-shard seqlock counter brackets every mutation, so a
+//! reader validates the counter after the probe and retries on change.
+
+use std::sync::Arc;
+
+use pnw_nvm_sim::CellView;
+
+use crate::atomic::AtomicTable;
+use crate::path_hash::PathHashReader;
+
+/// A lock-free, wait-free-probing read handle for one shard's index.
+#[derive(Debug, Clone)]
+pub enum IndexReader {
+    /// DRAM placement: probes a shared atomic open-addressing table.
+    Atomic(Arc<AtomicTable>),
+    /// NVM placement: probes the Path Hashing buckets straight out of the
+    /// device cells (geometry only — no shared mutable state).
+    PathHash(PathHashReader),
+}
+
+impl IndexReader {
+    /// Probes for `key` without taking any lock. `view` is the device's
+    /// cell view (used by NVM-resident placements; ignored by DRAM ones).
+    ///
+    /// The result may be stale or torn relative to a racing writer; the
+    /// caller's seqlock validation decides whether to trust it.
+    #[inline]
+    pub fn lookup(&self, view: &CellView, key: u64) -> Option<u64> {
+        match self {
+            IndexReader::Atomic(table) => table.probe(key),
+            IndexReader::PathHash(r) => r.lookup(view, key),
+        }
+    }
+}

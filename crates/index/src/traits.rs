@@ -57,12 +57,25 @@ pub trait KeyIndex: Send + Sync {
     /// reset the entry's valid flag (a 1-bit write) rather than erasing it.
     fn remove(&mut self, dev: &mut NvmDevice, key: u64) -> Result<Option<u64>, IndexError>;
 
+    /// Removes every entry, keeping the index's backing storage (and any
+    /// [`IndexReader`](crate::IndexReader) handed out earlier) valid.
+    /// Recovery uses this to rebuild in place so lock-free readers created
+    /// before the crash keep probing the same table afterwards.
+    fn clear(&mut self, dev: &mut NvmDevice) -> Result<(), IndexError>;
+
     /// Number of live entries.
     fn len(&self) -> usize;
 
     /// Whether the index is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A lock-free read handle for this index, if the implementation
+    /// supports concurrent probing (see [`crate::IndexReader`]). `None`
+    /// means readers must fall back to locked [`KeyIndex::lookup`] calls.
+    fn reader(&self) -> Option<crate::IndexReader> {
+        None
     }
 }
 

@@ -64,6 +64,7 @@ pub mod minibatch;
 pub mod packed;
 pub mod packedmatrix;
 pub mod pca;
+pub mod simd;
 
 pub use elbow::{elbow_point, sse_curve};
 pub use featurize::{bits_to_features, features_to_bits};

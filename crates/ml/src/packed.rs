@@ -105,20 +105,34 @@ impl PackedPredictor {
     /// every centroid into `out`, returning the argmin cluster. Performs no
     /// allocation.
     ///
+    /// Dispatches to the AVX2 LUT-gather kernel when the CPU supports it
+    /// (see [`crate::simd::simd_active`]); the result is **bit-for-bit**
+    /// identical to [`PackedPredictor::distances_into_scalar`] either way —
+    /// each centroid's f32 accumulation runs in the same byte-position
+    /// order in both kernels.
+    ///
     /// # Panics
     /// Panics if `bytes.len() != input_bytes` or `out.len() != k`.
     pub fn distances_into(&self, bytes: &[u8], out: &mut [f32]) -> usize {
         assert_eq!(bytes.len(), self.input_bytes, "value length mismatch");
         assert_eq!(out.len(), self.k, "distance buffer length mismatch");
-        let k = self.k;
         // Accumulate ⟨c, x⟩ for all centroids in one pass over the bytes.
         out.fill(0.0);
-        for (pos, &b) in bytes.iter().enumerate() {
-            let row = &self.lut[(pos * 256 + b as usize) * k..(pos * 256 + b as usize + 1) * k];
-            for (acc, &w) in out.iter_mut().zip(row) {
-                *acc += w;
-            }
-        }
+        crate::simd::lut_accumulate(&self.lut, self.k, bytes, out);
+        self.finalize(popcount_bytes(bytes) as f32, out)
+    }
+
+    /// Scalar reference for [`PackedPredictor::distances_into`]: identical
+    /// semantics and results, never uses SIMD. Kept public as the
+    /// equivalence baseline for tests and the benchmark's scalar column.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != input_bytes` or `out.len() != k`.
+    pub fn distances_into_scalar(&self, bytes: &[u8], out: &mut [f32]) -> usize {
+        assert_eq!(bytes.len(), self.input_bytes, "value length mismatch");
+        assert_eq!(out.len(), self.k, "distance buffer length mismatch");
+        out.fill(0.0);
+        crate::simd::lut_accumulate_scalar(&self.lut, self.k, bytes, out);
         self.finalize(popcount_bytes(bytes) as f32, out)
     }
 
@@ -137,19 +151,34 @@ impl PackedPredictor {
             "packed row length mismatch"
         );
         assert_eq!(out.len(), self.k, "distance buffer length mismatch");
-        let k = self.k;
         out.fill(0.0);
-        let mut pos = 0usize;
-        'words: for &w in words {
-            for b in w.to_le_bytes() {
-                if pos == self.input_bytes {
-                    break 'words;
+        #[cfg(target_endian = "little")]
+        {
+            // On little-endian targets the packed words *are* the byte
+            // stream, so the training kernel shares the SIMD LUT-gather
+            // with the prediction path.
+            // SAFETY: `words` holds at least `input_bytes` bytes (asserted
+            // above) and u8 has no alignment requirement.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(words.as_ptr() as *const u8, self.input_bytes)
+            };
+            crate::simd::lut_accumulate(&self.lut, self.k, bytes, out);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            let k = self.k;
+            let mut pos = 0usize;
+            'words: for &w in words {
+                for b in w.to_le_bytes() {
+                    if pos == self.input_bytes {
+                        break 'words;
+                    }
+                    let row = &self.lut[(pos * 256 + b as usize) * k..][..k];
+                    for (acc, &x) in out.iter_mut().zip(row) {
+                        *acc += x;
+                    }
+                    pos += 1;
                 }
-                let row = &self.lut[(pos * 256 + b as usize) * k..][..k];
-                for (acc, &x) in out.iter_mut().zip(row) {
-                    *acc += x;
-                }
-                pos += 1;
             }
         }
         self.finalize(pop as f32, out)
@@ -179,21 +208,11 @@ impl PackedPredictor {
 }
 
 /// Population count of a byte slice, eight bytes per `popcnt`
-/// (the byte tail folded into one padded word).
+/// (the byte tail folded into one padded word). Dispatches to the
+/// hardware-popcnt kernel in [`crate::simd`] when available.
 #[inline]
 pub fn popcount_bytes(bytes: &[u8]) -> u64 {
-    let mut chunks = bytes.chunks_exact(8);
-    let mut total = 0u64;
-    for c in &mut chunks {
-        total += u64::from_le_bytes(c.try_into().unwrap()).count_ones() as u64;
-    }
-    let rest = chunks.remainder();
-    if !rest.is_empty() {
-        let mut pad = [0u8; 8];
-        pad[..rest.len()].copy_from_slice(rest);
-        total += u64::from_le_bytes(pad).count_ones() as u64;
-    }
-    total
+    crate::simd::popcount_bytes(bytes)
 }
 
 #[cfg(test)]
@@ -344,6 +363,64 @@ mod proptests {
                 if margin > 1e-3 * (1.0 + float_d[0]) {
                     prop_assert_eq!(argmin, float_best);
                 }
+            }
+        }
+
+        /// The SIMD-dispatched kernel and the scalar reference agree
+        /// **bit-for-bit** on random value widths (including byte counts
+        /// that are not a multiple of 8, exercising the u64-word tail) and
+        /// random cluster counts (crossing every SIMD dispatch width and
+        /// the off-path fallbacks).
+        #[test]
+        fn simd_matches_scalar_bit_for_bit(
+            seed in 0u64..5000,
+            value_bytes in 1usize..40,
+            k in 1usize..70,
+        ) {
+            let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // A synthetic centroid matrix is enough: equivalence is a
+            // kernel property, independent of how centroids were fit.
+            let rows: Vec<Vec<f32>> = (0..k)
+                .map(|_| {
+                    (0..value_bytes * 8)
+                        .map(|_| (next() % 1000) as f32 / 1000.0)
+                        .collect()
+                })
+                .collect();
+            let m = Matrix::from_rows(&rows);
+            let packed = PackedPredictor::from_centroids(&m);
+            let value: Vec<u8> = (0..value_bytes).map(|_| next() as u8).collect();
+
+            let mut d_simd = vec![0.0f32; k];
+            let mut d_scalar = vec![0.0f32; k];
+            let a_simd = packed.distances_into(&value, &mut d_simd);
+            let a_scalar = packed.distances_into_scalar(&value, &mut d_scalar);
+            prop_assert_eq!(a_simd, a_scalar);
+            for (c, (&s, &r)) in d_simd.iter().zip(&d_scalar).enumerate() {
+                prop_assert_eq!(s.to_bits(), r.to_bits(), "cluster {}", c);
+            }
+
+            // The training-side word kernel must match too (tail words are
+            // zero-padded, so positions past input_bytes contribute 0).
+            let words_per_row = value_bytes.div_ceil(8);
+            let mut words = vec![0u64; words_per_row];
+            for (i, chunk) in value.chunks(8).enumerate() {
+                let mut pad = [0u8; 8];
+                pad[..chunk.len()].copy_from_slice(chunk);
+                words[i] = u64::from_le_bytes(pad);
+            }
+            let pop = popcount_bytes(&value) as u32;
+            let mut d_words = vec![0.0f32; k];
+            let a_words = packed.distances_from_words(&words, pop, &mut d_words);
+            prop_assert_eq!(a_words, a_scalar);
+            for (c, (&s, &r)) in d_words.iter().zip(&d_scalar).enumerate() {
+                prop_assert_eq!(s.to_bits(), r.to_bits(), "cluster {}", c);
             }
         }
     }

@@ -111,13 +111,10 @@ impl PackedMatrix {
 
     /// Hamming distance between rows `i` and `j` (one XOR + popcount per
     /// word pair) — on 0/1 features this *is* the squared L2 distance.
+    /// Uses the hardware-popcnt kernel when the CPU has one.
     #[inline]
     pub fn hamming(&self, i: usize, j: usize) -> u64 {
-        self.row_words(i)
-            .iter()
-            .zip(self.row_words(j))
-            .map(|(a, b)| (a ^ b).count_ones() as u64)
-            .sum()
+        crate::simd::hamming_words(self.row_words(i), self.row_words(j))
     }
 
     /// DRAM held by the packed rows, in bytes — `1/32` of the float tensor

@@ -1,0 +1,292 @@
+//! Vectorized inner kernels for the packed bit-domain paths.
+//!
+//! Two kernels dominate prediction and training: the LUT-gather
+//! accumulation of [`crate::packed::PackedPredictor`] (one K-float stripe
+//! add per value byte) and `u64` popcounts. Both are vectorized here with
+//! `std::arch::x86_64` intrinsics behind **runtime** feature detection —
+//! the workspace stays dependency-free and portable, and every dispatch
+//! falls back to the scalar reference on non-x86 targets or older CPUs.
+//!
+//! **Bit-for-bit contract:** the SIMD LUT kernels accumulate each
+//! centroid's partial dot product in exactly the same byte-position order
+//! as the scalar reference (each centroid lane is an independent chain of
+//! f32 adds over positions 0..n). f32 addition per lane is therefore the
+//! *same* sequence of operations, so SIMD and scalar results are identical
+//! to the last bit — property-tested in [`crate::packed`]. Popcounts are
+//! integer and exact by construction.
+
+/// Whether the vectorized (AVX2) LUT kernels are active on this CPU.
+/// `false` means every call takes the scalar reference path.
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Scalar reference for the LUT-gather accumulation: for each byte of
+/// `bytes`, adds the K-float LUT stripe for that (position, byte) pair
+/// into `out`. `out` must be zeroed (or hold a running sum) on entry.
+#[inline(always)]
+pub(crate) fn lut_accumulate_scalar(lut: &[f32], k: usize, bytes: &[u8], out: &mut [f32]) {
+    for (pos, &b) in bytes.iter().enumerate() {
+        let row = &lut[(pos * 256 + b as usize) * k..][..k];
+        for (acc, &w) in out.iter_mut().zip(row) {
+            *acc += w;
+        }
+    }
+}
+
+/// LUT-gather accumulation with runtime SIMD dispatch. Semantically (and
+/// bit-for-bit) identical to [`lut_accumulate_scalar`].
+///
+/// `lut` must hold at least `(bytes.len() * 256) * k` floats and
+/// `out.len()` must equal `k` (guaranteed by the callers' asserts).
+#[inline]
+pub(crate) fn lut_accumulate(lut: &[f32], k: usize, bytes: &[u8], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            debug_assert_eq!(out.len(), k);
+            debug_assert!(lut.len() >= bytes.len() * 256 * k);
+            // SAFETY: AVX2 confirmed at runtime; slice bounds checked above
+            // (callers assert them in release builds too).
+            unsafe {
+                match k {
+                    4 => return lut_accumulate_sse_k4(lut, bytes, out),
+                    8 => return lut_accumulate_avx2::<1>(lut, k, bytes, out),
+                    16 => return lut_accumulate_avx2::<2>(lut, k, bytes, out),
+                    24 => return lut_accumulate_avx2::<3>(lut, k, bytes, out),
+                    32 => return lut_accumulate_avx2::<4>(lut, k, bytes, out),
+                    64 => return lut_accumulate_avx2::<8>(lut, k, bytes, out),
+                    _ => {}
+                }
+            }
+        }
+    }
+    lut_accumulate_scalar(lut, k, bytes, out);
+}
+
+/// K = 4 specialization: one 128-bit lane holds the whole stripe, so each
+/// byte costs one load + one add. SSE2 is baseline on x86_64.
+///
+/// # Safety
+/// `lut` must hold `bytes.len() * 256 * 4` floats; `out.len() == 4`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn lut_accumulate_sse_k4(lut: &[f32], bytes: &[u8], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let base = lut.as_ptr();
+        let mut acc = _mm_loadu_ps(out.as_ptr());
+        for (pos, &b) in bytes.iter().enumerate() {
+            let row = base.add((pos * 256 + b as usize) * 4);
+            acc = _mm_add_ps(acc, _mm_loadu_ps(row));
+        }
+        _mm_storeu_ps(out.as_mut_ptr(), acc);
+    }
+}
+
+/// Generic AVX2 kernel for `k = 8 * N`: N 256-bit accumulators, each lane
+/// a per-centroid chain of adds in byte-position order (same order as the
+/// scalar reference, hence bit-identical).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; `lut` must hold
+/// `bytes.len() * 256 * k` floats; `out.len() == k == 8 * N`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lut_accumulate_avx2<const N: usize>(lut: &[f32], k: usize, bytes: &[u8], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let base = lut.as_ptr();
+        let mut acc = [_mm256_setzero_ps(); N];
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a = _mm256_loadu_ps(out.as_ptr().add(i * 8));
+        }
+        for (pos, &b) in bytes.iter().enumerate() {
+            let row = base.add((pos * 256 + b as usize) * k);
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_add_ps(*a, _mm256_loadu_ps(row.add(i * 8)));
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(out.as_mut_ptr().add(i * 8), *a);
+        }
+    }
+}
+
+#[inline(always)]
+fn popcount_words_impl(words: &[u64]) -> u64 {
+    // u64×8 unrolled with four independent accumulators: breaks the add
+    // dependency chain so the popcounts pipeline.
+    let mut c = [0u64; 4];
+    let mut chunks = words.chunks_exact(8);
+    for ch in &mut chunks {
+        c[0] += (ch[0].count_ones() + ch[1].count_ones()) as u64;
+        c[1] += (ch[2].count_ones() + ch[3].count_ones()) as u64;
+        c[2] += (ch[4].count_ones() + ch[5].count_ones()) as u64;
+        c[3] += (ch[6].count_ones() + ch[7].count_ones()) as u64;
+    }
+    let mut total = c[0] + c[1] + c[2] + c[3];
+    for &w in chunks.remainder() {
+        total += w.count_ones() as u64;
+    }
+    total
+}
+
+/// Popcount-instruction variant: `count_ones` lowers to a real `popcnt`
+/// only when the feature is enabled for the function body.
+///
+/// # Safety
+/// Caller must verify `popcnt` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_words_popcnt(words: &[u64]) -> u64 {
+    popcount_words_impl(words)
+}
+
+/// Total population count of a `u64` slice (exact; u64×8 unrolled, with a
+/// hardware-`popcnt` path selected at runtime on x86_64).
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: feature checked the line above.
+            return unsafe { popcount_words_popcnt(words) };
+        }
+    }
+    popcount_words_impl(words)
+}
+
+#[inline(always)]
+fn popcount_bytes_impl(bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    let mut total = 0u64;
+    for c in &mut chunks {
+        total += u64::from_le_bytes(c.try_into().unwrap()).count_ones() as u64;
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut pad = [0u8; 8];
+        pad[..rest.len()].copy_from_slice(rest);
+        total += u64::from_le_bytes(pad).count_ones() as u64;
+    }
+    total
+}
+
+/// Popcount-instruction variant of the byte kernel.
+///
+/// # Safety
+/// Caller must verify `popcnt` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_bytes_popcnt(bytes: &[u8]) -> u64 {
+    popcount_bytes_impl(bytes)
+}
+
+/// Total population count of a byte slice (exact; eight bytes per word,
+/// hardware `popcnt` selected at runtime on x86_64).
+#[inline]
+pub fn popcount_bytes(bytes: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: feature checked the line above.
+            return unsafe { popcount_bytes_popcnt(bytes) };
+        }
+    }
+    popcount_bytes_impl(bytes)
+}
+
+/// XOR-popcount (Hamming distance) between two equal-length word slices.
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: feature checked the line above.
+            return unsafe { hamming_words_popcnt(a, b) };
+        }
+    }
+    hamming_words_impl(a, b)
+}
+
+#[inline(always)]
+fn hamming_words_impl(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x ^ y).count_ones() as u64)
+        .sum()
+}
+
+/// Hardware-popcnt variant of [`hamming_words`].
+///
+/// # Safety
+/// Caller must verify `popcnt` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn hamming_words_popcnt(a: &[u64], b: &[u64]) -> u64 {
+    hamming_words_impl(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcount_words_matches_naive() {
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 31] {
+            let v: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let naive: u64 = v.iter().map(|w| w.count_ones() as u64).sum();
+            assert_eq!(popcount_words(&v), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn popcount_bytes_matches_naive() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let v: Vec<u8> = (0..len).map(|i| (i * 151 + 3) as u8).collect();
+            let naive: u64 = v.iter().map(|b| b.count_ones() as u64).sum();
+            assert_eq!(popcount_bytes(&v), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn hamming_words_matches_naive() {
+        let a: Vec<u64> = (0..13u64).map(|i| i.wrapping_mul(0xABCD_EF01)).collect();
+        let b: Vec<u64> = (0..13u64).map(|i| i.wrapping_mul(0x1234_5678)).collect();
+        let naive: u64 = a.iter().zip(&b).map(|(&x, &y)| (x ^ y).count_ones() as u64).sum();
+        assert_eq!(hamming_words(&a, &b), naive);
+    }
+
+    #[test]
+    fn lut_accumulate_simd_is_bit_identical_to_scalar() {
+        // Every dispatched K, plus off-path Ks, on widths with tails.
+        for &k in &[1usize, 3, 4, 5, 8, 16, 24, 32, 40, 64] {
+            for &n in &[1usize, 7, 8, 13, 64] {
+                let lut: Vec<f32> = (0..n * 256 * k)
+                    .map(|i| ((i as u32).wrapping_mul(2654435761) as f32) * 1e-9)
+                    .collect();
+                let bytes: Vec<u8> = (0..n).map(|i| (i * 89 + 17) as u8).collect();
+                let mut simd = vec![0.0f32; k];
+                let mut scalar = vec![0.0f32; k];
+                lut_accumulate(&lut, k, &bytes, &mut simd);
+                lut_accumulate_scalar(&lut, k, &bytes, &mut scalar);
+                assert_eq!(
+                    simd.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    scalar.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+}

@@ -21,6 +21,8 @@ use crate::geometry::Geometry;
 use crate::latency::LatencyModel;
 use crate::stats::{DeviceStats, WriteStats};
 use crate::wear::{WearCdf, WearTracker};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
 
 /// Errors returned by device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,17 +134,157 @@ impl NvmConfig {
     }
 }
 
+/// The shared cell array behind an [`NvmDevice`].
+///
+/// Storage is a boxed `u64` slice (so the base pointer is 8-byte aligned,
+/// letting [`CellView`] do word-granular volatile reads) wrapped in an
+/// `UnsafeCell` so that lock-free readers holding a [`CellView`] can copy
+/// bytes out *while* the single writer mutates through `&mut NvmDevice`.
+///
+/// This is the crossbeam-`SeqLock` discipline: the writer performs plain
+/// stores, readers perform volatile loads, and an *external* sequence
+/// counter (owned by the store layer) brackets every mutation so readers
+/// can detect and retry torn reads. A `CellView` used without that
+/// validation returns bytes that may be torn — never out of bounds, since
+/// the buffer's size is fixed at construction and never reallocates.
+struct CellBuf {
+    words: UnsafeCell<Box<[u64]>>,
+    len: usize,
+}
+
+// SAFETY: concurrent access is raw-pointer based and follows the seqlock
+// discipline documented above; the buffer itself never moves or resizes.
+unsafe impl Send for CellBuf {}
+unsafe impl Sync for CellBuf {}
+
+impl std::fmt::Debug for CellBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellBuf").field("len", &self.len).finish()
+    }
+}
+
+impl CellBuf {
+    fn new_zeroed(len: usize) -> Self {
+        CellBuf {
+            words: UnsafeCell::new(vec![0u64; len.div_ceil(8)].into_boxed_slice()),
+            len,
+        }
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Self {
+        let buf = CellBuf::new_zeroed(bytes.len());
+        // SAFETY: freshly allocated, no other reference exists yet.
+        unsafe { buf.slice_mut()[..bytes.len()].copy_from_slice(bytes) };
+        buf
+    }
+
+    fn base(&self) -> *mut u8 {
+        // `get()` points at the Box itself; deref to reach the slice data.
+        unsafe { (*self.words.get()).as_mut_ptr() as *mut u8 }
+    }
+
+    /// # Safety
+    /// Caller must be the unique writer (holds `&mut NvmDevice` or has not
+    /// yet shared the buffer). Concurrent `CellView` volatile reads are
+    /// permitted under the seqlock discipline.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.base(), self.len) }
+    }
+
+    /// # Safety
+    /// Caller must guarantee no concurrent writer, or tolerate torn bytes.
+    unsafe fn slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.base(), self.len) }
+    }
+}
+
+/// A lock-free read handle onto a device's cell array.
+///
+/// Cloning is an `Arc` bump. Reads are volatile byte/word copies: they never
+/// fault, but bytes racing a concurrent writer may be **torn** — callers
+/// must validate each read against the store's per-shard sequence counter
+/// and retry (see the seqlock protocol in the store layer). The view stays
+/// valid for the lifetime of the device, across recovery and model swaps,
+/// because the underlying buffer never reallocates.
+#[derive(Debug, Clone)]
+pub struct CellView {
+    buf: Arc<CellBuf>,
+}
+
+impl CellView {
+    /// Device capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len
+    }
+
+    /// Whether the device has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len == 0
+    }
+
+    /// Copies `out.len()` bytes starting at `addr` into `out` with volatile
+    /// loads. Returns `false` (leaving `out` unspecified) if the range is
+    /// out of bounds. The copy may be torn if it races a writer; the caller's
+    /// seqlock validation decides whether to trust it.
+    pub fn read_into(&self, addr: usize, out: &mut [u8]) -> bool {
+        let len = out.len();
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        if end > self.buf.len {
+            return false;
+        }
+        // SAFETY: bounds checked above; base is 8-byte aligned so the
+        // word-granular loads below are aligned whenever (addr + i) % 8 == 0.
+        unsafe {
+            let base = self.buf.base().add(addr);
+            let mut i = 0;
+            while i < len && !(addr + i).is_multiple_of(8) {
+                out[i] = std::ptr::read_volatile(base.add(i));
+                i += 1;
+            }
+            while i + 8 <= len {
+                let w = std::ptr::read_volatile(base.add(i) as *const u64);
+                out[i..i + 8].copy_from_slice(&w.to_ne_bytes());
+                i += 8;
+            }
+            while i < len {
+                out[i] = std::ptr::read_volatile(base.add(i));
+                i += 1;
+            }
+        }
+        true
+    }
+}
+
 /// An emulated NVM device: a DRAM image as the read path, optionally
 /// written through to a backing file (see [`DeviceBacking`]).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NvmDevice {
-    data: Vec<u8>,
+    data: Arc<CellBuf>,
     geometry: Geometry,
     latency: LatencyModel,
     stats: DeviceStats,
     wear: WearTracker,
     fault: FaultState,
     backing: Option<FileBacking>,
+}
+
+impl Clone for NvmDevice {
+    /// Deep-copies the cell array: the clone gets its own buffer, detached
+    /// from any [`CellView`] handed out by the original.
+    fn clone(&self) -> Self {
+        NvmDevice {
+            data: Arc::new(CellBuf::from_bytes(self.cells())),
+            geometry: self.geometry,
+            latency: self.latency,
+            stats: self.stats.clone(),
+            wear: self.wear.clone(),
+            fault: self.fault.clone(),
+            backing: self.backing.clone(),
+        }
+    }
 }
 
 impl NvmDevice {
@@ -158,13 +300,30 @@ impl NvmDevice {
             "file-backed devices must be created with NvmDevice::open"
         );
         NvmDevice {
-            data: vec![0; cfg.size],
+            data: Arc::new(CellBuf::new_zeroed(cfg.size)),
             geometry: cfg.geometry,
             latency: cfg.latency,
             stats: DeviceStats::default(),
             wear: WearTracker::new(cfg.size, cfg.geometry.word_bytes, cfg.track_bit_wear),
             fault: FaultState::new(cfg.fault),
             backing: None,
+        }
+    }
+
+    /// The cell array as a plain slice.
+    ///
+    /// Sound because `&self` on this method still means there is no *other*
+    /// writer (mutation requires `&mut self`); concurrent [`CellView`]
+    /// readers use volatile loads and validate via the seqlock counter.
+    fn cells(&self) -> &[u8] {
+        unsafe { self.data.slice() }
+    }
+
+    /// A lock-free read handle onto the cell array. See [`CellView`] for
+    /// the torn-read contract.
+    pub fn cell_view(&self) -> CellView {
+        CellView {
+            buf: Arc::clone(&self.data),
         }
     }
 
@@ -178,14 +337,14 @@ impl NvmDevice {
     /// [`NvmDevice::restore_stats`] / [`NvmDevice::restore_wear`].
     pub fn open(cfg: NvmConfig) -> Result<Self, NvmError> {
         let (backing, data) = match &cfg.backing {
-            DeviceBacking::Volatile => (None, vec![0; cfg.size]),
+            DeviceBacking::Volatile => (None, CellBuf::new_zeroed(cfg.size)),
             DeviceBacking::File(path) => {
                 let (b, image) = FileBacking::open(path, cfg.size)?;
-                (Some(b), image)
+                (Some(b), CellBuf::from_bytes(&image))
             }
         };
         Ok(NvmDevice {
-            data,
+            data: Arc::new(data),
             geometry: cfg.geometry,
             latency: cfg.latency,
             stats: DeviceStats::default(),
@@ -223,7 +382,7 @@ impl NvmDevice {
 
     /// Device capacity in bytes.
     pub fn size(&self) -> usize {
-        self.data.len()
+        self.data.len
     }
 
     /// Device geometry.
@@ -251,11 +410,11 @@ impl NvmDevice {
         if self.fault.is_crashed() {
             return Err(NvmError::Crashed);
         }
-        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len) {
             return Err(NvmError::OutOfBounds {
                 addr,
                 len,
-                size: self.data.len(),
+                size: self.data.len,
             });
         }
         Ok(())
@@ -265,20 +424,20 @@ impl NvmDevice {
     pub fn read(&mut self, addr: usize, len: usize) -> Result<&[u8], NvmError> {
         self.check(addr, len)?;
         self.stats.record_read(len);
-        Ok(&self.data[addr..addr + len])
+        Ok(&self.cells()[addr..addr + len])
     }
 
     /// Reads without recording statistics (used by verification / tests /
     /// recovery scans that should not perturb the measurement).
     pub fn peek(&self, addr: usize, len: usize) -> Result<&[u8], NvmError> {
-        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len) {
             return Err(NvmError::OutOfBounds {
                 addr,
                 len,
-                size: self.data.len(),
+                size: self.data.len,
             });
         }
-        Ok(&self.data[addr..addr + len])
+        Ok(&self.cells()[addr..addr + len])
     }
 
     /// Copies `out.len()` bytes starting at `addr` into a caller-provided
@@ -323,9 +482,12 @@ impl NvmDevice {
         // backing file (Diff mode flushes exactly the words that changed).
         let mut flush_run: Option<(usize, usize)> = None;
 
+        let buf = Arc::clone(&self.data);
+        // SAFETY: `&mut self` makes this the unique writer; concurrent
+        // CellView readers are volatile and seqlock-validated.
+        let cells: &mut [u8] = unsafe { buf.slice_mut() };
         for (widx, range) in self.geometry.words_in(addr, new.len()) {
             let off = range.start - addr;
-            let old_chunk = &self.data[range.clone()];
             let new_chunk = &new[off..off + range.len()];
 
             let word_dirty = match mode {
@@ -341,8 +503,12 @@ impl NvmDevice {
                     // tail separate): yields the flip count *and* records
                     // per-bit wear from the same masks, replacing the old
                     // byte-at-a-time × bit-at-a-time loops.
-                    let diff_bits =
-                        diff_and_record_flips(&mut self.wear, range.start, old_chunk, new_chunk);
+                    let diff_bits = diff_and_record_flips(
+                        &mut self.wear,
+                        range.start,
+                        &cells[range.clone()],
+                        new_chunk,
+                    );
                     s.bit_flips += diff_bits;
                     diff_bits > 0
                 }
@@ -359,17 +525,17 @@ impl NvmDevice {
                     flush_run = match flush_run {
                         Some((start, end)) if end == range.start => Some((start, range.end)),
                         Some(run) => {
-                            Self::flush_range(self.backing.as_ref(), &self.data, run)?;
+                            Self::flush_range(self.backing.as_ref(), cells, run)?;
                             Some((range.start, range.end))
                         }
                         None => Some((range.start, range.end)),
                     };
                 }
             }
-            self.data[range.clone()].copy_from_slice(new_chunk);
+            cells[range.clone()].copy_from_slice(new_chunk);
         }
         if let Some(run) = flush_run {
-            Self::flush_range(self.backing.as_ref(), &self.data, run)?;
+            Self::flush_range(self.backing.as_ref(), cells, run)?;
         }
 
         s.words_written = dirty_words;
@@ -491,12 +657,12 @@ impl NvmDevice {
     /// what would survive on the physical part across power cycles. Stats,
     /// wear counters and fault state are DRAM-side and not included.
     pub fn to_image(&self) -> &[u8] {
-        &self.data
+        self.cells()
     }
 
     /// Writes the cell image to a file.
     pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, &self.data)
+        std::fs::write(path, self.cells())
     }
 
     /// Reconstructs a device from a previously saved cell image; the image
@@ -505,7 +671,7 @@ impl NvmDevice {
     pub fn from_image(mut cfg: NvmConfig, image: Vec<u8>) -> Self {
         cfg.size = image.len();
         let mut dev = NvmDevice::new(cfg);
-        dev.data = image;
+        dev.data = Arc::new(CellBuf::from_bytes(&image));
         dev
     }
 
@@ -927,5 +1093,49 @@ mod tests {
     fn new_rejects_file_backing() {
         let (cfg, _path) = file_cfg("newpanic", 64);
         let _ = NvmDevice::new(cfg);
+    }
+
+    #[test]
+    fn cell_view_reads_match_peek() {
+        let mut d = dev(256);
+        d.write(3, b"view me through the cell seam", WriteMode::Raw)
+            .unwrap();
+        let v = d.cell_view();
+        assert_eq!(v.len(), 256);
+        // Unaligned start, crosses word boundaries.
+        let mut buf = [0u8; 29];
+        assert!(v.read_into(3, &mut buf));
+        assert_eq!(&buf, b"view me through the cell seam");
+        // Aligned word-granular read.
+        let mut w = [0u8; 16];
+        assert!(v.read_into(8, &mut w));
+        assert_eq!(&w[..], d.peek(8, 16).unwrap());
+        // Out of bounds is a clean false, not a fault.
+        assert!(!v.read_into(250, &mut w));
+        assert!(!v.read_into(usize::MAX, &mut w));
+    }
+
+    #[test]
+    fn cell_view_sees_writes_made_after_creation() {
+        let mut d = dev(64);
+        let v = d.cell_view();
+        d.write(0, &[0xAB; 8], WriteMode::Diff).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(v.read_into(0, &mut buf));
+        assert_eq!(buf, [0xAB; 8]);
+    }
+
+    #[test]
+    fn clone_detaches_cell_views() {
+        let mut d = dev(64);
+        d.write(0, &[0x11; 8], WriteMode::Raw).unwrap();
+        let mut d2 = d.clone();
+        let v = d.cell_view();
+        d2.write(0, &[0x22; 8], WriteMode::Diff).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(v.read_into(0, &mut buf));
+        // The original's view must not observe the clone's writes.
+        assert_eq!(buf, [0x11; 8]);
+        assert_eq!(d2.peek(0, 8).unwrap(), &[0x22; 8]);
     }
 }

@@ -58,7 +58,7 @@ pub mod wear;
 
 pub use backing::{DeviceBacking, FileBacking};
 pub use crc::{crc32, crc32_update};
-pub use device::{NvmConfig, NvmDevice, NvmError, WriteMode};
+pub use device::{CellView, NvmConfig, NvmDevice, NvmError, WriteMode};
 pub use fault::{FaultConfig, FaultState, MetaTarget, MetaTear};
 pub use geometry::Geometry;
 pub use latency::{projected_lifetime_ops, LatencyModel, MemoryTech};

@@ -428,6 +428,103 @@ fn sharded_torn_wal_record_drops_only_the_unacknowledged_put() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The group-commit commit point: a batched `apply` defers the WAL fsync
+/// to one `sync_data` per shard group, but no op is acknowledged before
+/// that fsync lands — so a kill with *no* checkpoint right after `apply`
+/// returns must still recover every acknowledged op.
+#[test]
+fn sharded_group_commit_survives_kill_without_checkpoint() {
+    let dir = scratch_dir("group_commit");
+    let cfg = PnwConfig::new(128, 8)
+        .with_clusters(2)
+        .with_shards(4)
+        .with_seed(7)
+        .with_path(&dir);
+
+    let store = ShardedPnwStore::open(cfg.clone()).unwrap();
+    let mut batch = pnw_core::Batch::new();
+    for k in 0..64u64 {
+        batch.put(k, &(k * 29).to_le_bytes());
+    }
+    for k in (0..64u64).step_by(6) {
+        batch.delete(k);
+    }
+    let r = store.apply(&batch);
+    assert!(r.all_ok(), "{:?}", r.failures);
+    // Kill immediately: the group fsyncs are all the durability there is.
+    drop(store);
+
+    let store = ShardedPnwStore::open(cfg).unwrap();
+    let deleted: HashSet<u64> = (0..64u64).step_by(6).collect();
+    assert_eq!(store.len(), 64 - deleted.len());
+    for k in 0..64u64 {
+        if deleted.contains(&k) {
+            assert_eq!(store.get(k).unwrap(), None, "deleted key {k}");
+        } else {
+            assert_eq!(store.get(k).unwrap().unwrap(), (k * 29).to_le_bytes());
+        }
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A WAL record tearing *inside* a batched group: the ops the report
+/// acknowledged survive the reopen bit-for-bit, the torn shard's failed
+/// ops are reported by batch index, and no key is ever served with a
+/// value the batch did not commit — the group fails as a clean prefix,
+/// not a scramble.
+#[test]
+fn sharded_torn_wal_inside_group_commits_a_clean_prefix() {
+    let dir = scratch_dir("group_tear");
+    let cfg = PnwConfig::new(256, 8)
+        .with_clusters(2)
+        .with_shards(4)
+        .with_seed(7)
+        .with_path(&dir);
+
+    let store = ShardedPnwStore::open(cfg.clone()).unwrap();
+    // Committed warm state, fsynced per-op before the fault is armed.
+    for k in 0..24u64 {
+        store.put(k, &(k * 13).to_le_bytes()).unwrap();
+    }
+    // The 5th WAL append after arming tears mid-frame; every later meta
+    // write on the crashed device fails too.
+    store.arm_meta_tear(MetaTear {
+        target: MetaTarget::Wal,
+        skip: 4,
+        keep_bytes: 3,
+    });
+    let mut batch = pnw_core::Batch::new();
+    for k in 100..132u64 {
+        batch.put(k, &(k * 31).to_le_bytes());
+    }
+    let r = store.apply(&batch);
+    assert!(!r.all_ok(), "the torn group must report failures");
+    let failed: HashSet<usize> = r.failures.iter().map(|(i, _)| *i).collect();
+    drop(store);
+
+    let store = ShardedPnwStore::open(cfg).unwrap();
+    for k in 0..24u64 {
+        assert_eq!(store.get(k).unwrap().unwrap(), (k * 13).to_le_bytes());
+    }
+    for (i, k) in (100..132u64).enumerate() {
+        let got = store.get(k).unwrap();
+        if !failed.contains(&i) {
+            assert_eq!(
+                got.unwrap(),
+                (k * 31).to_le_bytes(),
+                "acknowledged batch op {i} (key {k}) must survive"
+            );
+        } else if let Some(v) = got {
+            // An op reported failed at the group fsync boundary may have a
+            // fully-persisted record; if it survives, it must be intact.
+            assert_eq!(v, (k * 31).to_le_bytes(), "failed op {i} served torn bytes");
+        }
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Batched `apply` and the per-op path agree across a durable
 /// close-and-reopen cycle.
 #[test]
