@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the wire protocol: request/response
+//! encode + decode and frame read/write (with its CRC pass) — the
+//! per-request serving overhead the open-loop latency numbers sit on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pnw_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, RequestFrame, Response, ResponseFrame, WireOp, DEFAULT_MAX_FRAME,
+};
+
+fn bench_request_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/request");
+    for vs in [16usize, 64, 256] {
+        let frame = RequestFrame {
+            id: 42,
+            deadline_us: 1_000,
+            req: Request::Put { key: 7, value: vec![0xAB; vs] },
+        };
+        let mut buf = Vec::new();
+        g.bench_function(format!("encode_put_{vs}B"), |b| {
+            b.iter(|| encode_request(black_box(&frame), &mut buf))
+        });
+        encode_request(&frame, &mut buf);
+        g.bench_function(format!("decode_put_{vs}B"), |b| {
+            b.iter(|| decode_request(black_box(&buf)).unwrap())
+        });
+    }
+    let batch = RequestFrame {
+        id: 43,
+        deadline_us: 0,
+        req: Request::Batch {
+            ops: (0..64u64)
+                .map(|k| {
+                    if k % 8 == 0 {
+                        WireOp::Delete { key: k }
+                    } else {
+                        WireOp::Put { key: k, value: vec![k as u8; 64] }
+                    }
+                })
+                .collect(),
+        },
+    };
+    let mut buf = Vec::new();
+    g.bench_function("encode_batch64_64B", |b| {
+        b.iter(|| encode_request(black_box(&batch), &mut buf))
+    });
+    encode_request(&batch, &mut buf);
+    g.bench_function("decode_batch64_64B", |b| {
+        b.iter(|| decode_request(black_box(&buf)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_response_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/response");
+    let frame = ResponseFrame { id: 42, resp: Response::Get(Some(vec![0xCD; 64])) };
+    let mut buf = Vec::new();
+    g.bench_function("encode_get_64B", |b| {
+        b.iter(|| encode_response(black_box(&frame), &mut buf))
+    });
+    encode_response(&frame, &mut buf);
+    g.bench_function("decode_get_64B", |b| {
+        b.iter(|| decode_response(black_box(&buf)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/frame");
+    for size in [29usize, 85, 1024] {
+        let payload = vec![0x3Cu8; size];
+        let mut wire = Vec::new();
+        g.bench_function(format!("write_{size}B"), |b| {
+            b.iter(|| {
+                wire.clear();
+                write_frame(&mut wire, black_box(&payload)).unwrap()
+            })
+        });
+        wire.clear();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut buf = Vec::new();
+        g.bench_function(format!("read_{size}B"), |b| {
+            b.iter(|| read_frame(&mut black_box(&wire[..]), DEFAULT_MAX_FRAME, &mut buf).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_request_codec, bench_response_codec, bench_framing);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Open-loop load generation against `pnw-server`, with a mid-run
+//! simulated crash — the CI `server-smoke` lane and the source of
+//! `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p pnw-bench --bin server_load -- [--quick]
+//!     [--value-size N] [--out BENCH_server.json]
+//! ```
+//!
+//! The run is a scripted robustness scenario, all in one process:
+//!
+//! 1. Open a **durable** sharded store in a temp dir and serve it over a
+//!    Unix socket.
+//! 2. Phase 1: open-loop load at a moderate offered rate **with fault
+//!    injection on** — connection kills, torn frames, corrupt frames —
+//!    while recording coordinated-omission-safe sojourn percentiles.
+//! 3. Kill the server **without a checkpoint** (simulated crash), reopen
+//!    the store from the same directory (WAL replay), restart the server
+//!    on the same socket; clients reconnect.
+//! 4. Phase 2: open-loop load **past saturation** against a deliberately
+//!    small admission gate — backpressure/overload rejections and backlog
+//!    growth must show up as typed errors and p99, not as a wedged server.
+//! 5. Graceful drain. The process exits 0 only if the drain was clean.
+//!
+//! Both load points land in `BENCH_server.json`, labeled
+//! `loop_mode: "open"`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pnw_bench::serverbench::{run_open_loop, write_json, FaultPlan, LoadConfig, LoadReport};
+use pnw_bench::Scale;
+use pnw_core::{PnwConfig, ShardedPnwStore, Store};
+use pnw_server::{RetryPolicy, Server, ServerAddr, ServerConfig};
+
+struct Args {
+    value_size: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { value_size: 64, out: "BENCH_server.json".into() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {} // consumed by Scale::from_env
+            "--value-size" => {
+                args.value_size = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--value-size needs a number")?;
+            }
+            "--out" => {
+                args.out = it.next().ok_or("--out needs a path")?.into();
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_report(label: &str, r: &LoadReport) {
+    println!(
+        "{label}: offered {:.0}/s achieved {:.0}/s completed {} failed {} \
+         retries {} backpressure {} overloaded {} deadline {} faults {} \
+         reconnects {} p50 {}µs p90 {}µs p99 {}µs max {}µs",
+        r.offered_ops_per_sec,
+        r.achieved_ops_per_sec,
+        r.completed,
+        r.failed,
+        r.retries,
+        r.backpressure,
+        r.overloaded,
+        r.deadline_exceeded,
+        r.faults_injected,
+        r.reconnects,
+        r.p50_us,
+        r.p90_us,
+        r.p99_us,
+        r.max_us,
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("server_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = Scale::from_env();
+
+    let dir = std::env::temp_dir().join(format!("pnw-server-load-{}", std::process::id()));
+    let store_dir = dir.join("store");
+    let sock = dir.join("pnw.sock");
+    if let Err(e) = std::fs::create_dir_all(&store_dir) {
+        eprintln!("server_load: cannot create {}: {e}", store_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let addr = ServerAddr::Unix(sock);
+    let result = scenario(&args, scale, &store_dir, &addr);
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server_load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn scenario(
+    args: &Args,
+    scale: Scale,
+    store_dir: &std::path::Path,
+    addr: &ServerAddr,
+) -> Result<(), String> {
+    let store_cfg = || {
+        PnwConfig::new(scale.pick(16_384, 131_072), args.value_size)
+            .with_clusters(4)
+            .with_shards(4)
+            .with_path(store_dir)
+    };
+    let open_store = || -> Result<Arc<dyn Store>, String> {
+        Ok(Arc::new(
+            ShardedPnwStore::open(store_cfg()).map_err(|e| format!("open store: {e}"))?,
+        ))
+    };
+
+    // Phase 1: moderate load, faults on, durable server.
+    let server = Server::start(open_store()?, addr, ServerConfig::default())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("server_load: phase 1 (faults on) against {addr}");
+    let phase1 = run_open_loop(
+        addr,
+        &LoadConfig {
+            connections: 4,
+            // Below this host class's saturation point (~3k/s synchronous
+            // durable PUTs over 4 conns) so phase 1 is the healthy
+            // baseline and phase 2 is the one past saturation.
+            offered_ops_per_sec: scale.pick(1_000.0, 2_000.0),
+            arrivals_per_conn: scale.pick(300, 5_000),
+            value_size: args.value_size,
+            faults: FaultPlan::aggressive(),
+            retry: RetryPolicy { max_retries: 6, ..Default::default() },
+            seed: 0xFA17,
+            ..Default::default()
+        },
+    );
+    print_report("phase1", &phase1);
+    if phase1.completed == 0 {
+        return Err("phase 1 completed nothing".into());
+    }
+    if phase1.faults_injected == 0 {
+        return Err("phase 1 injected no faults".into());
+    }
+
+    // Simulated crash: no checkpoint — the reopen below must replay the
+    // WAL. The store object is dropped with the server.
+    let stats = server.stats();
+    println!(
+        "server_load: killing server (no checkpoint); stats: ok {} err {} quarantined {}",
+        stats.requests_ok, stats.requests_err, stats.quarantined
+    );
+    server.abort();
+
+    // Restart on the same socket, same durable dir; a small admission
+    // gate makes the saturation point cheap to reach.
+    let server = Server::start(
+        open_store()?,
+        addr,
+        ServerConfig { max_inflight: 2, max_waiting: 8, ..ServerConfig::default() },
+    )
+    .map_err(|e| format!("rebind {addr}: {e}"))?;
+    println!("server_load: restarted after crash (WAL replayed); phase 2 past saturation");
+    let phase2 = run_open_loop(
+        addr,
+        &LoadConfig {
+            connections: 8,
+            offered_ops_per_sec: scale.pick(60_000.0, 200_000.0),
+            arrivals_per_conn: scale.pick(250, 3_000),
+            value_size: args.value_size,
+            deadline: Some(Duration::from_millis(100)),
+            retry: RetryPolicy { max_retries: 2, ..Default::default() },
+            seed: 0x5A70,
+            ..Default::default()
+        },
+    );
+    print_report("phase2", &phase2);
+    let saturated = phase2.achieved_ops_per_sec < phase2.offered_ops_per_sec * 0.9
+        || phase2.overloaded + phase2.backpressure + phase2.deadline_exceeded > 0
+        || phase2.p99_us > phase1.p99_us.saturating_mul(4);
+    if !saturated {
+        println!("server_load: warning: phase 2 did not visibly saturate this host");
+    }
+
+    write_json(&args.out, &[phase1, phase2]).map_err(|e| format!("write json: {e}"))?;
+    println!("server_load: wrote {}", args.out.display());
+
+    // Graceful drain gates the exit code — the CI lane's whole point.
+    let report = server.drain().map_err(|e| format!("drain checkpoint: {e}"))?;
+    if !report.clean {
+        return Err(format!("drain forced {} straggler connection(s)", report.stragglers));
+    }
+    println!("server_load: clean drain in {:?}", report.elapsed);
+    Ok(())
+}

@@ -24,16 +24,23 @@
 //! * [`trainbench`] — the retraining benchmark: the packed bit-domain
 //!   training pipeline vs the float featurize-then-Lloyd reference, across
 //!   value sizes, cluster counts and sample counts (`BENCH_train.json`).
+//! * [`serverbench`] — the open-loop, coordinated-omission-safe load
+//!   generator against a running `pnw-server`: Poisson arrivals at a
+//!   fixed offered rate, sojourn-time percentiles from *scheduled*
+//!   arrival, bounded full-jitter retries, and scheduled fault injection
+//!   (connection kills, torn frames, corrupt frames)
+//!   (`BENCH_server.json`).
 //!
 //! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-//! repro_all throughput predict train`.
+//! repro_all throughput predict train server_load`.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod predictbench;
 pub mod replace;
+pub mod serverbench;
 pub mod table;
 pub mod throughput;
 pub mod trainbench;

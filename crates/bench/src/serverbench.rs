@@ -1,0 +1,511 @@
+//! Open-loop load generation against a running
+//! [`pnw_server::Server`] — the serving-layer counterpart of the
+//! closed-loop [`throughput`](crate::throughput) harness.
+//!
+//! # Open loop, and why it matters
+//!
+//! The closed-loop harness issues each op only after the previous one
+//! completes: when the store slows down, the *offered load drops with
+//! it*, which hides queueing delay — the coordinated-omission trap. This
+//! harness instead schedules arrivals from a **Poisson process at a fixed
+//! offered rate** (exponential inter-arrival times) and measures each
+//! op's **sojourn time from its scheduled arrival**, not from when the
+//! worker finally got around to sending it. A generator running behind
+//! schedule keeps issuing — late ops are charged their full backlog wait,
+//! so p99 at loads past saturation shows the queue growing instead of a
+//! flattering service time.
+//!
+//! Reports are labeled `loop_mode: "open"`; never compare them against
+//! `"closed"` rows as if they measured the same quantity.
+//!
+//! # Retries and faults
+//!
+//! Retryable typed errors ([`WireError::is_retryable`]) back off with
+//! full jitter and re-issue, bounded by [`LoadConfig::retry`]; the
+//! sojourn clock keeps running across retries, so a PUT that needed three
+//! backpressure retries reports the latency the *caller* saw. With
+//! [`FaultPlan`] enabled, workers also attack the server on a schedule:
+//! hard connection kills, torn frames (half a frame then a dead socket),
+//! and corrupt frames (CRC bit flip), each followed by a reconnect —
+//! verifying mid-load that one abused connection never takes the server
+//! (or the other workers) down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pnw_server::{Client, ClientError, Request, RetryPolicy, ServerAddr, WireError};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::throughput::OpMix;
+
+/// When and how workers inject faults, in ops per worker (0 = never).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Every N ops: kill the connection mid-conversation and reconnect.
+    pub kill_every: u64,
+    /// Every N ops: send a torn frame (partial write + dead socket).
+    pub torn_every: u64,
+    /// Every N ops: send a CRC-corrupt frame (the server must quarantine
+    /// exactly that connection).
+    pub corrupt_every: u64,
+}
+
+impl FaultPlan {
+    /// A plan that exercises every fault kind on a short cycle.
+    pub fn aggressive() -> Self {
+        FaultPlan { kill_every: 97, torn_every: 131, corrupt_every: 173 }
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn any(&self) -> bool {
+        self.kill_every > 0 || self.torn_every > 0 || self.corrupt_every > 0
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Worker connections; the offered rate is split evenly across them.
+    pub connections: usize,
+    /// Total offered arrival rate, ops/sec (Poisson across all workers).
+    pub offered_ops_per_sec: f64,
+    /// Arrivals per worker (the run length; wall time ≈ arrivals/rate).
+    pub arrivals_per_conn: usize,
+    /// Distinct keys (uniform popularity; the serving layer is the
+    /// subject here, not cache behavior).
+    pub key_space: u64,
+    /// Value size in bytes (must match the server's store).
+    pub value_size: usize,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Per-request deadline stamped on the wire (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// Retry policy for retryable typed errors and connection failures.
+    pub retry: RetryPolicy,
+    /// Fault-injection schedule.
+    pub faults: FaultPlan,
+    /// RNG seed; worker `w` derives `seed + w`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            offered_ops_per_sec: 2_000.0,
+            arrivals_per_conn: 1_000,
+            key_space: 4_096,
+            value_size: 64,
+            mix: OpMix::mixed(),
+            deadline: None,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::default(),
+            seed: 0x09E4_0000_0000_0BEE,
+        }
+    }
+}
+
+/// Results of one open-loop run at one offered load.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Always `"open"` (see the module docs).
+    pub loop_mode: &'static str,
+    /// Worker connections.
+    pub connections: usize,
+    /// The offered (scheduled) arrival rate, ops/sec.
+    pub offered_ops_per_sec: f64,
+    /// The rate actually completed, ops/sec of wall time.
+    pub achieved_ops_per_sec: f64,
+    /// Ops that eventually succeeded (possibly after retries).
+    pub completed: u64,
+    /// Ops that failed even after exhausting retries.
+    pub failed: u64,
+    /// Total retry attempts across all ops.
+    pub retries: u64,
+    /// Typed `Backpressure` rejections observed (pre-retry).
+    pub backpressure: u64,
+    /// Typed `Overloaded` rejections observed.
+    pub overloaded: u64,
+    /// Typed `DeadlineExceeded` rejections observed.
+    pub deadline_exceeded: u64,
+    /// Typed `Draining` rejections observed.
+    pub draining: u64,
+    /// Faults injected (kills + torn + corrupt frames).
+    pub faults_injected: u64,
+    /// Reconnects performed (after faults and connection errors).
+    pub reconnects: u64,
+    /// Median sojourn time (scheduled arrival → completion), µs.
+    pub p50_us: u64,
+    /// 90th-percentile sojourn time, µs.
+    pub p90_us: u64,
+    /// 99th-percentile sojourn time, µs. Past saturation this grows with
+    /// the backlog — the number closed-loop measurement hides.
+    pub p99_us: u64,
+    /// Worst sojourn time, µs.
+    pub max_us: u64,
+    /// Wall-clock of the measured window.
+    pub elapsed: Duration,
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    backpressure: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    draining: AtomicU64,
+    faults: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+fn note_typed_error(tally: &Tally, e: &ClientError) {
+    if let ClientError::Server(w) = e {
+        match w {
+            WireError::Backpressure { .. } => {
+                tally.backpressure.fetch_add(1, Ordering::Relaxed);
+            }
+            WireError::Overloaded => {
+                tally.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            WireError::DeadlineExceeded => {
+                tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            WireError::Draining => {
+                tally.draining.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One op under the retry policy, counting typed rejections and
+/// reconnecting on connection failures. Returns whether it succeeded.
+fn call_counted(
+    client: &mut Client,
+    req: &Request,
+    retry: &RetryPolicy,
+    rng_state: &mut u64,
+    tally: &Tally,
+) -> bool {
+    let mut attempt = 0u32;
+    loop {
+        let err = match client.call(req) {
+            Ok(_) => return true,
+            Err(e) => e,
+        };
+        note_typed_error(tally, &err);
+        if !err.is_retryable() || attempt >= retry.max_retries {
+            return false;
+        }
+        if matches!(err, ClientError::Io(_) | ClientError::Frame(_))
+            && client.reconnect().is_ok()
+        {
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        std::thread::sleep(retry.backoff(attempt, rng_state));
+        tally.retries.fetch_add(1, Ordering::Relaxed);
+        attempt += 1;
+    }
+}
+
+/// Injects the fault scheduled for op number `n` (if any); returns how
+/// many faults fired.
+fn maybe_fault(client: &mut Client, plan: &FaultPlan, n: u64, tally: &Tally) {
+    let due = |every: u64| every > 0 && n % every == every - 1;
+    if due(plan.kill_every) {
+        client.kill();
+        tally.faults.fetch_add(1, Ordering::Relaxed);
+        if client.reconnect().is_ok() {
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if due(plan.torn_every) {
+        // Torn frame: half a PUT frame, then a dead socket.
+        let _ = client.send_torn_frame(&Request::Get { key: 0 }, 9);
+        tally.faults.fetch_add(1, Ordering::Relaxed);
+        if client.reconnect().is_ok() {
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if due(plan.corrupt_every) {
+        // Corrupt frame: the server quarantines this connection; the
+        // next call sees the typed error / EOF and reconnects.
+        let _ = client.send_corrupt_frame(&Request::Get { key: 0 });
+        tally.faults.fetch_add(1, Ordering::Relaxed);
+        if client.reconnect().is_ok() {
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one open-loop measurement against a server at `addr`.
+///
+/// Every worker needs the server's store to accept `cfg.value_size`
+/// values; size them to match.
+pub fn run_open_loop(addr: &ServerAddr, cfg: &LoadConfig) -> LoadReport {
+    assert!(cfg.connections > 0, "need at least one connection");
+    assert!(cfg.offered_ops_per_sec > 0.0, "offered load must be positive");
+    let per_conn_rate = cfg.offered_ops_per_sec / cfg.connections as f64;
+    let tally = Arc::new(Tally::default());
+    let barrier = Arc::new(Barrier::new(cfg.connections + 1));
+    let epoch = Instant::now();
+
+    let mut handles = Vec::new();
+    for w in 0..cfg.connections {
+        let addr = addr.clone();
+        let cfg = cfg.clone();
+        let tally = Arc::clone(&tally);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.set_deadline(cfg.deadline);
+            client.reseed(cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
+            let mut rng = StdRng::seed_from_u64(cfg.seed + w as u64);
+            let mut backoff_rng = cfg.seed ^ 0xB0FF ^ (w as u64) | 1;
+            let mut sojourn_us: Vec<u64> = Vec::with_capacity(cfg.arrivals_per_conn);
+            let mut value = vec![0u8; cfg.value_size];
+
+            barrier.wait();
+            let start = Instant::now();
+            // The Poisson arrival schedule, built incrementally: the next
+            // arrival is `Exp(rate)` after the previous *scheduled* one —
+            // independent of when the worker actually caught up.
+            let mut scheduled = Duration::ZERO;
+            for n in 0..cfg.arrivals_per_conn {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                scheduled += Duration::from_secs_f64(-u.ln() / per_conn_rate);
+                // Sleep only if ahead of schedule; behind, issue at once
+                // and let the sojourn clock charge the backlog.
+                let now = start.elapsed();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                maybe_fault(&mut client, &cfg.faults, n as u64, &tally);
+                let key = rng.gen_range(0..cfg.key_space);
+                let dice: u8 = rng.gen_range(0..100u8);
+                let req = if dice < cfg.mix.put_pct {
+                    for b in &mut value {
+                        *b = rng.gen();
+                    }
+                    Request::Put { key, value: value.clone() }
+                } else if dice < cfg.mix.put_pct + cfg.mix.get_pct {
+                    Request::Get { key }
+                } else {
+                    Request::Delete { key }
+                };
+                let ok = call_counted(&mut client, &req, &cfg.retry, &mut backoff_rng, &tally);
+                if ok {
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    tally.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                // Coordinated-omission-safe: from *scheduled* arrival, not
+                // from send.
+                let sojourn = start.elapsed().saturating_sub(scheduled);
+                sojourn_us.push(sojourn.as_micros() as u64);
+            }
+            (epoch.elapsed(), sojourn_us)
+        }));
+    }
+
+    barrier.wait();
+    let started = epoch.elapsed();
+    let mut sojourns: Vec<u64> = Vec::new();
+    let mut end = Duration::ZERO;
+    for h in handles {
+        let (t_end, s) = h.join().expect("load worker");
+        end = end.max(t_end);
+        sojourns.extend(s);
+    }
+    let elapsed = end.saturating_sub(started);
+
+    sojourns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if sojourns.is_empty() {
+            0
+        } else {
+            sojourns[((sojourns.len() as f64 - 1.0) * p).round() as usize]
+        }
+    };
+    let completed = tally.completed.load(Ordering::Relaxed);
+    LoadReport {
+        loop_mode: "open",
+        connections: cfg.connections,
+        offered_ops_per_sec: cfg.offered_ops_per_sec,
+        achieved_ops_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        completed,
+        failed: tally.failed.load(Ordering::Relaxed),
+        retries: tally.retries.load(Ordering::Relaxed),
+        backpressure: tally.backpressure.load(Ordering::Relaxed),
+        overloaded: tally.overloaded.load(Ordering::Relaxed),
+        deadline_exceeded: tally.deadline_exceeded.load(Ordering::Relaxed),
+        draining: tally.draining.load(Ordering::Relaxed),
+        faults_injected: tally.faults.load(Ordering::Relaxed),
+        reconnects: tally.reconnects.load(Ordering::Relaxed),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: sojourns.last().copied().unwrap_or(0),
+        elapsed,
+    }
+}
+
+/// Serializes open-loop reports as JSON (hand-rolled like the rest of the
+/// perf-trajectory files) for `BENCH_server.json`.
+pub fn to_json(reports: &[LoadReport]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"server_open_loop\",\n  \"results\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"loop_mode\": \"{}\", \"connections\": {}, \
+             \"offered_ops_per_sec\": {:.1}, \"achieved_ops_per_sec\": {:.1}, \
+             \"completed\": {}, \"failed\": {}, \"retries\": {}, \
+             \"backpressure\": {}, \"overloaded\": {}, \
+             \"deadline_exceeded\": {}, \"draining\": {}, \
+             \"faults_injected\": {}, \"reconnects\": {}, \
+             \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+             \"elapsed_ms\": {:.3}}}{}\n",
+            r.loop_mode,
+            r.connections,
+            r.offered_ops_per_sec,
+            r.achieved_ops_per_sec,
+            r.completed,
+            r.failed,
+            r.retries,
+            r.backpressure,
+            r.overloaded,
+            r.deadline_exceeded,
+            r.draining,
+            r.faults_injected,
+            r.reconnects,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.max_us,
+            r.elapsed.as_secs_f64() * 1e3,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(path: &std::path::Path, reports: &[LoadReport]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnw_core::{PnwConfig, ShardedPnwStore, Store};
+    use pnw_server::{Server, ServerConfig};
+
+    fn start_server(value_size: usize) -> Server {
+        let store: Arc<dyn Store> = Arc::new(ShardedPnwStore::new(
+            PnwConfig::new(16_384, value_size).with_clusters(2).with_shards(2),
+        ));
+        Server::start(
+            store,
+            &ServerAddr::parse("tcp://127.0.0.1:0").unwrap(),
+            ServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn open_loop_completes_and_reports() {
+        let server = start_server(16);
+        let cfg = LoadConfig {
+            connections: 2,
+            offered_ops_per_sec: 4_000.0,
+            arrivals_per_conn: 150,
+            key_space: 512,
+            value_size: 16,
+            ..Default::default()
+        };
+        let r = run_open_loop(server.local_addr(), &cfg);
+        assert_eq!(r.loop_mode, "open");
+        assert_eq!(r.completed + r.failed, 300);
+        assert_eq!(r.failed, 0, "unloaded server must complete everything");
+        assert!(r.achieved_ops_per_sec > 0.0);
+        assert!(r.p50_us <= r.p99_us && r.p99_us <= r.max_us);
+        let j = to_json(&[r]);
+        assert!(j.contains("\"bench\": \"server_open_loop\""));
+        assert!(j.contains("\"loop_mode\": \"open\""));
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn faults_do_not_sink_the_run() {
+        let server = start_server(16);
+        let cfg = LoadConfig {
+            connections: 2,
+            offered_ops_per_sec: 6_000.0,
+            arrivals_per_conn: 120,
+            key_space: 256,
+            value_size: 16,
+            faults: FaultPlan { kill_every: 25, torn_every: 40, corrupt_every: 55 },
+            ..Default::default()
+        };
+        let r = run_open_loop(server.local_addr(), &cfg);
+        assert!(r.faults_injected > 0, "faults must actually fire");
+        assert!(r.reconnects >= r.faults_injected, "every fault reconnects");
+        // The server survives: the overwhelming majority of ops complete
+        // (an op racing its own injected kill may legitimately fail).
+        assert!(
+            r.completed as f64 >= 0.95 * (r.completed + r.failed) as f64,
+            "completed {} failed {}",
+            r.completed,
+            r.failed
+        );
+        let stats = server.stats();
+        assert!(stats.quarantined > 0, "corrupt frames must quarantine");
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn saturation_shows_up_in_sojourn_not_drops() {
+        // max_inflight 1 + a load far above what one permit serves: the
+        // open-loop p99 must reflect the backlog (≫ p50 service time).
+        let store: Arc<dyn Store> = Arc::new(ShardedPnwStore::new(
+            PnwConfig::new(16_384, 16).with_clusters(2).with_shards(2),
+        ));
+        let server = Server::start(
+            store,
+            &ServerAddr::parse("tcp://127.0.0.1:0").unwrap(),
+            ServerConfig { max_inflight: 1, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let lo = run_open_loop(
+            server.local_addr(),
+            &LoadConfig {
+                connections: 1,
+                offered_ops_per_sec: 500.0,
+                arrivals_per_conn: 100,
+                value_size: 16,
+                ..Default::default()
+            },
+        );
+        let hi = run_open_loop(
+            server.local_addr(),
+            &LoadConfig {
+                connections: 4,
+                offered_ops_per_sec: 100_000.0,
+                arrivals_per_conn: 100,
+                value_size: 16,
+                ..Default::default()
+            },
+        );
+        assert!(
+            hi.achieved_ops_per_sec < hi.offered_ops_per_sec * 0.9
+                || hi.p99_us > lo.p99_us,
+            "past saturation the report must show backlog: lo p99 {}µs hi p99 {}µs",
+            lo.p99_us,
+            hi.p99_us
+        );
+        server.drain().unwrap();
+    }
+}

@@ -187,6 +187,13 @@ impl Default for ThroughputConfig {
 /// Results of one throughput run.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
+    /// How load was generated: `"closed"` — each client thread issues its
+    /// next op only after the previous one completes, so the measured
+    /// latency hides queueing delay (coordinated omission). The open-loop
+    /// counterpart lives in [`serverbench`](crate::serverbench) and labels
+    /// its rows `"open"`; the label keeps the two regimes from being
+    /// compared as if they measured the same thing.
+    pub loop_mode: &'static str,
     /// Backend driven (its [`Store::name`]).
     pub backend: String,
     /// Client threads used.
@@ -523,6 +530,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
     let snap = store.snapshot();
     ThroughputReport {
+        loop_mode: "closed",
         backend: store.name().to_string(),
         threads: cfg.threads,
         shards: if cfg.backend == Backend::Pnw {
@@ -572,7 +580,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"results\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
+            "    {{\"loop_mode\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"batch\": {}, \"locked_reads\": {}, \"total_ops\": {}, \
              \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.1}, \
              \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \
@@ -581,6 +589,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
              \"full_errors\": {}, \"bit_flips\": {}, \
              \"retrains\": {}, \"model_epoch\": {}, \"last_train_ms\": {:.2}, \
              \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}}}{}\n",
+            r.loop_mode,
             r.backend,
             r.threads,
             r.shards,
@@ -664,6 +673,7 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.backend, "PNW-sharded");
+        assert_eq!(r.loop_mode, "closed");
         assert_eq!(r.batch, 0);
         assert_eq!(r.total_ops, 400);
         assert_eq!(r.puts + r.gets + r.deletes + r.full_errors, 400);
@@ -802,6 +812,7 @@ mod tests {
         };
         let j = to_json(&[run(&cfg)]);
         assert!(j.contains("\"bench\": \"throughput\""));
+        assert!(j.contains("\"loop_mode\": \"closed\""));
         assert!(j.contains("\"threads\": 1"));
         assert!(j.contains("\"ops_per_sec\""));
     }

@@ -100,6 +100,15 @@ pub trait Store: Send + Sync {
     /// store with "old data", §VI-A).
     fn reset_device_stats(&self);
 
+    /// Flushes the store's durable state (WAL-truncating atomic
+    /// checkpoint on a file-backed store) — the drain hook a serving
+    /// front end calls between "stop accepting" and process exit, so a
+    /// clean shutdown never replays a WAL on the next open. No-op on
+    /// volatile backends, which is the default.
+    fn checkpoint(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
     /// Executes a batch of write operations and returns the aggregate
     /// report. See the [module docs](self) for the exact semantics.
     ///

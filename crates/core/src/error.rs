@@ -35,8 +35,16 @@ pub enum StoreError {
     /// not draining fast enough for the offered load. The operation was
     /// **not** applied — callers should back off and retry instead of
     /// piling onto a lock (the explicit alternative to lock convoying in
-    /// the single-writer design).
-    Backpressure,
+    /// the single-writer design). Carries *which* shard rejected and the
+    /// queue depth at rejection, so an overload response (or a server log
+    /// line) is actionable: a single hot shard reads differently from a
+    /// store-wide saturation.
+    Backpressure {
+        /// The shard whose bounded write queue rejected the operation.
+        shard: usize,
+        /// That queue's depth (= its configured capacity) at rejection.
+        depth: usize,
+    },
     /// The configuration the store was built from is invalid.
     Config(ConfigError),
     /// Underlying device failure.
@@ -81,8 +89,11 @@ impl std::fmt::Display for StoreError {
                 write!(f, "value size {got} != configured size {expected}")
             }
             StoreError::ModelUnavailable => write!(f, "model unavailable"),
-            StoreError::Backpressure => {
-                write!(f, "shard write queue is full — back off and retry")
+            StoreError::Backpressure { shard, depth } => {
+                write!(
+                    f,
+                    "shard {shard} write queue is full at depth {depth} — back off and retry"
+                )
             }
             StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
             StoreError::Nvm(e) => write!(f, "device error: {e}"),
@@ -107,7 +118,10 @@ mod tests {
         assert!(e.to_string().contains('8'));
         assert!(e.to_string().contains('4'));
         assert!(StoreError::ModelUnavailable.to_string().contains("model"));
-        assert!(StoreError::Backpressure.to_string().contains("queue"));
+        let e = StoreError::Backpressure { shard: 3, depth: 1024 };
+        assert!(e.to_string().contains("queue"));
+        assert!(e.to_string().contains("shard 3"), "message must name the shard: {e}");
+        assert!(e.to_string().contains("1024"), "message must carry the depth: {e}");
         let e = StoreError::Corrupt("checkpoint CRC mismatch".into());
         assert!(e.to_string().contains("corrupt"));
         assert!(e.to_string().contains("CRC"));

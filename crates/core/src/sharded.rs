@@ -360,7 +360,8 @@ impl ShardedPnwStore {
     pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
         crate::shard::check_value(&self.cfg, value)?;
         self.install_if_ready();
-        let sh = &self.shards[self.shard_of(key)];
+        let sid = self.shard_of(key);
+        let sh = &self.shards[sid];
         if let Ok(mut eng) = sh.engine.try_lock() {
             let mut due = false;
             let res = Self::exec_put(&mut eng, key, value, &mut due);
@@ -371,7 +372,7 @@ impl ShardedPnwStore {
         }
         let slot = Arc::new(OpSlot::default());
         self.enqueue(
-            sh,
+            sid,
             OwnedOp::Put {
                 key,
                 value: value.to_vec(),
@@ -457,7 +458,8 @@ impl ShardedPnwStore {
     /// model lock, and combines through the shard queue under contention.
     pub fn delete(&self, key: u64) -> Result<bool, PnwError> {
         self.install_if_ready();
-        let sh = &self.shards[self.shard_of(key)];
+        let sid = self.shard_of(key);
+        let sh = &self.shards[sid];
         if let Ok(mut eng) = sh.engine.try_lock() {
             let res = eng.delete(key);
             let due = self.drain_queue(sh, &mut eng);
@@ -467,7 +469,7 @@ impl ShardedPnwStore {
         }
         let slot = Arc::new(OpSlot::default());
         self.enqueue(
-            sh,
+            sid,
             OwnedOp::Delete {
                 key,
                 slot: Arc::clone(&slot),
@@ -480,11 +482,16 @@ impl ShardedPnwStore {
     }
 
     /// Pushes a command onto the shard's bounded queue, or rejects it with
-    /// [`StoreError::Backpressure`] when the combiner is saturated.
-    fn enqueue(&self, sh: &Shard, op: OwnedOp) -> Result<(), StoreError> {
+    /// [`StoreError::Backpressure`] — naming the shard and its queue depth
+    /// — when the combiner is saturated.
+    fn enqueue(&self, sid: usize, op: OwnedOp) -> Result<(), StoreError> {
+        let sh = &self.shards[sid];
         let mut q = sh.queue.lock().unwrap();
         if q.len() >= sh.queue_cap {
-            return Err(StoreError::Backpressure);
+            return Err(StoreError::Backpressure {
+                shard: sid,
+                depth: q.len(),
+            });
         }
         q.push_back(op);
         Ok(())
@@ -821,6 +828,10 @@ impl Store for ShardedPnwStore {
         ShardedPnwStore::reset_device_stats(self)
     }
 
+    fn checkpoint(&self) -> Result<(), StoreError> {
+        ShardedPnwStore::checkpoint(self)
+    }
+
     /// Batched writes, the sharded store's centerpiece: the batch is
     /// grouped by shard and each shard's group runs under one engine
     /// acquisition — predicting through the shard's already-resident
@@ -882,7 +893,7 @@ impl Store for ShardedPnwStore {
             } else {
                 let sub: Vec<Op> = idxs.iter().map(|&i| ops[i as usize].clone()).collect();
                 let slot = Arc::new(OpSlot::default());
-                match self.enqueue(sh, OwnedOp::Group { ops: sub, slot: Arc::clone(&slot) }) {
+                match self.enqueue(sid, OwnedOp::Group { ops: sub, slot: Arc::clone(&slot) }) {
                     Ok(()) => pending.push((sid, slot, idxs)),
                     Err(e) => {
                         for &i in idxs {
@@ -1060,7 +1071,7 @@ mod tests {
         let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let rejected = results
             .iter()
-            .filter(|r| matches!(r, Err(StoreError::Backpressure)))
+            .filter(|r| matches!(r, Err(StoreError::Backpressure { shard: 0, depth: 1 })))
             .count();
         let applied = results.iter().filter(|r| r.is_ok()).count();
         assert_eq!(

@@ -514,6 +514,10 @@ impl Store for PnwStore {
         PnwStore::reset_device_stats(self)
     }
 
+    fn checkpoint(&self) -> Result<(), StoreError> {
+        PnwStore::checkpoint(self)
+    }
+
     /// Batched writes: the store lock is taken **once for the whole
     /// batch**, the background-install check runs once, and every PUT goes
     /// through the engine's unreported fast path

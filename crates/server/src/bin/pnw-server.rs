@@ -1,0 +1,161 @@
+//! The `pnw-server` binary: serve a (durable or volatile) PNW store over
+//! TCP or a Unix socket until SIGTERM/SIGINT, then drain gracefully —
+//! stop accepting, flush in-flight requests, checkpoint, exit.
+//!
+//! Exit codes: 0 = clean drain; 1 = bad usage or startup failure;
+//! 2 = drain deadline forced stragglers or the final checkpoint failed.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pnw_core::{PnwConfig, ShardedPnwStore, Store};
+use pnw_server::{install_shutdown_handler, shutdown_requested, Server, ServerAddr, ServerConfig};
+
+const USAGE: &str = "\
+pnw-server — serve a Predict-and-Write store over TCP or a Unix socket
+
+USAGE: pnw-server [OPTIONS]
+
+Store:
+  --path <DIR>            durable directory (opened/recovered; omit = volatile)
+  --capacity <N>          total buckets                  [default: 65536]
+  --value-size <B>        value bytes per bucket         [default: 64]
+  --shards <N>            shard count                    [default: 4]
+  --clusters <K>          K-means clusters per shard     [default: 4]
+  --queue-depth <N>       per-shard write queue bound    [default: 1024]
+
+Serving:
+  --listen <ADDR>         tcp://host:port or unix:///path
+                                           [default: tcp://127.0.0.1:7464]
+  --max-conns <N>         concurrent connections         [default: 64]
+  --max-inflight <N>      requests executing at once     [default: 32]
+  --max-waiting <N>       requests parked for admission  [default: 128]
+  --idle-timeout-ms <MS>  close silent connections after [default: 30000]
+  --drain-deadline-ms <MS> bound on graceful drain       [default: 5000]
+  --max-frame <B>         frame payload size limit       [default: 1048576]
+
+  -h, --help              print this help
+";
+
+struct Args {
+    listen: ServerAddr,
+    path: Option<String>,
+    capacity: usize,
+    value_size: usize,
+    shards: usize,
+    clusters: usize,
+    queue_depth: usize,
+    cfg: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: ServerAddr::Tcp("127.0.0.1:7464".into()),
+        path: None,
+        capacity: 65536,
+        value_size: 64,
+        shards: 4,
+        clusters: 4,
+        queue_depth: 1024,
+        cfg: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            return Err(String::new());
+        }
+        let mut val = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = ServerAddr::parse(&val()?)?,
+            "--path" => args.path = Some(val()?),
+            "--capacity" => args.capacity = parse_num(&flag, &val()?)?,
+            "--value-size" => args.value_size = parse_num(&flag, &val()?)?,
+            "--shards" => args.shards = parse_num(&flag, &val()?)?,
+            "--clusters" => args.clusters = parse_num(&flag, &val()?)?,
+            "--queue-depth" => args.queue_depth = parse_num(&flag, &val()?)?,
+            "--max-conns" => args.cfg.max_conns = parse_num(&flag, &val()?)?,
+            "--max-inflight" => args.cfg.max_inflight = parse_num(&flag, &val()?)?,
+            "--max-waiting" => args.cfg.max_waiting = parse_num(&flag, &val()?)?,
+            "--idle-timeout-ms" => {
+                args.cfg.idle_timeout = Duration::from_millis(parse_num(&flag, &val()?)?)
+            }
+            "--drain-deadline-ms" => {
+                args.cfg.drain_deadline = Duration::from_millis(parse_num(&flag, &val()?)?)
+            }
+            "--max-frame" => args.cfg.max_frame = parse_num(&flag, &val()?)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: '{s}' is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("pnw-server: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = PnwConfig::new(args.capacity, args.value_size)
+        .with_clusters(args.clusters)
+        .with_shards(args.shards)
+        .with_shard_queue_depth(args.queue_depth);
+    let durable = args.path.is_some();
+    if let Some(path) = &args.path {
+        cfg = cfg.with_path(path);
+    }
+    let store: Arc<dyn Store> = if durable {
+        match ShardedPnwStore::open(cfg) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("pnw-server: failed to open store: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Arc::new(ShardedPnwStore::new(cfg))
+    };
+
+    install_shutdown_handler();
+    let server = match Server::start(store, &args.listen, args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pnw-server: failed to bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("pnw-server: serving on {}", server.local_addr());
+
+    while !shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("pnw-server: shutdown signal received; draining");
+    match server.drain() {
+        Ok(report) if report.clean => {
+            eprintln!("pnw-server: drained cleanly in {:?}", report.elapsed);
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            eprintln!(
+                "pnw-server: drain deadline forced {} straggler connection(s)",
+                report.stragglers
+            );
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("pnw-server: final checkpoint failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The client library: synchronous calls, explicit pipelining, bounded
+//! retry with full-jitter backoff, and the fault-injection hooks the
+//! open-loop load generator uses to attack the server.
+//!
+//! # Retry contract
+//!
+//! Only [`WireError::is_retryable`] errors (backpressure, overload,
+//! deadline, draining) and *connection* failures are retried — the op was
+//! rejected before being applied, or its fate is unknown and every store
+//! op is idempotent (PUT overwrites, DELETE of an absent key reports
+//! `false`), so re-issuing is safe. Retries back off with **full jitter**:
+//! sleep `uniform(0, min(cap, base · 2^attempt))`, the standard cure for
+//! retry herds reconverging on a saturated server at the same instant.
+
+use std::io::Write;
+use std::time::Duration;
+
+use crate::net::{Conn, ServerAddr};
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, RequestFrame,
+    Response, ResponseFrame, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket-level failure (connect, send, receive).
+    Io(std::io::Error),
+    /// The server's frame failed validation (truncated stream, bad CRC…).
+    Frame(FrameError),
+    /// The server's payload decoded wrongly or answered the wrong id.
+    Protocol(String),
+    /// A typed error from the server.
+    Server(WireError),
+}
+
+impl ClientError {
+    /// Whether retrying (possibly after a reconnect) can succeed: typed
+    /// retryable server errors, and connection-level failures where the
+    /// op's fate is unknown but re-issuing is idempotent.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Server(e) => e.is_retryable(),
+            ClientError::Io(_) | ClientError::Frame(_) => true,
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Bounded exponential backoff with full jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once).
+    pub max_retries: u32,
+    /// Backoff base; attempt `n` sleeps `uniform(0, min(cap, base·2ⁿ))`.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry `attempt` (0-based), drawn from
+    /// `rng` (xorshift state).
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let ceil = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap)
+            .as_nanos() as u64;
+        if ceil == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(xorshift(rng) % ceil)
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A connection to one [`Server`](crate::Server), with synchronous calls,
+/// explicit pipelining, and fault-injection hooks.
+pub struct Client {
+    addr: ServerAddr,
+    conn: Option<Conn>,
+    next_id: u64,
+    deadline_us: u32,
+    max_frame: usize,
+    rng: u64,
+    req_buf: Vec<u8>,
+    resp_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: &ServerAddr) -> Result<Client, ClientError> {
+        let conn = addr.connect()?;
+        Ok(Client {
+            addr: addr.clone(),
+            conn: Some(conn),
+            next_id: 1,
+            deadline_us: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            req_buf: Vec::new(),
+            resp_buf: Vec::new(),
+        })
+    }
+
+    /// Sets the per-request deadline stamped on every subsequent request
+    /// (`None` = no deadline). Durations above ~71 minutes saturate.
+    pub fn set_deadline(&mut self, d: Option<Duration>) {
+        self.deadline_us = match d {
+            Some(d) => u32::try_from(d.as_micros()).unwrap_or(u32::MAX).max(1),
+            None => 0,
+        };
+    }
+
+    /// Caps how long a blocking receive waits (`None` = forever).
+    pub fn set_recv_timeout(&mut self, d: Option<Duration>) -> Result<(), ClientError> {
+        self.live()?.set_read_timeout(d)?;
+        Ok(())
+    }
+
+    /// Reseeds the jitter RNG (so concurrent clients don't share a
+    /// backoff schedule).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = seed | 1;
+    }
+
+    /// The server address this client (re)connects to.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    fn live(&mut self) -> Result<&mut Conn, ClientError> {
+        self.conn.as_mut().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection was killed; call reconnect()",
+            ))
+        })
+    }
+
+    // -- pipelining ---------------------------------------------------------
+
+    /// Sends one request without waiting; returns the id to match the
+    /// response by. Responses come back in send order on a connection.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = RequestFrame { id, deadline_us: self.deadline_us, req: req.clone() };
+        encode_request(&frame, &mut self.req_buf);
+        let buf = std::mem::take(&mut self.req_buf);
+        let conn = self.live()?;
+        let res = write_frame(conn, &buf).and_then(|()| conn.flush());
+        self.req_buf = buf;
+        res?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame.
+    pub fn recv(&mut self) -> Result<ResponseFrame, ClientError> {
+        let max = self.max_frame;
+        let mut buf = std::mem::take(&mut self.resp_buf);
+        let conn = self.live()?;
+        let res = read_frame(conn, max, &mut buf);
+        self.resp_buf = buf;
+        res?;
+        decode_response(&self.resp_buf).map_err(ClientError::Protocol)
+    }
+
+    // -- synchronous calls --------------------------------------------------
+
+    /// Sends `req` and waits for its response, unwrapping typed errors.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
+        let frame = self.recv()?;
+        if frame.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                frame.id
+            )));
+        }
+        match frame.resp {
+            Response::Err(e) => Err(ClientError::Server(e)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Inserts or updates one key.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(), ClientError> {
+        match self.call(&Request::Put { key, value: value.to_vec() })? {
+            Response::Put => Ok(()),
+            other => Err(unexpected("PUT", &other)),
+        }
+    }
+
+    /// Reads one key.
+    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(&Request::Get { key })? {
+            Response::Get(v) => Ok(v),
+            other => Err(unexpected("GET", &other)),
+        }
+    }
+
+    /// Deletes one key; returns whether it existed.
+    pub fn delete(&mut self, key: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Delete { key })? {
+            Response::Delete(existed) => Ok(existed),
+            other => Err(unexpected("DELETE", &other)),
+        }
+    }
+
+    /// Applies a batch of writes; returns `(completed, failures)`.
+    #[allow(clippy::type_complexity)]
+    pub fn batch(
+        &mut self,
+        ops: Vec<crate::protocol::WireOp>,
+    ) -> Result<(u32, Vec<(u32, WireError)>), ClientError> {
+        match self.call(&Request::Batch { ops })? {
+            Response::Batch { completed, failures } => Ok((completed, failures)),
+            other => Err(unexpected("BATCH", &other)),
+        }
+    }
+
+    /// Liveness probe (answered even while the server drains).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("PING", &other)),
+        }
+    }
+
+    // -- retry --------------------------------------------------------------
+
+    /// [`Client::call`] under a [`RetryPolicy`]: retryable typed errors
+    /// back off with full jitter; connection failures reconnect first.
+    /// Safe because every store op is idempotent (see module docs).
+    pub fn call_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if !err.is_retryable() || attempt >= policy.max_retries {
+                return Err(err);
+            }
+            if matches!(err, ClientError::Io(_) | ClientError::Frame(_)) {
+                // The connection is toast; a fresh one is part of the
+                // backoff. Failure to reconnect consumes the attempt.
+                let _ = self.reconnect();
+            }
+            std::thread::sleep(policy.backoff(attempt, &mut self.rng));
+            attempt += 1;
+        }
+    }
+
+    // -- fault injection ----------------------------------------------------
+
+    /// Drops the connection without any protocol goodbye — the peer sees
+    /// a hard EOF or reset mid-conversation.
+    pub fn kill(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.shutdown();
+        }
+    }
+
+    /// Opens a fresh connection (after [`Client::kill`] or a server
+    /// restart). Pipelined-but-unacked requests are forgotten.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.kill();
+        self.conn = Some(self.addr.connect()?);
+        Ok(())
+    }
+
+    /// Writes `bytes` verbatim onto the socket — for frames no honest
+    /// encoder would produce.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        let conn = self.live()?;
+        conn.write_all(bytes)?;
+        conn.flush()?;
+        Ok(())
+    }
+
+    /// Encodes `req` as a frame but sends only the first `keep` bytes —
+    /// a torn frame, as if the sender died mid-write. The connection is
+    /// then killed so the server observes the truncation.
+    pub fn send_torn_frame(&mut self, req: &Request, keep: usize) -> Result<(), ClientError> {
+        let frame =
+            RequestFrame { id: self.next_id, deadline_us: self.deadline_us, req: req.clone() };
+        self.next_id += 1;
+        encode_request(&frame, &mut self.req_buf);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &self.req_buf)?;
+        let keep = keep.min(wire.len().saturating_sub(1)).max(1);
+        let conn = self.live()?;
+        conn.write_all(&wire[..keep])?;
+        conn.flush()?;
+        self.kill();
+        Ok(())
+    }
+
+    /// Sends `req` as a complete frame whose CRC field has one bit
+    /// flipped — an in-flight corruption the server must detect before
+    /// decoding a single payload field.
+    pub fn send_corrupt_frame(&mut self, req: &Request) -> Result<(), ClientError> {
+        let frame =
+            RequestFrame { id: self.next_id, deadline_us: self.deadline_us, req: req.clone() };
+        self.next_id += 1;
+        encode_request(&frame, &mut self.req_buf);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &self.req_buf)?;
+        wire[4] ^= 0x01; // one bit of the CRC field
+        let conn = self.live()?;
+        conn.write_all(&wire)?;
+        conn.flush()?;
+        Ok(())
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("{what} answered with mismatched response {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use pnw_core::{PnwConfig, PnwStore, Store};
+    use std::sync::Arc;
+
+    fn start_server() -> (Server, Client) {
+        let store: Arc<dyn Store> =
+            Arc::new(PnwStore::new(PnwConfig::new(256, 16).with_clusters(2)));
+        let server = Server::start(
+            store,
+            &ServerAddr::parse("tcp://127.0.0.1:0").unwrap(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let client = Client::connect(server.local_addr()).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let (server, mut c) = start_server();
+        c.put(1, &[7u8; 16]).unwrap();
+        assert_eq!(c.get(1).unwrap(), Some(vec![7u8; 16]));
+        assert_eq!(c.get(2).unwrap(), None);
+        assert!(c.delete(1).unwrap());
+        assert!(!c.delete(1).unwrap());
+        c.ping().unwrap();
+        drop(c);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn wrong_value_size_is_a_typed_error() {
+        let (server, mut c) = start_server();
+        match c.put(1, &[1u8; 3]) {
+            Err(ClientError::Server(WireError::WrongValueSize { expected: 16, got: 3 })) => {}
+            other => panic!("expected WrongValueSize, got {other:?}"),
+        }
+        drop(c);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batchs_and_singles_interleave() {
+        let (server, mut c) = start_server();
+        let mut ids = Vec::new();
+        for k in 0..8u64 {
+            ids.push(c.send(&Request::Put { key: k, value: vec![k as u8; 16] }).unwrap());
+        }
+        for expected in ids {
+            let frame = c.recv().unwrap();
+            assert_eq!(frame.id, expected);
+            assert_eq!(frame.resp, Response::Put);
+        }
+        let (completed, failures) = c
+            .batch(vec![
+                crate::protocol::WireOp::Put { key: 100, value: vec![1u8; 16] },
+                crate::protocol::WireOp::Delete { key: 0 },
+            ])
+            .unwrap();
+        assert_eq!(completed, 2);
+        assert!(failures.is_empty());
+        drop(c);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn kill_then_reconnect_restores_service() {
+        let (server, mut c) = start_server();
+        c.put(1, &[1u8; 16]).unwrap();
+        c.kill();
+        assert!(c.get(1).is_err());
+        c.reconnect().unwrap();
+        assert_eq!(c.get(1).unwrap(), Some(vec![1u8; 16]));
+        drop(c);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+        };
+        let mut rng = 42u64;
+        for attempt in 0..16 {
+            let ceil = Duration::from_millis(1 << attempt.min(3)).min(p.cap);
+            for _ in 0..32 {
+                assert!(p.backoff(attempt, &mut rng) < ceil.max(Duration::from_nanos(1)));
+            }
+        }
+        // Not all draws are equal (it *is* jittered).
+        let draws: Vec<_> = (0..8).map(|_| p.backoff(3, &mut rng)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -22,6 +22,7 @@
 //! | `pnw-schemes` | DCW, Flip-N-Write, MinShift, Captopril codecs |
 //! | `pnw-baselines` | FPTree-like, NoveLSM-like, Path-Hashing stores |
 //! | `pnw-workloads` | deterministic stand-ins for the paper's datasets |
+//! | `pnw-server` | socket front end + client: framing, backpressure, drain |
 //! | `pnw-bench` | figure/table reproduction harness and benches |
 //!
 //! ## Quickstart
@@ -117,6 +118,7 @@
 #![warn(missing_docs)]
 
 pub use pnw_core as core_api;
+pub use pnw_server as server;
 
 pub use pnw_bench::throughput;
 pub use pnw_core::{
