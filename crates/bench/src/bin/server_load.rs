@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p pnw-bench --bin server_load -- [--quick]
-//!     [--value-size N] [--out BENCH_server.json]
+//!     [--wear] [--value-size N] [--out BENCH_server.json]
 //! ```
 //!
 //! The run is a scripted robustness scenario, all in one process:
@@ -24,6 +24,16 @@
 //!
 //! Both load points land in `BENCH_server.json`, labeled
 //! `loop_mode: "open"`.
+//!
+//! `--wear` runs the same scenario on wearing-out media: a low endurance
+//! threshold with probabilistic stuck-at latching, the background
+//! scrubber on, and a small key space so hot words genuinely cross the
+//! threshold mid-run. The exit-code contract tightens: the server must
+//! stay up through the latching, any corruption must surface as the
+//! *typed* non-retryable wire error (counted per phase, never a
+//! quarantine or a crash), the wear machinery must demonstrably engage
+//! (latched bits or retired buckets in the final snapshot), and the
+//! drain must still be clean.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -36,16 +46,18 @@ use pnw_server::{RetryPolicy, Server, ServerAddr, ServerConfig};
 
 struct Args {
     value_size: usize,
+    wear: bool,
     out: std::path::PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { value_size: 64, out: "BENCH_server.json".into() };
+    let mut args = Args { value_size: 64, wear: false, out: "BENCH_server.json".into() };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {} // consumed by Scale::from_env
+            "--wear" => args.wear = true,
             "--value-size" => {
                 args.value_size = it
                     .next()
@@ -64,8 +76,8 @@ fn parse_args() -> Result<Args, String> {
 fn print_report(label: &str, r: &LoadReport) {
     println!(
         "{label}: offered {:.0}/s achieved {:.0}/s completed {} failed {} \
-         retries {} backpressure {} overloaded {} deadline {} faults {} \
-         reconnects {} p50 {}µs p90 {}µs p99 {}µs max {}µs",
+         retries {} backpressure {} overloaded {} deadline {} corruption {} \
+         faults {} reconnects {} p50 {}µs p90 {}µs p99 {}µs max {}µs",
         r.offered_ops_per_sec,
         r.achieved_ops_per_sec,
         r.completed,
@@ -74,6 +86,7 @@ fn print_report(label: &str, r: &LoadReport) {
         r.backpressure,
         r.overloaded,
         r.deadline_exceeded,
+        r.corruption,
         r.faults_injected,
         r.reconnects,
         r.p50_us,
@@ -119,11 +132,22 @@ fn scenario(
     addr: &ServerAddr,
 ) -> Result<(), String> {
     let store_cfg = || {
-        PnwConfig::new(scale.pick(16_384, 131_072), args.value_size)
+        let mut c = PnwConfig::new(scale.pick(16_384, 131_072), args.value_size)
             .with_clusters(4)
             .with_shards(4)
-            .with_path(store_dir)
+            .with_path(store_dir);
+        if args.wear {
+            // Endurance 2 with a 10% latch draw: the shrunken key space
+            // below rewrites hot words well past the threshold mid-run,
+            // so cells genuinely latch while the background scrubber
+            // races the clients to the damage.
+            c = c.with_endurance(2).with_stuck_latch_probability(0.1).with_scrub(20_000);
+        }
+        c
     };
+    // Wear mode concentrates the load on few keys so per-word write
+    // counts actually cross the endurance threshold within a CI run.
+    let key_space = if args.wear { 96 } else { 4_096 };
     let open_store = || -> Result<Arc<dyn Store>, String> {
         Ok(Arc::new(
             ShardedPnwStore::open(store_cfg()).map_err(|e| format!("open store: {e}"))?,
@@ -144,6 +168,7 @@ fn scenario(
             offered_ops_per_sec: scale.pick(1_000.0, 2_000.0),
             arrivals_per_conn: scale.pick(300, 5_000),
             value_size: args.value_size,
+            key_space,
             faults: FaultPlan::aggressive(),
             retry: RetryPolicy { max_retries: 6, ..Default::default() },
             seed: 0xFA17,
@@ -168,9 +193,11 @@ fn scenario(
     server.abort();
 
     // Restart on the same socket, same durable dir; a small admission
-    // gate makes the saturation point cheap to reach.
+    // gate makes the saturation point cheap to reach. Keep a handle on
+    // the store so the wear machinery can be audited after the drain.
+    let store = open_store()?;
     let server = Server::start(
-        open_store()?,
+        store.clone(),
         addr,
         ServerConfig { max_inflight: 2, max_waiting: 8, ..ServerConfig::default() },
     )
@@ -183,6 +210,7 @@ fn scenario(
             offered_ops_per_sec: scale.pick(60_000.0, 200_000.0),
             arrivals_per_conn: scale.pick(250, 3_000),
             value_size: args.value_size,
+            key_space,
             deadline: Some(Duration::from_millis(100)),
             retry: RetryPolicy { max_retries: 2, ..Default::default() },
             seed: 0x5A70,
@@ -197,6 +225,7 @@ fn scenario(
         println!("server_load: warning: phase 2 did not visibly saturate this host");
     }
 
+    let corruption_answers = phase1.corruption + phase2.corruption;
     write_json(&args.out, &[phase1, phase2]).map_err(|e| format!("write json: {e}"))?;
     println!("server_load: wrote {}", args.out.display());
 
@@ -206,5 +235,17 @@ fn scenario(
         return Err(format!("drain forced {} straggler connection(s)", report.stragglers));
     }
     println!("server_load: clean drain in {:?}", report.elapsed);
+
+    let scrub = store.snapshot().scrub;
+    println!(
+        "server_load: scrub: scanned {} crc_failures {} repairs {} retired {} \
+         stuck_bits {}; typed corruption answers {corruption_answers}",
+        scrub.scanned, scrub.crc_failures, scrub.repairs, scrub.retired, scrub.stuck_bits,
+    );
+    if args.wear && scrub.stuck_bits == 0 && scrub.retired == 0 {
+        // A wear run where nothing latched tested nothing — the knobs
+        // above are tuned so this cannot happen on an honest run.
+        return Err("wear mode latched no bits and retired no buckets".into());
+    }
     Ok(())
 }

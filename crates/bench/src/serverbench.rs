@@ -131,6 +131,10 @@ pub struct LoadReport {
     pub deadline_exceeded: u64,
     /// Typed `Draining` rejections observed.
     pub draining: u64,
+    /// Typed `Corruption` errors observed — reads the store *detected* as
+    /// corrupt rather than serving silently. Non-retryable, so each one
+    /// also counts as a failed op.
+    pub corruption: u64,
     /// Faults injected (kills + torn + corrupt frames).
     pub faults_injected: u64,
     /// Reconnects performed (after faults and connection errors).
@@ -157,6 +161,7 @@ struct Tally {
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
     draining: AtomicU64,
+    corruption: AtomicU64,
     faults: AtomicU64,
     reconnects: AtomicU64,
 }
@@ -175,6 +180,9 @@ fn note_typed_error(tally: &Tally, e: &ClientError) {
             }
             WireError::Draining => {
                 tally.draining.fetch_add(1, Ordering::Relaxed);
+            }
+            WireError::Corruption { .. } => {
+                tally.corruption.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -343,6 +351,7 @@ pub fn run_open_loop(addr: &ServerAddr, cfg: &LoadConfig) -> LoadReport {
         overloaded: tally.overloaded.load(Ordering::Relaxed),
         deadline_exceeded: tally.deadline_exceeded.load(Ordering::Relaxed),
         draining: tally.draining.load(Ordering::Relaxed),
+        corruption: tally.corruption.load(Ordering::Relaxed),
         faults_injected: tally.faults.load(Ordering::Relaxed),
         reconnects: tally.reconnects.load(Ordering::Relaxed),
         p50_us: pct(0.50),
@@ -364,6 +373,7 @@ pub fn to_json(reports: &[LoadReport]) -> String {
              \"completed\": {}, \"failed\": {}, \"retries\": {}, \
              \"backpressure\": {}, \"overloaded\": {}, \
              \"deadline_exceeded\": {}, \"draining\": {}, \
+             \"corruption\": {}, \
              \"faults_injected\": {}, \"reconnects\": {}, \
              \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
              \"elapsed_ms\": {:.3}}}{}\n",
@@ -378,6 +388,7 @@ pub fn to_json(reports: &[LoadReport]) -> String {
             r.overloaded,
             r.deadline_exceeded,
             r.draining,
+            r.corruption,
             r.faults_injected,
             r.reconnects,
             r.p50_us,

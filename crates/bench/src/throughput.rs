@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use pnw_baselines::{FpTreeLike, NoveLsmLike, PathHashStore};
 use pnw_core::{Batch, PnwConfig, RetrainMode, ShardedPnwStore, Store, StoreError};
-use pnw_nvm_sim::LatencyModel;
+use pnw_nvm_sim::{projected_lifetime_ops, LatencyModel, MemoryTech};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Which [`Store`] backend a throughput run drives.
@@ -242,6 +242,14 @@ pub struct ThroughputReport {
     pub train_samples_pre_cap: usize,
     /// Samples actually trained on (after the reservoir cap), last run.
     pub train_samples_post_cap: usize,
+    /// Highest write count observed on any single NVM word during the
+    /// run — the wear hot spot. 0 on backends without word-wear tracking.
+    pub max_word_writes: u32,
+    /// Operations this run's wear pattern projects until the hottest
+    /// word crosses the PCM endurance limit
+    /// ([`pnw_nvm_sim::projected_lifetime_ops`]). Infinite when nothing
+    /// wore; serialized as JSON `null` in that case.
+    pub projected_lifetime_ops: f64,
 }
 
 /// Zipfian rank sampler over `0..n` via an inverted CDF table.
@@ -529,6 +537,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     };
     let total_ops = (cfg.threads * cfg.ops_per_thread) as u64;
     let snap = store.snapshot();
+    let max_wear = store.max_word_writes();
     ThroughputReport {
         loop_mode: "closed",
         backend: store.name().to_string(),
@@ -557,6 +566,8 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         last_train_ms: snap.train.last_train_wall.as_secs_f64() * 1e3,
         train_samples_pre_cap: snap.train.samples_pre_cap,
         train_samples_post_cap: snap.train.samples_post_cap,
+        max_word_writes: max_wear,
+        projected_lifetime_ops: projected_lifetime_ops(MemoryTech::Pcm, max_wear, total_ops),
     }
 }
 
@@ -579,6 +590,14 @@ pub fn sweep(base: &ThroughputConfig, thread_counts: &[usize]) -> Vec<Throughput
 pub fn to_json(reports: &[ThroughputReport]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"results\": [\n");
     for (i, r) in reports.iter().enumerate() {
+        // Hand-rolled JSON has no spelling for IEEE infinity; an unworn
+        // device (max_word_writes == 0) projects an unbounded lifetime,
+        // which serializes as null.
+        let lifetime = if r.projected_lifetime_ops.is_finite() {
+            format!("{:.1}", r.projected_lifetime_ops)
+        } else {
+            "null".to_string()
+        };
         out.push_str(&format!(
             "    {{\"loop_mode\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"batch\": {}, \"locked_reads\": {}, \"total_ops\": {}, \
@@ -588,7 +607,8 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
              \"puts\": {}, \"gets\": {}, \"deletes\": {}, \
              \"full_errors\": {}, \"bit_flips\": {}, \
              \"retrains\": {}, \"model_epoch\": {}, \"last_train_ms\": {:.2}, \
-             \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}}}{}\n",
+             \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}, \
+             \"max_word_writes\": {}, \"projected_lifetime_ops\": {}}}{}\n",
             r.loop_mode,
             r.backend,
             r.threads,
@@ -612,6 +632,8 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             r.last_train_ms,
             r.train_samples_pre_cap,
             r.train_samples_post_cap,
+            r.max_word_writes,
+            lifetime,
             if i + 1 < reports.len() { "," } else { "" },
         ));
     }

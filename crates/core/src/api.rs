@@ -100,6 +100,15 @@ pub trait Store: Send + Sync {
     /// store with "old data", §VI-A).
     fn reset_device_stats(&self);
 
+    /// Highest write count observed on any single NVM word — the wear
+    /// hot spot that bounds device lifetime (feeds
+    /// [`pnw_nvm_sim::projected_lifetime_ops`]). Backends without
+    /// word-granular wear tracking report 0, which projects as an
+    /// unbounded lifetime.
+    fn max_word_writes(&self) -> u32 {
+        0
+    }
+
     /// Flushes the store's durable state (WAL-truncating atomic
     /// checkpoint on a file-backed store) — the drain hook a serving
     /// front end calls between "stop accepting" and process exit, so a

@@ -200,6 +200,37 @@ pub struct PnwConfig {
     /// benchmarks. Defaults to `false` (lock-free reads). Does not affect
     /// stored bytes or placement.
     pub locked_reads: bool,
+    /// End-to-end data integrity (default `true`): every PUT seals a
+    /// CRC-32 of `key ‖ value` into the bucket header and read-verifies
+    /// the bucket before acknowledging (DCW-style write-verify — a PUT
+    /// that lands on stuck media is transparently re-placed onto the next
+    /// free bucket and the damaged one retired); every GET re-computes the
+    /// CRC and returns [`StoreError::Corruption`](crate::StoreError)
+    /// instead of corrupt bytes. Turning this off removes the CRC seal,
+    /// the GET verify and the write-verify — the benchmark comparison
+    /// knob for measuring integrity overhead.
+    pub integrity: bool,
+    /// Media endurance in writes per word. When set, each device word
+    /// that exceeds this write count may latch a stuck-at bit (the
+    /// wear-out fault model of the NVM layer); the placement pool also
+    /// deprioritizes buckets whose hottest word has passed 3/4 of this
+    /// budget, steering new data toward fresher cells. `None` (default):
+    /// no wear-out faults, no deprioritization.
+    pub endurance_writes: Option<u32>,
+    /// Probability that a past-endurance write latches a stuck bit
+    /// (default `1.0` — deterministic wear-out, the testing setting).
+    /// Only meaningful with `endurance_writes` set.
+    pub stuck_latch_probability: f64,
+    /// Background scrub rate in buckets per second for
+    /// [`ShardedPnwStore`](crate::ShardedPnwStore). When set, a
+    /// low-priority thread walks the shards bucket-by-bucket through the
+    /// lock-free read view, verifies each sealed CRC, repairs corrupt
+    /// buckets from the durable layer when a clean copy exists and
+    /// retires buckets sitting on stuck media. `None` (default): no
+    /// background thread; explicit
+    /// [`scrub_pass`](crate::ShardedPnwStore::scrub_pass) calls still
+    /// work.
+    pub scrub_rate: Option<u32>,
 }
 
 impl PnwConfig {
@@ -228,6 +259,10 @@ impl PnwConfig {
             backing: BackingMode::Volatile,
             shard_queue_depth: 1024,
             locked_reads: false,
+            integrity: true,
+            endurance_writes: None,
+            stuck_latch_probability: 1.0,
+            scrub_rate: None,
         }
     }
 
@@ -320,6 +355,36 @@ impl PnwConfig {
     /// lock-free read view (benchmark comparison knob).
     pub fn with_locked_reads(mut self, locked: bool) -> Self {
         self.locked_reads = locked;
+        self
+    }
+
+    /// Enables or disables end-to-end integrity (CRC seal + GET verify +
+    /// PUT write-verify). On by default; turn off only for overhead
+    /// benchmarks.
+    pub fn with_integrity(mut self, on: bool) -> Self {
+        self.integrity = on;
+        self
+    }
+
+    /// Sets the media endurance budget in writes per word (clamped to
+    /// ≥ 1), arming the device's stuck-at wear-out model and the pool's
+    /// wear deprioritization.
+    pub fn with_endurance(mut self, writes: u32) -> Self {
+        self.endurance_writes = Some(writes.max(1));
+        self
+    }
+
+    /// Sets the probability that a past-endurance write latches a stuck
+    /// bit (clamped to `[0, 1]`).
+    pub fn with_stuck_latch_probability(mut self, p: f64) -> Self {
+        self.stuck_latch_probability = if p.is_nan() { 1.0 } else { p.clamp(0.0, 1.0) };
+        self
+    }
+
+    /// Enables the background scrubber at `buckets_per_sec` (clamped to
+    /// ≥ 1) on [`ShardedPnwStore`](crate::ShardedPnwStore).
+    pub fn with_scrub(mut self, buckets_per_sec: u32) -> Self {
+        self.scrub_rate = Some(buckets_per_sec.max(1));
         self
     }
 
@@ -425,6 +490,23 @@ mod tests {
         assert!(PnwConfig::new(8, 8).with_locked_reads(true).locked_reads);
         assert!(!PnwConfig::new(8, 8).locked_reads);
         assert_eq!(PnwConfig::new(8, 8).with_train_sample_cap(99).train_sample_cap, 99);
+        assert_eq!(PnwConfig::new(8, 8).with_endurance(0).endurance_writes, Some(1));
+        assert_eq!(PnwConfig::new(8, 8).with_scrub(0).scrub_rate, Some(1));
+        let c = PnwConfig::new(8, 8).with_stuck_latch_probability(7.0);
+        assert_eq!(c.stuck_latch_probability, 1.0);
+        let c = PnwConfig::new(8, 8).with_stuck_latch_probability(f64::NAN);
+        assert_eq!(c.stuck_latch_probability, 1.0);
+    }
+
+    #[test]
+    fn integrity_defaults_on_and_wearout_defaults_off() {
+        let c = PnwConfig::new(64, 8);
+        assert!(c.integrity, "integrity must be the default — corruption detection is not opt-in");
+        assert_eq!(c.endurance_writes, None);
+        assert_eq!(c.scrub_rate, None);
+        assert!(!PnwConfig::new(64, 8).with_integrity(false).integrity);
+        assert_eq!(PnwConfig::new(64, 8).with_endurance(500).endurance_writes, Some(500));
+        assert_eq!(PnwConfig::new(64, 8).with_scrub(4096).scrub_rate, Some(4096));
     }
 
     #[test]

@@ -46,7 +46,7 @@ use crate::error::StoreError;
 
 const SUPER_MAGIC: &[u8; 8] = b"PNWSUPR1";
 const CKPT_MAGIC: &[u8; 8] = b"PNWCKPT1";
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 /// Each superblock replica owns a 64-byte slot (the record is 44 bytes;
 /// the slot is padded so the two replicas never share a filesystem block
 /// boundary misaligned with the write).
@@ -54,13 +54,24 @@ const SLOT_BYTES: u64 = 64;
 const SUPER_RECORD: usize = 44;
 /// `[len u32 | crc u32]` ahead of every WAL payload.
 const WAL_FRAME_HDR: usize = 8;
-/// Largest legal WAL payload; anything bigger is framing garbage and ends
-/// replay.
+/// Largest fixed-size WAL payload (the value-carrying PUT record adds the
+/// store's `value_size` on top — see [`DurableStore::open`]'s
+/// `value_size` parameter). Anything bigger than the store's maximum is
+/// framing garbage and ends replay.
 const MAX_WAL_PAYLOAD: usize = 17;
+/// Fixed prefix of a [`REC_PUT_V`] payload: `tag | key u64 | addr u64`.
+const PUT_V_PREFIX: usize = 17;
 
 const REC_PUT: u8 = 1;
 const REC_DELETE: u8 = 2;
 const REC_EXTEND: u8 = 3;
+/// A bucket permanently retired from placement (stuck media). 5 bytes:
+/// `tag | bucket u32`.
+const REC_RETIRE: u8 = 4;
+/// A PUT that also carries the value bytes (written when end-to-end
+/// integrity is on), so the scrubber can repair a later media corruption
+/// from the WAL. `tag | key u64 | addr u64 | value[value_size]`.
+const REC_PUT_V: u8 = 5;
 
 fn io_err(e: std::io::Error) -> StoreError {
     StoreError::Nvm(NvmError::Io(e.kind()))
@@ -117,6 +128,10 @@ pub(crate) struct ShardCheckpoint {
     pub word_writes: Vec<u32>,
     /// Per-bit wear counters, when the device tracks them.
     pub bit_flips: Option<Vec<u16>>,
+    /// Buckets permanently retired from placement at the cut (sorted).
+    /// Retirement must survive reopen: a retired bucket's media is stuck
+    /// and must never re-enter the pool.
+    pub retired: Vec<u32>,
 }
 
 impl ShardCheckpoint {
@@ -129,6 +144,7 @@ impl ShardCheckpoint {
             stats: DeviceStats::default(),
             word_writes: Vec::new(),
             bit_flips: None,
+            retired: Vec::new(),
         }
     }
 }
@@ -148,6 +164,14 @@ pub(crate) struct RecoveredShard {
     pub word_writes: Vec<u32>,
     /// Per-bit wear as of the checkpoint cut.
     pub bit_flips: Option<Vec<u16>>,
+    /// Buckets permanently retired from placement (checkpoint list plus
+    /// any [`REC_RETIRE`] records in the WAL suffix).
+    pub retired: Vec<u32>,
+    /// Committed values still present in the un-truncated WAL — the
+    /// scrubber's repair source. Handed to the shard's fresh
+    /// [`DurableShard`] via [`DurableShard::preload_values`] so repair
+    /// capability survives a reopen.
+    pub values: HashMap<u64, Vec<u8>>,
 }
 
 impl RecoveredShard {
@@ -158,6 +182,8 @@ impl RecoveredShard {
             stats: s.stats,
             word_writes: s.word_writes,
             bit_flips: s.bit_flips,
+            retired: s.retired,
+            values: HashMap::new(),
         }
     }
 }
@@ -175,6 +201,13 @@ pub(crate) struct DurableShard {
     defer_sync: bool,
     /// Whether frames were appended since the last fsync.
     dirty: bool,
+    /// Largest payload this shard's WAL may carry (`PUT_V_PREFIX` plus
+    /// the store's value size).
+    max_payload: usize,
+    /// DRAM mirror of the value-carrying records currently in the WAL —
+    /// what the scrubber repairs corrupt buckets from. Cleared when a
+    /// checkpoint truncates the WAL.
+    values: HashMap<u64, Vec<u8>>,
 }
 
 impl DurableShard {
@@ -202,7 +235,50 @@ impl DurableShard {
         p[0] = REC_PUT;
         p[1..9].copy_from_slice(&key.to_le_bytes());
         p[9..17].copy_from_slice(&addr.to_le_bytes());
+        self.values.remove(&key);
         self.append(&p)
+    }
+
+    /// Commits a PUT/UPDATE of `key` at `addr` *with* the value bytes, so
+    /// a later media corruption of this bucket can be repaired from the
+    /// WAL. Written instead of [`DurableShard::log_put`] when integrity
+    /// verification is on.
+    pub fn log_put_value(&mut self, key: u64, addr: u64, value: &[u8]) -> Result<(), StoreError> {
+        let mut p = Vec::with_capacity(PUT_V_PREFIX + value.len());
+        p.push(REC_PUT_V);
+        p.extend_from_slice(&key.to_le_bytes());
+        p.extend_from_slice(&addr.to_le_bytes());
+        p.extend_from_slice(value);
+        self.append(&p)?;
+        self.values.insert(key, value.to_vec());
+        Ok(())
+    }
+
+    /// Commits a bucket retirement: `bucket` must never re-enter
+    /// placement, across crashes and reopens.
+    pub fn log_retire(&mut self, bucket: u32) -> Result<(), StoreError> {
+        let mut p = [0u8; 5];
+        p[0] = REC_RETIRE;
+        p[1..5].copy_from_slice(&bucket.to_le_bytes());
+        self.append(&p)
+    }
+
+    /// The clean durable copy of `key`'s committed value, when the
+    /// un-truncated WAL still holds one.
+    pub fn wal_value(&self, key: u64) -> Option<&[u8]> {
+        self.values.get(&key).map(Vec::as_slice)
+    }
+
+    /// Seeds the value mirror from a recovery replay (the WAL was not
+    /// truncated, so its value records are still repair-capable).
+    pub fn preload_values(&mut self, values: HashMap<u64, Vec<u8>>) {
+        self.values = values;
+    }
+
+    /// Drops the value mirror after a checkpoint truncated the WAL.
+    pub fn clear_values(&mut self) {
+        self.values.clear();
+        self.values.shrink_to_fit();
     }
 
     /// Commits a DELETE of `key`.
@@ -210,6 +286,7 @@ impl DurableShard {
         let mut p = [0u8; 9];
         p[0] = REC_DELETE;
         p[1..9].copy_from_slice(&key.to_le_bytes());
+        self.values.remove(&key);
         self.append(&p)
     }
 
@@ -225,12 +302,12 @@ impl DurableShard {
     /// the configured prefix (which replay will reject) and returns
     /// `Crashed`; the caller must not acknowledge the operation.
     fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
-        debug_assert!(payload.len() <= MAX_WAL_PAYLOAD);
-        let mut frame = [0u8; WAL_FRAME_HDR + MAX_WAL_PAYLOAD];
-        frame[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
-        frame[WAL_FRAME_HDR..WAL_FRAME_HDR + payload.len()].copy_from_slice(payload);
+        debug_assert!(payload.len() <= self.max_payload);
         let len = WAL_FRAME_HDR + payload.len();
+        let mut frame = Vec::with_capacity(len);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
         let filtered = self
             .faults
             .lock()
@@ -296,11 +373,11 @@ fn parse_super_slot(slot: &[u8]) -> Option<(u64, u64, u64)> {
 /// frame that is short, oversized, CRC-invalid or of unknown kind — by the
 /// append protocol, everything at and after such a frame was never
 /// acknowledged.
-fn replay_wal(bytes: &[u8], shard: &mut RecoveredShard) {
+fn replay_wal(bytes: &[u8], shard: &mut RecoveredShard, max_payload: usize) {
     let mut pos = 0usize;
     while pos + WAL_FRAME_HDR <= bytes.len() {
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        if len == 0 || len > MAX_WAL_PAYLOAD || pos + WAL_FRAME_HDR + len > bytes.len() {
+        if len == 0 || len > max_payload || pos + WAL_FRAME_HDR + len > bytes.len() {
             return;
         }
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
@@ -313,10 +390,24 @@ fn replay_wal(bytes: &[u8], shard: &mut RecoveredShard) {
                 let key = u64::from_le_bytes(payload[1..9].try_into().unwrap());
                 let addr = u64::from_le_bytes(payload[9..17].try_into().unwrap());
                 shard.committed.insert(key, addr);
+                shard.values.remove(&key);
+            }
+            (REC_PUT_V, n) if n > PUT_V_PREFIX => {
+                let key = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                let addr = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+                shard.committed.insert(key, addr);
+                shard.values.insert(key, payload[PUT_V_PREFIX..].to_vec());
             }
             (REC_DELETE, 9) => {
                 let key = u64::from_le_bytes(payload[1..9].try_into().unwrap());
                 shard.committed.remove(&key);
+                shard.values.remove(&key);
+            }
+            (REC_RETIRE, 5) => {
+                let bucket = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+                if !shard.retired.contains(&bucket) {
+                    shard.retired.push(bucket);
+                }
             }
             (REC_EXTEND, 9) => {
                 let active = u64::from_le_bytes(payload[1..9].try_into().unwrap());
@@ -399,6 +490,10 @@ fn encode_checkpoint(epoch: u64, shards: &[ShardCheckpoint]) -> Vec<u8> {
             b.extend_from_slice(&k.to_le_bytes());
             b.extend_from_slice(&a.to_le_bytes());
         }
+        b.extend_from_slice(&(s.retired.len() as u64).to_le_bytes());
+        for r in &s.retired {
+            b.extend_from_slice(&r.to_le_bytes());
+        }
     }
     let crc = crc32(&b);
     b.extend_from_slice(&crc.to_le_bytes());
@@ -469,12 +564,18 @@ fn decode_checkpoint(body: &[u8], expect_epoch: u64) -> Result<Vec<ShardCheckpoi
             let a = c.u64()?;
             entries.push((k, a));
         }
+        let n_retired = c.u64()? as usize;
+        let mut retired = Vec::with_capacity(n_retired.min(payload.len()));
+        for _ in 0..n_retired {
+            retired.push(c.u32()?);
+        }
         shards.push(ShardCheckpoint {
             active,
             entries,
             stats,
             word_writes,
             bit_flips,
+            retired,
         });
     }
     Ok(shards)
@@ -490,6 +591,8 @@ pub(crate) struct DurableStore {
     epoch: u64,
     checkpoint_epoch: u64,
     geometry_hash: u64,
+    /// Largest legal WAL payload under this store's value size.
+    max_payload: usize,
     faults: Arc<Mutex<FaultState>>,
 }
 
@@ -505,10 +608,12 @@ impl DurableStore {
     pub fn open(
         dir: &Path,
         geometry_hash: u64,
+        value_size: usize,
         initial: Vec<ShardCheckpoint>,
     ) -> Result<(Self, Vec<RecoveredShard>, bool), StoreError> {
         fs::create_dir_all(dir).map_err(io_err)?;
         let n_shards = initial.len();
+        let max_payload = MAX_WAL_PAYLOAD.max(PUT_V_PREFIX + value_size);
         let faults = Arc::new(Mutex::new(FaultState::new(FaultConfig::default())));
         let super_path = dir.join("super");
 
@@ -519,6 +624,7 @@ impl DurableStore {
                 epoch: 0,
                 checkpoint_epoch: 0,
                 geometry_hash,
+                max_payload,
                 faults,
             };
             store.checkpoint(&initial)?;
@@ -560,7 +666,7 @@ impl DurableStore {
             shards.into_iter().map(RecoveredShard::from_checkpoint).collect();
         for (sid, shard) in recovered.iter_mut().enumerate() {
             let wal = fs::read(dir.join(format!("wal.{sid}"))).unwrap_or_default();
-            replay_wal(&wal, shard);
+            replay_wal(&wal, shard, max_payload);
         }
 
         // Clean up protocol leftovers: a half-written `checkpoint.tmp` and
@@ -587,6 +693,7 @@ impl DurableStore {
                 epoch,
                 checkpoint_epoch,
                 geometry_hash,
+                max_payload,
                 faults,
             },
             recovered,
@@ -697,6 +804,8 @@ impl DurableStore {
             faults: Arc::clone(&self.faults),
             defer_sync: false,
             dirty: false,
+            max_payload: self.max_payload,
+            values: HashMap::new(),
         })
     }
 
@@ -740,14 +849,14 @@ mod tests {
     fn fresh_open_then_reopen_is_empty() {
         let dir = tmp("fresh");
         let (store, rec, fresh) =
-            DurableStore::open(&dir, 42, vec![ShardCheckpoint::fresh(8)]).unwrap();
+            DurableStore::open(&dir, 42, 8, vec![ShardCheckpoint::fresh(8)]).unwrap();
         assert!(fresh);
         assert_eq!(store.epoch(), 1);
         assert!(rec[0].committed.is_empty());
         assert_eq!(rec[0].active, 8);
         drop(store);
         let (store, rec, fresh) =
-            DurableStore::open(&dir, 42, vec![ShardCheckpoint::fresh(8)]).unwrap();
+            DurableStore::open(&dir, 42, 8, vec![ShardCheckpoint::fresh(8)]).unwrap();
         assert!(!fresh);
         assert_eq!(store.epoch(), 1);
         assert!(rec[0].committed.is_empty());
@@ -757,7 +866,7 @@ mod tests {
     #[test]
     fn wal_replays_over_checkpoint() {
         let dir = tmp("replay");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.log_put(1, 100).unwrap();
         wal.log_put(2, 200).unwrap();
@@ -767,7 +876,7 @@ mod tests {
         drop((wal, store));
 
         let (store, rec, fresh) =
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert!(!fresh);
         assert_eq!(rec[0].active, 6);
         assert_eq!(rec[0].committed.len(), 2);
@@ -780,7 +889,7 @@ mod tests {
     fn checkpoint_truncates_wal_and_round_trips_state() {
         let dir = tmp("ckpt");
         let (mut store, _, _) =
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.log_put(9, 900).unwrap();
         store
@@ -790,6 +899,7 @@ mod tests {
                 stats: sample_stats(),
                 word_writes: vec![3, 0, 1],
                 bit_flips: Some(vec![1, 2]),
+                retired: Vec::new(),
             }])
             .unwrap();
         assert_eq!(store.epoch(), 2);
@@ -797,7 +907,7 @@ mod tests {
         assert!(!dir.join("checkpoint.1").exists(), "old epoch removed");
         drop((wal, store));
 
-        let (store, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(store.epoch(), 2);
         assert_eq!(rec[0].active, 6);
         assert_eq!(rec[0].committed[&9], 900);
@@ -810,7 +920,7 @@ mod tests {
     #[test]
     fn group_commit_replays_like_per_record_commit() {
         let dir = tmp("group");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.begin_group();
         wal.log_put(1, 100).unwrap();
@@ -823,7 +933,7 @@ mod tests {
         wal.end_group().unwrap();
         drop((wal, store));
 
-        let (_, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (_, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(rec[0].committed.len(), 2);
         assert_eq!(rec[0].committed[&2], 200);
         assert_eq!(rec[0].committed[&3], 300);
@@ -834,7 +944,7 @@ mod tests {
     #[test]
     fn torn_append_inside_group_still_fails_immediately() {
         let dir = tmp("group_tear");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.begin_group();
         wal.log_put(1, 100).unwrap();
@@ -848,7 +958,7 @@ mod tests {
         assert!(wal.log_put(2, 200).is_err());
         drop((wal, store));
 
-        let (_, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (_, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(rec[0].committed.len(), 1, "prefix before the tear replays");
         assert_eq!(rec[0].committed[&1], 100);
         let _ = fs::remove_dir_all(&dir);
@@ -857,7 +967,7 @@ mod tests {
     #[test]
     fn torn_wal_record_ends_replay_at_prefix() {
         let dir = tmp("torn_wal");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.log_put(1, 100).unwrap();
         store.arm_meta_tear(MetaTear {
@@ -869,7 +979,7 @@ mod tests {
         assert!(wal.log_put(3, 300).is_err(), "store is dead after the tear");
         drop((wal, store));
 
-        let (_, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (_, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(rec[0].committed.len(), 1);
         assert_eq!(rec[0].committed[&1], 100);
         let _ = fs::remove_dir_all(&dir);
@@ -879,7 +989,7 @@ mod tests {
     fn torn_superblock_falls_back_to_other_replica() {
         let dir = tmp("torn_super");
         let (mut store, _, _) =
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.log_put(5, 500).unwrap();
         store.arm_meta_tear(MetaTear {
@@ -892,7 +1002,7 @@ mod tests {
 
         // The epoch-1 replica still elects; its checkpoint plus the
         // untruncated WAL reconstruct the committed set.
-        let (store, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(store.epoch(), 1);
         assert_eq!(rec[0].committed[&5], 500);
         assert!(
@@ -906,7 +1016,7 @@ mod tests {
     fn torn_checkpoint_body_keeps_old_epoch() {
         let dir = tmp("torn_ckpt");
         let (mut store, _, _) =
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         let mut wal = store.wal_appender(0).unwrap();
         wal.log_put(6, 600).unwrap();
         store.arm_meta_tear(MetaTear {
@@ -918,7 +1028,7 @@ mod tests {
         assert!(dir.join("checkpoint.tmp").exists(), "half-written body left behind");
         drop((wal, store));
 
-        let (store, rec, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, rec, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         assert_eq!(store.epoch(), 1);
         assert_eq!(rec[0].committed[&6], 600);
         assert!(!dir.join("checkpoint.tmp").exists(), "tmp cleaned at open");
@@ -928,10 +1038,10 @@ mod tests {
     #[test]
     fn geometry_mismatch_is_corrupt() {
         let dir = tmp("geom");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         drop(store);
         assert!(matches!(
-            DurableStore::open(&dir, 8, vec![ShardCheckpoint::fresh(4)]),
+            DurableStore::open(&dir, 8, 8, vec![ShardCheckpoint::fresh(4)]),
             Err(StoreError::Corrupt(_))
         ));
         let _ = fs::remove_dir_all(&dir);
@@ -940,7 +1050,7 @@ mod tests {
     #[test]
     fn corrupted_checkpoint_is_detected() {
         let dir = tmp("flip");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         drop(store);
         let path = dir.join("checkpoint.1");
         let mut body = fs::read(&path).unwrap();
@@ -948,7 +1058,7 @@ mod tests {
         body[mid] ^= 0x40;
         fs::write(&path, body).unwrap();
         assert!(matches!(
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]),
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]),
             Err(StoreError::Corrupt(_))
         ));
         let _ = fs::remove_dir_all(&dir);
@@ -957,13 +1067,114 @@ mod tests {
     #[test]
     fn zeroed_superblock_is_corrupt() {
         let dir = tmp("zeroed");
-        let (store, _, _) = DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let (store, _, _) = DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
         drop(store);
         fs::write(dir.join("super"), [0u8; 128]).unwrap();
         assert!(matches!(
-            DurableStore::open(&dir, 7, vec![ShardCheckpoint::fresh(4)]),
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]),
             Err(StoreError::Corrupt(_))
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_records_replay_and_mirror() {
+        let dir = tmp("putv");
+        let (store, _, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.log_put_value(1, 100, &[0xAB; 8]).unwrap();
+        wal.log_put_value(2, 200, &[0xCD; 8]).unwrap();
+        wal.log_delete(2).unwrap();
+        assert_eq!(wal.wal_value(1), Some(&[0xAB; 8][..]));
+        assert_eq!(wal.wal_value(2), None, "delete drops the mirror");
+        drop((wal, store));
+
+        let (store, mut rec, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let r = rec.remove(0);
+        assert_eq!(r.committed.len(), 1);
+        assert_eq!(r.committed[&1], 100);
+        assert_eq!(r.values[&1], vec![0xAB; 8]);
+        assert!(!r.values.contains_key(&2));
+        // Reopen hands the mirror back to a fresh appender.
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.preload_values(r.values);
+        assert_eq!(wal.wal_value(1), Some(&[0xAB; 8][..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_put_overwrites_the_value_mirror() {
+        let dir = tmp("putv_mix");
+        let (store, _, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.log_put_value(1, 100, &[0x11; 8]).unwrap();
+        wal.log_put(1, 160).unwrap();
+        // The mirrored bytes no longer describe the committed value.
+        assert_eq!(wal.wal_value(1), None);
+        drop((wal, store));
+        let (_, rec, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].committed[&1], 160);
+        assert!(!rec[0].values.contains_key(&1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retirement_survives_wal_replay_and_checkpoint() {
+        let dir = tmp("retire");
+        let (mut store, _, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.log_retire(3).unwrap();
+        wal.log_retire(1).unwrap();
+        wal.log_retire(3).unwrap(); // idempotent on replay
+        drop(wal);
+
+        // Crash path: retirement comes back through WAL replay.
+        let (_, rec, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].retired, vec![3, 1]);
+
+        // Checkpoint path: retirement persists past WAL truncation.
+        let mut ckpt = ShardCheckpoint::fresh(4);
+        ckpt.retired = vec![1, 3];
+        store.checkpoint(&[ckpt]).unwrap();
+        drop(store);
+        let (_, rec, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].retired, vec![1, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_frame_ends_replay() {
+        // A frame longer than 17 + value_size is framing garbage even if
+        // its CRC happens to check out.
+        let dir = tmp("oversize");
+        let (store, _, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        let mut wal = store.wal_appender(0).unwrap();
+        wal.log_put(1, 100).unwrap();
+        drop((wal, store));
+        // Hand-craft a CRC-valid but oversized frame.
+        let payload = vec![REC_PUT_V; 64];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        use std::io::Write as _;
+        OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.0"))
+            .unwrap()
+            .write_all(&frame)
+            .unwrap();
+        let (_, rec, _) =
+            DurableStore::open(&dir, 7, 8, vec![ShardCheckpoint::fresh(4)]).unwrap();
+        assert_eq!(rec[0].committed.len(), 1, "replay stops at the bad frame");
         let _ = fs::remove_dir_all(&dir);
     }
 

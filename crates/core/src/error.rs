@@ -45,6 +45,19 @@ pub enum StoreError {
         /// That queue's depth (= its configured capacity) at rejection.
         depth: usize,
     },
+    /// A stored value failed its integrity check: the bucket's sealed CRC
+    /// no longer matches the bytes the media returns — stuck-at bits or
+    /// other cell damage, detected before the corrupt bytes could be
+    /// served. Non-retryable: retrying reads the same damaged cells. The
+    /// key stays addressable (so the loss is *loud*) until it is deleted
+    /// or overwritten, and the background scrubber repairs it from the
+    /// durable layer when a clean copy exists.
+    Corruption {
+        /// The key whose stored bytes failed verification.
+        key: u64,
+        /// The shard whose media holds the damaged bucket.
+        shard: usize,
+    },
     /// The configuration the store was built from is invalid.
     Config(ConfigError),
     /// Underlying device failure.
@@ -95,6 +108,12 @@ impl std::fmt::Display for StoreError {
                     "shard {shard} write queue is full at depth {depth} — back off and retry"
                 )
             }
+            StoreError::Corruption { key, shard } => {
+                write!(
+                    f,
+                    "key {key} failed CRC verification on shard {shard} — stored bytes are damaged"
+                )
+            }
             StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
             StoreError::Nvm(e) => write!(f, "device error: {e}"),
             StoreError::Corrupt(why) => write!(f, "durable state corrupt: {why}"),
@@ -125,6 +144,19 @@ mod tests {
         let e = StoreError::Corrupt("checkpoint CRC mismatch".into());
         assert!(e.to_string().contains("corrupt"));
         assert!(e.to_string().contains("CRC"));
+        let e = StoreError::Corruption { key: 42, shard: 3 };
+        assert!(e.to_string().contains("key 42"), "message must name the key: {e}");
+        assert!(e.to_string().contains("shard 3"), "message must name the shard: {e}");
+    }
+
+    /// Media corruption is a *data* error, distinct from the durable-state
+    /// `Corrupt(String)` (metadata files failing validation at open) and
+    /// from `Full` (which an extend-and-retrain can fix).
+    #[test]
+    fn corruption_is_its_own_condition() {
+        let e = StoreError::Corruption { key: 1, shard: 0 };
+        assert_ne!(e, StoreError::Full);
+        assert_ne!(e, StoreError::Corrupt("x".into()));
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub use error::{PnwError, StoreError};
 // Re-exported so recovery tests can arm deterministic metadata tears
 // without depending on pnw-nvm-sim directly.
 pub use pnw_nvm_sim::{MetaTarget, MetaTear};
-pub use metrics::{OpReport, StoreSnapshot, TrainStats};
+pub use metrics::{OpReport, ScrubStats, StoreSnapshot, TrainStats};
 pub use model::{ModelManager, ModelSnapshot, PredictScratch};
 pub use pool::DynamicAddressPool;
 pub use shard::{PutPath, ShardEngine};

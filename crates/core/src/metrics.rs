@@ -50,6 +50,40 @@ pub struct TrainStats {
     pub epoch: u64,
 }
 
+/// Integrity and wear-out observability: what the CRC verifiers, the
+/// write-verify path and the background scrubber have seen. Counters are
+/// cumulative since store construction; the sharded snapshot sums them
+/// across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Buckets the scrubber has CRC-verified (cumulative; a full pass over
+    /// a shard scans every *live* bucket once).
+    pub scanned: u64,
+    /// CRC mismatches detected — by the scrubber, by GET verification or
+    /// by PUT write-verify. Every one of these is a corruption that was
+    /// *not* silently served.
+    pub crc_failures: u64,
+    /// Corrupt buckets repaired from the durable layer: the value was
+    /// rewritten bit-exact to a fresh bucket and the damaged one retired.
+    pub repairs: u64,
+    /// Buckets permanently retired from placement (stuck media found by
+    /// write-verify, or corruption with no clean durable copy).
+    pub retired: u64,
+    /// Stuck bits known on this shard's device (armed plus wear-latched).
+    pub stuck_bits: u64,
+}
+
+impl ScrubStats {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &ScrubStats) {
+        self.scanned += other.scanned;
+        self.crc_failures += other.crc_failures;
+        self.repairs += other.repairs;
+        self.retired += other.retired;
+        self.stuck_bits += other.stuck_bits;
+    }
+}
+
 /// Point-in-time view of a store.
 #[derive(Debug, Clone)]
 pub struct StoreSnapshot {
@@ -79,6 +113,9 @@ pub struct StoreSnapshot {
     /// counted — the convention every [`Store`](crate::Store) backend
     /// follows, so snapshots stay comparable across backends).
     pub deletes: u64,
+    /// Integrity and wear-out counters (scrub scans, CRC failures,
+    /// repairs, retirements, known stuck bits).
+    pub scrub: ScrubStats,
 }
 
 impl StoreSnapshot {
@@ -133,6 +170,7 @@ mod tests {
             puts: 10,
             gets: 0,
             deletes: 0,
+            scrub: ScrubStats::default(),
         };
         assert!((s.availability() - 0.75).abs() < 1e-12);
         assert_eq!(s.mean_predict_latency(), Duration::from_micros(5));
@@ -153,8 +191,37 @@ mod tests {
             puts: 0,
             gets: 0,
             deletes: 0,
+            scrub: ScrubStats::default(),
         };
         assert_eq!(s.availability(), 0.0);
         assert_eq!(s.mean_predict_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn scrub_stats_merge_sums_every_counter() {
+        let mut a = ScrubStats {
+            scanned: 1,
+            crc_failures: 2,
+            repairs: 3,
+            retired: 4,
+            stuck_bits: 5,
+        };
+        a.merge(&ScrubStats {
+            scanned: 10,
+            crc_failures: 20,
+            repairs: 30,
+            retired: 40,
+            stuck_bits: 50,
+        });
+        assert_eq!(
+            a,
+            ScrubStats {
+                scanned: 11,
+                crc_failures: 22,
+                repairs: 33,
+                retired: 44,
+                stuck_bits: 55,
+            }
+        );
     }
 }

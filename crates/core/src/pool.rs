@@ -11,6 +11,16 @@
 //! the nearest non-empty cluster by centroid distance (§V-C's stall-
 //! avoidance, with the load factor warning the store to retrain before this
 //! becomes common).
+//!
+//! ## Wear deprioritization
+//!
+//! Each cluster keeps **two** free lists: a fresh tier and a worn tier for
+//! buckets whose hottest word is approaching the media's endurance budget.
+//! Allocation exhausts every fresh list (predicted cluster, then ranked
+//! fallbacks) before touching any worn list, so near-end-of-life cells only
+//! absorb new data when nothing healthier is left — the wear-aware half of
+//! the lifetime argument, composing with the bit-similarity placement that
+//! minimizes flips *per* write.
 
 use std::collections::VecDeque;
 
@@ -25,6 +35,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct DynamicAddressPool {
     lists: Vec<VecDeque<u32>>,
+    /// Deprioritized tier: free buckets whose hottest word is near the
+    /// endurance budget. Popped only when every fresh list is empty.
+    worn: Vec<VecDeque<u32>>,
     capacity: usize,
     free: usize,
     /// Allocations that missed their predicted cluster (telemetry for the
@@ -38,6 +51,7 @@ impl DynamicAddressPool {
     pub fn new(clusters: usize, capacity: usize) -> Self {
         DynamicAddressPool {
             lists: vec![VecDeque::new(); clusters.max(1)],
+            worn: vec![VecDeque::new(); clusters.max(1)],
             capacity,
             free: 0,
             fallbacks: 0,
@@ -45,12 +59,24 @@ impl DynamicAddressPool {
     }
 
     /// Rebuilds the pool from `(bucket, label)` pairs — Algorithm 1 lines
-    /// 4–5 (`DAP[labels[i]].append(A(i))`).
+    /// 4–5 (`DAP[labels[i]].append(A(i))`). All entries land in the fresh
+    /// tier; use [`DynamicAddressPool::rebuild_tiered`] when wear is known.
     pub fn rebuild(&mut self, clusters: usize, entries: impl IntoIterator<Item = (u32, usize)>) {
+        self.rebuild_tiered(clusters, entries.into_iter().map(|(b, l)| (b, l, false)));
+    }
+
+    /// Rebuilds from `(bucket, label, worn)` triples, placing each bucket
+    /// in its cluster's fresh or worn tier.
+    pub fn rebuild_tiered(
+        &mut self,
+        clusters: usize,
+        entries: impl IntoIterator<Item = (u32, usize, bool)>,
+    ) {
         self.lists = vec![VecDeque::new(); clusters.max(1)];
+        self.worn = vec![VecDeque::new(); clusters.max(1)];
         self.free = 0;
-        for (bucket, label) in entries {
-            self.push(label, bucket);
+        for (bucket, label, worn) in entries {
+            self.push_tier(label, bucket, worn);
         }
     }
 
@@ -64,9 +90,15 @@ impl DynamicAddressPool {
         self.free
     }
 
-    /// Free addresses in one cluster.
+    /// Free addresses in one cluster (both tiers).
     pub fn free_in(&self, cluster: usize) -> usize {
         self.lists.get(cluster).map_or(0, VecDeque::len)
+            + self.worn.get(cluster).map_or(0, VecDeque::len)
+    }
+
+    /// Free addresses sitting in the deprioritized worn tier.
+    pub fn worn_free(&self) -> usize {
+        self.worn.iter().map(VecDeque::len).sum()
     }
 
     /// Fraction of the data zone that is free.
@@ -115,7 +147,14 @@ impl DynamicAddressPool {
             // Nothing anywhere: don't pay for the ranking either.
             return None;
         }
-        for &c in ranked().as_ref() {
+        // Fresh tier first — every healthy bucket anywhere beats a worn
+        // bucket in the right cluster: a cross-cluster placement costs a
+        // few extra flips once, a near-endurance word lost costs capacity
+        // forever. The ranking is computed exactly once and reused for
+        // both tiers.
+        let order = ranked();
+        let order = order.as_ref();
+        for &c in order {
             if c == cluster {
                 continue;
             }
@@ -125,8 +164,31 @@ impl DynamicAddressPool {
                 return Some((b, true));
             }
         }
-        // Last resort: any non-empty list (ranked may be partial).
+        // Fresh last resort: any non-empty list (ranked may be partial).
         for list in &mut self.lists {
+            if let Some(b) = list.pop_front() {
+                self.free -= 1;
+                self.fallbacks += 1;
+                return Some((b, true));
+            }
+        }
+        // Worn tier, same order: predicted cluster (still bit-similar, not
+        // a fallback), then ranked, then scan.
+        if let Some(b) = self.worn.get_mut(cluster).and_then(VecDeque::pop_front) {
+            self.free -= 1;
+            return Some((b, false));
+        }
+        for &c in order {
+            if c == cluster {
+                continue;
+            }
+            if let Some(b) = self.worn.get_mut(c).and_then(VecDeque::pop_front) {
+                self.free -= 1;
+                self.fallbacks += 1;
+                return Some((b, true));
+            }
+        }
+        for list in &mut self.worn {
             if let Some(b) = list.pop_front() {
                 self.free -= 1;
                 self.fallbacks += 1;
@@ -136,18 +198,25 @@ impl DynamicAddressPool {
         None
     }
 
-    /// Returns a freed address to the back of `cluster`'s queue
+    /// Returns a freed address to the back of `cluster`'s fresh queue
     /// (Algorithm 3 line 4).
     pub fn push(&mut self, cluster: usize, bucket: u32) {
+        self.push_tier(cluster, bucket, false);
+    }
+
+    /// Returns a freed address to `cluster`'s fresh or worn queue.
+    pub fn push_tier(&mut self, cluster: usize, bucket: u32, worn: bool) {
         let c = cluster.min(self.lists.len() - 1);
-        self.lists[c].push_back(bucket);
+        let tier = if worn { &mut self.worn } else { &mut self.lists };
+        tier[c].push_back(bucket);
         self.free += 1;
     }
 
-    /// Drains all free buckets (used when retraining relabels them).
+    /// Drains all free buckets from both tiers (used when retraining
+    /// relabels them).
     pub fn drain_all(&mut self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.free);
-        for list in &mut self.lists {
+        for list in self.lists.iter_mut().chain(self.worn.iter_mut()) {
             out.extend(list.drain(..));
         }
         self.free = 0;
@@ -286,5 +355,55 @@ mod tests {
         let (b, fb) = p.pop(0, || [0, 1]).unwrap();
         assert_eq!(b, 9);
         assert!(fb);
+    }
+
+    #[test]
+    fn worn_buckets_allocate_last() {
+        let mut p = DynamicAddressPool::new(3, 10);
+        p.push_tier(1, 50, true); // worn, in the predicted cluster
+        p.push_tier(2, 60, false); // fresh, in a fallback cluster
+        assert_eq!(p.free(), 2);
+        assert_eq!(p.worn_free(), 1);
+        // A fresh bucket in the wrong cluster beats a worn one in the
+        // right cluster.
+        let (b, fb) = p.pop(1, || [1, 2, 0]).unwrap();
+        assert_eq!(b, 60);
+        assert!(fb);
+        // Only the worn bucket remains; it allocates (no stall) and the
+        // predicted-cluster worn hit is not a fallback.
+        let (b, fb) = p.pop(1, || [1, 2, 0]).unwrap();
+        assert_eq!(b, 50);
+        assert!(!fb);
+        assert_eq!(p.free(), 0);
+        assert_eq!(p.worn_free(), 0);
+    }
+
+    #[test]
+    fn worn_tier_ranked_and_scanned_like_fresh() {
+        let mut p = DynamicAddressPool::new(3, 10);
+        p.push_tier(0, 7, true);
+        p.push_tier(2, 8, true);
+        // Predicted 1 is empty in both tiers; ranking prefers 2.
+        let (b, fb) = p.pop(1, || [1, 2, 0]).unwrap();
+        assert_eq!(b, 8);
+        assert!(fb);
+        // Ranking mentions nothing useful; the worn scan still finds 7.
+        let (b, fb) = p.pop(1, || [1]).unwrap();
+        assert_eq!(b, 7);
+        assert!(fb);
+    }
+
+    #[test]
+    fn rebuild_tiered_and_drain_cover_both_tiers() {
+        let mut p = DynamicAddressPool::new(2, 8);
+        p.rebuild_tiered(2, vec![(1, 0, false), (2, 0, true), (3, 1, true)]);
+        assert_eq!(p.free(), 3);
+        assert_eq!(p.worn_free(), 2);
+        assert_eq!(p.free_in(0), 2, "free_in counts both tiers");
+        let mut drained = p.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert_eq!(p.free(), 0);
+        assert_eq!(p.worn_free(), 0);
     }
 }

@@ -26,20 +26,20 @@
 //! on a write lock (§VI-E: lookups *"do not go through the model or the
 //! dynamic address pool"*).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pnw_index::{AtomicHashIndex, IndexReader, KeyIndex, PathHashIndex};
 use pnw_nvm_sim::{
-    CellView, DeviceBacking, DeviceStats, NvmConfig, NvmDevice, NvmError, Region, RegionAllocator,
-    WriteMode,
+    crc32c_update, CellView, DeviceBacking, DeviceStats, NvmConfig, NvmDevice, NvmError, Region,
+    RegionAllocator, StuckAtConfig, WriteMode, WriteStats,
 };
 
 use crate::config::{IndexPlacement, PnwConfig, UpdatePolicy};
 use crate::durable::DurableShard;
 use crate::error::PnwError;
-use crate::metrics::{OpReport, StoreSnapshot, TrainStats};
+use crate::metrics::{OpReport, ScrubStats, StoreSnapshot, TrainStats};
 use std::sync::Arc;
 
 use crate::model::{stride_sample, ModelSnapshot, PredictScratch};
@@ -65,6 +65,18 @@ fn label_u16(cluster: usize) -> u16 {
     }
 }
 
+/// The integrity seal: CRC-32C over `key ‖ value`, stored in the header's
+/// pad bytes `[4..8]` at PUT commit. Covering the key as well as the value
+/// means a seal can never validate a value against the *wrong* key (e.g.
+/// after an index entry is damaged into pointing at another live bucket).
+/// Castagnoli rather than the WAL's IEEE polynomial: this runs on every
+/// GET, and CRC-32C has a hardware instruction on x86-64 (the software
+/// fallback is bit-identical, so store files stay portable).
+#[inline]
+pub(crate) fn bucket_crc(key: u64, value: &[u8]) -> u32 {
+    crc32c_update(crc32c_update(0xFFFF_FFFF, &key.to_le_bytes()), value) ^ 0xFFFF_FFFF
+}
+
 /// The shard state the lock-free read path shares with its engine: the
 /// seqlock word every mutation brackets, and the GET counter (readers
 /// hold no lock, so the counter cannot live in the engine).
@@ -81,6 +93,9 @@ pub(crate) struct ShardSync {
     depth: AtomicU32,
     /// GETs served, by both the lock-free and the locked read path.
     gets: AtomicU64,
+    /// CRC verification failures seen by GETs (readers hold no lock, so
+    /// the counter lives with the GET counter).
+    crc_failures: AtomicU64,
 }
 
 impl ShardSync {
@@ -89,6 +104,7 @@ impl ShardSync {
             seq: AtomicU64::new(0),
             depth: AtomicU32::new(0),
             gets: AtomicU64::new(0),
+            crc_failures: AtomicU64::new(0),
         }
     }
 
@@ -123,6 +139,17 @@ impl ShardSync {
     /// GETs served so far.
     pub fn gets(&self) -> u64 {
         self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Counts one read-path CRC verification failure.
+    #[inline]
+    pub fn count_crc_failure(&self) {
+        self.crc_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read-path CRC verification failures so far.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures.load(Ordering::Relaxed)
     }
 
     fn write_begin(&self) {
@@ -232,6 +259,19 @@ pub struct ShardEngine {
     /// WAL appender when this shard is file-backed; `None` keeps the
     /// volatile op path bit-for-bit unchanged.
     durable: Option<DurableShard>,
+    /// Buckets permanently removed from placement: stuck media found by
+    /// write-verify, or scrub-detected corruption. Survives crashes on
+    /// durable shards (WAL retire records + checkpoint).
+    retired: HashSet<u32>,
+    /// Integrity/wear-out counters (the GET-path failures live on
+    /// [`ShardSync`] and are folded in at snapshot time).
+    scrub: ScrubStats,
+    /// Next bucket the incremental scrubber will visit.
+    scrub_cursor: u32,
+    /// This engine's position in a sharded store (0 for single-shard
+    /// stores) — carried in [`PnwError::Corruption`] so an operator can
+    /// map a failure to a device slice.
+    shard_id: usize,
 }
 
 impl ShardEngine {
@@ -277,9 +317,16 @@ impl ShardEngine {
             .alloc_buckets(total_buckets, bucket_size)
             .expect("data zone");
 
-        let nvm_cfg = NvmConfig::default()
+        let mut nvm_cfg = NvmConfig::default()
             .with_size(total)
             .with_bit_wear(cfg.track_bit_wear);
+        if let Some(endurance) = cfg.endurance_writes {
+            nvm_cfg = nvm_cfg.with_stuck_at(StuckAtConfig {
+                endurance_writes: Some(endurance),
+                latch_probability: cfg.stuck_latch_probability,
+                seed: cfg.seed,
+            });
+        }
         let dev = match (image, file) {
             (Some(image), None) => {
                 assert_eq!(
@@ -333,7 +380,17 @@ impl ShardEngine {
             bucket_img,
             value_buf,
             durable: None,
+            retired: HashSet::new(),
+            scrub: ScrubStats::default(),
+            scrub_cursor: 0,
+            shard_id: 0,
         })
+    }
+
+    /// Records this engine's shard position (for [`PnwError::Corruption`]
+    /// attribution; single-shard stores keep the default 0).
+    pub(crate) fn set_shard_id(&mut self, id: usize) {
+        self.shard_id = id;
     }
 
     /// The shard's configuration (capacity fields describe this shard's
@@ -448,7 +505,7 @@ impl ShardEngine {
             self.pool.push(label, b);
         }
         self.active_buckets += add;
-        self.pool.set_capacity(self.active_buckets);
+        self.pool.set_capacity(self.effective_capacity());
         if add > 0 {
             if let Some(d) = &mut self.durable {
                 // A failed append means the WAL is already dead; every
@@ -495,6 +552,33 @@ impl ShardEngine {
     /// PUT / UPDATE (Algorithm 2 + §V-B.3) under the shard's current model
     /// snapshot.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
+        self.put_impl(key, value, true)
+    }
+
+    /// PUT for the batch path: performs *exactly* the same device, index
+    /// and pool mutations as [`ShardEngine::put`] — so batched and per-op
+    /// writes are bit-for-bit identical on the device — but skips the
+    /// per-op reporting that [`OpReport`] needs: no stats snapshot/delta,
+    /// no value-only [`NvmDevice::diff_stats`] preview pass, no wall-clock
+    /// prediction timing. [`Store::apply`](crate::Store::apply) charges the
+    /// whole batch from one device-stats delta instead; the only counter
+    /// the batch path does not feed is the snapshot's `predict_total`.
+    pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
+        self.put_impl(key, value, false).map(|(_, path)| path)
+    }
+
+    /// The one PUT implementation behind both entry points. `report`
+    /// toggles only side-effect-free instrumentation (stats snapshots, the
+    /// value-only [`NvmDevice::diff_stats`] preview, wall-clock timing) —
+    /// device, index and pool mutations are identical either way, which is
+    /// what lets the batch path skip the bookkeeping without forking the
+    /// write path.
+    fn put_impl(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        report: bool,
+    ) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
         let _w = WriteBracket::enter(&self.sync);
         let mut deferred: Option<(usize, u32)> = None;
@@ -505,26 +589,12 @@ impl ShardEngine {
         match self.cfg.update_policy {
             UpdatePolicy::InPlace => {
                 if let Some(addr) = self.index.get(&mut self.dev, key)? {
-                    // Latency-first: straight through the hash index.
-                    let before = self.dev.stats().clone();
-                    let vstats =
-                        self.dev.write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
-                    self.check_durable_write()?;
-                    let b = self.bucket_of_addr(addr);
-                    self.labels[b as usize] = LABEL_STALE;
-                    let total = self.dev.stats().since(&before).totals;
-                    self.puts += 1;
-                    return Ok((
-                        OpReport {
-                            cluster: 0,
-                            fallback: false,
-                            predict: Duration::ZERO,
-                            value_write: vstats,
-                            total_write: total,
-                            modeled_latency: self.dev.modeled_write_cost(&total),
-                        },
-                        PutPath::InPlace,
-                    ));
+                    if let Some(done) = self.put_in_place(key, value, addr, report)? {
+                        return Ok(done);
+                    }
+                    // The in-place target failed write-verify: the bucket
+                    // is retired and the key unlinked — fall through to a
+                    // fresh placement on healthy media.
                 }
             }
             UpdatePolicy::DeletePut => {
@@ -545,39 +615,19 @@ impl ShardEngine {
             }
         }
 
-        let before = self.dev.stats().clone();
+        let before = report.then(|| self.dev.stats().clone());
 
         // Algorithm 2 line 1: predict the entry. The packed bit-domain
         // kernel reads the raw bytes — no featurization, no allocation —
         // and leaves the per-cluster distances in this shard's scratch.
-        let t0 = Instant::now();
+        let t0 = report.then(Instant::now);
         let cluster = self.model.predict_into(value, &mut self.scratch);
-        let predict = t0.elapsed();
+        let predict = t0.map_or(Duration::ZERO, |t| t.elapsed());
         self.predict_total += predict;
 
-        // Line 2: get an address from the dynamic address pool. The full
-        // nearest-first ranking is an argsort of the distances already in
-        // scratch, computed only if the predicted cluster misses.
-        let popped = {
-            let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
-            pool.pop(cluster, || model.ranked_after_predict(scratch))
-        };
-        let (bucket, fallback) = match popped {
-            Some(hit) => hit,
-            None => self.forced_reuse(key, cluster, &mut deferred)?,
-        };
+        let (bucket, fallback, value_write) =
+            self.place_sealed(key, value, cluster, &mut deferred, report)?;
         let addr = self.bucket_addr(bucket);
-
-        // Lines 3–6: one differential write covers the whole bucket
-        // (header + value share cache lines; writing them separately would
-        // double-count dirty lines). Value-only accounting is previewed
-        // first for the Figure 6 metric.
-        let value_write = self.dev.diff_stats(addr + HDR_BYTES, value)?;
-        self.bucket_img[0] = FLAG_VALID;
-        self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
-        self.bucket_img[HDR_BYTES..].copy_from_slice(value);
-        self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
-        self.check_durable_write()?;
 
         // Line 7: update the hash index.
         if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
@@ -585,9 +635,16 @@ impl ShardEngine {
             return Err(e.into());
         }
         // The durable commit point: the op is acknowledged only once its
-        // WAL record is fsynced. Volatile shards skip this entirely.
+        // WAL record is fsynced. Volatile shards skip this entirely. With
+        // integrity on, the record carries the value bytes — the clean
+        // copy the scrubber repairs from.
         if let Some(d) = &mut self.durable {
-            if let Err(e) = d.log_put(key, addr as u64) {
+            let logged = if self.cfg.integrity {
+                d.log_put_value(key, addr as u64, value)
+            } else {
+                d.log_put(key, addr as u64)
+            };
+            if let Err(e) = logged {
                 // Unacknowledged: roll the in-process structures back so
                 // the dying store stays internally consistent. The durable
                 // state is already safe — no WAL record exists, and
@@ -598,95 +655,165 @@ impl ShardEngine {
             }
         }
         if let Some((label, freed)) = deferred {
-            self.pool.push(label, freed);
+            self.push_free(label, freed);
         }
         self.labels[bucket as usize] = label_u16(cluster);
         self.live += 1;
         self.puts += 1;
 
-        let total = self.dev.stats().since(&before).totals;
-        let report = OpReport {
-            cluster,
-            fallback,
-            predict,
-            value_write,
-            total_write: total,
-            modeled_latency: self.dev.modeled_write_cost(&total),
+        let out = if let Some(before) = before {
+            let total = self.dev.stats().since(&before).totals;
+            OpReport {
+                cluster,
+                fallback,
+                predict,
+                value_write,
+                total_write: total,
+                modeled_latency: self.dev.modeled_write_cost(&total),
+            }
+        } else {
+            OpReport::default()
         };
-        Ok((report, PutPath::Fresh))
+        Ok((out, PutPath::Fresh))
     }
 
-    /// PUT for the batch path: performs *exactly* the same device, index
-    /// and pool mutations as [`ShardEngine::put`] — so batched and per-op
-    /// writes are bit-for-bit identical on the device — but skips the
-    /// per-op reporting that [`OpReport`] needs: no stats snapshot/delta,
-    /// no value-only [`NvmDevice::diff_stats`] preview pass, no wall-clock
-    /// prediction timing. [`Store::apply`](crate::Store::apply) charges the
-    /// whole batch from one device-stats delta instead; the only counter
-    /// the batch path does not feed is the snapshot's `predict_total`.
-    pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
-        self.check_value(value)?;
-        let _w = WriteBracket::enter(&self.sync);
-        let mut deferred: Option<(usize, u32)> = None;
-
-        match self.cfg.update_policy {
-            UpdatePolicy::InPlace => {
-                if let Some(addr) = self.index.get(&mut self.dev, key)? {
-                    self.dev
-                        .write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
-                    self.check_durable_write()?;
-                    let b = self.bucket_of_addr(addr);
-                    self.labels[b as usize] = LABEL_STALE;
-                    self.puts += 1;
-                    return Ok(PutPath::InPlace);
-                }
+    /// The [`UpdatePolicy::InPlace`] update: straight through the hash
+    /// index to the key's existing bucket. With integrity on, the whole
+    /// sealed image is rewritten (the stored CRC must track the value) and
+    /// write-verified; `None` means the media failed verification — the
+    /// bucket is retired, the key unlinked, and the caller re-places the
+    /// value on fresh media before acknowledging.
+    fn put_in_place(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        addr: u64,
+        report: bool,
+    ) -> Result<Option<(OpReport, PutPath)>, PnwError> {
+        let before = report.then(|| self.dev.stats().clone());
+        let b = self.bucket_of_addr(addr);
+        let vstats = if self.cfg.integrity {
+            // Value-only accounting is previewed (the actual write covers
+            // the header too, to refresh the seal).
+            let vstats = if report {
+                self.dev.diff_stats(addr as usize + HDR_BYTES, value)?
+            } else {
+                WriteStats::default()
+            };
+            self.seal_bucket_img(key, value);
+            self.dev.write(addr as usize, &self.bucket_img, WriteMode::Diff)?;
+            self.check_durable_write()?;
+            if !self.bucket_matches_img(addr as usize)? {
+                // Stuck media, caught before the ack: unlink, retire, and
+                // let the caller re-place the value elsewhere.
+                self.scrub.crc_failures += 1;
+                let _ = self.index.remove(&mut self.dev, key)?;
+                self.live -= 1;
+                self.retire(b)?;
+                let _ = self.dev.write(addr as usize, &[0u8], WriteMode::Diff);
+                return Ok(None);
             }
-            UpdatePolicy::DeletePut => {
-                if let Some(addr) = self.index.remove(&mut self.dev, key)? {
-                    if self.durable.is_some() {
-                        deferred = Some(self.clear_bucket(addr)?);
-                    } else {
-                        self.delete_bucket_only(addr)?;
-                    }
-                }
+            if let Some(d) = &mut self.durable {
+                // Refresh the WAL's clean copy so a later repair can never
+                // resurrect the pre-update value.
+                d.log_put_value(key, addr, value)?;
             }
-        }
-
-        let cluster = self.model.predict_into(value, &mut self.scratch);
-        let popped = {
-            let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
-            pool.pop(cluster, || model.ranked_after_predict(scratch))
+            vstats
+        } else {
+            let vstats = self
+                .dev
+                .write(addr as usize + HDR_BYTES, value, WriteMode::Diff)?;
+            self.check_durable_write()?;
+            vstats
         };
-        let (bucket, _) = match popped {
-            Some(hit) => hit,
-            None => self.forced_reuse(key, cluster, &mut deferred)?,
+        self.labels[b as usize] = LABEL_STALE;
+        self.puts += 1;
+        let out = if let Some(before) = before {
+            let total = self.dev.stats().since(&before).totals;
+            OpReport {
+                cluster: 0,
+                fallback: false,
+                predict: Duration::ZERO,
+                value_write: vstats,
+                total_write: total,
+                modeled_latency: self.dev.modeled_write_cost(&total),
+            }
+        } else {
+            OpReport::default()
         };
-        let addr = self.bucket_addr(bucket);
+        Ok(Some((out, PutPath::InPlace)))
+    }
 
+    /// Seals the reusable bucket image: valid flag, integrity CRC (zero
+    /// when integrity is off — the header bytes then stay bit-identical to
+    /// the pre-integrity layout), key, value.
+    fn seal_bucket_img(&mut self, key: u64, value: &[u8]) {
         self.bucket_img[0] = FLAG_VALID;
+        let crc = if self.cfg.integrity {
+            bucket_crc(key, value)
+        } else {
+            0
+        };
+        self.bucket_img[4..8].copy_from_slice(&crc.to_le_bytes());
         self.bucket_img[8..16].copy_from_slice(&key.to_le_bytes());
         self.bucket_img[HDR_BYTES..].copy_from_slice(value);
-        self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
-        self.check_durable_write()?;
+    }
 
-        if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
-            self.unwind_failed_insert(addr, cluster, bucket);
-            return Err(e.into());
-        }
-        if let Some(d) = &mut self.durable {
-            if let Err(e) = d.log_put(key, addr as u64) {
-                let _ = self.index.remove(&mut self.dev, key);
-                self.unwind_failed_insert(addr, cluster, bucket);
-                return Err(e);
+    /// Whether the cells at `addr` now hold exactly the sealed image —
+    /// the write-verify read-back. False means a stuck bit of opposite
+    /// polarity swallowed part of the write.
+    fn bucket_matches_img(&self, addr: usize) -> Result<bool, PnwError> {
+        Ok(self.dev.peek(addr, self.bucket_img.len())? == &self.bucket_img[..])
+    }
+
+    /// Algorithm 2 lines 2–6 plus write-verify: pops pool candidates until
+    /// one's media accepts the sealed image bit-exact. A bucket that fails
+    /// the read-back (a stuck bit latched at the opposite polarity) is
+    /// retired permanently *before* the op is acknowledged and the
+    /// next-ranked candidate is tried; every failure shrinks the pool, so
+    /// the loop terminates.
+    fn place_sealed(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        cluster: usize,
+        deferred: &mut Option<(usize, u32)>,
+        report: bool,
+    ) -> Result<(u32, bool, WriteStats), PnwError> {
+        loop {
+            // Line 2: get an address from the dynamic address pool. The
+            // full nearest-first ranking is an argsort of the distances
+            // already in scratch, computed only if the predicted cluster
+            // misses.
+            let popped = {
+                let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
+                pool.pop(cluster, || model.ranked_after_predict(scratch))
+            };
+            let (bucket, fallback) = match popped {
+                Some(hit) => hit,
+                None => self.forced_reuse(key, cluster, deferred)?,
+            };
+            let addr = self.bucket_addr(bucket);
+
+            // Lines 3–6: one differential write covers the whole bucket
+            // (header + value share cache lines; writing them separately
+            // would double-count dirty lines). Value-only accounting is
+            // previewed first for the Figure 6 metric.
+            let value_write = if report {
+                self.dev.diff_stats(addr + HDR_BYTES, value)?
+            } else {
+                WriteStats::default()
+            };
+            self.seal_bucket_img(key, value);
+            self.dev.write(addr, &self.bucket_img, WriteMode::Diff)?;
+            self.check_durable_write()?;
+            if !self.cfg.integrity || self.bucket_matches_img(addr)? {
+                return Ok((bucket, fallback, value_write));
             }
+            self.scrub.crc_failures += 1;
+            self.retire(bucket)?;
+            let _ = self.dev.write(addr, &[0u8], WriteMode::Diff);
         }
-        if let Some((label, freed)) = deferred {
-            self.pool.push(label, freed);
-        }
-        self.labels[bucket as usize] = label_u16(cluster);
-        self.live += 1;
-        self.puts += 1;
-        Ok(PutPath::Fresh)
     }
 
     /// After a data-zone write on a durable shard: a torn write leaves the
@@ -718,10 +845,70 @@ impl ShardEngine {
             .as_mut()
             .expect("a deferred bucket implies a durable shard")
             .log_delete(key)?;
-        self.pool.push(label, bucket);
+        if self.retired.contains(&bucket) {
+            // The freed bucket is retired media — it must never re-enter
+            // placement, so with the pool otherwise empty there is
+            // genuinely no space (the delete half stays committed).
+            return Err(PnwError::Full);
+        }
+        let worn = self.bucket_worn(bucket);
+        self.pool.push_tier(label, bucket, worn);
         let (pool, scratch, model) = (&mut self.pool, &mut self.scratch, &self.model);
         pool.pop(cluster, || model.ranked_after_predict(scratch))
             .ok_or(PnwError::Full)
+    }
+
+    /// Recycles a freed bucket into the pool — unless it is retired
+    /// (damaged media never re-enters placement), and into the
+    /// deprioritized worn tier when its cells are near the endurance
+    /// limit.
+    fn push_free(&mut self, label: usize, bucket: u32) {
+        if self.retired.contains(&bucket) {
+            return;
+        }
+        let worn = self.bucket_worn(bucket);
+        self.pool.push_tier(label, bucket, worn);
+    }
+
+    /// Whether a bucket's most-written word has consumed ≥¾ of the
+    /// configured endurance budget — such buckets allocate last (the
+    /// pool's worn tier), spreading imminent wear-out across time instead
+    /// of concentrating failures on the hottest addresses.
+    fn bucket_worn(&self, bucket: u32) -> bool {
+        let Some(endurance) = self.cfg.endurance_writes else {
+            return false;
+        };
+        let threshold = (u64::from(endurance) * 3 / 4).max(1);
+        let addr = self.bucket_addr(bucket);
+        let geo = self.dev.geometry();
+        let first = geo.word_of(addr);
+        let last = geo.word_of(addr + self.bucket_size - 1);
+        let words = self.dev.wear().word_writes();
+        words[first..=last]
+            .iter()
+            .any(|&w| u64::from(w) >= threshold)
+    }
+
+    /// Buckets available for placement: the active zone minus permanent
+    /// retirements. Pool capacity — and with it the §V-C load-factor
+    /// trigger — tracks this honestly-shrunk figure.
+    fn effective_capacity(&self) -> usize {
+        self.active_buckets - self.retired.len()
+    }
+
+    /// Permanently removes a bucket from placement. Idempotent; on a
+    /// durable shard the retirement is WAL-logged (and checkpointed) so it
+    /// survives crash and reopen.
+    fn retire(&mut self, bucket: u32) -> Result<(), PnwError> {
+        if !self.retired.insert(bucket) {
+            return Ok(());
+        }
+        self.scrub.retired += 1;
+        self.pool.set_capacity(self.effective_capacity());
+        if let Some(d) = &mut self.durable {
+            d.log_retire(bucket)?;
+        }
+        Ok(())
     }
 
     /// Rolls back a bucket claim whose index insert failed. On a durable
@@ -731,7 +918,7 @@ impl ShardEngine {
         if self.durable.is_some() {
             let _ = self.dev.write(addr, &[0u8], WriteMode::Diff);
         }
-        self.pool.push(cluster, bucket);
+        self.push_free(cluster, bucket);
     }
 
     /// Executes one batch group against this engine — the one loop behind
@@ -823,10 +1010,30 @@ impl ShardEngine {
             Some(addr) => {
                 let mut v = vec![0u8; self.cfg.value_size];
                 self.dev.peek_into(addr as usize + HDR_BYTES, &mut v)?;
+                self.verify_read(key, addr as usize, &v)?;
                 Ok(Some(v))
             }
             None => Ok(None),
         }
+    }
+
+    /// Verifies a just-read value against its bucket's sealed CRC — the
+    /// guarantee that no GET ever serves silently corrupted bytes. `addr`
+    /// is the bucket's base address.
+    fn verify_read(&self, key: u64, addr: usize, value: &[u8]) -> Result<(), PnwError> {
+        if !self.cfg.integrity {
+            return Ok(());
+        }
+        let hdr = self.dev.peek(addr, HDR_BYTES)?;
+        let stored = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        if stored == bucket_crc(key, value) {
+            return Ok(());
+        }
+        self.sync.count_crc_failure();
+        Err(PnwError::Corruption {
+            key,
+            shard: self.shard_id,
+        })
     }
 
     /// GET into a caller-provided buffer — the allocation-free read path
@@ -845,6 +1052,7 @@ impl ShardEngine {
         match self.index.lookup(&self.dev, key)? {
             Some(addr) => {
                 self.dev.peek_into(addr as usize + HDR_BYTES, out)?;
+                self.verify_read(key, addr as usize, out)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -868,7 +1076,7 @@ impl ShardEngine {
                         .as_mut()
                         .expect("checked durable")
                         .log_delete(key)?;
-                    self.pool.push(label, bucket);
+                    self.push_free(label, bucket);
                 } else {
                     self.delete_bucket_only(addr)?;
                 }
@@ -881,7 +1089,7 @@ impl ShardEngine {
 
     fn delete_bucket_only(&mut self, addr: u64) -> Result<(), PnwError> {
         let (label, bucket) = self.clear_bucket(addr)?;
-        self.pool.push(label, bucket);
+        self.push_free(label, bucket);
         Ok(())
     }
 
@@ -910,6 +1118,130 @@ impl ShardEngine {
         Ok((label, bucket))
     }
 
+    /// Verifies one bucket's integrity seal — the scrubber's unit of work.
+    /// A CRC failure is repaired from the WAL's clean copy when one exists
+    /// (value re-placed on fresh media, damaged bucket retired); without a
+    /// clean copy the bucket is retired but the key stays indexed, so the
+    /// loss surfaces as a typed [`PnwError::Corruption`] on the next GET —
+    /// loud, never silent. A still-intact value sitting on media with
+    /// known stuck bits is relocated proactively before a future write can
+    /// corrupt it.
+    fn scrub_bucket(&mut self, bucket: u32) -> Result<(), PnwError> {
+        if !self.cfg.integrity || self.retired.contains(&bucket) {
+            return Ok(());
+        }
+        let addr = self.bucket_addr(bucket);
+        let hdr: [u8; HDR_BYTES] = self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
+        if hdr[0] & FLAG_VALID == 0 {
+            return Ok(());
+        }
+        self.scrub.scanned += 1;
+        let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let stored = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        self.dev.peek_into(addr + HDR_BYTES, &mut self.value_buf)?;
+        if bucket_crc(key, &self.value_buf) == stored {
+            if self.dev.stuck_bits_in(addr, self.bucket_size) > 0 {
+                // Value intact but the media under it has latched: move it
+                // while a verified copy can still be read back.
+                let value = std::mem::take(&mut self.value_buf);
+                let res = self.relocate(key, &value, bucket);
+                self.value_buf = value;
+                res?;
+            }
+            return Ok(());
+        }
+        self.scrub.crc_failures += 1;
+        let clean = self
+            .durable
+            .as_ref()
+            .and_then(|d| d.wal_value(key))
+            .map(<[u8]>::to_vec);
+        match clean {
+            Some(v) => self.relocate(key, &v, bucket)?,
+            None => self.retire(bucket)?,
+        }
+        Ok(())
+    }
+
+    /// Moves `key`'s value (a verified or WAL-clean copy) off damaged
+    /// media: retires the old bucket, re-places the value through the
+    /// write-verify loop, re-points the index and re-logs the put.
+    fn relocate(&mut self, key: u64, value: &[u8], from: u32) -> Result<(), PnwError> {
+        self.retire(from)?;
+        let cluster = self.model.predict_into(value, &mut self.scratch);
+        let mut deferred = None;
+        let (bucket, _, _) = self.place_sealed(key, value, cluster, &mut deferred, false)?;
+        let addr = self.bucket_addr(bucket);
+        let _ = self.index.remove(&mut self.dev, key)?;
+        self.index.insert(&mut self.dev, key, addr as u64)?;
+        if let Some(d) = &mut self.durable {
+            d.log_put_value(key, addr as u64, value)?;
+        }
+        self.labels[bucket as usize] = label_u16(cluster);
+        let _ = self
+            .dev
+            .write(self.bucket_addr(from), &[0u8], WriteMode::Diff);
+        self.scrub.repairs += 1;
+        Ok(())
+    }
+
+    /// Runs one full scrub pass over the active zone (every bucket CRC
+    /// verified once) and returns the cumulative scrub counters. A
+    /// [`PnwError::Full`] from a relocation (no healthy media left to move
+    /// a value onto) ends the pass early — the damaged buckets stay
+    /// detected-and-retired, the keys stay loudly addressable.
+    pub fn scrub_pass(&mut self) -> Result<ScrubStats, PnwError> {
+        let _w = WriteBracket::enter(&self.sync);
+        for b in 0..self.active_buckets as u32 {
+            match self.scrub_bucket(b) {
+                Ok(()) => {}
+                Err(PnwError::Full) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.scrub)
+    }
+
+    /// Scrubs the next `buckets` buckets at the rotating cursor — the
+    /// rate-limited background scrubber's increment. Wraps around the
+    /// active zone so every bucket is eventually revisited.
+    pub fn scrub_step(&mut self, buckets: u32) -> Result<(), PnwError> {
+        if self.active_buckets == 0 {
+            return Ok(());
+        }
+        let _w = WriteBracket::enter(&self.sync);
+        for _ in 0..buckets {
+            let b = self.scrub_cursor % self.active_buckets as u32;
+            self.scrub_cursor = (b + 1) % self.active_buckets as u32;
+            match self.scrub_bucket(b) {
+                Ok(()) => {}
+                Err(PnwError::Full) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Test/experiment hook: arms a stuck-at fault on one bit of `key`'s
+    /// *stored value* (bit 0 = LSB of the value's first byte). Returns
+    /// whether the key was present to arm against.
+    pub fn arm_stuck_at_key(
+        &mut self,
+        key: u64,
+        bit: u32,
+        stuck_at_one: bool,
+    ) -> Result<bool, PnwError> {
+        let Some(addr) = self.index.lookup(&self.dev, key)? else {
+            return Ok(false);
+        };
+        let byte = addr as usize + HDR_BYTES + (bit / 8) as usize;
+        let geo = self.dev.geometry();
+        let word = geo.word_of(byte);
+        let bit_in_word = ((byte - word * geo.word_bytes) * 8) as u32 + bit % 8;
+        self.dev.arm_stuck_bit(word, bit_in_word, stuck_at_one)?;
+        Ok(true)
+    }
+
     /// Pre-fills every *free* bucket's cells with values from `gen`,
     /// leaving them free. This reproduces the paper's experimental setup
     /// (§VI-B: *"we first have set aside 5K buckets as the 'old data' on
@@ -932,8 +1264,19 @@ impl ShardEngine {
         // Back into the pool under the (still current) model's labels.
         let relabeled = self.labels_of(free);
         let k = self.model.k();
-        self.pool.rebuild(k, relabeled);
+        self.rebuild_pool_tiered(k, relabeled);
         Ok(n)
+    }
+
+    /// Rebuilds the pool from `(bucket, label)` pairs, sorting each bucket
+    /// into its wear tier (retired buckets never reach here — they are
+    /// never in the pool to drain).
+    fn rebuild_pool_tiered(&mut self, clusters: usize, relabeled: Vec<(u32, usize)>) {
+        let tiered: Vec<(u32, usize, bool)> = relabeled
+            .into_iter()
+            .map(|(b, l)| (b, l, self.bucket_worn(b)))
+            .collect();
+        self.pool.rebuild_tiered(clusters, tiered);
     }
 
     /// Labels each bucket's stored content under the current snapshot,
@@ -970,7 +1313,7 @@ impl ShardEngine {
         let free = self.pool.drain_all();
         let relabeled = self.labels_of(free);
         let k = self.model.k();
-        self.pool.rebuild(k, relabeled);
+        self.rebuild_pool_tiered(k, relabeled);
         // Cached content labels were computed under the previous model;
         // Algorithm 3 labels under the *current* one, so they all go
         // stale and refresh lazily on the next delete/overwrite.
@@ -1003,6 +1346,9 @@ impl ShardEngine {
                 self.index.clear(&mut self.dev)?;
                 let mut live = 0;
                 for b in 0..self.active_buckets as u32 {
+                    if self.retired.contains(&b) {
+                        continue;
+                    }
                     let addr = self.bucket_addr(b);
                     let hdr: [u8; HDR_BYTES] =
                         self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
@@ -1026,15 +1372,19 @@ impl ShardEngine {
         // single-cluster placeholder; the caller retrains next.
         let mut free_buckets = Vec::new();
         for b in 0..self.active_buckets as u32 {
+            if self.retired.contains(&b) {
+                continue;
+            }
             let addr = self.bucket_addr(b);
             let hdr = self.dev.peek(addr, 1)?;
             if hdr[0] & FLAG_VALID == 0 {
                 free_buckets.push(b);
             }
         }
-        self.pool = DynamicAddressPool::new(1, self.active_buckets);
+        self.pool = DynamicAddressPool::new(1, self.effective_capacity());
         for b in free_buckets {
-            self.pool.push(0, b);
+            let worn = self.bucket_worn(b);
+            self.pool.push_tier(0, b, worn);
         }
         // The model is DRAM-resident and lost with the crash; predictions
         // fall back to the untrained placeholder until the caller retrains
@@ -1048,7 +1398,45 @@ impl ShardEngine {
     /// extension state), clamped to the provisioned bucket range.
     pub(crate) fn set_active_buckets(&mut self, n: usize) {
         self.active_buckets = n.min(self.cfg.capacity + self.cfg.reserve_buckets);
-        self.pool.set_capacity(self.active_buckets);
+        self.pool.set_capacity(self.effective_capacity());
+    }
+
+    /// Seeds the permanent-retirement set from recovery (checkpointed
+    /// list + WAL-replayed retire records). Call *before* the repair and
+    /// structure-recovery scans so they skip damaged media.
+    pub(crate) fn restore_retired(&mut self, retired: &[u32]) {
+        self.retired.extend(retired.iter().copied());
+        self.scrub.retired = self.retired.len() as u64;
+        self.pool.set_capacity(self.effective_capacity());
+    }
+
+    /// Re-links committed keys whose buckets are retired: the recovery
+    /// scans skip retired media, but such a key must stay addressable so
+    /// its loss surfaces as a typed [`PnwError::Corruption`] on GET —
+    /// never as a silent miss. Call after
+    /// [`ShardEngine::recover_structures`].
+    pub(crate) fn reindex_retired_committed(
+        &mut self,
+        committed: &HashMap<u64, u64>,
+    ) -> Result<(), PnwError> {
+        let _w = WriteBracket::enter(&self.sync);
+        for (&key, &addr) in committed {
+            let b = self.bucket_of_addr(addr);
+            if self.retired.contains(&b) && self.index.lookup(&self.dev, key)?.is_none() {
+                self.index.insert(&mut self.dev, key, addr)?;
+                self.live += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops the WAL value mirror after a successful checkpoint (the
+    /// checkpointed device image is now the repair source of record for
+    /// everything the truncated WAL no longer covers).
+    pub(crate) fn clear_wal_values(&mut self) {
+        if let Some(d) = &mut self.durable {
+            d.clear_values();
+        }
     }
 
     /// Reconciles the data zone with the WAL-derived committed map after a
@@ -1073,6 +1461,12 @@ impl ShardEngine {
         let _w = WriteBracket::enter(&self.sync);
         self.labels.fill(LABEL_STALE);
         for b in 0..self.active_buckets as u32 {
+            if self.retired.contains(&b) {
+                // Retired media is left exactly as found: repairing it
+                // would write to known-damaged cells, and its committed
+                // keys are re-linked by `reindex_retired_committed`.
+                continue;
+            }
             let addr = self.bucket_addr(b);
             let hdr: [u8; HDR_BYTES] = self.dev.peek(addr, HDR_BYTES)?.try_into().unwrap();
             let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
@@ -1083,6 +1477,13 @@ impl ShardEngine {
             } else if !valid && committed_here {
                 let mut fixed = [0u8; HDR_BYTES];
                 fixed[0] = FLAG_VALID;
+                if self.cfg.integrity {
+                    // The flag-only clear this repair undoes never touched
+                    // the CRC bytes, but the header image below is written
+                    // whole — carry the seal forward instead of zeroing it.
+                    self.dev.peek_into(addr + HDR_BYTES, &mut self.value_buf)?;
+                    fixed[4..8].copy_from_slice(&bucket_crc(key, &self.value_buf).to_le_bytes());
+                }
                 fixed[8..16].copy_from_slice(&key.to_le_bytes());
                 self.dev.write(addr, &fixed, WriteMode::Diff)?;
             }
@@ -1112,10 +1513,14 @@ impl ShardEngine {
             let addr = self.bucket_addr(b);
             let hdr = self.dev.peek(addr, HDR_BYTES)?;
             if hdr[0] & FLAG_VALID != 0 {
-                out.push((
-                    u64::from_le_bytes(hdr[8..16].try_into().unwrap()),
-                    addr as u64,
-                ));
+                let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+                if self.retired.contains(&b) && self.index.lookup(&self.dev, key)? != Some(addr as u64)
+                {
+                    // A stale image on retired media (the flag byte can be
+                    // stuck and unclearable); the key lives elsewhere now.
+                    continue;
+                }
+                out.push((key, addr as u64));
             }
         }
         Ok(out)
@@ -1123,12 +1528,15 @@ impl ShardEngine {
 
     /// Collects this shard's checkpoint contribution at a quiescent cut.
     pub(crate) fn checkpoint_state(&self) -> Result<crate::durable::ShardCheckpoint, PnwError> {
+        let mut retired: Vec<u32> = self.retired.iter().copied().collect();
+        retired.sort_unstable();
         Ok(crate::durable::ShardCheckpoint {
             active: self.active_buckets as u64,
             entries: self.committed_entries()?,
             stats: self.dev.stats().clone(),
             word_writes: self.dev.wear().word_writes().to_vec(),
             bit_flips: self.dev.wear().bit_flips().map(<[u16]>::to_vec),
+            retired,
         })
     }
 
@@ -1171,7 +1579,7 @@ impl ShardEngine {
         StoreSnapshot {
             live: self.live,
             free: self.pool.free(),
-            capacity: self.active_buckets,
+            capacity: self.effective_capacity(),
             k: self.model.k(),
             retrains: train.epoch,
             train,
@@ -1181,6 +1589,12 @@ impl ShardEngine {
             puts: self.puts,
             gets: self.sync.gets(),
             deletes: self.deletes,
+            scrub: {
+                let mut s = self.scrub;
+                s.crc_failures += self.sync.crc_failures();
+                s.stuck_bits = self.dev.stuck_bit_count();
+                s
+            },
         }
     }
 
@@ -1308,5 +1722,106 @@ mod tests {
         assert_eq!(e.model().k(), 2);
         // Pool now has one free list per cluster of the *installed* model.
         assert_eq!(e.pool().clusters(), 2);
+    }
+
+    /// A GET must never return corrupt bytes: a stuck bit that flips the
+    /// stored value surfaces as a typed, non-retryable [`Corruption`]
+    /// error carrying the key and shard.
+    #[test]
+    fn get_detects_corruption_from_stuck_bit() {
+        let mut e = ShardEngine::new(PnwConfig::new(8, 8).with_clusters(1));
+        e.put(1, &[0u8; 8]).unwrap();
+        assert!(e.arm_stuck_at_key(1, 3, true).unwrap());
+        assert!(!e.arm_stuck_at_key(99, 0, true).unwrap(), "absent key");
+        assert!(matches!(
+            e.get(1),
+            Err(PnwError::Corruption { key: 1, shard: 0 })
+        ));
+        let snap = e.snapshot(TrainStats::default());
+        assert!(snap.scrub.crc_failures >= 1);
+        assert_eq!(snap.scrub.stuck_bits, 1);
+    }
+
+    /// Write-verify at PUT: a bucket whose media can no longer hold the
+    /// sealed image is retired permanently and capacity shrinks honestly —
+    /// the store reports `Full` rather than silently storing bad bytes.
+    #[test]
+    fn write_verify_retires_stuck_bucket() {
+        let mut e = ShardEngine::new(PnwConfig::new(1, 8).with_clusters(1));
+        e.put(1, &[0u8; 8]).unwrap();
+        assert!(e.arm_stuck_at_key(1, 0, true).unwrap());
+        assert!(e.delete(1).unwrap());
+        // The only bucket has a stuck-at-one cell over a zero value: the
+        // verify read can't match the sealed image, so the bucket retires
+        // and the (now empty) pool reports Full.
+        assert!(matches!(e.put(2, &[0u8; 8]), Err(PnwError::Full)));
+        let snap = e.snapshot(TrainStats::default());
+        assert_eq!(snap.scrub.retired, 1);
+        assert_eq!(snap.scrub.crc_failures, 1);
+        assert_eq!(snap.capacity, 0, "capacity shrinks by the retired bucket");
+        assert_eq!(e.len(), 0);
+    }
+
+    /// Scrub with no durable copy to repair from: the damage is loud, not
+    /// silent — the bucket retires, the key stays indexed, and every GET
+    /// of it reports corruption instead of pretending the key is gone.
+    #[test]
+    fn scrub_without_durable_copy_retires_loudly() {
+        let mut e = ShardEngine::new(PnwConfig::new(4, 8).with_clusters(1));
+        e.put(1, &[0u8; 8]).unwrap();
+        assert!(e.arm_stuck_at_key(1, 5, true).unwrap());
+        let s = e.scrub_pass().unwrap();
+        assert_eq!(s.crc_failures, 1);
+        assert_eq!(s.repairs, 0, "volatile store has no clean copy");
+        assert_eq!(s.retired, 1);
+        assert_eq!(e.len(), 1, "loud loss: the key stays indexed");
+        assert!(matches!(
+            e.get(1),
+            Err(PnwError::Corruption { key: 1, .. })
+        ));
+    }
+
+    /// Scrub proactively relocates a still-readable value off stuck media:
+    /// the stuck bit happens to match the stored polarity (CRC passes),
+    /// but the bucket is a time bomb — the value moves to clean media and
+    /// the damaged bucket retires.
+    #[test]
+    fn scrub_relocates_valid_value_off_stuck_media() {
+        let mut e = ShardEngine::new(PnwConfig::new(4, 8).with_clusters(1));
+        e.put(1, &[0xFFu8; 8]).unwrap();
+        // Stored bit is 1 and the cell latches at 1: CRC still verifies.
+        assert!(e.arm_stuck_at_key(1, 0, true).unwrap());
+        let s = e.scrub_pass().unwrap();
+        assert_eq!(s.crc_failures, 0);
+        assert_eq!(s.repairs, 1);
+        assert_eq!(s.retired, 1);
+        assert_eq!(e.get(1).unwrap().unwrap(), vec![0xFF; 8]);
+        let snap = e.snapshot(TrainStats::default());
+        assert_eq!(snap.capacity, 3);
+        assert_eq!(snap.scrub.stuck_bits, 1);
+    }
+
+    /// With integrity off the CRC home bytes (header [4..8]) stay zero —
+    /// the sealed layout is bit-identical to the pre-integrity format.
+    /// With it on, the stored CRC is exactly [`bucket_crc`].
+    #[test]
+    fn crc_home_bytes_follow_the_integrity_knob() {
+        let value = [0xABu8; 8];
+        let mut on = ShardEngine::new(PnwConfig::new(8, 8).with_clusters(1));
+        let mut off =
+            ShardEngine::new(PnwConfig::new(8, 8).with_clusters(1).with_integrity(false));
+        on.put(1, &value).unwrap();
+        off.put(1, &value).unwrap();
+        let addr_on = on.index.lookup(&on.dev, 1).unwrap().unwrap() as usize;
+        let hdr_on = on.dev.peek(addr_on, HDR_BYTES).unwrap();
+        let stored = u32::from_le_bytes(hdr_on[4..8].try_into().unwrap());
+        assert_eq!(stored, bucket_crc(1, &value));
+        assert_ne!(stored, 0);
+        let addr_off = off.index.lookup(&off.dev, 1).unwrap().unwrap() as usize;
+        let hdr_off = off.dev.peek(addr_off, HDR_BYTES).unwrap();
+        assert_eq!(&hdr_off[4..8], &[0u8; 4], "integrity off seals zeros");
+        // And the off path never reports corruption, even for bad media.
+        assert!(off.arm_stuck_at_key(1, 2, true).unwrap());
+        assert!(off.get(1).is_ok());
     }
 }

@@ -59,7 +59,7 @@ use crate::durable::{geometry_hash, DurableStore, ShardCheckpoint};
 use crate::error::{PnwError, StoreError};
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
-use crate::shard::{PutPath, ShardEngine, ShardSync, HDR_BYTES};
+use crate::shard::{bucket_crc, PutPath, ShardEngine, ShardSync, HDR_BYTES};
 
 /// One completed command's result, handed back through its [`OpSlot`].
 enum CmdReply {
@@ -146,7 +146,7 @@ impl Shard {
 /// [`std::sync::Arc`] and clone it across threads.
 pub struct ShardedPnwStore {
     cfg: PnwConfig,
-    shards: Vec<Shard>,
+    shards: Arc<Vec<Shard>>,
     /// The trainer: touched only at train/install boundaries, never by the
     /// op hot path (which predicts from per-shard snapshot `Arc`s).
     trainer: Mutex<ModelManager>,
@@ -165,6 +165,22 @@ pub struct ShardedPnwStore {
     /// appends go through each shard's own [`DurableShard`]
     /// (crate::durable) handle under that shard's engine lock.
     durable: Option<Mutex<DurableStore>>,
+    /// Tells the background scrubber thread to exit; set in [`Drop`].
+    scrub_stop: Arc<AtomicBool>,
+    /// The background scrubber — spawned when [`PnwConfig::scrub_rate`]
+    /// is set, joined on drop. It rotates across shards CRC-verifying a
+    /// few buckets per visit under that shard's engine lock, so it is
+    /// just another (rate-limited) writer in the concurrency model.
+    scrub_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ShardedPnwStore {
+    fn drop(&mut self) {
+        self.scrub_stop.store(true, Ordering::Release);
+        if let Some(h) = self.scrub_thread.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// splitmix64 finalizer — the shard router. Independent of both index hash
@@ -202,10 +218,18 @@ impl ShardedPnwStore {
         );
         let n = cfg.shards.max(1).min(cfg.capacity.max(1));
         let cap = cfg.shard_queue_depth.max(1);
-        let shards = (0..n)
-            .map(|i| Shard::wrap(ShardEngine::new(shard_config(&cfg, n, i)), cap))
-            .collect();
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..n)
+                .map(|i| {
+                    let mut engine = ShardEngine::new(shard_config(&cfg, n, i));
+                    engine.set_shard_id(i);
+                    Shard::wrap(engine, cap)
+                })
+                .collect(),
+        );
         let trainer = Mutex::new(ModelManager::new(&cfg));
+        let scrub_stop = Arc::new(AtomicBool::new(false));
+        let scrub_thread = spawn_scrubber(&cfg, &shards, &scrub_stop);
         ShardedPnwStore {
             cfg,
             shards,
@@ -213,6 +237,8 @@ impl ShardedPnwStore {
             model_ready: Arc::new(AtomicBool::new(false)),
             maintenance: AtomicBool::new(false),
             durable: None,
+            scrub_stop,
+            scrub_thread,
         }
     }
 
@@ -236,22 +262,32 @@ impl ShardedPnwStore {
             .map(|i| ShardCheckpoint::fresh(split(cfg.capacity, n, i) as u64))
             .collect();
         let (durable, recovered, fresh) =
-            DurableStore::open(&dir, geometry_hash(&cfg, n), initial)?;
+            DurableStore::open(&dir, geometry_hash(&cfg, n), cfg.value_size, initial)?;
         let cap = cfg.shard_queue_depth.max(1);
         let mut shards = Vec::with_capacity(n);
         for (i, rec) in recovered.into_iter().enumerate() {
             let mut engine =
                 ShardEngine::open_file(shard_config(&cfg, n, i), durable.data_path(i))?;
+            engine.set_shard_id(i);
             engine.set_active_buckets(rec.active as usize);
+            // Retirement is restored before repair so neither the repair
+            // pass nor pool recovery resurrects a retired bucket.
+            engine.restore_retired(&rec.retired);
             engine.repair_after_replay(&rec.committed)?;
             engine.recover_structures()?;
+            engine.reindex_retired_committed(&rec.committed)?;
             // Counters restore last so the repair's own writes don't
             // perturb the checkpointed values.
             engine.restore_device_counters(rec.stats, &rec.word_writes, rec.bit_flips.as_deref());
-            engine.attach_durable(durable.wal_appender(i)?);
+            let mut appender = durable.wal_appender(i)?;
+            appender.preload_values(rec.values);
+            engine.attach_durable(appender);
             shards.push(Shard::wrap(engine, cap));
         }
+        let shards = Arc::new(shards);
         let trainer = Mutex::new(ModelManager::new(&cfg));
+        let scrub_stop = Arc::new(AtomicBool::new(false));
+        let scrub_thread = spawn_scrubber(&cfg, &shards, &scrub_stop);
         let store = ShardedPnwStore {
             cfg,
             shards,
@@ -259,6 +295,8 @@ impl ShardedPnwStore {
             model_ready: Arc::new(AtomicBool::new(false)),
             maintenance: AtomicBool::new(false),
             durable: Some(Mutex::new(durable)),
+            scrub_stop,
+            scrub_thread,
         };
         if !fresh && !store.is_empty() {
             // The model is DRAM-resident and died with the process;
@@ -280,13 +318,19 @@ impl ShardedPnwStore {
         let mut durable = durable.lock().unwrap();
         // Engine locks taken in shard order (a cross-shard quiescent
         // point; in-flight seqlock readers don't touch durable state).
-        let guards: Vec<_> = self.shards.iter().map(|s| s.engine.lock().unwrap()).collect();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.engine.lock().unwrap()).collect();
         let mut states = Vec::with_capacity(guards.len());
         for g in &guards {
             g.sync_device()?;
             states.push(g.checkpoint_state()?);
         }
-        durable.checkpoint(&states)
+        durable.checkpoint(&states)?;
+        // The WALs were truncated; drop the in-memory value mirrors that
+        // backed scrub repairs for the truncated records.
+        for g in &mut guards {
+            g.clear_wal_values();
+        }
+        Ok(())
     }
 
     /// Closes the store cleanly: cuts a final checkpoint (on a durable
@@ -434,6 +478,33 @@ impl ShardedPnwStore {
             let found = match reader.lookup(&sh.view, key) {
                 Some(addr) => {
                     if sh.view.read_into(addr as usize + HDR_BYTES, out) {
+                        if self.cfg.integrity {
+                            // End-to-end verification on the lock-free
+                            // path: copy the sealed header and check the
+                            // key + CRC against the value bytes we just
+                            // read. Only a *validated* snapshot can be
+                            // declared corrupt — an invalid one is just
+                            // a racing writer and retries.
+                            let mut hdr = [0u8; HDR_BYTES];
+                            if !sh.view.read_into(addr as usize, &mut hdr)
+                                || !sh.sync.read_validate(s1)
+                            {
+                                continue;
+                            }
+                            let stored_key =
+                                u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+                            let stored_crc =
+                                u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+                            if stored_key != key || stored_crc != bucket_crc(key, out) {
+                                // A consistent snapshot that fails CRC is
+                                // media corruption, not a torn read. The
+                                // locked path re-verifies and surfaces
+                                // the typed error with key and shard.
+                                return sh.engine.lock().unwrap().get_into(key, out);
+                            }
+                            sh.sync.count_get();
+                            return Ok(true);
+                        }
                         true
                     } else if sh.sync.read_validate(s1) {
                         // The address validated yet points outside the
@@ -604,9 +675,19 @@ impl ShardedPnwStore {
     /// Clears every shard's device statistics (measurement windows exclude
     /// warm-up traffic).
     pub fn reset_device_stats(&self) {
-        for s in &self.shards {
+        for s in self.shards.iter() {
             s.engine.lock().unwrap().reset_device_stats();
         }
+    }
+
+    /// Highest write count observed on any single NVM word, across all
+    /// shards — the wear hot spot that bounds the whole store's lifetime.
+    pub fn max_word_writes(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.engine.lock().unwrap().device().max_word_writes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Figure-12-style per-word wear CDF over the *combined* active data
@@ -614,7 +695,7 @@ impl ShardedPnwStore {
     /// population).
     pub fn word_wear_cdf(&self) -> WearCdf {
         let mut merged: Option<WearCdf> = None;
-        for s in &self.shards {
+        for s in self.shards.iter() {
             let shard = s.engine.lock().unwrap();
             let (start, len) = shard.data_zone_range();
             let cdf = shard.device().word_wear_cdf(start, len);
@@ -645,8 +726,39 @@ impl ShardedPnwStore {
             agg.puts += p.puts;
             agg.gets += p.gets;
             agg.deletes += p.deletes;
+            agg.scrub.merge(&p.scrub);
         }
         agg
+    }
+
+    /// Runs one full synchronous scrub pass over every shard — every
+    /// valid bucket is CRC-verified, proactively relocated off stuck
+    /// media, repaired from the durable layer or retired — and returns
+    /// the aggregated cumulative scrub counters. The background scrubber
+    /// ([`PnwConfig::with_scrub`]) does the same work incrementally.
+    pub fn scrub_pass(&self) -> Result<crate::metrics::ScrubStats, StoreError> {
+        let mut agg = crate::metrics::ScrubStats::default();
+        for s in self.shards.iter() {
+            agg.merge(&s.engine.lock().unwrap().scrub_pass()?);
+        }
+        Ok(agg)
+    }
+
+    /// Forces one stuck-at bit inside the stored value of `key` (bit
+    /// offset `bit` within the value, stuck at one or zero). Returns
+    /// whether the key was present. Test hook for corruption scenarios —
+    /// the production analogue is wear-out latching cells on its own.
+    pub fn arm_stuck_at_key(
+        &self,
+        key: u64,
+        bit: u32,
+        stuck_at_one: bool,
+    ) -> Result<bool, StoreError> {
+        self.shards[self.shard_of(key)]
+            .engine
+            .lock()
+            .unwrap()
+            .arm_stuck_at_key(key, bit, stuck_at_one)
     }
 
     /// Training snapshot across every shard's active data zone, capped at
@@ -654,7 +766,7 @@ impl ShardedPnwStore {
     fn training_snapshot(&self) -> Vec<Vec<u8>> {
         let per_shard = self.cfg.train_sample.div_ceil(self.shards.len());
         let mut values = Vec::new();
-        for s in &self.shards {
+        for s in self.shards.iter() {
             values.extend(s.engine.lock().unwrap().training_values(per_shard));
         }
         values
@@ -715,7 +827,7 @@ impl ShardedPnwStore {
     /// swap + pool relabel per shard, each under that shard's engine lock.
     fn publish(&self, trainer: &ModelManager) {
         let snapshot = trainer.snapshot();
-        for s in &self.shards {
+        for s in self.shards.iter() {
             s.engine
                 .lock()
                 .unwrap()
@@ -828,6 +940,10 @@ impl Store for ShardedPnwStore {
         ShardedPnwStore::reset_device_stats(self)
     }
 
+    fn max_word_writes(&self) -> u32 {
+        ShardedPnwStore::max_word_writes(self)
+    }
+
     fn checkpoint(&self) -> Result<(), StoreError> {
         ShardedPnwStore::checkpoint(self)
     }
@@ -936,6 +1052,44 @@ impl Store for ShardedPnwStore {
 
 fn split(total: usize, parts: usize, i: usize) -> usize {
     total / parts + usize::from(i < total % parts)
+}
+
+/// Spawns the background scrubber when [`PnwConfig::scrub_rate`] is set
+/// (and integrity is on — there is nothing to verify without CRCs): a
+/// thread that visits shards round-robin, scrubbing a small batch of
+/// buckets per visit under that shard's engine lock, and sleeps between
+/// visits so the steady-state rate stays at `rate` buckets per second
+/// across the whole store. The sleep is chunked so a stop request is
+/// honored within ~20 ms.
+fn spawn_scrubber(
+    cfg: &PnwConfig,
+    shards: &Arc<Vec<Shard>>,
+    stop: &Arc<AtomicBool>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let rate = cfg.scrub_rate?.max(1);
+    if !cfg.integrity {
+        return None;
+    }
+    let shards = Arc::clone(shards);
+    let stop = Arc::clone(stop);
+    Some(std::thread::spawn(move || {
+        let batch = rate.clamp(1, 64);
+        let interval = Duration::from_secs_f64(f64::from(batch) / f64::from(rate));
+        let mut next = 0usize;
+        while !stop.load(Ordering::Acquire) {
+            {
+                let mut eng = shards[next].engine.lock().unwrap();
+                let _ = eng.scrub_step(batch);
+            }
+            next = (next + 1) % shards.len();
+            let mut remaining = interval;
+            while remaining > Duration::ZERO && !stop.load(Ordering::Acquire) {
+                let chunk = remaining.min(Duration::from_millis(20));
+                std::thread::sleep(chunk);
+                remaining = remaining.saturating_sub(chunk);
+            }
+        }
+    }))
 }
 
 /// The per-shard view of the whole-store configuration: capacity and

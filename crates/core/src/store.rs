@@ -171,16 +171,24 @@ impl PnwStore {
         };
         let initial = vec![ShardCheckpoint::fresh(cfg.capacity as u64)];
         let (durable, mut recovered, fresh) =
-            DurableStore::open(&dir, geometry_hash(&cfg, 1), initial)?;
+            DurableStore::open(&dir, geometry_hash(&cfg, 1), cfg.value_size, initial)?;
         let rec = recovered.remove(0);
         let mut engine = ShardEngine::open_file(cfg.clone(), durable.data_path(0))?;
         engine.set_active_buckets(rec.active as usize);
+        // Retirements restore first so the repair and recovery scans skip
+        // damaged media instead of writing to it.
+        engine.restore_retired(&rec.retired);
         engine.repair_after_replay(&rec.committed)?;
         engine.recover_structures()?;
+        // Committed keys stranded on retired buckets stay addressable (the
+        // loss must surface as a typed Corruption, never a silent miss).
+        engine.reindex_retired_committed(&rec.committed)?;
         // Counters restore last so the repair's own writes don't perturb
         // the checkpointed values.
         engine.restore_device_counters(rec.stats, &rec.word_writes, rec.bit_flips.as_deref());
-        engine.attach_durable(durable.wal_appender(0)?);
+        let mut appender = durable.wal_appender(0)?;
+        appender.preload_values(rec.values);
+        engine.attach_durable(appender);
         let model = ModelManager::new(&cfg);
         let store = PnwStore {
             cfg,
@@ -209,7 +217,11 @@ impl PnwStore {
         };
         inner.engine.sync_device()?;
         let state = inner.engine.checkpoint_state()?;
-        durable.checkpoint(&[state])
+        durable.checkpoint(&[state])?;
+        // The checkpointed device image is now the repair source of record;
+        // the WAL value mirror can be dropped with the truncated WAL.
+        inner.engine.clear_wal_values();
+        Ok(())
     }
 
     /// Closes the store cleanly: cuts a final checkpoint (on a durable
@@ -229,6 +241,30 @@ impl PnwStore {
     /// (test hook for crash-consistency scenarios).
     pub fn arm_torn_write(&self, words: usize) {
         self.inner.write().unwrap().engine.arm_torn_write(words);
+    }
+
+    /// Arms a stuck-at fault on one bit of `key`'s stored value (bit 0 =
+    /// LSB of the value's first byte) — the wear-out test hook. Returns
+    /// whether the key was present to arm against.
+    pub fn arm_stuck_at_key(
+        &self,
+        key: u64,
+        bit: u32,
+        stuck_at_one: bool,
+    ) -> Result<bool, StoreError> {
+        self.inner
+            .write()
+            .unwrap()
+            .engine
+            .arm_stuck_at_key(key, bit, stuck_at_one)
+    }
+
+    /// Runs one full integrity-scrub pass over the data zone: every live
+    /// bucket's CRC is verified, corrupt buckets are repaired from the
+    /// durable layer when a clean copy exists, and damaged media is
+    /// retired from placement. Returns the cumulative scrub counters.
+    pub fn scrub_pass(&self) -> Result<crate::metrics::ScrubStats, StoreError> {
+        self.inner.write().unwrap().engine.scrub_pass()
     }
 
     /// Arms a deterministic metadata tear (superblock / WAL / checkpoint)
@@ -512,6 +548,10 @@ impl Store for PnwStore {
 
     fn reset_device_stats(&self) {
         PnwStore::reset_device_stats(self)
+    }
+
+    fn max_word_writes(&self) -> u32 {
+        PnwStore::max_word_writes(self)
     }
 
     fn checkpoint(&self) -> Result<(), StoreError> {

@@ -90,6 +90,7 @@ pub(crate) fn baseline_snapshot(
         puts,
         gets,
         deletes,
+        scrub: pnw_core::ScrubStats::default(),
     }
 }
 

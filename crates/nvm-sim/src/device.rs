@@ -16,7 +16,7 @@
 //!   differ, update memory bit"*).
 
 use crate::backing::{DeviceBacking, FileBacking};
-use crate::fault::{FaultConfig, FaultState};
+use crate::fault::{FaultConfig, FaultState, StuckAtConfig, StuckWord};
 use crate::geometry::Geometry;
 use crate::latency::LatencyModel;
 use crate::stats::{DeviceStats, WriteStats};
@@ -130,6 +130,12 @@ impl NvmConfig {
     /// [`DeviceBacking::File`]).
     pub fn with_backing(mut self, b: DeviceBacking) -> Self {
         self.backing = b;
+        self
+    }
+
+    /// Configures wear-induced stuck-at latching (see [`StuckAtConfig`]).
+    pub fn with_stuck_at(mut self, s: StuckAtConfig) -> Self {
+        self.fault.stuck_at = s;
         self
     }
 }
@@ -481,6 +487,9 @@ impl NvmDevice {
         // The coalesced dirty run currently being flushed through to the
         // backing file (Diff mode flushes exactly the words that changed).
         let mut flush_run: Option<(usize, usize)> = None;
+        // One flag keeps the stuck-at machinery entirely off the common
+        // path: false unless a bit is already stuck or latching is armed.
+        let stuck_active = self.fault.stuck_active();
 
         let buf = Arc::clone(&self.data);
         // SAFETY: `&mut self` makes this the unique writer; concurrent
@@ -533,6 +542,27 @@ impl NvmDevice {
                 }
             }
             cells[range.clone()].copy_from_slice(new_chunk);
+            if stuck_active {
+                // Wear-induced latching: a dirty write to an over-endurance
+                // word may latch one bit at its just-written value.
+                if word_dirty {
+                    let word_val =
+                        word_image(cells, widx * self.geometry.word_bytes, self.geometry.word_bytes);
+                    self.fault.maybe_latch(
+                        widx,
+                        self.wear.word_writes()[widx],
+                        (self.geometry.word_bytes.min(8) * 8) as u32,
+                        word_val,
+                    );
+                }
+                // Re-impose every stuck bit over what was just programmed,
+                // before the run reaches the backing file: reads (locked,
+                // peek, or lock-free CellView) then serve the stuck value
+                // with no special-casing anywhere else.
+                if let Some(sw) = self.fault.stuck_word(widx) {
+                    apply_stuck(cells, self.geometry.word_bytes, widx, sw);
+                }
+            }
         }
         if let Some(run) = flush_run {
             Self::flush_range(self.backing.as_ref(), cells, run)?;
@@ -653,6 +683,65 @@ impl NvmDevice {
         self.fault.arm_torn(words);
     }
 
+    /// Latches bit `bit` of device word `word` stuck at `stuck_at_one`,
+    /// forcing the cell image (and any backing file) to the stuck value
+    /// immediately — arming an occupied word corrupts its at-rest data,
+    /// exactly the fault a CRC-verifying read or scrub pass must catch.
+    /// No statistics or wear are charged: this is damage, not a write.
+    ///
+    /// Bits beyond the first 64 of a (hypothetical) wider word cannot be
+    /// armed; the default 8-byte geometry covers every word bit.
+    pub fn arm_stuck_bit(
+        &mut self,
+        word: usize,
+        bit: u32,
+        stuck_at_one: bool,
+    ) -> Result<(), NvmError> {
+        let wb = self.geometry.word_bytes;
+        let byte_addr = word * wb + (bit as usize) / 8;
+        if (bit as usize) >= wb.min(8) * 8 || byte_addr >= self.data.len {
+            return Err(NvmError::OutOfBounds {
+                addr: byte_addr,
+                len: 1,
+                size: self.data.len,
+            });
+        }
+        self.fault.arm_stuck_bit(word, bit, stuck_at_one);
+        let buf = Arc::clone(&self.data);
+        // SAFETY: `&mut self` makes this the unique writer; concurrent
+        // CellView readers are volatile and seqlock-validated.
+        let cells: &mut [u8] = unsafe { buf.slice_mut() };
+        let m = 1u8 << (bit % 8);
+        let old = cells[byte_addr];
+        let forced = if stuck_at_one { old | m } else { old & !m };
+        if forced != old {
+            cells[byte_addr] = forced;
+            if let Some(b) = &self.backing {
+                b.write_range(byte_addr, std::slice::from_ref(&forced))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total stuck bits on the device (explicitly armed + wear-latched).
+    pub fn stuck_bit_count(&self) -> u64 {
+        self.fault.stuck_bit_count()
+    }
+
+    /// Stuck bits whose word overlaps `[addr, addr + len)` — how the store
+    /// layer decides a bucket's media is damaged and must be retired.
+    pub fn stuck_bits_in(&self, addr: usize, len: usize) -> u64 {
+        let wb = self.geometry.word_bytes;
+        self.fault
+            .stuck_words()
+            .filter(|(w, _)| {
+                let ws = w * wb;
+                ws < addr + len && ws + wb > addr
+            })
+            .map(|(_, s)| s.mask.count_ones() as u64)
+            .sum()
+    }
+
     /// Serializes the persistent state (the cell array) to a byte image —
     /// what would survive on the physical part across power cycles. Stats,
     /// wear counters and fault state are DRAM-side and not included.
@@ -710,6 +799,27 @@ fn tail_word(bytes: &[u8]) -> u64 {
     let mut pad = [0u8; 8];
     pad[..bytes.len()].copy_from_slice(bytes);
     u64::from_le_bytes(pad)
+}
+
+/// Loads the (up to 64-bit) little-endian image of the word starting at
+/// byte `start`, clamped to the device end.
+#[inline]
+fn word_image(cells: &[u8], start: usize, word_bytes: usize) -> u64 {
+    let end = (start + word_bytes.min(8)).min(cells.len());
+    tail_word(&cells[start..end])
+}
+
+/// Overlays a word's stuck bits onto the cell image.
+#[inline]
+fn apply_stuck(cells: &mut [u8], word_bytes: usize, widx: usize, sw: StuckWord) {
+    let start = widx * word_bytes;
+    let end = (start + word_bytes.min(8)).min(cells.len());
+    for (i, byte) in cells[start..end].iter_mut().enumerate() {
+        let m = (sw.mask >> (i * 8)) as u8;
+        if m != 0 {
+            *byte = (*byte & !m) | ((sw.vals >> (i * 8)) as u8 & m);
+        }
+    }
 }
 
 /// XOR-diff scan of two equal-length chunks starting at absolute byte
@@ -1093,6 +1203,113 @@ mod tests {
     fn new_rejects_file_backing() {
         let (cfg, _path) = file_cfg("newpanic", 64);
         let _ = NvmDevice::new(cfg);
+    }
+
+    #[test]
+    fn armed_stuck_bit_corrupts_at_rest_data_and_resists_writes() {
+        let mut d = dev(256);
+        d.write(0, &[0x00u8; 8], WriteMode::Raw).unwrap();
+        // Arm bit 3 of word 0 stuck-at-1: the image flips immediately.
+        d.arm_stuck_bit(0, 3, true).unwrap();
+        assert_eq!(d.peek(0, 1).unwrap()[0], 0b0000_1000);
+        assert_eq!(d.stuck_bit_count(), 1);
+        // Writes cannot clear it; all other bits still program fine.
+        d.write(0, &[0x00u8; 8], WriteMode::Diff).unwrap();
+        assert_eq!(d.peek(0, 1).unwrap()[0], 0b0000_1000);
+        d.write(0, &[0xF0u8; 8], WriteMode::Diff).unwrap();
+        assert_eq!(d.peek(0, 1).unwrap()[0], 0xF8);
+        // The lock-free view serves the stuck value too.
+        let mut buf = [0u8; 1];
+        assert!(d.cell_view().read_into(0, &mut buf));
+        assert_eq!(buf[0], 0xF8);
+        // Stuck-at-0 on an occupied cell clears it.
+        d.arm_stuck_bit(0, 7, false).unwrap();
+        assert_eq!(d.peek(0, 1).unwrap()[0], 0x78);
+        assert_eq!(d.stuck_bits_in(0, 8), 2);
+        assert_eq!(d.stuck_bits_in(8, 8), 0);
+    }
+
+    #[test]
+    fn arm_stuck_bit_bounds_checked() {
+        let mut d = dev(64);
+        assert!(matches!(
+            d.arm_stuck_bit(8, 0, true),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            d.arm_stuck_bit(0, 64, true),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(d.arm_stuck_bit(7, 63, true).is_ok());
+    }
+
+    #[test]
+    fn file_backed_stuck_bit_lands_in_the_file() {
+        let (cfg, path) = file_cfg("stuck", 128);
+        {
+            let mut d = NvmDevice::open(cfg.clone()).unwrap();
+            d.write(0, &[0xFFu8; 8], WriteMode::Raw).unwrap();
+            d.arm_stuck_bit(0, 0, false).unwrap();
+            // A later write over the word must not resurrect the bit in
+            // the file either.
+            d.write(0, &[0xFFu8; 8], WriteMode::Diff).unwrap();
+        }
+        let d2 = NvmDevice::open(cfg).unwrap();
+        assert_eq!(d2.peek(0, 1).unwrap()[0], 0xFE);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn wear_latching_fires_past_endurance_and_keeps_written_value() {
+        use crate::fault::StuckAtConfig;
+        let mut d = NvmDevice::new(NvmConfig::default().with_size(64).with_stuck_at(
+            StuckAtConfig {
+                endurance_writes: Some(4),
+                latch_probability: 1.0,
+                ..Default::default()
+            },
+        ));
+        // Distinct patterns so every write dirties the word (clean diffs
+        // don't consume endurance).
+        for i in 1..4u8 {
+            d.write(0, &[i; 8], WriteMode::Diff).unwrap();
+        }
+        assert_eq!(d.stuck_bit_count(), 0, "under endurance: pristine");
+        d.write(0, &[0xAA; 8], WriteMode::Diff).unwrap();
+        assert_eq!(d.stuck_bit_count(), 1, "4th write latches");
+        // The latched bit froze at the just-written value, so the image
+        // still reads back exactly what was acked.
+        assert_eq!(d.peek(0, 8).unwrap(), &[0xAA; 8]);
+        // Determinism: a replay with the same seed latches the same bit.
+        let mut d2 = NvmDevice::new(NvmConfig::default().with_size(64).with_stuck_at(
+            StuckAtConfig {
+                endurance_writes: Some(4),
+                latch_probability: 1.0,
+                ..Default::default()
+            },
+        ));
+        for i in 1..4u8 {
+            d2.write(0, &[i; 8], WriteMode::Diff).unwrap();
+        }
+        d2.write(0, &[0xAA; 8], WriteMode::Diff).unwrap();
+        assert_eq!(
+            d.fault.stuck_word(0).unwrap(),
+            d2.fault.stuck_word(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn disarmed_stuck_machinery_is_invisible() {
+        let mut a = dev(256);
+        let mut b = dev(256);
+        for i in 0..50u64 {
+            let v = i.to_le_bytes();
+            let sa = a.write((i as usize % 4) * 8, &v, WriteMode::Diff).unwrap();
+            let sb = b.write((i as usize % 4) * 8, &v, WriteMode::Diff).unwrap();
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.to_image(), b.to_image());
+        assert_eq!(a.stuck_bit_count(), 0);
     }
 
     #[test]

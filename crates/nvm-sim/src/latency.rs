@@ -121,11 +121,17 @@ impl Default for LatencyModel {
 ///
 /// This is the lifetime-extension argument of the paper made quantitative:
 /// halving the hottest word's write rate doubles projected lifetime.
+///
+/// Returns `INFINITY` when there is no data to project from: no word ever
+/// written (`max_word_writes == 0`) **or** no operations observed
+/// (`ops == 0`). The `ops` guard is explicit — the old `ops.max(1)` clamp
+/// silently projected a finite lifetime from an empty measurement window,
+/// which read as "this device is dying" on freshly reset stats.
 pub fn projected_lifetime_ops(tech: MemoryTech, max_word_writes: u32, ops: u64) -> f64 {
-    if max_word_writes == 0 {
+    if max_word_writes == 0 || ops == 0 {
         return f64::INFINITY;
     }
-    let writes_per_op = max_word_writes as f64 / ops.max(1) as f64;
+    let writes_per_op = max_word_writes as f64 / ops as f64;
     tech.endurance_writes() / writes_per_op
 }
 
@@ -183,6 +189,17 @@ mod tests {
         let b = projected_lifetime_ops(MemoryTech::Pcm, 5, 1000);
         assert!((b / a - 2.0).abs() < 1e-9);
         assert!(projected_lifetime_ops(MemoryTech::Pcm, 0, 1000).is_infinite());
+    }
+
+    #[test]
+    fn lifetime_projection_zero_ops_is_no_data_not_doom() {
+        // Wear observed but zero ops in the window (freshly reset stats):
+        // no projection, not a bogus finite one.
+        assert!(projected_lifetime_ops(MemoryTech::Pcm, 10, 0).is_infinite());
+        assert!(projected_lifetime_ops(MemoryTech::Pcm, 0, 0).is_infinite());
+        // One write per op: lifetime is exactly the endurance budget.
+        let one = projected_lifetime_ops(MemoryTech::Pcm, 1, 1);
+        assert!((one - MemoryTech::Pcm.endurance_writes()).abs() < 1e-3);
     }
 
     #[test]

@@ -24,6 +24,10 @@ Store:
   --shards <N>            shard count                    [default: 4]
   --clusters <K>          K-means clusters per shard     [default: 4]
   --queue-depth <N>       per-shard write queue bound    [default: 1024]
+  --scrub <N>             background scrub rate, buckets/sec (omit = off)
+  --endurance <N>         simulate wear-out: cells start sticking after
+                          ~N writes (omit = perfect media)
+  --no-integrity          disable CRC sealing/verification (benchmark knob)
 
 Serving:
   --listen <ADDR>         tcp://host:port or unix:///path
@@ -46,6 +50,9 @@ struct Args {
     shards: usize,
     clusters: usize,
     queue_depth: usize,
+    scrub: Option<u32>,
+    endurance: Option<u32>,
+    integrity: bool,
     cfg: ServerConfig,
 }
 
@@ -58,6 +65,9 @@ fn parse_args() -> Result<Args, String> {
         shards: 4,
         clusters: 4,
         queue_depth: 1024,
+        scrub: None,
+        endurance: None,
+        integrity: true,
         cfg: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -74,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&flag, &val()?)?,
             "--clusters" => args.clusters = parse_num(&flag, &val()?)?,
             "--queue-depth" => args.queue_depth = parse_num(&flag, &val()?)?,
+            "--scrub" => args.scrub = Some(parse_num(&flag, &val()?)?),
+            "--endurance" => args.endurance = Some(parse_num(&flag, &val()?)?),
+            "--no-integrity" => args.integrity = false,
             "--max-conns" => args.cfg.max_conns = parse_num(&flag, &val()?)?,
             "--max-inflight" => args.cfg.max_inflight = parse_num(&flag, &val()?)?,
             "--max-waiting" => args.cfg.max_waiting = parse_num(&flag, &val()?)?,
@@ -110,7 +123,14 @@ fn main() -> ExitCode {
     let mut cfg = PnwConfig::new(args.capacity, args.value_size)
         .with_clusters(args.clusters)
         .with_shards(args.shards)
-        .with_shard_queue_depth(args.queue_depth);
+        .with_shard_queue_depth(args.queue_depth)
+        .with_integrity(args.integrity);
+    if let Some(rate) = args.scrub {
+        cfg = cfg.with_scrub(rate);
+    }
+    if let Some(writes) = args.endurance {
+        cfg = cfg.with_endurance(writes);
+    }
     let durable = args.path.is_some();
     if let Some(path) = &args.path {
         cfg = cfg.with_path(path);

@@ -198,6 +198,17 @@ pub enum WireError {
         /// The declared frame length.
         got: u32,
     },
+    /// The stored value failed end-to-end CRC verification — the media
+    /// under this key is corrupt ([`StoreError::Corruption`]).
+    /// **Non-retryable**: a retry re-reads the same bad cells. The store
+    /// keeps the key indexed so the loss stays loud; a background scrub
+    /// may still repair it from the durable layer.
+    Corruption {
+        /// The key whose bucket failed verification.
+        key: u64,
+        /// The shard that detected the corruption.
+        shard: u32,
+    },
 }
 
 impl WireError {
@@ -216,6 +227,7 @@ impl WireError {
             WireError::Draining => 10,
             WireError::Protocol(_) => 11,
             WireError::TooLarge { .. } => 12,
+            WireError::Corruption { .. } => 13,
         }
     }
 
@@ -254,6 +266,9 @@ impl std::fmt::Display for WireError {
             WireError::TooLarge { limit, got } => {
                 write!(f, "frame of {got} bytes exceeds the {limit}-byte limit")
             }
+            WireError::Corruption { key, shard } => {
+                write!(f, "key {key} failed CRC verification on shard {shard}")
+            }
         }
     }
 }
@@ -276,6 +291,10 @@ impl From<&StoreError> for WireError {
             StoreError::Config(c) => WireError::Config(c.to_string()),
             StoreError::Nvm(n) => WireError::Nvm(n.to_string()),
             StoreError::Corrupt(m) => WireError::Corrupt(m.clone()),
+            StoreError::Corruption { key, shard } => WireError::Corruption {
+                key: *key,
+                shard: *shard as u32,
+            },
         }
     }
 }
@@ -347,10 +366,17 @@ impl<'a> Cursor<'a> {
 // One fixed shape everywhere (top-level errors and per-op batch failures).
 
 fn encode_wire_error(e: &WireError, out: &mut Vec<u8>) {
+    let shard_buf;
     let (aux1, aux2, msg): (u32, u32, &str) = match e {
         WireError::WrongValueSize { expected, got } => (*expected, *got, ""),
         WireError::Backpressure { shard, depth } => (*shard, *depth, ""),
         WireError::TooLarge { limit, got } => (*limit, *got, ""),
+        // The key needs both aux words; the shard rides in the message
+        // slot as decimal text (the one fixed error shape everywhere).
+        WireError::Corruption { key, shard } => {
+            shard_buf = shard.to_string();
+            (*key as u32, (*key >> 32) as u32, shard_buf.as_str())
+        }
         WireError::Config(m) | WireError::Nvm(m) | WireError::Corrupt(m)
         | WireError::Protocol(m) => (0, 0, m.as_str()),
         _ => (0, 0, ""),
@@ -382,6 +408,12 @@ fn decode_wire_error(c: &mut Cursor<'_>) -> Result<WireError, ProtoError> {
         10 => WireError::Draining,
         11 => WireError::Protocol(msg),
         12 => WireError::TooLarge { limit: aux1, got: aux2 },
+        13 => WireError::Corruption {
+            key: u64::from(aux2) << 32 | u64::from(aux1),
+            shard: msg
+                .parse()
+                .map_err(|_| format!("bad shard id in corruption error: {msg:?}"))?,
+        },
         other => return Err(format!("unknown error code {other}")),
     })
 }
@@ -720,6 +752,7 @@ mod tests {
             WireError::Draining,
             WireError::Protocol("trailing bytes".into()),
             WireError::TooLarge { limit: 1024, got: 4096 },
+            WireError::Corruption { key: u64::MAX - 5, shard: 3 },
         ];
         let mut codes: Vec<u8> = errors.iter().map(|e| e.code()).collect();
         codes.sort_unstable();
@@ -741,6 +774,8 @@ mod tests {
         assert_ne!(e, WireError::Full, "ModelUnavailable must never collapse into Full");
         let e: WireError = (&StoreError::Corrupt("sb".into())).into();
         assert_eq!(e, WireError::Corrupt("sb".into()));
+        let e: WireError = (&StoreError::Corruption { key: 1 << 40, shard: 2 }).into();
+        assert_eq!(e, WireError::Corruption { key: 1 << 40, shard: 2 });
     }
 
     #[test]
@@ -751,6 +786,10 @@ mod tests {
         assert!(WireError::Draining.is_retryable());
         assert!(!WireError::Full.is_retryable());
         assert!(!WireError::Protocol("x".into()).is_retryable());
+        assert!(
+            !WireError::Corruption { key: 1, shard: 0 }.is_retryable(),
+            "retrying corruption re-reads the same bad cells"
+        );
     }
 
     #[test]

@@ -222,6 +222,7 @@ struct Counters {
     backpressure_errors: AtomicU64,
     draining_rejects: AtomicU64,
     quarantined: AtomicU64,
+    corruption_errors: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -251,6 +252,9 @@ pub struct ServerStats {
     pub draining_rejects: u64,
     /// Connections quarantined (closed) for protocol violations.
     pub quarantined: u64,
+    /// [`WireError::Corruption`] errors served — every one is a read that
+    /// was detected as corrupt instead of silently returning bad bytes.
+    pub corruption_errors: u64,
 }
 
 struct Shared {
@@ -419,6 +423,7 @@ impl Server {
             backpressure_errors: s.backpressure_errors.load(Ordering::Relaxed),
             draining_rejects: s.draining_rejects.load(Ordering::Relaxed),
             quarantined: s.quarantined.load(Ordering::Relaxed),
+            corruption_errors: s.corruption_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -690,8 +695,14 @@ fn execute(shared: &Shared, frame: RequestFrame, recv: Instant) -> ResponseFrame
     }
     let resp = run_store_op(shared, req);
     drop(permit);
-    if let Response::Err(WireError::Backpressure { .. }) = resp {
-        shared.stats.backpressure_errors.fetch_add(1, Ordering::Relaxed);
+    match &resp {
+        Response::Err(WireError::Backpressure { .. }) => {
+            shared.stats.backpressure_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Err(WireError::Corruption { .. }) => {
+            shared.stats.corruption_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
     }
     ResponseFrame { id, resp }
 }

@@ -477,6 +477,66 @@ fn file_backed_batch_apply_equals_per_op_across_reopen() {
     let _ = std::fs::remove_dir_all(&dir_p);
 }
 
+// ---------------------------------------------------------------------------
+// Integrity: detected corruption surfaces identically on both PNW frontends.
+// ---------------------------------------------------------------------------
+
+/// A stuck bit under a sealed value turns the next read of that key into
+/// a typed `Corruption { key, .. }` error — never silently wrong bytes —
+/// and the contract is identical on the locked frontend and the sharded
+/// (lock-free-read) frontend. Unaffected keys keep serving.
+#[test]
+fn corruption_surfaces_identically_on_both_pnw_frontends() {
+    let cfg = PnwConfig::new(64, 16)
+        .with_clusters(2)
+        .with_seed(11)
+        .with_retrain(RetrainMode::Manual);
+
+    let single = PnwStore::new(cfg.clone());
+    let sharded = ShardedPnwStore::new(cfg.clone().with_shards(4));
+
+    let check = |name: &str,
+                 store: &dyn Store,
+                 arm: &dyn Fn(u64, u32, bool) -> Result<bool, StoreError>| {
+        for k in 0..8u64 {
+            store.put(k, &[0u8; 16]).unwrap();
+        }
+        assert!(arm(5, 3, true).unwrap(), "{name}: key 5 must be present to arm");
+        // Both read entry points report the same typed error...
+        match store.get(5) {
+            Err(StoreError::Corruption { key, .. }) => assert_eq!(key, 5, "{name}"),
+            other => panic!("{name}: get must surface Corruption, got {other:?}"),
+        }
+        match store.get_into(5, &mut [0u8; 16]) {
+            Err(StoreError::Corruption { key, .. }) => assert_eq!(key, 5, "{name}"),
+            other => panic!("{name}: get_into must surface Corruption, got {other:?}"),
+        }
+        // ...and the blast radius is one key: every other key still reads.
+        for k in (0..8u64).filter(|&k| k != 5) {
+            assert_eq!(store.get(k).unwrap().unwrap(), vec![0u8; 16], "{name} key {k}");
+        }
+        assert!(store.snapshot().scrub.crc_failures >= 1, "{name}");
+    };
+    check("pnw", &single, &|k, b, s| single.arm_stuck_at_key(k, b, s));
+    check("sharded-pnw", &sharded, &|k, b, s| sharded.arm_stuck_at_key(k, b, s));
+
+    // With integrity off both frontends revert to the old contract: the
+    // stuck bit reads back silently (no CRC, no error) — the benchmark
+    // baseline, bit-identical to the pre-integrity format.
+    let off = cfg.with_integrity(false);
+    let single = PnwStore::new(off.clone());
+    let sharded = ShardedPnwStore::new(off.with_shards(4));
+    for (name, store, armed) in [
+        ("pnw-off", &single as &dyn Store, single.arm_stuck_at_key(5, 3, true)),
+        ("sharded-off", &sharded as &dyn Store, sharded.arm_stuck_at_key(5, 3, true)),
+    ] {
+        // Arm before the key exists: absent key, nothing to arm against.
+        assert!(!armed.unwrap(), "{name}");
+        store.put(5, &[0u8; 16]).unwrap();
+        assert_eq!(store.get(5).unwrap().unwrap(), vec![0u8; 16], "{name}");
+    }
+}
+
 /// Every backend is driveable concurrently through `Arc<dyn Store>` — the
 /// contract that lets one throughput harness serve all five.
 #[test]
