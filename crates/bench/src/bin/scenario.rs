@@ -1,0 +1,90 @@
+//! Phased-scenario replay: the drift (§VI-F) and CCTV TTL/ring (§VI-C)
+//! scenarios through the scenario engine, emitting windowed time-series
+//! metrics.
+//!
+//! ```text
+//! cargo run --release -p pnw-bench --bin scenario -- [--quick]
+//!     [--scenario drift|cctv|all] [--out BENCH_scenario.json]
+//! ```
+
+use pnw_bench::scenario::{build_store, cctv, drift, replay_spec, write_json, ScenarioReport};
+use pnw_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut which = "all".to_string();
+    let mut out = std::path::PathBuf::from("BENCH_scenario.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {} // consumed by Scale::from_env
+            "--scenario" => {
+                which = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--scenario needs a value (drift|cctv|all)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    })
+                    .into();
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                eprintln!(
+                    "usage: scenario [--quick] [--scenario drift|cctv|all] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let specs = match which.as_str() {
+        "drift" => vec![drift(scale)],
+        "cctv" => vec![cctv(scale)],
+        "all" => vec![drift(scale), cctv(scale)],
+        other => {
+            eprintln!("unknown scenario '{other}' (drift|cctv|all)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    for spec in &specs {
+        println!(
+            "== scenario '{}' ({} phases, window {} ops) ==",
+            spec.scenario.name,
+            spec.scenario.phases.len(),
+            spec.scenario.window_ops
+        );
+        let store = build_store(spec);
+        let r = replay_spec(&*store, spec);
+        for p in &r.phases {
+            println!(
+                "  phase {:<10} windows {:>3}  steady flips/PUT {:>8.1}  \
+                 steady flips/512b {:>6.2}  retrains {}",
+                p.phase, p.windows, p.steady_flips_per_put, p.steady_flips_per_512, p.retrains
+            );
+        }
+        println!(
+            "  recovery ratio (last/first steady flips/PUT): {:.3}   \
+             ttl: {}   full errors: {}",
+            r.recovery_ratio, r.ttl, r.full_errors
+        );
+        if r.ttl {
+            let expired: u64 = r.windows.iter().map(|w| w.expired).sum();
+            let evicted: u64 = r.windows.iter().map(|w| w.evicted).sum();
+            println!("  retention: {expired} expired, {evicted} evicted");
+        }
+        reports.push(r);
+    }
+
+    write_json(&out, &reports).expect("write scenario JSON");
+    println!("wrote {}", out.display());
+}

@@ -24,6 +24,12 @@
 //! * [`trainbench`] — the retraining benchmark: the packed bit-domain
 //!   training pipeline vs the float featurize-then-Lloyd reference, across
 //!   value sizes, cluster counts and sample counts (`BENCH_train.json`).
+//! * [`scenario`] — the scenario engine: declarative phased workloads
+//!   (per-phase key distribution, op mix, value-pattern family, TTL,
+//!   arrival rate, burst/quiesce) replayed against any `Store` backend
+//!   with windowed time-series metrics — flips/PUT, retrains, model
+//!   epoch, prediction latency, TTL expiry/eviction per window
+//!   (`BENCH_scenario.json`).
 //! * [`serverbench`] — the open-loop, coordinated-omission-safe load
 //!   generator against a running `pnw-server`: Poisson arrivals at a
 //!   fixed offered rate, sojourn-time percentiles from *scheduled*
@@ -33,13 +39,14 @@
 //!
 //! Binaries (`cargo run --release -p pnw-bench --bin <name>`):
 //! `fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-//! repro_all throughput predict train server_load`.
+//! repro_all throughput predict train server_load scenario`.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod predictbench;
 pub mod replace;
+pub mod scenario;
 pub mod serverbench;
 pub mod table;
 pub mod throughput;

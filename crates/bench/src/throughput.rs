@@ -41,7 +41,7 @@
 //! batched vs per-op overhead is visible.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -161,6 +161,9 @@ pub struct ThroughputConfig {
     /// seqlock path (PNW backend only) — the before/after comparison knob
     /// for read scaling.
     pub locked_reads: bool,
+    /// Sampling interval for the windowed time series (bit flips per PUT,
+    /// retrains, model epoch per window); 0 disables the sampler.
+    pub window_ms: u64,
 }
 
 impl Default for ThroughputConfig {
@@ -180,8 +183,29 @@ impl Default for ThroughputConfig {
             latency_scale: 10,
             emulate_latency: true,
             locked_reads: false,
+            window_ms: 0,
         }
     }
+}
+
+/// One sample of the windowed time series a run emits when
+/// [`ThroughputConfig::window_ms`] is non-zero. Deltas are per window;
+/// `retrains`/`model_epoch` are cumulative at sample time, so a step in
+/// either marks the window where an adapted model went live.
+#[derive(Debug, Clone)]
+pub struct ThroughputWindow {
+    /// Sample time since measurement start, in milliseconds.
+    pub t_ms: f64,
+    /// PUTs completed in this window.
+    pub puts: u64,
+    /// Device bit flips in this window (value + header + index).
+    pub bit_flips: u64,
+    /// Device bit flips per PUT in this window.
+    pub flips_per_put: f64,
+    /// Completed training runs, cumulative at sample time.
+    pub retrains: u64,
+    /// Model epoch (install count) at sample time.
+    pub model_epoch: u64,
 }
 
 /// Results of one throughput run.
@@ -250,6 +274,9 @@ pub struct ThroughputReport {
     /// ([`pnw_nvm_sim::projected_lifetime_ops`]). Infinite when nothing
     /// wore; serialized as JSON `null` in that case.
     pub projected_lifetime_ops: f64,
+    /// Windowed time series (empty when
+    /// [`ThroughputConfig::window_ms`] is 0).
+    pub windows: Vec<ThroughputWindow>,
 }
 
 /// Zipfian rank sampler over `0..n` via an inverted CDF table.
@@ -512,6 +539,42 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     }
 
     barrier.wait();
+    // The sampler rides alongside the workers, snapshotting cumulative
+    // counters every window and differencing them into a time series.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = (cfg.window_ms > 0).then(|| {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let window = Duration::from_millis(cfg.window_ms);
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut rows: Vec<ThroughputWindow> = Vec::new();
+            let mut last_puts = store.snapshot().puts;
+            let mut last_flips = store.device_stats().totals.bit_flips;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(window);
+                let snap = store.snapshot();
+                let flips = store.device_stats().totals.bit_flips;
+                let dputs = snap.puts - last_puts;
+                let dflips = flips - last_flips;
+                rows.push(ThroughputWindow {
+                    t_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    puts: dputs,
+                    bit_flips: dflips,
+                    flips_per_put: if dputs == 0 {
+                        0.0
+                    } else {
+                        dflips as f64 / dputs as f64
+                    },
+                    retrains: snap.retrains,
+                    model_epoch: snap.train.epoch,
+                });
+                last_puts = snap.puts;
+                last_flips = flips;
+            }
+            rows
+        })
+    });
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.threads * cfg.ops_per_thread);
     let mut predicts: Vec<u64> = Vec::new();
     let mut span_start = Duration::MAX;
@@ -524,6 +587,10 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         predicts.extend(pred);
     }
     let elapsed = span_end.saturating_sub(span_start);
+    stop.store(true, Ordering::Relaxed);
+    let windows = sampler
+        .map(|h| h.join().expect("sampler thread"))
+        .unwrap_or_default();
 
     latencies.sort_unstable();
     predicts.sort_unstable();
@@ -568,6 +635,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         train_samples_post_cap: snap.train.samples_post_cap,
         max_word_writes: max_wear,
         projected_lifetime_ops: projected_lifetime_ops(MemoryTech::Pcm, max_wear, total_ops),
+        windows,
     }
 }
 
@@ -598,6 +666,18 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
         } else {
             "null".to_string()
         };
+        let windows = r
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"t_ms\": {:.1}, \"puts\": {}, \"bit_flips\": {}, \
+                     \"flips_per_put\": {:.3}, \"retrains\": {}, \"model_epoch\": {}}}",
+                    w.t_ms, w.puts, w.bit_flips, w.flips_per_put, w.retrains, w.model_epoch
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"loop_mode\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"batch\": {}, \"locked_reads\": {}, \"total_ops\": {}, \
@@ -608,7 +688,8 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
              \"full_errors\": {}, \"bit_flips\": {}, \
              \"retrains\": {}, \"model_epoch\": {}, \"last_train_ms\": {:.2}, \
              \"train_samples_pre_cap\": {}, \"train_samples_post_cap\": {}, \
-             \"max_word_writes\": {}, \"projected_lifetime_ops\": {}}}{}\n",
+             \"max_word_writes\": {}, \"projected_lifetime_ops\": {}, \
+             \"windows\": [{}]}}{}\n",
             r.loop_mode,
             r.backend,
             r.threads,
@@ -634,6 +715,7 @@ pub fn to_json(reports: &[ThroughputReport]) -> String {
             r.train_samples_post_cap,
             r.max_word_writes,
             lifetime,
+            windows,
             if i + 1 < reports.len() { "," } else { "" },
         ));
     }
@@ -713,6 +795,32 @@ mod tests {
         assert!(j.contains("\"batch\": 0"));
         assert!(j.contains("\"model_epoch\""));
         assert!(j.contains("\"train_samples_post_cap\""));
+    }
+
+    #[test]
+    fn windowed_run_emits_series() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            shards: 2,
+            ops_per_thread: 3_000,
+            key_space: 256,
+            value_size: 16,
+            clusters: 2,
+            mix: OpMix::write_only(),
+            emulate_latency: false,
+            window_ms: 1,
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        assert!(!r.windows.is_empty(), "sampler produced no windows");
+        // At least one window saw traffic and reports a flips/PUT rate.
+        assert!(r.windows.iter().any(|w| w.puts > 0 && w.flips_per_put > 0.0));
+        // Cumulative counters never go backwards across the series.
+        assert!(r.windows.windows(2).all(|p| p[1].retrains >= p[0].retrains));
+        assert!(r.windows.windows(2).all(|p| p[1].model_epoch >= p[0].model_epoch));
+        let j = to_json(&[r]);
+        assert!(j.contains("\"windows\": [{"));
+        assert!(j.contains("\"flips_per_put\""));
     }
 
     #[test]

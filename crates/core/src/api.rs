@@ -79,6 +79,42 @@ pub trait Store: Send + Sync {
     /// Deletes a key; returns whether it existed.
     fn delete(&self, key: u64) -> Result<bool, StoreError>;
 
+    /// Ordered range scan: every live key in the **inclusive** range
+    /// `[lo, hi]` with its value, ascending by key.
+    ///
+    /// Consistency contract: each returned entry is an atomically-valid
+    /// committed `(key, value)` pair — a scan never observes a torn
+    /// value, and on integrity-checked backends never a CRC-failing one
+    /// (corrupt buckets are *skipped*; the loud
+    /// [`StoreError::Corruption`] contract belongs to point GETs, which
+    /// pin a specific key). On the sharded store each shard contributes a
+    /// seqlock-consistent snapshot; the scan as a whole is not a single
+    /// point-in-time cut across shards (a concurrent writer may land in
+    /// an already-scanned shard). TTL-enabled backends exclude expired
+    /// keys, exactly as GET does.
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError>;
+
+    /// Inserts or updates a key with an absolute expiry deadline in unix
+    /// milliseconds (0 = never expires; compare
+    /// [`now_unix_ms`](crate::now_unix_ms)). Backends without TTL
+    /// support ignore the deadline — check [`Store::supports_ttl`]. The
+    /// default forwards to [`Store::put`].
+    fn put_with_expiry(
+        &self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<OpReport, StoreError> {
+        let _ = expires_at_ms;
+        self.put(key, value)
+    }
+
+    /// Whether [`Store::put_with_expiry`] deadlines are honored (PNW
+    /// backends built with [`PnwConfig::with_ttl`](crate::PnwConfig::with_ttl)).
+    fn supports_ttl(&self) -> bool {
+        false
+    }
+
     /// Live key count.
     fn len(&self) -> usize;
 

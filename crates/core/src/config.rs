@@ -102,6 +102,11 @@ pub enum ConfigError {
     ZeroShards,
     /// `load_factor` outside `(0, 1]`; carries the offending value.
     BadLoadFactor(f64),
+    /// `retention_ring` without `ttl_enabled`: ring eviction orders
+    /// entries by expiry deadline, which only exists with TTL on. The
+    /// builder ([`PnwConfig::with_ring_retention`]) sets both; this
+    /// rejects hand-assembled configs that set the ring flag alone.
+    RingWithoutTtl,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -115,6 +120,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroShards => write!(f, "shards must be at least 1"),
             ConfigError::BadLoadFactor(lf) => {
                 write!(f, "load_factor {lf} must lie in (0, 1]")
+            }
+            ConfigError::RingWithoutTtl => {
+                write!(f, "retention_ring requires ttl_enabled")
             }
         }
     }
@@ -231,6 +239,23 @@ pub struct PnwConfig {
     /// [`scrub_pass`](crate::ShardedPnwStore::scrub_pass) calls still
     /// work.
     pub scrub_rate: Option<u32>,
+    /// Per-key TTL/expiry support (default `false`). When on, the store
+    /// allocates an expiry zone alongside the data zone (8 bytes per
+    /// bucket holding an absolute unix-millisecond deadline; 0 = never
+    /// expires), `put_with_expiry` stamps deadlines, GETs treat expired
+    /// keys as absent (lazy expiry, no mutation on the read path) and the
+    /// scrubber cursor physically reclaims expired buckets as it passes
+    /// them. Expiry stamps ride the same write-through device image as
+    /// the data zone, so deadlines survive crash/reopen.
+    pub ttl_enabled: bool,
+    /// Ring-buffer retention for streaming workloads (default `false`;
+    /// implies `ttl_enabled`). When a PUT finds the data zone full, the
+    /// store first reclaims expired buckets and, if none exist, evicts
+    /// the live entry with the *earliest* expiry deadline — oldest data
+    /// falls off the ring, exactly the CCTV-recorder retention model —
+    /// before failing with `Full`. Entries without a deadline are never
+    /// evicted.
+    pub retention_ring: bool,
 }
 
 impl PnwConfig {
@@ -263,6 +288,8 @@ impl PnwConfig {
             endurance_writes: None,
             stuck_latch_probability: 1.0,
             scrub_rate: None,
+            ttl_enabled: false,
+            retention_ring: false,
         }
     }
 
@@ -388,6 +415,21 @@ impl PnwConfig {
         self
     }
 
+    /// Enables per-key TTL/expiry (allocates the expiry zone).
+    pub fn with_ttl(mut self) -> Self {
+        self.ttl_enabled = true;
+        self
+    }
+
+    /// Enables ring-buffer retention (implies TTL): a full data zone
+    /// evicts the entry with the earliest expiry deadline instead of
+    /// failing the PUT.
+    pub fn with_ring_retention(mut self) -> Self {
+        self.ttl_enabled = true;
+        self.retention_ring = true;
+        self
+    }
+
     /// Makes the store durable at `path` (a directory; created on first
     /// open). Build the store with `open` instead of `new` afterwards.
     pub fn with_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
@@ -421,6 +463,9 @@ impl PnwConfig {
         }
         if !(self.load_factor > 0.0 && self.load_factor <= 1.0) {
             return Err(ConfigError::BadLoadFactor(self.load_factor));
+        }
+        if self.retention_ring && !self.ttl_enabled {
+            return Err(ConfigError::RingWithoutTtl);
         }
         Ok(())
     }
@@ -516,6 +561,17 @@ mod tests {
     }
 
     #[test]
+    fn ttl_and_ring_builders() {
+        let c = PnwConfig::new(64, 8);
+        assert!(!c.ttl_enabled && !c.retention_ring, "TTL must be opt-in");
+        let c = PnwConfig::new(64, 8).with_ttl();
+        assert!(c.ttl_enabled && !c.retention_ring);
+        let c = PnwConfig::new(64, 8).with_ring_retention();
+        assert!(c.ttl_enabled && c.retention_ring, "ring implies ttl");
+        assert!(c.build().is_ok());
+    }
+
+    #[test]
     fn build_rejects_each_invalid_field() {
         assert_eq!(
             PnwConfig::new(0, 8).build().unwrap_err(),
@@ -537,6 +593,9 @@ mod tests {
         let mut c = PnwConfig::new(8, 8);
         c.shards = 0;
         assert_eq!(c.build().unwrap_err(), ConfigError::ZeroShards);
+        let mut c = PnwConfig::new(8, 8);
+        c.retention_ring = true; // skipped the builder, so ttl stayed off
+        assert_eq!(c.build().unwrap_err(), ConfigError::RingWithoutTtl);
         for bad in [0.0, -0.5, 1.5, f64::NAN] {
             let mut c = PnwConfig::new(8, 8);
             c.load_factor = bad;

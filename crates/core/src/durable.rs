@@ -107,6 +107,10 @@ pub(crate) fn geometry_hash(cfg: &PnwConfig, n_shards: usize) -> u64 {
             IndexPlacement::Dram => 0,
             IndexPlacement::Nvm => 1,
         },
+        // The expiry zone changes the device size and every region
+        // offset after it, so TTL-on and TTL-off directories are
+        // mutually unreadable.
+        u64::from(cfg.ttl_enabled),
     ] {
         h = splitmix(h ^ v);
     }
@@ -1183,8 +1187,12 @@ mod tests {
         let a = PnwConfig::new(64, 8);
         let b = PnwConfig::new(64, 16);
         let c = PnwConfig::new(64, 8).with_index(IndexPlacement::Nvm);
+        // TTL adds the expiry zone, shifting every region offset: a
+        // TTL-on directory must refuse to open under a TTL-off config.
+        let d = PnwConfig::new(64, 8).with_ttl();
         assert_ne!(geometry_hash(&a, 1), geometry_hash(&b, 1));
         assert_ne!(geometry_hash(&a, 1), geometry_hash(&c, 1));
+        assert_ne!(geometry_hash(&a, 1), geometry_hash(&d, 1));
         assert_ne!(geometry_hash(&a, 1), geometry_hash(&a, 2));
         assert_eq!(geometry_hash(&a, 1), geometry_hash(&a.clone(), 1));
     }

@@ -98,6 +98,6 @@ pub use pnw_nvm_sim::{MetaTarget, MetaTear};
 pub use metrics::{OpReport, ScrubStats, StoreSnapshot, TrainStats};
 pub use model::{ModelManager, ModelSnapshot, PredictScratch};
 pub use pool::DynamicAddressPool;
-pub use shard::{PutPath, ShardEngine};
+pub use shard::{now_unix_ms, PutPath, ShardEngine};
 pub use sharded::ShardedPnwStore;
 pub use store::PnwStore;

@@ -71,6 +71,13 @@ pub struct ScrubStats {
     pub retired: u64,
     /// Stuck bits known on this shard's device (armed plus wear-latched).
     pub stuck_bits: u64,
+    /// Buckets reclaimed because their TTL deadline passed — by the
+    /// scrubber's expiry sweep, by a DELETE that found its key already
+    /// overdue, or by ring retention's expired-first pass.
+    pub expired: u64,
+    /// Live entries evicted by ring retention: the earliest-deadline
+    /// tenant removed to make room when the zone was full.
+    pub evicted: u64,
 }
 
 impl ScrubStats {
@@ -81,6 +88,8 @@ impl ScrubStats {
         self.repairs += other.repairs;
         self.retired += other.retired;
         self.stuck_bits += other.stuck_bits;
+        self.expired += other.expired;
+        self.evicted += other.evicted;
     }
 }
 
@@ -205,6 +214,8 @@ mod tests {
             repairs: 3,
             retired: 4,
             stuck_bits: 5,
+            expired: 6,
+            evicted: 7,
         };
         a.merge(&ScrubStats {
             scanned: 10,
@@ -212,6 +223,8 @@ mod tests {
             repairs: 30,
             retired: 40,
             stuck_bits: 50,
+            expired: 60,
+            evicted: 70,
         });
         assert_eq!(
             a,
@@ -221,6 +234,8 @@ mod tests {
                 repairs: 33,
                 retired: 44,
                 stuck_bits: 55,
+                expired: 66,
+                evicted: 77,
             }
         );
     }

@@ -46,7 +46,21 @@ use crate::model::{stride_sample, ModelSnapshot, PredictScratch};
 use crate::pool::DynamicAddressPool;
 
 pub(crate) const HDR_BYTES: usize = 16;
-const FLAG_VALID: u8 = 1;
+pub(crate) const FLAG_VALID: u8 = 1;
+
+/// Bytes per bucket in the expiry zone (one `u64` LE absolute
+/// unix-millisecond deadline; 0 = never expires).
+pub(crate) const EXPIRY_BYTES: usize = 8;
+
+/// The wall clock the TTL machinery runs on: absolute unix milliseconds.
+/// Callers stamp deadlines with
+/// [`Store::put_with_expiry`](crate::Store::put_with_expiry) relative to
+/// this clock.
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
 
 /// Cached-label sentinel: the bucket's content label is unknown under the
 /// current model and must be re-predicted on demand.
@@ -75,6 +89,28 @@ fn label_u16(cluster: usize) -> u16 {
 #[inline]
 pub(crate) fn bucket_crc(key: u64, value: &[u8]) -> u32 {
     crc32c_update(crc32c_update(0xFFFF_FFFF, &key.to_le_bytes()), value) ^ 0xFFFF_FFFF
+}
+
+/// The static device geometry a lock-free scan needs: captured once when
+/// a shard is wrapped, valid for the engine's whole lifetime (regions
+/// never move; the *provisioned* bucket count — capacity plus reserve —
+/// never changes, unlike the dynamic active-zone size). Buckets beyond
+/// the active zone carry a clear valid flag, so scanning the full
+/// provisioned range through a [`CellView`] is always safe.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScanGeometry {
+    /// Byte offset of the data zone's first bucket.
+    pub data_start: usize,
+    /// Whole-bucket stride in bytes (header + value, word-rounded).
+    pub bucket_size: usize,
+    /// Provisioned buckets: `capacity + reserve_buckets`.
+    pub buckets: usize,
+    /// The configured value size.
+    pub value_size: usize,
+    /// Whether sealed CRCs are present to verify against.
+    pub integrity: bool,
+    /// Byte offset of the expiry zone, when TTL is enabled.
+    pub expiry_start: Option<usize>,
 }
 
 /// The shard state the lock-free read path shares with its engine: the
@@ -230,6 +266,11 @@ pub struct ShardEngine {
     index: Box<dyn KeyIndex>,
     index_region: Option<Region>,
     index_leaves: usize,
+    /// The per-bucket expiry zone when `cfg.ttl_enabled`: one u64 LE
+    /// absolute unix-ms deadline per provisioned bucket (0 = no expiry).
+    /// Part of the device image, so deadlines ride the same write-through
+    /// backing and checkpoints as the data zone.
+    expiry: Option<Region>,
     pool: DynamicAddressPool,
     /// The shard's clone of the current immutable model snapshot. Swapped
     /// wholesale by [`ShardEngine::install_model`]; predictions on the op
@@ -310,12 +351,19 @@ impl ShardEngine {
                 (leaves, PathHashIndex::region_bytes_for(leaves))
             }
         };
-        let total = (index_bytes + data_bytes + 4096).next_multiple_of(64);
+        let expiry_bytes = if cfg.ttl_enabled {
+            total_buckets * EXPIRY_BYTES
+        } else {
+            0
+        };
+        let total = (index_bytes + data_bytes + expiry_bytes + 4096).next_multiple_of(64);
         let mut alloc = RegionAllocator::new(total);
         let index_region = (index_bytes > 0).then(|| alloc.alloc(index_bytes, 64).expect("index"));
         let data = alloc
             .alloc_buckets(total_buckets, bucket_size)
             .expect("data zone");
+        let expiry =
+            (expiry_bytes > 0).then(|| alloc.alloc(expiry_bytes, 8).expect("expiry zone"));
 
         let mut nvm_cfg = NvmConfig::default()
             .with_size(total)
@@ -368,6 +416,7 @@ impl ShardEngine {
             index,
             index_region,
             index_leaves,
+            expiry,
             pool,
             model,
             live: 0,
@@ -552,7 +601,20 @@ impl ShardEngine {
     /// PUT / UPDATE (Algorithm 2 + §V-B.3) under the shard's current model
     /// snapshot.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(OpReport, PutPath), PnwError> {
-        self.put_impl(key, value, true)
+        self.put_impl(key, value, 0, true)
+    }
+
+    /// PUT with an absolute unix-ms expiry deadline (0 = never expires).
+    /// Identical to [`ShardEngine::put`] except the deadline is stamped
+    /// into the expiry zone alongside the placed bucket; on a store built
+    /// without [`PnwConfig::with_ttl`] the deadline is silently ignored.
+    pub fn put_with_expiry(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<(OpReport, PutPath), PnwError> {
+        self.put_impl(key, value, expires_at_ms, true)
     }
 
     /// PUT for the batch path: performs *exactly* the same device, index
@@ -564,7 +626,7 @@ impl ShardEngine {
     /// whole batch from one device-stats delta instead; the only counter
     /// the batch path does not feed is the snapshot's `predict_total`.
     pub fn put_unreported(&mut self, key: u64, value: &[u8]) -> Result<PutPath, PnwError> {
-        self.put_impl(key, value, false).map(|(_, path)| path)
+        self.put_impl(key, value, 0, false).map(|(_, path)| path)
     }
 
     /// The one PUT implementation behind both entry points. `report`
@@ -577,6 +639,7 @@ impl ShardEngine {
         &mut self,
         key: u64,
         value: &[u8],
+        expires_at_ms: u64,
         report: bool,
     ) -> Result<(OpReport, PutPath), PnwError> {
         self.check_value(value)?;
@@ -589,7 +652,7 @@ impl ShardEngine {
         match self.cfg.update_policy {
             UpdatePolicy::InPlace => {
                 if let Some(addr) = self.index.get(&mut self.dev, key)? {
-                    if let Some(done) = self.put_in_place(key, value, addr, report)? {
+                    if let Some(done) = self.put_in_place(key, value, addr, expires_at_ms, report)? {
                         return Ok(done);
                     }
                     // The in-place target failed write-verify: the bucket
@@ -625,9 +688,23 @@ impl ShardEngine {
         let predict = t0.map_or(Duration::ZERO, |t| t.elapsed());
         self.predict_total += predict;
 
-        let (bucket, fallback, value_write) =
-            self.place_sealed(key, value, cluster, &mut deferred, report)?;
+        let placed = self.place_sealed(key, value, cluster, &mut deferred, report);
+        let (bucket, fallback, value_write) = match placed {
+            Ok(hit) => hit,
+            // Ring retention: a full zone first reclaims expired buckets,
+            // then evicts the earliest-deadline live entry — the oldest
+            // frame falls off the CCTV ring — and the placement retries
+            // once against the replenished pool.
+            Err(PnwError::Full) if self.cfg.retention_ring => {
+                if !self.ring_reclaim()? {
+                    return Err(PnwError::Full);
+                }
+                self.place_sealed(key, value, cluster, &mut deferred, report)?
+            }
+            Err(e) => return Err(e),
+        };
         let addr = self.bucket_addr(bucket);
+        self.stamp_expiry(bucket, expires_at_ms)?;
 
         // Line 7: update the hash index.
         if let Err(e) = self.index.insert(&mut self.dev, key, addr as u64) {
@@ -688,6 +765,7 @@ impl ShardEngine {
         key: u64,
         value: &[u8],
         addr: u64,
+        expires_at_ms: u64,
         report: bool,
     ) -> Result<Option<(OpReport, PutPath)>, PnwError> {
         let before = report.then(|| self.dev.stats().clone());
@@ -726,6 +804,7 @@ impl ShardEngine {
             self.check_durable_write()?;
             vstats
         };
+        self.stamp_expiry(b, expires_at_ms)?;
         self.labels[b as usize] = LABEL_STALE;
         self.puts += 1;
         let out = if let Some(before) = before {
@@ -1011,6 +1090,11 @@ impl ShardEngine {
                 let mut v = vec![0u8; self.cfg.value_size];
                 self.dev.peek_into(addr as usize + HDR_BYTES, &mut v)?;
                 self.verify_read(key, addr as usize, &v)?;
+                // Lazy expiry: an overdue key reads as absent; the
+                // scrubber cursor reclaims the bucket physically.
+                if self.addr_expired(addr, now_unix_ms())? {
+                    return Ok(None);
+                }
                 Ok(Some(v))
             }
             None => Ok(None),
@@ -1053,6 +1137,9 @@ impl ShardEngine {
             Some(addr) => {
                 self.dev.peek_into(addr as usize + HDR_BYTES, out)?;
                 self.verify_read(key, addr as usize, out)?;
+                if self.addr_expired(addr, now_unix_ms())? {
+                    return Ok(false);
+                }
                 Ok(true)
             }
             None => Ok(false),
@@ -1065,6 +1152,18 @@ impl ShardEngine {
         let _w = WriteBracket::enter(&self.sync);
         match self.index.remove(&mut self.dev, key)? {
             Some(addr) => {
+                // An expired tenant was already logically gone: reclaim it
+                // physically but report "did not exist".
+                if self.addr_expired(addr, now_unix_ms())? {
+                    let (label, bucket) = self.clear_bucket(addr)?;
+                    self.check_durable_write()?;
+                    if let Some(d) = &mut self.durable {
+                        d.log_delete(key)?;
+                    }
+                    self.push_free(label, bucket);
+                    self.scrub.expired += 1;
+                    return Ok(false);
+                }
                 if self.durable.is_some() {
                     // Durable commit order: flag clear, then the WAL
                     // record, then the bucket joins the pool — a crash
@@ -1118,6 +1217,186 @@ impl ShardEngine {
         Ok((label, bucket))
     }
 
+    /// Stamps `bucket`'s expiry-zone slot — always written on placement
+    /// (even for 0 = "never expires"), so a stale deadline from a prior
+    /// tenant can never attach to a fresh value. No-op without TTL.
+    fn stamp_expiry(&mut self, bucket: u32, expires_at_ms: u64) -> Result<(), PnwError> {
+        let Some(region) = self.expiry else {
+            return Ok(());
+        };
+        let addr = region.start + bucket as usize * EXPIRY_BYTES;
+        self.dev
+            .write(addr, &expires_at_ms.to_le_bytes(), WriteMode::Diff)?;
+        Ok(())
+    }
+
+    /// Reads `bucket`'s expiry deadline (0 = none / TTL off).
+    fn peek_expiry(&self, bucket: u32) -> Result<u64, PnwError> {
+        let Some(region) = self.expiry else {
+            return Ok(0);
+        };
+        let addr = region.start + bucket as usize * EXPIRY_BYTES;
+        let raw = self.dev.peek(addr, EXPIRY_BYTES)?;
+        Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    /// Whether the bucket at `addr` holds a value whose deadline has
+    /// passed. The lazy-expiry predicate the read path applies — reads
+    /// never mutate; physical reclamation belongs to the scrubber cursor.
+    fn addr_expired(&self, addr: u64, now: u64) -> Result<bool, PnwError> {
+        if self.expiry.is_none() {
+            return Ok(false);
+        }
+        let deadline = self.peek_expiry(self.bucket_of_addr(addr))?;
+        Ok(deadline != 0 && deadline <= now)
+    }
+
+    /// Physically reclaims `key`'s bucket with committed-delete semantics
+    /// (index unlink → flag clear → WAL delete record → pool push), so an
+    /// expired or ring-evicted key can never resurrect from WAL replay.
+    fn reclaim_key(&mut self, key: u64, evicted: bool) -> Result<(), PnwError> {
+        let Some(addr) = self.index.remove(&mut self.dev, key)? else {
+            return Ok(());
+        };
+        let (label, bucket) = self.clear_bucket(addr)?;
+        self.check_durable_write()?;
+        if let Some(d) = &mut self.durable {
+            d.log_delete(key)?;
+        }
+        self.push_free(label, bucket);
+        if evicted {
+            self.scrub.evicted += 1;
+        } else {
+            self.scrub.expired += 1;
+        }
+        Ok(())
+    }
+
+    /// The TTL half of the scrubber's unit of work: reclaims the bucket
+    /// when its tenant's deadline has passed. Returns whether the bucket
+    /// was reclaimed (the CRC scrub is then moot — the bucket is free).
+    fn expire_bucket_if_due(&mut self, bucket: u32) -> Result<bool, PnwError> {
+        let addr = self.bucket_addr(bucket);
+        let hdr = self.dev.peek(addr, HDR_BYTES)?;
+        if hdr[0] & FLAG_VALID == 0 {
+            return Ok(false);
+        }
+        let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let deadline = self.peek_expiry(bucket)?;
+        if deadline == 0 || deadline > now_unix_ms() {
+            return Ok(false);
+        }
+        // The index is authoritative: a stale image whose key lives
+        // elsewhere is not this bucket's tenant and must not be reclaimed
+        // through it.
+        if self.index.lookup(&self.dev, key)? != Some(addr as u64) {
+            return Ok(false);
+        }
+        self.reclaim_key(key, false)?;
+        Ok(true)
+    }
+
+    /// Ring retention's reclamation sweep, run when a PUT finds the pool
+    /// empty: expire every overdue bucket; if nothing was overdue, evict
+    /// the live entry with the earliest (nonzero) deadline. Entries
+    /// without a deadline are never evicted. Returns whether any bucket
+    /// was freed.
+    fn ring_reclaim(&mut self) -> Result<bool, PnwError> {
+        if self.expiry.is_none() {
+            return Ok(false);
+        }
+        let now = now_unix_ms();
+        let mut freed = false;
+        let mut earliest: Option<(u64, u64)> = None; // (deadline, key)
+        for b in 0..self.active_buckets as u32 {
+            if self.retired.contains(&b) {
+                continue;
+            }
+            let addr = self.bucket_addr(b);
+            let hdr = self.dev.peek(addr, HDR_BYTES)?;
+            if hdr[0] & FLAG_VALID == 0 {
+                continue;
+            }
+            let deadline = self.peek_expiry(b)?;
+            if deadline == 0 {
+                continue;
+            }
+            let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+            if self.index.lookup(&self.dev, key)? != Some(addr as u64) {
+                continue;
+            }
+            if deadline <= now {
+                self.reclaim_key(key, false)?;
+                freed = true;
+            } else if earliest.is_none_or(|(d, _)| deadline < d) {
+                earliest = Some((deadline, key));
+            }
+        }
+        if freed {
+            return Ok(true);
+        }
+        let Some((_, key)) = earliest else {
+            return Ok(false);
+        };
+        self.reclaim_key(key, true)?;
+        Ok(true)
+    }
+
+    /// Ordered range scan over `[lo, hi]` (inclusive): every live,
+    /// unexpired key in range with its value, ascending by key. Walks the
+    /// data-zone headers rather than the index (the hash index has no
+    /// order); the index is consulted per candidate as the authority — a
+    /// stale image on retired media is skipped, never served. CRC-failing
+    /// buckets are skipped silently (a scan is a bulk read; the loud
+    /// typed-corruption contract belongs to point GETs, and the scrubber
+    /// repairs or retires the bucket independently).
+    pub fn scan_range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, PnwError> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok(out);
+        }
+        let now = now_unix_ms();
+        for b in 0..self.active_buckets as u32 {
+            let addr = self.bucket_addr(b);
+            let hdr = self.dev.peek(addr, HDR_BYTES)?;
+            if hdr[0] & FLAG_VALID == 0 {
+                continue;
+            }
+            let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+            if key < lo || key > hi {
+                continue;
+            }
+            let stored = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+            if self.index.lookup(&self.dev, key)? != Some(addr as u64) {
+                continue;
+            }
+            let mut v = vec![0u8; self.cfg.value_size];
+            self.dev.peek_into(addr + HDR_BYTES, &mut v)?;
+            if self.cfg.integrity && bucket_crc(key, &v) != stored {
+                continue;
+            }
+            if self.addr_expired(addr as u64, now)? {
+                continue;
+            }
+            out.push((key, v));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+
+    /// The static geometry the sharded store's lock-free scan path
+    /// captures at wrap time.
+    pub(crate) fn scan_geometry(&self) -> ScanGeometry {
+        ScanGeometry {
+            data_start: self.data.start,
+            bucket_size: self.bucket_size,
+            buckets: self.cfg.capacity + self.cfg.reserve_buckets,
+            value_size: self.cfg.value_size,
+            integrity: self.cfg.integrity,
+            expiry_start: self.expiry.map(|r| r.start),
+        }
+    }
+
     /// Verifies one bucket's integrity seal — the scrubber's unit of work.
     /// A CRC failure is repaired from the WAL's clean copy when one exists
     /// (value re-placed on fresh media, damaged bucket retired); without a
@@ -1127,7 +1406,15 @@ impl ShardEngine {
     /// known stuck bits is relocated proactively before a future write can
     /// corrupt it.
     fn scrub_bucket(&mut self, bucket: u32) -> Result<(), PnwError> {
-        if !self.cfg.integrity || self.retired.contains(&bucket) {
+        if self.retired.contains(&bucket) {
+            return Ok(());
+        }
+        // TTL sweep first — and independent of the integrity knob: an
+        // expired bucket is reclaimed, making its CRC moot.
+        if self.cfg.ttl_enabled && self.expire_bucket_if_due(bucket)? {
+            return Ok(());
+        }
+        if !self.cfg.integrity {
             return Ok(());
         }
         let addr = self.bucket_addr(bucket);
@@ -1167,11 +1454,14 @@ impl ShardEngine {
     /// media: retires the old bucket, re-places the value through the
     /// write-verify loop, re-points the index and re-logs the put.
     fn relocate(&mut self, key: u64, value: &[u8], from: u32) -> Result<(), PnwError> {
+        let deadline = self.peek_expiry(from)?;
         self.retire(from)?;
         let cluster = self.model.predict_into(value, &mut self.scratch);
         let mut deferred = None;
         let (bucket, _, _) = self.place_sealed(key, value, cluster, &mut deferred, false)?;
         let addr = self.bucket_addr(bucket);
+        // The deadline moves with the value.
+        self.stamp_expiry(bucket, deadline)?;
         let _ = self.index.remove(&mut self.dev, key)?;
         self.index.insert(&mut self.dev, key, addr as u64)?;
         if let Some(d) = &mut self.durable {

@@ -59,7 +59,10 @@ use crate::durable::{geometry_hash, DurableStore, ShardCheckpoint};
 use crate::error::{PnwError, StoreError};
 use crate::metrics::{OpReport, StoreSnapshot};
 use crate::model::ModelManager;
-use crate::shard::{bucket_crc, PutPath, ShardEngine, ShardSync, HDR_BYTES};
+use crate::shard::{
+    bucket_crc, now_unix_ms, PutPath, ScanGeometry, ShardEngine, ShardSync, EXPIRY_BYTES,
+    FLAG_VALID, HDR_BYTES,
+};
 
 /// One completed command's result, handed back through its [`OpSlot`].
 enum CmdReply {
@@ -96,6 +99,7 @@ enum OwnedOp {
     Put {
         key: u64,
         value: Vec<u8>,
+        expires_at_ms: u64,
         slot: Arc<OpSlot>,
     },
     Delete {
@@ -123,6 +127,10 @@ struct Shard {
     reader: Option<IndexReader>,
     /// The shard's seqlock + GET counter, shared with the engine.
     sync: Arc<ShardSync>,
+    /// The shard's static bucket geometry, captured at construction for
+    /// the lock-free scan path. Covers every *provisioned* bucket
+    /// (capacity + reserve), so zone extension never invalidates it.
+    geom: ScanGeometry,
 }
 
 impl Shard {
@@ -130,6 +138,7 @@ impl Shard {
         let view = engine.cell_view();
         let reader = engine.index_reader();
         let sync = engine.sync_handle();
+        let geom = engine.scan_geometry();
         Shard {
             engine: Mutex::new(engine),
             queue: Mutex::new(VecDeque::new()),
@@ -137,6 +146,7 @@ impl Shard {
             view,
             reader,
             sync,
+            geom,
         }
     }
 }
@@ -402,13 +412,27 @@ impl ShardedPnwStore {
     /// runs inline; on a contended one the op is queued for the shard's
     /// current combiner (see the [module docs](self)).
     pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, PnwError> {
+        self.put_with_expiry(key, value, 0)
+    }
+
+    /// PUT with an absolute TTL deadline in unix milliseconds
+    /// (`0` = never expires; see [`now_unix_ms`]). Identical to
+    /// [`ShardedPnwStore::put`] otherwise — same routing, combining and
+    /// retrain policy. Requires [`PnwConfig::with_ttl`]; without the
+    /// expiry zone the deadline is silently dropped.
+    pub fn put_with_expiry(
+        &self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<OpReport, PnwError> {
         crate::shard::check_value(&self.cfg, value)?;
         self.install_if_ready();
         let sid = self.shard_of(key);
         let sh = &self.shards[sid];
         if let Ok(mut eng) = sh.engine.try_lock() {
             let mut due = false;
-            let res = Self::exec_put(&mut eng, key, value, &mut due);
+            let res = Self::exec_put(&mut eng, key, value, expires_at_ms, &mut due);
             due |= self.drain_queue(sh, &mut eng);
             drop(eng);
             self.finish_write(sh, due);
@@ -420,6 +444,7 @@ impl ShardedPnwStore {
             OwnedOp::Put {
                 key,
                 value: value.to_vec(),
+                expires_at_ms,
                 slot: Arc::clone(&slot),
             },
         )?;
@@ -435,9 +460,10 @@ impl ShardedPnwStore {
         eng: &mut ShardEngine,
         key: u64,
         value: &[u8],
+        expires_at_ms: u64,
         due: &mut bool,
     ) -> Result<OpReport, PnwError> {
-        let (report, path) = eng.put(key, value)?;
+        let (report, path) = eng.put_with_expiry(key, value, expires_at_ms)?;
         if path == PutPath::Fresh && eng.retrain_due() {
             eng.extend_from_reserve_if_due();
             *due = true;
@@ -477,6 +503,28 @@ impl ShardedPnwStore {
             let s1 = sh.sync.read_begin();
             let found = match reader.lookup(&sh.view, key) {
                 Some(addr) => {
+                    // TTL: a key past its deadline reads as absent — the
+                    // same lazy-expiry contract as the locked path. A torn
+                    // expiry word fails validation and retries like any
+                    // other racing read.
+                    if let Some(expiry_start) = sh.geom.expiry_start {
+                        let b = (addr as usize - sh.geom.data_start) / sh.geom.bucket_size;
+                        let mut d = [0u8; EXPIRY_BYTES];
+                        if !sh.view.read_into(expiry_start + b * EXPIRY_BYTES, &mut d) {
+                            if sh.sync.read_validate(s1) {
+                                return sh.engine.lock().unwrap().get_into(key, out);
+                            }
+                            continue;
+                        }
+                        let deadline = u64::from_le_bytes(d);
+                        if deadline != 0 && deadline <= now_unix_ms() {
+                            if sh.sync.read_validate(s1) {
+                                sh.sync.count_get();
+                                return Ok(false);
+                            }
+                            continue;
+                        }
+                    }
                     if sh.view.read_into(addr as usize + HDR_BYTES, out) {
                         if self.cfg.integrity {
                             // End-to-end verification on the lock-free
@@ -552,6 +600,114 @@ impl ShardedPnwStore {
         }
     }
 
+    /// Ordered range scan over `lo..=hi` across every shard, ascending by
+    /// key. Each shard contributes a **seqlock-consistent snapshot**: its
+    /// buckets are walked through the lock-free cell view inside one
+    /// `read_begin`/`read_validate` bracket, so no returned value is ever
+    /// torn — but the per-shard snapshots are taken at slightly different
+    /// instants, not one global cut (see [`Store::scan`] for the
+    /// contract). A shard under heavy write traffic that keeps failing
+    /// validation falls back to a brief engine-locked scan. Entries whose
+    /// TTL deadline has passed are excluded; entries failing CRC are
+    /// skipped (point GETs surface those loudly).
+    pub fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, PnwError> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok(out);
+        }
+        for sid in 0..self.shards.len() {
+            self.scan_shard(sid, lo, hi, &mut out)?;
+        }
+        // Shards partition the key space by hash, so keys are unique
+        // across shards and one sort yields the global order.
+        out.sort_unstable_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+
+    /// One shard's contribution to [`ShardedPnwStore::scan`]: the
+    /// lock-free walk with retry, or the engine-locked fallback when
+    /// `locked_reads` is set, no index reader exists, or validation keeps
+    /// losing to writers.
+    fn scan_shard(
+        &self,
+        sid: usize,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<(u64, Vec<u8>)>,
+    ) -> Result<(), PnwError> {
+        /// Whole-shard snapshot attempts before conceding to the lock.
+        const SCAN_RETRIES: usize = 8;
+        let sh = &self.shards[sid];
+        let reader = if self.cfg.locked_reads { None } else { sh.reader.as_ref() };
+        let Some(reader) = reader else {
+            out.extend(sh.engine.lock().unwrap().scan_range(lo, hi)?);
+            return Ok(());
+        };
+        let geom = sh.geom;
+        let now = now_unix_ms();
+        'attempt: for _ in 0..SCAN_RETRIES {
+            let s1 = sh.sync.read_begin();
+            let mut acc: Vec<(u64, Vec<u8>)> = Vec::new();
+            for b in 0..geom.buckets {
+                let base = geom.data_start + b * geom.bucket_size;
+                let mut hdr = [0u8; HDR_BYTES];
+                if !sh.view.read_into(base, &mut hdr) {
+                    // Provisioned buckets are always in range; treat a
+                    // refused read like a failed validation.
+                    continue 'attempt;
+                }
+                if hdr[0] & FLAG_VALID == 0 {
+                    continue;
+                }
+                let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+                if key < lo || key > hi {
+                    continue;
+                }
+                // Index authority: a valid-looking header whose key maps
+                // elsewhere (or nowhere) is a stale image — a retired
+                // bucket's last contents, or a racing writer mid-move.
+                if reader.lookup(&sh.view, key) != Some(base as u64) {
+                    continue;
+                }
+                if let Some(expiry_start) = geom.expiry_start {
+                    let mut d = [0u8; EXPIRY_BYTES];
+                    if !sh.view.read_into(expiry_start + b * EXPIRY_BYTES, &mut d) {
+                        continue 'attempt;
+                    }
+                    let deadline = u64::from_le_bytes(d);
+                    if deadline != 0 && deadline <= now {
+                        continue;
+                    }
+                }
+                let mut value = vec![0u8; geom.value_size];
+                if !sh.view.read_into(base + HDR_BYTES, &mut value) {
+                    continue 'attempt;
+                }
+                if geom.integrity {
+                    let stored_crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+                    if stored_crc != bucket_crc(key, &value) {
+                        if !sh.sync.read_validate(s1) {
+                            // Torn bytes from a racing writer, not media
+                            // damage — retake the whole snapshot.
+                            continue 'attempt;
+                        }
+                        // A validated snapshot that fails CRC is real
+                        // corruption; scans skip it (the contract) and
+                        // point GETs report it.
+                        continue;
+                    }
+                }
+                acc.push((key, value));
+            }
+            if sh.sync.read_validate(s1) {
+                out.append(&mut acc);
+                return Ok(());
+            }
+        }
+        out.extend(sh.engine.lock().unwrap().scan_range(lo, hi)?);
+        Ok(())
+    }
+
     /// Pushes a command onto the shard's bounded queue, or rejects it with
     /// [`StoreError::Backpressure`] — naming the shard and its queue depth
     /// — when the combiner is saturated.
@@ -599,8 +755,13 @@ impl ShardedPnwStore {
             let op = sh.queue.lock().unwrap().pop_front();
             let Some(op) = op else { break };
             match op {
-                OwnedOp::Put { key, value, slot } => {
-                    let res = Self::exec_put(eng, key, &value, &mut due);
+                OwnedOp::Put {
+                    key,
+                    value,
+                    expires_at_ms,
+                    slot,
+                } => {
+                    let res = Self::exec_put(eng, key, &value, expires_at_ms, &mut due);
                     slot.fill(CmdReply::Put(res));
                 }
                 OwnedOp::Delete { key, slot } => {
@@ -922,6 +1083,23 @@ impl Store for ShardedPnwStore {
 
     fn delete(&self, key: u64) -> Result<bool, StoreError> {
         ShardedPnwStore::delete(self, key)
+    }
+
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        ShardedPnwStore::scan(self, lo, hi)
+    }
+
+    fn put_with_expiry(
+        &self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<OpReport, StoreError> {
+        ShardedPnwStore::put_with_expiry(self, key, value, expires_at_ms)
+    }
+
+    fn supports_ttl(&self) -> bool {
+        self.cfg.ttl_enabled
     }
 
     fn len(&self) -> usize {

@@ -42,10 +42,10 @@ struct Inner {
 }
 
 impl Inner {
-    fn put(&mut self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
+    fn put(&mut self, key: u64, value: &[u8], expires_at_ms: u64) -> Result<OpReport, StoreError> {
         self.engine.check_value(value)?;
         self.maybe_install_background();
-        let (report, path) = self.engine.put(key, value)?;
+        let (report, path) = self.engine.put_with_expiry(key, value, expires_at_ms)?;
         if path == PutPath::Fresh {
             self.maybe_trigger_retrain();
         }
@@ -393,7 +393,24 @@ impl PnwStore {
 
     /// PUT / UPDATE (Algorithm 2 + §V-B.3).
     pub fn put(&self, key: u64, value: &[u8]) -> Result<OpReport, StoreError> {
-        self.inner.write().unwrap().put(key, value)
+        self.inner.write().unwrap().put(key, value, 0)
+    }
+
+    /// PUT with an absolute unix-ms expiry deadline (0 = never). Ignored
+    /// unless the store was built with [`PnwConfig::with_ttl`].
+    pub fn put_with_expiry(
+        &self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<OpReport, StoreError> {
+        self.inner.write().unwrap().put(key, value, expires_at_ms)
+    }
+
+    /// Ordered range scan over the inclusive key range `[lo, hi]` — see
+    /// [`Store::scan`] for the consistency contract.
+    pub fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        self.inner.read().unwrap().engine.scan_range(lo, hi)
     }
 
     /// GET (§V-B.4): through the hash index, no data-structure changes.
@@ -532,6 +549,23 @@ impl Store for PnwStore {
 
     fn delete(&self, key: u64) -> Result<bool, StoreError> {
         PnwStore::delete(self, key)
+    }
+
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        PnwStore::scan(self, lo, hi)
+    }
+
+    fn put_with_expiry(
+        &self,
+        key: u64,
+        value: &[u8],
+        expires_at_ms: u64,
+    ) -> Result<OpReport, StoreError> {
+        PnwStore::put_with_expiry(self, key, value, expires_at_ms)
+    }
+
+    fn supports_ttl(&self) -> bool {
+        self.cfg.ttl_enabled
     }
 
     fn len(&self) -> usize {

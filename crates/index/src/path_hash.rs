@@ -203,6 +203,22 @@ impl PathHashIndex {
         self.geom.candidates(key)
     }
 
+    /// Every live `(key, addr)` mapping, in table order. Reads through
+    /// [`NvmDevice::peek`] (no stats, shared access) — stores whose data
+    /// zone holds values only enumerate their key set through this for
+    /// range scans.
+    pub fn entries(&self, dev: &NvmDevice) -> Result<Vec<(u64, u64)>, IndexError> {
+        let mut out = Vec::with_capacity(self.live);
+        for b in 0..Self::buckets_for(self.geom.leaves) {
+            let addr = self.geom.region.at(b * BUCKET_BYTES);
+            let (flags, key, val) = Self::peek_bucket(dev, addr)?;
+            if flags & FLAG_VALID != 0 {
+                out.push((key, val));
+            }
+        }
+        Ok(out)
+    }
+
     fn read_bucket(dev: &mut NvmDevice, addr: usize) -> Result<(u8, u64, u64), IndexError> {
         let bytes = dev.read(addr, BUCKET_BYTES)?;
         let flags = bytes[0];

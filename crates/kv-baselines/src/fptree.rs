@@ -315,6 +315,39 @@ impl Store for FpTreeLike {
         self.inner.write().unwrap().delete(key)
     }
 
+    /// Range scan in leaf order: the DRAM routing map walks leaves in
+    /// ascending key-range order (exactly the inner B+-tree traversal),
+    /// and each leaf's unsorted live slots are collected and sorted
+    /// locally — leaves partition the key space, so the concatenation is
+    /// globally ordered.
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok(out);
+        }
+        let inner = self.inner.read().unwrap();
+        for &leaf in inner.routing.values() {
+            let bitmap = inner.read_bitmap(leaf)?;
+            let mut entries: Vec<(u64, Vec<u8>)> = Vec::new();
+            for slot in 0..LEAF_SLOTS {
+                if bitmap >> slot & 1 == 0 {
+                    continue;
+                }
+                let addr = inner.slot_addr(leaf, slot);
+                let kb = inner.dev.peek(addr, 8)?;
+                let key = u64::from_le_bytes(kb.try_into().unwrap());
+                if key < lo || key > hi {
+                    continue;
+                }
+                let value = inner.dev.peek(addr + 8, inner.value_size)?.to_vec();
+                entries.push((key, value));
+            }
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            out.extend(entries);
+        }
+        Ok(out)
+    }
+
     fn len(&self) -> usize {
         self.inner.read().unwrap().live
     }

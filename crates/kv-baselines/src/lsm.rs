@@ -323,6 +323,36 @@ impl Store for NoveLsmLike {
         self.inner.write().unwrap().delete(key)
     }
 
+    /// Range scan as an LSM merge: fold versions oldest→newest (L1, then
+    /// L0 runs in age order, then the memtable) into a sorted map so the
+    /// newest version of each key wins, drop tombstones, keep `lo..=hi`.
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read().unwrap();
+        let mut merged: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        let runs: Vec<Run> = inner.l1.iter().copied().chain(inner.l0.iter().copied()).collect();
+        for run in runs {
+            for slot in 0..run.count {
+                let (key, v) = inner.read_entry(run.region, slot)?;
+                if key >= lo && key <= hi {
+                    merged.insert(key, v);
+                }
+            }
+        }
+        for (&key, e) in inner.memtable.range(lo..=hi) {
+            match e {
+                MemEntry::Put(v) => merged.insert(key, Some(v.clone())),
+                MemEntry::Del => merged.insert(key, None),
+            };
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
     fn len(&self) -> usize {
         self.inner.read().unwrap().live
     }

@@ -168,6 +168,28 @@ impl Store for PathHashStore {
         self.inner.write().unwrap().delete(key)
     }
 
+    /// Range scan by index enumeration: the data zone stores bare values
+    /// (no headers), so the key set comes from walking the path-hash
+    /// table's live buckets, then sorting and peeking each value.
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read().unwrap();
+        let mut keyed: Vec<(u64, u64)> = inner
+            .index
+            .entries(&inner.dev)?
+            .into_iter()
+            .filter(|&(k, _)| k >= lo && k <= hi)
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let mut out = Vec::with_capacity(keyed.len());
+        for (key, addr) in keyed {
+            out.push((key, inner.dev.peek(addr as usize, inner.value_size)?.to_vec()));
+        }
+        Ok(out)
+    }
+
     fn len(&self) -> usize {
         self.inner.read().unwrap().live
     }

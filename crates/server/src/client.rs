@@ -264,6 +264,24 @@ impl Client {
         }
     }
 
+    /// Ordered range scan over `lo..=hi`. Returns the ascending
+    /// `(key, value)` entries plus whether the reply covers the whole
+    /// range — `false` means the server truncated at `limit` (0 =
+    /// server-chosen) or at its frame budget, and the caller continues
+    /// from the last returned key + 1.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+    ) -> Result<(Vec<(u64, Vec<u8>)>, bool), ClientError> {
+        match self.call(&Request::Scan { lo, hi, limit })? {
+            Response::Scan { complete, entries } => Ok((entries, complete)),
+            other => Err(unexpected("SCAN", &other)),
+        }
+    }
+
     /// Liveness probe (answered even while the server drains).
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Ping)? {

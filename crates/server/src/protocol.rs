@@ -51,6 +51,8 @@ pub mod opcode {
     pub const BATCH: u8 = 4;
     /// Liveness probe.
     pub const PING: u8 = 5;
+    /// Ordered range scan.
+    pub const SCAN: u8 = 6;
 }
 
 /// One operation inside a BATCH request (mirrors `pnw_core::Op`, owned).
@@ -95,6 +97,16 @@ pub enum Request {
         /// The operations, in submission order.
         ops: Vec<WireOp>,
     },
+    /// Ordered range scan over `lo..=hi` (see `Store::scan`).
+    Scan {
+        /// Inclusive lower key bound.
+        lo: u64,
+        /// Inclusive upper key bound.
+        hi: u64,
+        /// Cap on returned entries; 0 means server-chosen (the server
+        /// always bounds the reply by its frame limit regardless).
+        limit: u32,
+    },
     /// Liveness probe; answered without touching the store.
     Ping,
 }
@@ -128,6 +140,16 @@ pub enum Response {
         completed: u32,
         /// `(batch index, error)` for every failed op.
         failures: Vec<(u32, WireError)>,
+    },
+    /// SCAN result: ascending `(key, value)` entries.
+    Scan {
+        /// Whether the reply covers the whole requested range; `false`
+        /// means the server truncated at the client's `limit` or at its
+        /// own frame budget, and the client should continue from
+        /// `entries.last().key + 1`.
+        complete: bool,
+        /// The entries, ascending by key.
+        entries: Vec<(u64, Vec<u8>)>,
     },
     /// PING answered.
     Pong,
@@ -430,6 +452,7 @@ pub fn encode_request(frame: &RequestFrame, out: &mut Vec<u8>) {
         Request::Get { .. } => opcode::GET,
         Request::Delete { .. } => opcode::DELETE,
         Request::Batch { .. } => opcode::BATCH,
+        Request::Scan { .. } => opcode::SCAN,
         Request::Ping => opcode::PING,
     };
     out.push(op);
@@ -458,6 +481,11 @@ pub fn encode_request(frame: &RequestFrame, out: &mut Vec<u8>) {
                     }
                 }
             }
+        }
+        Request::Scan { lo, hi, limit } => {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+            out.extend_from_slice(&limit.to_le_bytes());
         }
         Request::Ping => {}
     }
@@ -497,6 +525,12 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ProtoError> {
                 }
             }
             Request::Batch { ops }
+        }
+        opcode::SCAN => {
+            let lo = c.u64()?;
+            let hi = c.u64()?;
+            let limit = c.u32()?;
+            Request::Scan { lo, hi, limit }
         }
         opcode::PING => Request::Ping,
         other => return Err(format!("unknown opcode {other}")),
@@ -544,6 +578,16 @@ pub fn encode_response(frame: &ResponseFrame, out: &mut Vec<u8>) {
                         encode_wire_error(e, out);
                     }
                 }
+                Response::Scan { complete, entries } => {
+                    out.push(opcode::SCAN);
+                    out.push(u8::from(*complete));
+                    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                    for (key, value) in entries {
+                        out.extend_from_slice(&key.to_le_bytes());
+                        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                        out.extend_from_slice(value);
+                    }
+                }
                 Response::Pong => out.push(opcode::PING),
                 Response::Err(_) => unreachable!("handled above"),
             }
@@ -578,6 +622,26 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, ProtoError> {
                     failures.push((idx, decode_wire_error(&mut c)?));
                 }
                 Response::Batch { completed, failures }
+            }
+            opcode::SCAN => {
+                let complete = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("bad SCAN complete flag {other}")),
+                };
+                let n = c.u32()? as usize;
+                // Each entry needs ≥ 12 bytes; reject counts the payload
+                // cannot hold before allocating for them.
+                if n > payload.len() / 12 + 1 {
+                    return Err(format!("scan count {n} exceeds payload capacity"));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = c.u64()?;
+                    let vlen = c.u32()? as usize;
+                    entries.push((key, c.take(vlen)?.to_vec()));
+                }
+                Response::Scan { complete, entries }
             }
             opcode::PING => Response::Pong,
             other => return Err(format!("unknown response kind {other}")),
@@ -706,6 +770,11 @@ mod tests {
         roundtrip_req(RequestFrame { id: 9, deadline_us: 0, req: Request::Delete { key: 2 } });
         roundtrip_req(RequestFrame { id: 10, deadline_us: 0, req: Request::Ping });
         roundtrip_req(RequestFrame {
+            id: 11,
+            deadline_us: 250,
+            req: Request::Scan { lo: 10, hi: u64::MAX, limit: 1000 },
+        });
+        roundtrip_req(RequestFrame {
             id: u64::MAX,
             deadline_us: u32::MAX,
             req: Request::Batch {
@@ -725,6 +794,17 @@ mod tests {
         roundtrip_resp(ResponseFrame { id: 3, resp: Response::Get(Some(vec![9; 32])) });
         roundtrip_resp(ResponseFrame { id: 4, resp: Response::Delete(true) });
         roundtrip_resp(ResponseFrame { id: 5, resp: Response::Pong });
+        roundtrip_resp(ResponseFrame {
+            id: 11,
+            resp: Response::Scan { complete: true, entries: vec![] },
+        });
+        roundtrip_resp(ResponseFrame {
+            id: 12,
+            resp: Response::Scan {
+                complete: false,
+                entries: vec![(1, vec![0xAA; 16]), (2, vec![]), (u64::MAX, vec![7; 8])],
+            },
+        });
         roundtrip_resp(ResponseFrame {
             id: 6,
             resp: Response::Batch {

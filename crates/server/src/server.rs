@@ -744,6 +744,35 @@ fn run_store_op(shared: &Shared, req: Request) -> Response {
                     .collect(),
             }
         }
+        Request::Scan { lo, hi, limit } => match store.scan(lo, hi) {
+            Ok(mut entries) => {
+                let mut complete = true;
+                if limit > 0 && entries.len() > limit as usize {
+                    entries.truncate(limit as usize);
+                    complete = false;
+                }
+                // Bound the reply by the frame limit too: each entry
+                // costs 12 bytes + the value; leave slack for the
+                // response prefix. A truncated reply says so, and the
+                // client resumes from the last key + 1.
+                let budget = shared.cfg.max_frame.saturating_sub(64);
+                let mut used = 0usize;
+                let mut fit = entries.len();
+                for (i, (_, v)) in entries.iter().enumerate() {
+                    used += 12 + v.len();
+                    if used > budget {
+                        fit = i;
+                        break;
+                    }
+                }
+                if fit < entries.len() {
+                    entries.truncate(fit);
+                    complete = false;
+                }
+                Response::Scan { complete, entries }
+            }
+            Err(e) => Response::Err((&e).into()),
+        },
         Request::Ping => Response::Pong,
     }
 }

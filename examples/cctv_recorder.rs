@@ -1,20 +1,28 @@
-//! CCTV recorder: the paper's motivating media workload (§VI-C).
+//! CCTV recorder: the paper's motivating media workload (§VI-C), recorded
+//! as a TTL/ring-retention scenario.
 //!
 //! A surveillance camera continuously overwrites a ring of frames on NVM.
 //! Consecutive frames share the static background, so a steering store can
-//! overwrite a bit-similar old frame instead of an arbitrary one. This
-//! example records a synthetic intersection video through PNW and through a
-//! plain DCW free-list store, and compares the bit flips and the modeled
-//! device lifetime.
+//! overwrite a bit-similar old frame instead of an arbitrary one. The PNW
+//! recorder here never deletes a frame: every PUT carries a retention
+//! deadline and the store's ring retention reclaims space itself — expired
+//! frames first, then the earliest-deadline (oldest) frame when the ring
+//! is full. A plain DCW free-list ring records the same footage for
+//! comparison of bit flips and modeled device lifetime.
 //!
 //! Run with: `cargo run --release --example cctv_recorder`
 
+use pnw_bench::scenario::{replay, KeyDist, Phase, Scenario, ValueSource};
+use pnw_bench::throughput::OpMix;
 use pnw_core::{PnwConfig, PnwStore, RetrainMode};
 use pnw_nvm_sim::{projected_lifetime_ops, MemoryTech, NvmConfig, NvmDevice, WriteMode};
 use pnw_workloads::{VideoConfig, VideoFrames, Workload};
 
 const RING_FRAMES: usize = 512;
 const RECORDED_FRAMES: usize = 2048;
+/// Retention deadline per frame — far past the run, so the ring bound
+/// (earliest-deadline eviction), not wall-clock expiry, does the work.
+const RETENTION_MS: u64 = 60_000;
 
 fn main() {
     let cfg = VideoConfig::sherbrooke_like();
@@ -24,12 +32,13 @@ fn main() {
         cfg.width, cfg.height
     );
 
-    // --- PNW recorder -----------------------------------------------------
+    // --- PNW recorder (TTL/ring retention) --------------------------------
     let mut camera = VideoFrames::new(cfg.clone(), 7);
     let store = PnwStore::new(
         PnwConfig::new(RING_FRAMES, frame_bytes)
             .with_clusters(8)
-            .with_retrain(RetrainMode::Manual),
+            .with_retrain(RetrainMode::Manual)
+            .with_ring_retention(),
     );
     // Warm the ring with the first seconds of footage and train.
     store
@@ -38,17 +47,36 @@ fn main() {
     store.retrain_now().expect("train");
     store.reset_device_stats();
 
-    for i in 0..RECORDED_FRAMES as u64 {
-        let frame = camera.next_value();
-        store.put(i, &frame).expect("ring has room");
-        // Ring semantics: expire the oldest frame once the ring is half full.
-        if i >= (RING_FRAMES / 2) as u64 {
-            store.delete(i - (RING_FRAMES / 2) as u64).expect("expire");
-        }
-    }
-    let pnw = store.snapshot();
-    let pnw_flips = pnw.device.mean_flips_per_512();
+    let sc = Scenario {
+        name: "cctv-ring".to_string(),
+        seed: 7,
+        key_space: RING_FRAMES as u64,
+        value_size: frame_bytes,
+        window_ops: 256,
+        phases: vec![Phase {
+            name: "record".to_string(),
+            ops: RECORDED_FRAMES,
+            mix: OpMix::write_only(),
+            keys: KeyDist::Replacement {
+                working_set: RING_FRAMES,
+                // Ring semantics live in the store now: no client deletes.
+                delete_oldest: false,
+            },
+            values: ValueSource::Video { cfg: cfg.clone(), seed: 7 },
+            ttl_ms: Some(RETENTION_MS),
+            rate_ops_per_sec: None,
+            burst: None,
+        }],
+    };
+    let r = replay(&store, &sc);
+    let snap = store.snapshot();
+    let pnw_flips = snap.device.mean_flips_per_512();
     let pnw_max_wear = store.max_word_writes();
+    assert!(
+        snap.scrub.expired + snap.scrub.evicted > 0,
+        "ring retention should have reclaimed frames"
+    );
+    assert!(store.len() <= RING_FRAMES, "ring must stay bounded");
 
     // --- DCW free-list recorder (no steering) -----------------------------
     let mut camera = VideoFrames::new(cfg, 7);
@@ -76,7 +104,15 @@ fn main() {
     let dcw_life = projected_lifetime_ops(MemoryTech::Pcm, dcw_max_wear, ops);
     println!("projected PCM lifetime {pnw_life:>8.2e} {dcw_life:>10.2e} (frames)");
     println!(
-        "\nPNW reduced bit flips by {:.0}% on this stream",
-        (1.0 - pnw_flips / dcw_flips.max(1e-9)) * 100.0
+        "retention reclaimed    {:>8} frames ({} expired, {} evicted)",
+        snap.scrub.expired + snap.scrub.evicted,
+        snap.scrub.expired,
+        snap.scrub.evicted
+    );
+    println!(
+        "\nPNW reduced bit flips by {:.0}% on this stream \
+         (windowed series: {} windows)",
+        (1.0 - pnw_flips / dcw_flips.max(1e-9)) * 100.0,
+        r.windows.len()
     );
 }

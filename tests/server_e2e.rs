@@ -38,6 +38,9 @@ fn overload_is_typed_when_waiting_room_is_full() {
         fn delete(&self, key: u64) -> Result<bool, StoreError> {
             self.inner.delete(key)
         }
+        fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+            self.inner.scan(lo, hi)
+        }
         fn len(&self) -> usize {
             self.inner.len()
         }
@@ -225,5 +228,59 @@ fn ping_bypasses_admission_even_when_wedged() {
     c.ping().unwrap();
     let resp = d.recv().unwrap();
     assert_eq!(resp.id, id);
+    server.drain().unwrap();
+}
+
+#[test]
+fn scan_over_the_wire_pages_through_limit_and_frame_budget() {
+    let store: Arc<dyn Store> =
+        Arc::new(ShardedPnwStore::new(PnwConfig::new(512, VS).with_clusters(2).with_shards(4)));
+    let server = Server::start(
+        Arc::clone(&store),
+        &ServerAddr::parse("tcp://127.0.0.1:0").unwrap(),
+        // A small frame keeps the budget-truncation path honest: ~28
+        // bytes per entry means a full 96-key reply cannot fit.
+        ServerConfig { max_frame: 1024, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for k in 0..96u64 {
+        c.put(k, &[k as u8; VS]).unwrap();
+    }
+
+    // Empty range: complete and empty.
+    let (entries, complete) = c.scan(200, 300, 0).unwrap();
+    assert!(entries.is_empty() && complete);
+
+    // Explicit limit truncates and says so.
+    let (entries, complete) = c.scan(0, u64::MAX, 10).unwrap();
+    assert_eq!(entries.len(), 10);
+    assert!(!complete, "a limited reply must not claim completeness");
+    assert_eq!(entries[0].0, 0);
+    assert_eq!(entries[9].0, 9);
+
+    // Paging: resume from last key + 1 until complete reassembles the
+    // whole range in order, whether the server truncated at the limit or
+    // at its frame budget.
+    let mut all = Vec::new();
+    let mut lo = 0u64;
+    loop {
+        let (mut page, complete) = c.scan(lo, u64::MAX, 0).unwrap();
+        if let Some(&(last, _)) = page.last() {
+            lo = last + 1;
+        } else {
+            assert!(complete, "an empty incomplete page would never terminate");
+        }
+        let done = complete;
+        all.append(&mut page);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(all.len(), 96, "paging reassembles the full range");
+    for (i, (k, v)) in all.iter().enumerate() {
+        assert_eq!(*k, i as u64, "ascending across pages");
+        assert_eq!(v, &vec![*k as u8; VS], "key {k}");
+    }
     server.drain().unwrap();
 }

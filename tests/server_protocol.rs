@@ -184,6 +184,9 @@ impl Store for BlockingStore {
     fn delete(&self, key: u64) -> Result<bool, StoreError> {
         self.inner.delete(key)
     }
+    fn scan(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        self.inner.scan(lo, hi)
+    }
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -537,6 +537,192 @@ fn corruption_surfaces_identically_on_both_pnw_frontends() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Range scans: one ordered-scan contract, five backends.
+// ---------------------------------------------------------------------------
+
+fn scan_keys(entries: &[(u64, Vec<u8>)]) -> Vec<u64> {
+    entries.iter().map(|(k, _)| *k).collect()
+}
+
+/// `scan` returns ascending committed `(key, value)` pairs over the
+/// inclusive range, on every backend: empty store, empty sub-range,
+/// inverted bounds, full range, and after overwrites and deletes.
+#[test]
+fn scan_contract_holds_on_every_backend() {
+    for s in backends(128, 16) {
+        let name = s.name();
+        assert!(s.scan(0, u64::MAX).unwrap().is_empty(), "{name}: empty store");
+
+        let keys = [3u64, 7, 10, 11, 64, 100, 101];
+        for &k in &keys {
+            s.put(k, &[k as u8; 16]).unwrap();
+        }
+        let full = s.scan(0, u64::MAX).unwrap();
+        assert_eq!(scan_keys(&full), keys, "{name}: full range, ascending");
+        for (k, v) in &full {
+            assert_eq!(v, &vec![*k as u8; 16], "{name} key {k}: value round-trips");
+        }
+        assert_eq!(scan_keys(&s.scan(10, 64).unwrap()), [10, 11, 64], "{name}: sub-range is inclusive");
+        assert_eq!(scan_keys(&s.scan(7, 7).unwrap()), [7], "{name}: single-key range");
+        assert!(s.scan(12, 63).unwrap().is_empty(), "{name}: live-key gap");
+        assert!(s.scan(64, 10).unwrap().is_empty(), "{name}: inverted bounds");
+
+        // Overwrites surface the new value; deletes drop out of the scan.
+        s.put(10, &[0xEE; 16]).unwrap();
+        assert!(s.delete(11).unwrap(), "{name}");
+        let after = s.scan(10, 64).unwrap();
+        assert_eq!(scan_keys(&after), [10, 64], "{name}: post-delete range");
+        assert_eq!(after[0].1, vec![0xEE; 16], "{name}: scan sees the overwrite");
+    }
+}
+
+/// A range spanning every shard of the sharded store comes back as one
+/// ascending sequence that agrees with point GETs key-for-key.
+#[test]
+fn scan_spans_shards_and_matches_point_gets() {
+    let cfg = PnwConfig::new(256, 16)
+        .with_clusters(2)
+        .with_seed(11)
+        .with_retrain(RetrainMode::Manual)
+        .with_shards(4);
+    let s = ShardedPnwStore::new(cfg);
+    // Consecutive keys land on different shards under any reasonable
+    // partition, so [0, 95] crosses all four.
+    for k in 0..96u64 {
+        s.put(k, &[(k % 7) as u8; 16]).unwrap();
+    }
+    let all = s.scan(0, 95).unwrap();
+    assert_eq!(all.len(), 96, "every shard contributes its slice");
+    for (i, (k, v)) in all.iter().enumerate() {
+        assert_eq!(*k, i as u64, "ascending across shard boundaries");
+        assert_eq!(Some(v.clone()), s.get(*k).unwrap(), "key {k}: scan == GET");
+    }
+}
+
+/// Scans running against live writers never observe a torn value, on any
+/// backend: every value written is a uniform fill, so a single mixed byte
+/// proves a torn read. On the sharded store this exercises the seqlock
+/// snapshot path under real contention.
+#[test]
+fn scan_never_observes_torn_values_under_concurrent_writes() {
+    for s in backends(512, 64) {
+        let name = s.name();
+        let s: std::sync::Arc<dyn Store> = std::sync::Arc::from(s);
+        for k in 0..48u64 {
+            s.put(k, &[0x01; 64]).unwrap();
+        }
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..2u64 {
+            let s = std::sync::Arc::clone(&s);
+            let stop = std::sync::Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let mut fill = 0x10u8.wrapping_add(t as u8);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for k in (t * 24)..(t * 24 + 24) {
+                        s.put(k, &[fill; 64]).unwrap();
+                    }
+                    fill = fill.wrapping_add(0x11).max(1);
+                }
+            }));
+        }
+        for _ in 0..200 {
+            for (k, v) in s.scan(0, 47).unwrap() {
+                assert!(
+                    v.iter().all(|b| *b == v[0]),
+                    "{name} key {k}: torn value {:02x?}...",
+                    &v[..8.min(v.len())]
+                );
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(s.scan(0, 47).unwrap().len(), 48, "{name}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TTL: lazy expiry on the read path, on both PNW frontends.
+// ---------------------------------------------------------------------------
+
+/// Past its deadline a key disappears from GET, `get_into` and scans —
+/// without any explicit delete — while `expires_at_ms = 0` and plain PUTs
+/// never expire. The slot becomes reusable.
+#[test]
+fn ttl_expired_keys_hide_from_get_and_scan() {
+    use pnw::core_api::now_unix_ms;
+    let cfg = PnwConfig::new(64, 16)
+        .with_clusters(2)
+        .with_seed(11)
+        .with_retrain(RetrainMode::Manual)
+        .with_ttl();
+    let frontends: Vec<Box<dyn Store>> = vec![
+        Box::new(PnwStore::new(cfg.clone())),
+        Box::new(ShardedPnwStore::new(cfg.with_shards(4))),
+    ];
+    for s in frontends {
+        let name = s.name();
+        assert!(s.supports_ttl(), "{name}");
+        let deadline = now_unix_ms() + 120;
+        s.put_with_expiry(1, &[0x11; 16], deadline).unwrap();
+        s.put_with_expiry(2, &[0x22; 16], 0).unwrap(); // 0 = never expires
+        s.put(3, &[0x33; 16]).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![0x11; 16], "{name}: pre-expiry read");
+        assert_eq!(scan_keys(&s.scan(0, 10).unwrap()), [1, 2, 3], "{name}: pre-expiry scan");
+
+        while now_unix_ms() <= deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(s.get(1).unwrap(), None, "{name}: expired key must read as absent");
+        assert!(!s.get_into(1, &mut [0u8; 16]).unwrap(), "{name}");
+        assert_eq!(scan_keys(&s.scan(0, 10).unwrap()), [2, 3], "{name}: expired key left the scan");
+
+        // The key itself is reusable after expiry.
+        s.put(1, &[0x44; 16]).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![0x44; 16], "{name}: re-put after expiry");
+    }
+}
+
+/// Expiry deadlines are durable: after a kill (plain drop — the WAL alone
+/// carries the state) and a reopen past the deadline, the expired key is
+/// gone and WAL replay does not resurrect it; unexpired and non-TTL keys
+/// survive. A clean close/reopen cycle agrees.
+#[test]
+fn ttl_expiry_survives_kill_and_reopen() {
+    use pnw::core_api::now_unix_ms;
+    let dir = contract_dir("ttl_kill");
+    let cfg = durable_cfg(64, 16, &dir).with_ttl();
+
+    let s = PnwStore::open(cfg.clone()).unwrap();
+    let deadline = now_unix_ms() + 150;
+    s.put_with_expiry(1, &[0x11; 16], deadline).unwrap();
+    s.put_with_expiry(2, &[0x22; 16], 0).unwrap();
+    s.put(3, &[0x33; 16]).unwrap();
+    s.put_with_expiry(4, &[0x44; 16], now_unix_ms() + 3_600_000).unwrap();
+    drop(s); // kill between ops: no checkpoint, recovery replays the WAL
+
+    while now_unix_ms() <= deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let s = PnwStore::open(cfg.clone()).unwrap();
+    assert_eq!(s.get(1).unwrap(), None, "WAL replay must not resurrect an expired key");
+    assert_eq!(scan_keys(&s.scan(0, 10).unwrap()), [2, 3, 4], "expired key stays out of scans");
+    assert_eq!(s.get(2).unwrap().unwrap(), vec![0x22; 16]);
+    assert_eq!(s.get(3).unwrap().unwrap(), vec![0x33; 16]);
+    assert_eq!(s.get(4).unwrap().unwrap(), vec![0x44; 16], "unexpired deadline survives the kill");
+
+    // Clean close persists the same truth.
+    s.close().unwrap();
+    let s = PnwStore::open(cfg).unwrap();
+    assert_eq!(s.get(1).unwrap(), None, "expired key stays gone across a clean close");
+    assert_eq!(s.get(4).unwrap().unwrap(), vec![0x44; 16]);
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Every backend is driveable concurrently through `Arc<dyn Store>` — the
 /// contract that lets one throughput harness serve all five.
 #[test]
